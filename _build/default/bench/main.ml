@@ -1,0 +1,293 @@
+(* Benchmark harness: one Bechamel test per paper table/figure (measuring
+   the cost of regenerating it at a reduced configuration), plus ablation
+   benches for the design choices DESIGN.md calls out (object-registry LRU
+   cache and bucket width, address-mapping scheme, trace-buffer batching).
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module E = Nvsc_core.Experiment
+module Tech = Nvsc_nvram.Technology
+module Access = Nvsc_memtrace.Access
+
+let quick = { E.scale = 0.15; iterations = 3; perf_scale = 0.15 }
+
+(* Shared inputs, computed once: the benches measure regeneration cost, not
+   workload execution cost (benched separately below). *)
+let bundle = lazy (E.collect ~config:quick ())
+
+let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+
+(* --- per-table/figure benches ------------------------------------------ *)
+
+let bench_scavenger name =
+  Test.make ~name:(Printf.sprintf "pipeline:scavenger-%s" name)
+    (Staged.stage (fun () ->
+         ignore
+           (Nvsc_core.Scavenger.run ~scale:0.1 ~iterations:1
+              (Option.get (Nvsc_apps.Apps.find name)))))
+
+let bench_table1 =
+  Test.make ~name:"table1:app-characteristics"
+    (Staged.stage (fun () -> E.table1 null_fmt (Lazy.force bundle)))
+
+let bench_table2 =
+  Test.make ~name:"table2:cache-config"
+    (Staged.stage (fun () -> E.table2 null_fmt ()))
+
+let bench_table3 =
+  Test.make ~name:"table3:system-config"
+    (Staged.stage (fun () -> E.table3 null_fmt ()))
+
+let bench_table4 =
+  Test.make ~name:"table4:memory-latencies"
+    (Staged.stage (fun () -> E.table4 null_fmt ()))
+
+let bench_table5 =
+  Test.make ~name:"table5:stack-analysis"
+    (Staged.stage (fun () -> ignore (E.table5_data (Lazy.force bundle))))
+
+let bench_fig2 =
+  Test.make ~name:"fig2:cam-frame-distribution"
+    (Staged.stage (fun () -> ignore (E.fig2_data (Lazy.force bundle))))
+
+let bench_fig3_6 =
+  Test.make ~name:"fig3-6:object-metrics"
+    (Staged.stage (fun () -> ignore (E.fig3_6_data (Lazy.force bundle))))
+
+let bench_fig7 =
+  Test.make ~name:"fig7:usage-cdf"
+    (Staged.stage (fun () -> ignore (E.fig7_data (Lazy.force bundle))))
+
+let bench_fig8_11 =
+  Test.make ~name:"fig8-11:metric-variance"
+    (Staged.stage (fun () -> ignore (E.fig8_11_data (Lazy.force bundle))))
+
+let bench_table6 =
+  Test.make ~name:"table6:power-simulation"
+    (Staged.stage (fun () -> ignore (E.table6_data (Lazy.force bundle))))
+
+let bench_fig12 =
+  Test.make ~name:"fig12:latency-sensitivity"
+    (Staged.stage (fun () -> ignore (E.fig12_data ~config:quick ())))
+
+(* --- substrate micro-benches ------------------------------------------- *)
+
+let trace_10k =
+  lazy
+    (Array.of_list
+       (Nvsc_memtrace.Trace_gen.hot_cold ~seed:7 ~hot_fraction:0.7
+          ~hot_lines:8192 ~cold_lines:262144 ~write_fraction:0.3 ~n:10_000 ()))
+
+let bench_cache_filter =
+  Test.make ~name:"substrate:cache-hierarchy-10k"
+    (Staged.stage (fun () ->
+         let h = Nvsc_cachesim.Hierarchy.create ~sink:ignore () in
+         Array.iter (Nvsc_cachesim.Hierarchy.access h) (Lazy.force trace_10k);
+         Nvsc_cachesim.Hierarchy.drain h))
+
+let bench_controller tech_name tech =
+  Test.make ~name:(Printf.sprintf "substrate:dramsim-10k-%s" tech_name)
+    (Staged.stage (fun () ->
+         let c = Nvsc_dramsim.Controller.create ~tech () in
+         Array.iter (Nvsc_dramsim.Controller.submit c) (Lazy.force trace_10k);
+         ignore (Nvsc_dramsim.Controller.stats c)))
+
+let bench_perf_model =
+  Test.make ~name:"substrate:perf-model-10k"
+    (Staged.stage (fun () ->
+         let m = Nvsc_cpusim.Perf_model.create ~mem_latency_ns:100. () in
+         Array.iter
+           (fun a ->
+             Nvsc_cpusim.Perf_model.instructions m 4;
+             Nvsc_cpusim.Perf_model.access m a)
+           (Lazy.force trace_10k);
+         ignore (Nvsc_cpusim.Perf_model.report m)))
+
+(* --- ablations ---------------------------------------------------------- *)
+
+(* Registry lookup with and without the LRU software cache (paper §III-D):
+   the ablation quantifies how much the cache buys on a hot access
+   pattern. *)
+let registry_with_objects ~cache_slots =
+  let r = Nvsc_memtrace.Object_registry.create ~cache_slots () in
+  for i = 0 to 499 do
+    ignore
+      (Nvsc_memtrace.Object_registry.register r
+         (Nvsc_memtrace.Mem_object.make ~id:i ~name:"o"
+            ~kind:Nvsc_memtrace.Layout.Heap
+            ~base:(Nvsc_memtrace.Layout.heap_base + (i * 8192))
+            ~size:8192 ()))
+  done;
+  r
+
+let lookup_pattern =
+  lazy
+    (let rng = Nvsc_util.Rng.of_int 3 in
+     Array.init 20_000 (fun _ ->
+         (* hot subset with occasional far references *)
+         let obj =
+           if Nvsc_util.Rng.bernoulli rng 0.9 then Nvsc_util.Rng.int rng 4
+           else Nvsc_util.Rng.int rng 500
+         in
+         Nvsc_memtrace.Layout.heap_base + (obj * 8192)
+         + (8 * Nvsc_util.Rng.int rng 1024)))
+
+let bench_registry_lookup ~name ~cache_slots =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let r = registry_with_objects ~cache_slots in
+         Array.iter
+           (fun addr -> ignore (Nvsc_memtrace.Object_registry.lookup r addr))
+           (Lazy.force lookup_pattern)))
+
+let bench_mapping scheme =
+  Test.make
+    ~name:
+      (Printf.sprintf "ablation:mapping-%s"
+         (Nvsc_dramsim.Address_mapping.scheme_name scheme))
+    (Staged.stage (fun () ->
+         let c = Nvsc_dramsim.Controller.create ~scheme ~tech:(Tech.get Tech.DDR3) () in
+         Array.iter (Nvsc_dramsim.Controller.submit c) (Lazy.force trace_10k);
+         ignore (Nvsc_dramsim.Controller.stats c)))
+
+let bench_trace_buffer ~name ~capacity =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let sink = ref 0 in
+         let b =
+           Nvsc_memtrace.Trace_buffer.create ~capacity
+             ~flush:(fun _ n -> sink := !sink + n)
+             ()
+         in
+         Array.iter (Nvsc_memtrace.Trace_buffer.push b) (Lazy.force trace_10k);
+         Nvsc_memtrace.Trace_buffer.flush b))
+
+let bench_wear_leveling ~name scheme =
+  Test.make ~name
+    (Staged.stage (fun () ->
+         let t = Nvsc_nvram.Wear_leveling.create scheme ~lines:1024 in
+         let rng = Nvsc_util.Rng.of_int 5 in
+         for _ = 1 to 20_000 do
+           let l =
+             if Nvsc_util.Rng.bernoulli rng 0.9 then 0
+             else Nvsc_util.Rng.int rng 1024
+           in
+           ignore (Nvsc_nvram.Wear_leveling.write t l)
+         done))
+
+let bench_dram_cache =
+  Test.make ~name:"substrate:dram-page-cache-10k"
+    (Staged.stage (fun () ->
+         let dc =
+           Nvsc_placement.Dram_cache.create ~dram_pages:256
+             ~tech:(Tech.get Tech.PCRAM) ()
+         in
+         Array.iter (Nvsc_placement.Dram_cache.access dc) (Lazy.force trace_10k);
+         Nvsc_placement.Dram_cache.drain dc))
+
+let bench_sampler =
+  Test.make ~name:"substrate:sampler-10k"
+    (Staged.stage (fun () ->
+         let s =
+           Nvsc_memtrace.Sampler.create ~period:100 ~sample_length:10
+             ~sink:ignore
+         in
+         Array.iter (Nvsc_memtrace.Sampler.push s) (Lazy.force trace_10k)))
+
+let bench_trace_file =
+  Test.make ~name:"substrate:trace-file-roundtrip-10k"
+    (Staged.stage (fun () ->
+         let log = Nvsc_memtrace.Trace_log.create () in
+         Array.iter (Nvsc_memtrace.Trace_log.record log) (Lazy.force trace_10k);
+         let path = Filename.temp_file "nvsc_bench" ".trace" in
+         Fun.protect
+           ~finally:(fun () -> Sys.remove path)
+           (fun () ->
+             Nvsc_memtrace.Trace_file.save log path;
+             ignore (Nvsc_memtrace.Trace_file.load path))))
+
+let tests =
+  Test.make_grouped ~name:"nv-scavenger"
+    [
+      bench_scavenger "nek5000";
+      bench_scavenger "cam";
+      bench_scavenger "gtc";
+      bench_scavenger "s3d";
+      bench_table1;
+      bench_table2;
+      bench_table3;
+      bench_table4;
+      bench_table5;
+      bench_fig2;
+      bench_fig3_6;
+      bench_fig7;
+      bench_fig8_11;
+      bench_table6;
+      bench_fig12;
+      bench_cache_filter;
+      bench_controller "ddr3" (Tech.get Tech.DDR3);
+      bench_controller "pcram" (Tech.get Tech.PCRAM);
+      bench_perf_model;
+      bench_registry_lookup ~name:"ablation:registry-lru8" ~cache_slots:8;
+      bench_registry_lookup ~name:"ablation:registry-lru1" ~cache_slots:1;
+      bench_mapping Nvsc_dramsim.Address_mapping.Row_bank_rank_col;
+      bench_mapping Nvsc_dramsim.Address_mapping.Line_interleave;
+      bench_trace_buffer ~name:"ablation:trace-buffer-64k" ~capacity:65536;
+      bench_trace_buffer ~name:"ablation:trace-buffer-16" ~capacity:16;
+      bench_wear_leveling ~name:"ablation:wear-start-gap"
+        (Nvsc_nvram.Wear_leveling.Start_gap { gap_move_interval = 100 });
+      bench_wear_leveling ~name:"ablation:wear-table"
+        (Nvsc_nvram.Wear_leveling.Table_based { swap_interval = 100 });
+      bench_dram_cache;
+      bench_sampler;
+      bench_trace_file;
+      Test.make ~name:"ablation:scheduler-fr-fcfs-10k"
+        (Staged.stage (fun () ->
+             let c =
+               Nvsc_dramsim.Controller.create
+                 ~scheduler:(Nvsc_dramsim.Controller.Fr_fcfs 16)
+                 ~tech:(Tech.get Tech.DDR3) ()
+             in
+             Array.iter (Nvsc_dramsim.Controller.submit c) (Lazy.force trace_10k);
+             ignore (Nvsc_dramsim.Controller.stats c)));
+    ]
+
+let () =
+  (* force shared fixtures outside the measured region *)
+  ignore (Lazy.force bundle);
+  ignore (Lazy.force trace_10k);
+  ignore (Lazy.force lookup_pattern);
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | _ -> Float.nan
+        in
+        (name, ns) :: acc)
+      clock []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Format.printf "%-50s %14s@." "benchmark" "time/run";
+  Format.printf "%s@." (String.make 66 '-');
+  List.iter
+    (fun (name, ns) ->
+      Format.printf "%-50s %12.1fus@." name (ns /. 1_000.))
+    rows

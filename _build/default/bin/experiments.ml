@@ -1,0 +1,25 @@
+(* Regenerate every table and figure of the paper's evaluation section.
+
+   Usage: experiments [quick] [no-ext] [markdown]
+   "quick" runs at reduced scale/iterations (for CI smoke runs); "no-ext"
+   skips the extension studies. *)
+
+let () =
+  let quick = Array.exists (String.equal "quick") Sys.argv in
+  let config =
+    if quick then Nvsc_core.Experiment.quick_config
+    else Nvsc_core.Experiment.default_config
+  in
+  if Array.exists (String.equal "markdown") Sys.argv then begin
+    print_string (Nvsc_core.Report.markdown ~config ());
+    exit 0
+  end;
+  Nvsc_core.Experiment.run_all Format.std_formatter ~config ();
+  (* extensions: the §II/§III-D design alternatives, unless skipped *)
+  if not (Array.exists (String.equal "no-ext") Sys.argv) then begin
+    let scale = if quick then 0.25 else 0.5 in
+    let iterations = if quick then 3 else 5 in
+    Format.print_newline ();
+    Nvsc_core.Extensions.run_all Format.std_formatter ~scale ~iterations ()
+  end;
+  Format.print_flush ()

@@ -1,0 +1,507 @@
+(* nvscav: NV-Scavenger command-line interface.
+
+   Analyze the instrumented mini-applications for NVRAM placement
+   opportunities: per-object metrics, stack analysis, power simulation,
+   performance sensitivity, and hybrid-placement planning. *)
+
+open Cmdliner
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logs_term =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let app_arg =
+  let doc =
+    "Application to analyze: nek5000, cam, gtc, s3d, minife or minimd."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
+
+let scale_arg =
+  let doc = "Data-size multiplier (default 1.0; use 0.25 for quick runs)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+
+let iterations_arg =
+  let doc = "Main-loop iterations to instrument (the paper uses 10)." in
+  Arg.(value & opt int 10 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+
+let find_app name =
+  match Nvsc_apps.Apps.find name with
+  | Some app -> Ok app
+  | None ->
+    Error
+      (Printf.sprintf "unknown application %S (known: %s)" name
+         (String.concat ", " Nvsc_apps.Apps.names))
+
+let with_app name f =
+  match find_app name with
+  | Ok app -> (f app : unit); `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let fmt = Format.std_formatter
+
+(* --- list -------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () () =
+    List.iter
+      (fun (module A : Nvsc_apps.Workload.APP) ->
+        let tag =
+          if List.mem A.name Nvsc_apps.Apps.names then
+            Printf.sprintf "paper footprint %.0fMB" A.paper_footprint_mb
+          else "beyond the paper's set"
+        in
+        Format.fprintf fmt "%-8s %s (%s; %s)@." A.name A.description
+          A.input_description tag)
+      Nvsc_apps.Apps.extended;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "list" ~doc:"List the instrumented mini-applications."
+  in
+  Cmd.v info Term.(ret (const run $ logs_term $ const ()))
+
+(* --- analyze ----------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run () name scale iterations =
+    with_app name (fun app ->
+        Logs.info (fun m ->
+            m "running %s at scale %g for %d iterations" name scale iterations);
+        let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+        Nvsc_core.Stack_analysis.pp_summary_table fmt
+          [ Nvsc_core.Stack_analysis.summarize r ];
+        Nvsc_core.Object_analysis.pp_report fmt
+          (Nvsc_core.Object_analysis.analyze r);
+        Format.fprintf fmt "untouched in main loop: %s of long-term data@."
+          (Nvsc_util.Table.cell_pct
+             (Nvsc_core.Usage_variance.untouched_in_main_fraction r));
+        Nvsc_core.Usage_variance.pp_variance fmt
+          (Nvsc_core.Usage_variance.variance r))
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Run an application through NV-Scavenger and report object metrics, \
+         stack summary and per-iteration variance."
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg))
+
+(* --- stack ------------------------------------------------------------- *)
+
+let stack_cmd =
+  let run () name scale iterations =
+    with_app name (fun app ->
+        let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+        Nvsc_core.Stack_analysis.pp_summary_table fmt
+          [ Nvsc_core.Stack_analysis.summarize r ];
+        Nvsc_core.Stack_analysis.pp_distribution fmt
+          (Nvsc_core.Stack_analysis.distribution r))
+  in
+  let info =
+    Cmd.info "stack"
+      ~doc:"Stack-data analysis: fast whole-stack method plus per-routine \
+            frames (slow method)."
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg))
+
+(* --- traffic ------------------------------------------------------------ *)
+
+let traffic_cmd =
+  let run () name scale iterations =
+    with_app name (fun app ->
+        let r =
+          Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app
+        in
+        Nvsc_core.Traffic_attribution.pp_report fmt
+          (Nvsc_core.Traffic_attribution.analyze r))
+  in
+  let info =
+    Cmd.info "traffic"
+      ~doc:"Attribute main-memory traffic and burst energy to memory \
+            objects: which data structures cost the most, and can they \
+            move to NVRAM?"
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg))
+
+(* --- trace ------------------------------------------------------------- *)
+
+let trace_cmd =
+  let out_arg =
+    let doc = "Output trace file (DRAMSim2 mase format)." in
+    Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let run () name scale iterations out =
+    with_app name (fun app ->
+        let r = Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app in
+        let trace = Option.get r.mem_trace in
+        Nvsc_memtrace.Trace_file.save trace out;
+        Format.fprintf fmt "wrote %d records (%d reads, %d writes) to %s@."
+          (Nvsc_memtrace.Trace_log.length trace)
+          (Nvsc_memtrace.Trace_log.reads trace)
+          (Nvsc_memtrace.Trace_log.writes trace)
+          out)
+  in
+  let info =
+    Cmd.info "trace"
+      ~doc:"Dump an application's cache-filtered main-memory trace to a \
+            DRAMSim2-format file."
+  in
+  Cmd.v info
+    Term.(
+      ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+         $ out_arg))
+
+(* --- power ------------------------------------------------------------- *)
+
+let power_cmd =
+  let from_file_arg =
+    let doc =
+      "Simulate a trace file (DRAMSim2 mase format) instead of running APP \
+       (APP is still required for labelling)."
+    in
+    Arg.(value & opt (some string) None & info [ "from-file" ] ~docv:"FILE" ~doc)
+  in
+  let run () name scale iterations from_file =
+    with_app name (fun app ->
+        let trace =
+          match from_file with
+          | Some path -> Nvsc_memtrace.Trace_file.load path
+          | None ->
+            let r =
+              Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app
+            in
+            Option.get r.mem_trace
+        in
+        Format.fprintf fmt
+          "main-memory trace: %d accesses (%d reads, %d writes)@."
+          (Nvsc_memtrace.Trace_log.length trace)
+          (Nvsc_memtrace.Trace_log.reads trace)
+          (Nvsc_memtrace.Trace_log.writes trace);
+        let results =
+          Nvsc_dramsim.Memory_system.compare_technologies
+            ~techs:Nvsc_nvram.Technology.paper_set
+            ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay trace sink)
+            ()
+        in
+        List.iter
+          (fun ((t : Nvsc_nvram.Technology.t), (s : Nvsc_dramsim.Controller.stats)) ->
+            Format.fprintf fmt
+              "%-8s avg power %a  elapsed %a  row-hit %.2f  bandwidth \
+               %.2fGB/s@."
+              t.name Nvsc_util.Units.pp_watts s.avg_power_w
+              Nvsc_util.Units.pp_ns s.elapsed_ns s.row_hit_rate s.bandwidth_gbs)
+          results;
+        List.iter
+          (fun ((t : Nvsc_nvram.Technology.t), p) ->
+            Format.fprintf fmt "%-8s normalized power %.3f@." t.name p)
+          (Nvsc_dramsim.Memory_system.normalized_power results))
+  in
+  let info =
+    Cmd.info "power"
+      ~doc:"Memory power simulation over the cache-filtered trace (the \
+            Table VI experiment for one application)."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ from_file_arg))
+
+(* --- perf -------------------------------------------------------------- *)
+
+let perf_cmd =
+  let asymmetric_arg =
+    let doc =
+      "Use distinct read/write latencies with posted writes instead of the \
+       paper's read-=-write lower bound."
+    in
+    Arg.(value & flag & info [ "asymmetric" ] ~doc)
+  in
+  let run () name scale asymmetric =
+    with_app name (fun app ->
+        let points =
+          Nvsc_cpusim.Sensitivity.run ~asymmetric
+            ~replay:(Nvsc_core.Experiment.perf_replay ~scale app)
+            ()
+        in
+        Nvsc_cpusim.Sensitivity.pp_points fmt points)
+  in
+  let info =
+    Cmd.info "perf"
+      ~doc:"Performance sensitivity to memory latency (the figure 12 \
+            experiment for one application)."
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ asymmetric_arg))
+
+(* --- place ------------------------------------------------------------- *)
+
+let place_cmd =
+  let tech_arg =
+    let doc = "NVRAM technology for the hybrid's NVRAM half." in
+    Arg.(value & opt string "sttram" & info [ "tech" ] ~docv:"TECH" ~doc)
+  in
+  let run () name scale iterations tech_name =
+    match Nvsc_nvram.Technology.of_string tech_name with
+    | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
+    | Some tech ->
+      with_app name (fun app ->
+          let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+          let items =
+            List.map
+              (fun (m : Nvsc_core.Object_metrics.t) ->
+                {
+                  Nvsc_placement.Item.id = m.obj.Nvsc_memtrace.Mem_object.id;
+                  name = m.obj.Nvsc_memtrace.Mem_object.name;
+                  size_bytes = Nvsc_core.Object_metrics.size_bytes m;
+                  reads = m.reads;
+                  writes = m.writes;
+                  ref_share = m.ref_share;
+                })
+              (Nvsc_core.Scavenger.global_and_heap_metrics r)
+          in
+          let hybrid =
+            Nvsc_placement.Hybrid_memory.create
+              ~dram_bytes:(2 * r.footprint_bytes)
+              ~nvram_bytes:(2 * r.footprint_bytes) ~tech
+          in
+          let hybrid = Nvsc_placement.Static_policy.plan ~hybrid items in
+          List.iter
+            (fun (item : Nvsc_placement.Item.t) ->
+              Format.fprintf fmt "NVRAM <- %a@." Nvsc_placement.Item.pp item)
+            (Nvsc_placement.Hybrid_memory.items_in hybrid
+               Nvsc_placement.Hybrid_memory.Nvram);
+          Nvsc_placement.Hybrid_memory.pp_assessment fmt
+            (Nvsc_placement.Hybrid_memory.assess hybrid);
+          Format.pp_print_newline fmt ())
+  in
+  let info =
+    Cmd.info "place"
+      ~doc:"Plan a static hybrid DRAM/NVRAM placement from the profile and \
+            assess the energy/performance consequences."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ tech_arg))
+
+(* --- endurance ---------------------------------------------------------- *)
+
+let endurance_cmd =
+  let run () name scale iterations =
+    with_app name (fun app ->
+        let r = Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app in
+        let trace = Option.get r.mem_trace in
+        let line_bytes = 256 in
+        let lines = 1 + (r.footprint_bytes / line_bytes) in
+        let write_rate =
+          float_of_int (Nvsc_memtrace.Trace_log.writes trace)
+          /. float_of_int r.iterations *. 10. (* 10 steps/s sustained *)
+        in
+        List.iter
+          (fun tech_id ->
+            let tech = Nvsc_nvram.Technology.get tech_id in
+            let e = Nvsc_nvram.Endurance.create ~tech ~lines in
+            Nvsc_memtrace.Trace_log.replay trace (fun a ->
+                if Nvsc_memtrace.Access.is_write a then
+                  Nvsc_nvram.Endurance.record_write e
+                    ~line:(a.Nvsc_memtrace.Access.addr / line_bytes mod lines));
+            Format.fprintf fmt
+              "%-8s imbalance %5.1fx  lifetime %12.2f years levelled / %12.3f \
+               unlevelled@."
+              tech.Nvsc_nvram.Technology.name
+              (Nvsc_nvram.Endurance.wear_imbalance e)
+              (Nvsc_nvram.Endurance.lifetime_years e ~write_rate_per_s:write_rate
+                 ~wear_levelled:true)
+              (Nvsc_nvram.Endurance.lifetime_years e ~write_rate_per_s:write_rate
+                 ~wear_levelled:false))
+          [ Nvsc_nvram.Technology.PCRAM; STTRAM; MRAM ])
+  in
+  let info =
+    Cmd.info "endurance"
+      ~doc:"Device-lifetime estimates from the application's write traffic."
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg))
+
+(* --- sample ------------------------------------------------------------- *)
+
+let sample_cmd =
+  let period_arg =
+    Arg.(value & opt int 10_000 & info [ "period" ] ~docv:"N"
+           ~doc:"Sampling period in references.")
+  in
+  let length_arg =
+    Arg.(value & opt int 100 & info [ "sample-length" ] ~docv:"N"
+           ~doc:"References observed per period.")
+  in
+  let run () name scale iterations period sample_length =
+    with_app name (fun app ->
+        Nvsc_core.Extensions.pp_sampling fmt
+          (Nvsc_core.Extensions.sampling_ablation ~scale ~iterations ~period
+             ~sample_length app))
+  in
+  let info =
+    Cmd.info "sample"
+      ~doc:"Measure what periodic sampling (the design §III-D rejects) \
+            would lose for this application."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ period_arg $ length_arg))
+
+(* --- hybrid -------------------------------------------------------------- *)
+
+let hybrid_cmd =
+  let tech_arg =
+    Arg.(value & opt string "sttram"
+           & info [ "tech" ] ~docv:"TECH" ~doc:"NVRAM half's technology.")
+  in
+  let run () name scale iterations tech_name =
+    match Nvsc_nvram.Technology.of_string tech_name with
+    | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
+    | Some tech ->
+      with_app name (fun app ->
+          Nvsc_core.Extensions.pp_hybrid_simulation fmt
+            (Nvsc_core.Extensions.hybrid_simulation ~scale ~iterations ~tech
+               app))
+  in
+  let info =
+    Cmd.info "hybrid"
+      ~doc:"Simulate the hybrid DRAM+NVRAM memory system (the run the \
+            paper's §V could not do): all-DRAM vs all-NVRAM vs hybrid at \
+            equal capacity."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ tech_arg))
+
+(* --- fine ---------------------------------------------------------------- *)
+
+let fine_cmd =
+  let window_arg =
+    Arg.(value & opt int 100_000
+           & info [ "window" ] ~docv:"REFS"
+               ~doc:"References per placement decision.")
+  in
+  let run () name scale iterations window =
+    with_app name (fun app ->
+        Nvsc_core.Extensions.pp_fine_grained fmt
+          (Nvsc_core.Extensions.fine_grained_placement ~scale ~iterations
+             ~window_refs:window app))
+  in
+  let info =
+    Cmd.info "fine"
+      ~doc:"Fine-time-granularity dynamic placement (the monitor §VII-C \
+            calls for), one decision per reference window."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ window_arg))
+
+(* --- tasks --------------------------------------------------------------- *)
+
+let tasks_cmd =
+  let tasks_arg =
+    Arg.(value & opt int 4 & info [ "tasks" ] ~docv:"N" ~doc:"Simulated ranks.")
+  in
+  let imbalance_arg =
+    Arg.(value & opt float 0.2
+           & info [ "imbalance" ] ~docv:"F"
+               ~doc:"Relative domain-decomposition imbalance across ranks.")
+  in
+  let run () name scale iterations tasks imbalance =
+    with_app name (fun app ->
+        let a =
+          Nvsc_core.Multi_task.run ~tasks ~base_scale:scale ~iterations
+            ~imbalance app
+        in
+        List.iter
+          (fun (t : Nvsc_core.Multi_task.task_summary) ->
+            Format.fprintf fmt
+              "task %d (scale %.2f): footprint %a, stack ratio %.2f, share \
+               %s@."
+              t.task t.scale Nvsc_util.Units.pp_bytes t.footprint_bytes
+              t.stack.Nvsc_core.Stack_analysis.rw_ratio
+              (Nvsc_util.Table.cell_pct
+                 t.stack.Nvsc_core.Stack_analysis.reference_pct))
+          a.Nvsc_core.Multi_task.tasks;
+        Nvsc_core.Multi_task.pp fmt a)
+  in
+  let info =
+    Cmd.info "tasks"
+      ~doc:"Multi-rank analysis: is one task's profile (the paper's \
+            methodology) representative under load imbalance?"
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ tasks_arg $ imbalance_arg))
+
+(* --- checkpoint ---------------------------------------------------------- *)
+
+let checkpoint_cmd =
+  let mtbf_arg =
+    Arg.(value & opt float 21600. & info [ "mtbf" ] ~docv:"SECONDS"
+           ~doc:"Machine mean time between failures (default 6h).")
+  in
+  let size_arg =
+    Arg.(value & opt int (8 * 1024 * 1024 * 1024)
+           & info [ "size" ] ~docv:"BYTES"
+               ~doc:"Checkpoint size per node (default 8 GiB).")
+  in
+  let run () mtbf size =
+    let module CP = Nvsc_placement.Checkpoint in
+    let targets =
+      CP.parallel_fs ()
+      :: List.map
+           (fun id -> CP.nvram_local (Nvsc_nvram.Technology.get id))
+           [ Nvsc_nvram.Technology.PCRAM; STTRAM; MRAM ]
+    in
+    List.iter
+      (fun target ->
+        let delta = CP.checkpoint_time_s target ~size_bytes:size in
+        Format.fprintf fmt
+          "%-14s checkpoint %a  optimal interval %a  efficiency %.1f%%@."
+          target.CP.name Nvsc_util.Units.pp_ns (delta *. 1e9)
+          Nvsc_util.Units.pp_ns
+          (CP.young_interval_s ~checkpoint_time_s:delta ~mtbf_s:mtbf *. 1e9)
+          (100. *. CP.efficiency ~checkpoint_time_s:delta ~mtbf_s:mtbf))
+      targets;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "checkpoint"
+      ~doc:"Checkpoint-to-NVRAM study (the paper's §I motivation): \
+            checkpoint time, Young-optimal interval and machine efficiency \
+            per target."
+  in
+  Cmd.v info Term.(ret (const run $ logs_term $ mtbf_arg $ size_arg))
+
+let main_cmd =
+  let doc = "NV-Scavenger: NVRAM opportunity analysis for HPC applications" in
+  let info = Cmd.info "nvscav" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      list_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd; perf_cmd;
+      place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd; traffic_cmd;
+      fine_cmd;
+      checkpoint_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/custom_app.ml: Format List Nvsc_appkit Nvsc_apps Nvsc_core Nvsc_memtrace

@@ -1,0 +1,1 @@
+examples/endurance_study.ml: Format List Nvsc_apps Nvsc_core Nvsc_memtrace Nvsc_nvram Option

@@ -1,0 +1,1 @@
+examples/generality_study.ml: Format List Nvsc_apps Nvsc_core Nvsc_memtrace Nvsc_util Option Printf

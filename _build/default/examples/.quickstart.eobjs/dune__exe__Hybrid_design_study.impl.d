@@ -1,0 +1,1 @@
+examples/hybrid_design_study.ml: Format List Nvsc_apps Nvsc_core Nvsc_util

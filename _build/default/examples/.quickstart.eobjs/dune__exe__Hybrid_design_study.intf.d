@@ -1,0 +1,1 @@
+examples/hybrid_design_study.mli:

@@ -1,0 +1,1 @@
+examples/placement_study.ml: Array Format List Nvsc_apps Nvsc_core Nvsc_memtrace Nvsc_nvram Nvsc_placement Nvsc_util Option

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Nvsc_apps Nvsc_core Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_util Option

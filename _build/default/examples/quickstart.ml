@@ -1,0 +1,57 @@
+(* Quickstart: profile one application with NV-Scavenger and print its
+   NVRAM opportunities.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Scavenger = Nvsc_core.Scavenger
+module OM = Nvsc_core.Object_metrics
+module Suitability = Nvsc_nvram.Suitability
+
+let () =
+  (* 1. Run the CAM mini-app through the full pipeline: instrumentation,
+     object attribution, and the Table II cache hierarchy. *)
+  let result =
+    Scavenger.run ~scale:0.5 ~iterations:5 ~with_trace:true
+      (Option.get (Nvsc_apps.Apps.find "cam"))
+  in
+  Format.printf "Profiled %s: %d main-loop references over %d iterations@."
+    result.app_name result.total_main_refs result.iterations;
+  Format.printf "footprint (scaled run): %a@.@." Nvsc_util.Units.pp_bytes
+    result.footprint_bytes;
+
+  (* 2. The fast stack method: Table V's row for this app. *)
+  Nvsc_core.Stack_analysis.pp_summary_table Format.std_formatter
+    [ Nvsc_core.Stack_analysis.summarize result ];
+  Format.printf "@.";
+
+  (* 3. Per-object metrics and NVRAM verdicts for a category-2 device. *)
+  let metrics = Scavenger.global_and_heap_metrics result in
+  Format.printf "NVRAM verdicts (STTRAM-class target):@.";
+  List.iter
+    (fun (m : OM.t) ->
+      let verdict, reason =
+        Suitability.explain
+          ~category:Nvsc_nvram.Technology.Cat2_long_write
+          (OM.suitability_metrics m)
+      in
+      Format.printf "  %-18s %-16s %s@." m.obj.Nvsc_memtrace.Mem_object.name
+        (Format.asprintf "%a" Suitability.pp_verdict verdict)
+        reason)
+    (List.filter
+       (fun (m : OM.t) -> OM.size_bytes m >= 32 * 1024)
+       metrics);
+
+  (* 4. Power: what would this trace cost on each memory technology? *)
+  let trace = Option.get result.mem_trace in
+  let powers =
+    Nvsc_dramsim.Memory_system.compare_technologies
+      ~techs:Nvsc_nvram.Technology.paper_set
+      ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay trace sink)
+      ()
+    |> Nvsc_dramsim.Memory_system.normalized_power
+  in
+  Format.printf "@.normalized average memory power:@.";
+  List.iter
+    (fun ((t : Nvsc_nvram.Technology.t), p) ->
+      Format.printf "  %-8s %.3f@." t.name p)
+    powers

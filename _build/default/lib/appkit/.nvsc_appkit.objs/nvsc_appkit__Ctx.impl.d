@@ -1,0 +1,1 @@
+lib/appkit/ctx.ml: Array Fun Hashtbl List Nvsc_memtrace Nvsc_util Printf Stdlib

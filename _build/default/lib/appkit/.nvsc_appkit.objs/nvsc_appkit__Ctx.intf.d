@@ -1,0 +1,1 @@
+lib/appkit/ctx.mli: Nvsc_memtrace Nvsc_util

@@ -1,0 +1,1 @@
+lib/appkit/farray.ml: Array Ctx Nvsc_memtrace

@@ -1,0 +1,1 @@
+lib/appkit/farray.mli: Ctx Nvsc_memtrace

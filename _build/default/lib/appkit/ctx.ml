@@ -1,0 +1,345 @@
+module Access = Nvsc_memtrace.Access
+module Layout = Nvsc_memtrace.Layout
+module Mem_object = Nvsc_memtrace.Mem_object
+module Object_registry = Nvsc_memtrace.Object_registry
+module Shadow_stack = Nvsc_memtrace.Shadow_stack
+module Counters = Nvsc_memtrace.Counters
+module Rng = Nvsc_util.Rng
+
+type fast_tally = {
+  stack_reads : int;
+  stack_writes : int;
+  other_reads : int;
+  other_writes : int;
+}
+
+type mutable_tally = {
+  mutable sr : int;
+  mutable sw : int;
+  mutable or_ : int;
+  mutable ow : int;
+}
+
+type frame = {
+  routine : string;
+  shadow_frame : Shadow_stack.frame;
+  mutable cursor : int; (* next free address, carving downward usage upward *)
+  limit : int;
+}
+
+type t = {
+  rng : Rng.t;
+  registry : Object_registry.t;
+  counters : Counters.t;
+  shadow : Shadow_stack.t;
+  mutable sinks : (Access.t -> unit) list;
+  mutable instr_sink : (int -> unit) option;
+  mutable phase : Mem_object.phase;
+  mutable heap_brk : int;
+  mutable global_brk : int;
+  mutable next_id : int;
+  mutable next_routine_addr : int;
+  routine_addrs : (string, int) Hashtbl.t;
+  routine_objects : (int, Mem_object.t) Hashtbl.t; (* keyed by routine addr *)
+  heap_instances : (string, int) Hashtbl.t; (* live-collision counters *)
+  mutable tallies : mutable_tally array; (* per iteration *)
+  mutable total_refs : int;
+  mutable unattributed : int;
+  mutable sampling : sampling option;
+  mutable sampled_out : int;
+}
+
+and sampling = { period : int; sample_length : int; mutable position : int }
+
+let create ?(seed = 42) () =
+  {
+    rng = Rng.of_int seed;
+    registry = Object_registry.create ();
+    counters = Counters.create ();
+    shadow = Shadow_stack.create ();
+    sinks = [];
+    instr_sink = None;
+    phase = Mem_object.Pre;
+    heap_brk = Layout.heap_base;
+    global_brk = Layout.global_base;
+    next_id = 0;
+    next_routine_addr = 0x0040_0000;
+    routine_addrs = Hashtbl.create 64;
+    routine_objects = Hashtbl.create 64;
+    heap_instances = Hashtbl.create 64;
+    tallies = Array.init 4 (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 });
+    total_refs = 0;
+    unattributed = 0;
+    sampling = None;
+    sampled_out = 0;
+  }
+
+let set_sampling t ~period ~sample_length =
+  if period <= 0 || sample_length <= 0 || sample_length > period then
+    invalid_arg "Ctx.set_sampling: need 0 < sample_length <= period";
+  t.sampling <- Some { period; sample_length; position = 0 }
+
+let sampled_out t = t.sampled_out
+
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+let set_instr_sink t sink = t.instr_sink <- Some sink
+
+let clear_sinks t =
+  t.sinks <- [];
+  t.instr_sink <- None
+
+let iteration_of_phase = function
+  | Mem_object.Pre | Mem_object.Post -> 0
+  | Mem_object.Main i ->
+    if i < 1 then invalid_arg "Ctx: main-loop iterations are 1-based";
+    i
+
+let set_phase t phase =
+  t.phase <- phase;
+  Counters.set_iteration t.counters (iteration_of_phase phase)
+
+let phase t = t.phase
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  id
+
+(* --- allocation ------------------------------------------------------- *)
+
+let alloc_global t ~name ~words =
+  if words <= 0 then invalid_arg "Ctx.alloc_global: words";
+  let size = words * Layout.word in
+  let base = t.global_brk in
+  if base + size > Layout.global_limit then failwith "Ctx: global segment full";
+  t.global_brk <- base + size;
+  let obj =
+    Mem_object.make ~id:(fresh_id t) ~name ~kind:Layout.Global ~base ~size
+      ~alloc_phase:t.phase ()
+  in
+  Object_registry.register t.registry obj
+
+let alloc_global_overlay t ~name ~over ~offset_words ~words =
+  if words <= 0 || offset_words < 0 then
+    invalid_arg "Ctx.alloc_global_overlay: bad range";
+  if over.Mem_object.kind <> Layout.Global then
+    invalid_arg "Ctx.alloc_global_overlay: base object must be global";
+  let base = over.Mem_object.base + (offset_words * Layout.word) in
+  let size = words * Layout.word in
+  if base + size > over.Mem_object.base + over.Mem_object.size then
+    invalid_arg "Ctx.alloc_global_overlay: overlay exceeds the base object";
+  let obj =
+    Mem_object.make ~id:(fresh_id t) ~name ~kind:Layout.Global ~base ~size
+      ~alloc_phase:t.phase ()
+  in
+  Object_registry.register t.registry obj
+
+let callstack_names t =
+  List.rev_map
+    (fun (f : Shadow_stack.frame) -> f.routine)
+    (Shadow_stack.frames t.shadow)
+
+let alloc_heap t ~site ~words =
+  if words <= 0 then invalid_arg "Ctx.alloc_heap: words";
+  let size = words * Layout.word in
+  match Object_registry.find_by_signature t.registry site with
+  | Some obj when (not obj.Mem_object.live) && obj.Mem_object.size = size ->
+    (* Same allocation-site signature, previously freed: the paper treats
+       this as the same memory object re-appearing. *)
+    Object_registry.revive t.registry obj;
+    obj
+  | Some _ ->
+    (* A live object already carries this signature: distinguish the
+       instance, as two objects genuinely coexist. *)
+    let n =
+      match Hashtbl.find_opt t.heap_instances site with
+      | Some n -> n + 1
+      | None -> 1
+    in
+    Hashtbl.replace t.heap_instances site n;
+    let signature = Printf.sprintf "%s#%d" site n in
+    let base = t.heap_brk in
+    if base + size > Layout.heap_limit then failwith "Ctx: heap full";
+    t.heap_brk <- base + size;
+    let obj =
+      Mem_object.make ~id:(fresh_id t) ~name:site ~kind:Layout.Heap ~base
+        ~size ~signature ~callstack:(callstack_names t)
+        ~alloc_phase:t.phase ()
+    in
+    Object_registry.register t.registry obj
+  | None ->
+    let base = t.heap_brk in
+    if base + size > Layout.heap_limit then failwith "Ctx: heap full";
+    t.heap_brk <- base + size;
+    let obj =
+      Mem_object.make ~id:(fresh_id t) ~name:site ~kind:Layout.Heap ~base
+        ~size ~signature:site ~callstack:(callstack_names t)
+        ~alloc_phase:t.phase ()
+    in
+    Object_registry.register t.registry obj
+
+let free_heap t obj =
+  if obj.Mem_object.kind <> Layout.Heap then
+    invalid_arg "Ctx.free_heap: not a heap object";
+  Object_registry.deallocate t.registry obj
+
+(* --- routines --------------------------------------------------------- *)
+
+let routine_addr t routine =
+  match Hashtbl.find_opt t.routine_addrs routine with
+  | Some a -> a
+  | None ->
+    let a = t.next_routine_addr in
+    t.next_routine_addr <- a + 0x100;
+    Hashtbl.add t.routine_addrs routine a;
+    a
+
+let call t ~routine ~frame_words f =
+  if frame_words < 0 then invalid_arg "Ctx.call: frame_words";
+  let addr = routine_addr t routine in
+  let frame_size = frame_words * Layout.word in
+  let shadow_frame =
+    Shadow_stack.push t.shadow ~routine ~routine_addr:addr ~frame_size
+  in
+  (* Register the routine's frame object on first entry, keyed by the
+     routine starting address (the paper's routine signature). *)
+  if not (Hashtbl.mem t.routine_objects addr) then begin
+    let base = shadow_frame.Shadow_stack.base_sp - frame_size in
+    let obj =
+      Mem_object.make ~id:(fresh_id t) ~name:routine ~kind:Layout.Stack ~base
+        ~size:(Stdlib.max frame_size Layout.word)
+        ~signature:(Printf.sprintf "stack:%s@0x%x" routine addr)
+        ~alloc_phase:t.phase ()
+    in
+    Hashtbl.add t.routine_objects addr obj
+  end;
+  let frame =
+    {
+      routine;
+      shadow_frame;
+      cursor = shadow_frame.Shadow_stack.base_sp - frame_size;
+      limit = shadow_frame.Shadow_stack.base_sp;
+    }
+  in
+  Fun.protect ~finally:(fun () -> Shadow_stack.pop t.shadow) (fun () -> f frame)
+
+let frame_carve _t frame ~words =
+  if words <= 0 then invalid_arg "Ctx.frame_carve: words";
+  let size = words * Layout.word in
+  if frame.cursor + size > frame.limit then
+    invalid_arg
+      (Printf.sprintf "Ctx.frame_carve: frame of %s exhausted" frame.routine);
+  let base = frame.cursor in
+  frame.cursor <- base + size;
+  base
+
+let frame_routine frame = frame.routine
+
+(* --- reference emission ----------------------------------------------- *)
+
+let tally t iter =
+  let n = Array.length t.tallies in
+  if iter >= n then begin
+    let n' = Stdlib.max (iter + 1) (2 * n) in
+    let t' =
+      Array.init n' (fun i ->
+          if i < n then t.tallies.(i) else { sr = 0; sw = 0; or_ = 0; ow = 0 })
+    in
+    t.tallies <- t'
+  end;
+  t.tallies.(iter)
+
+let attribute t addr =
+  match Layout.classify addr with
+  | Some Layout.Stack -> (
+    match Shadow_stack.attribute t.shadow addr with
+    | Some frame -> Hashtbl.find_opt t.routine_objects frame.routine_addr
+    | None -> None)
+  | Some (Layout.Heap | Layout.Global) -> Object_registry.lookup t.registry addr
+  | None -> None
+
+(* With sampling enabled, a reference outside the sample window is
+   invisible to the whole analysis (attribution, tallies and sinks) — as
+   if PIN had not instrumented it. *)
+let sampling_drops t =
+  match t.sampling with
+  | None -> false
+  | Some s ->
+    let drop = s.position >= s.sample_length in
+    s.position <- (s.position + 1) mod s.period;
+    if drop then t.sampled_out <- t.sampled_out + 1;
+    drop
+
+let emit_observed t addr op =
+  t.total_refs <- t.total_refs + 1;
+  let iter = iteration_of_phase t.phase in
+  let tal = tally t iter in
+  let is_stack = match Layout.classify addr with
+    | Some Layout.Stack -> true
+    | _ -> false
+  in
+  (match (is_stack, op) with
+  | true, Access.Read -> tal.sr <- tal.sr + 1
+  | true, Access.Write -> tal.sw <- tal.sw + 1
+  | false, Access.Read -> tal.or_ <- tal.or_ + 1
+  | false, Access.Write -> tal.ow <- tal.ow + 1);
+  (match attribute t addr with
+  | Some obj -> Counters.record t.counters ~obj_id:obj.Mem_object.id ~op
+  | None -> t.unattributed <- t.unattributed + 1);
+  let access = { Access.addr; size = Layout.word; op } in
+  List.iter (fun sink -> sink access) t.sinks
+
+let emit t addr op = if sampling_drops t then () else emit_observed t addr op
+
+let read_addr t ~addr = emit t addr Access.Read
+let write_addr t ~addr = emit t addr Access.Write
+
+let flops t n =
+  if n < 0 then invalid_arg "Ctx.flops: negative";
+  match t.instr_sink with Some sink -> sink n | None -> ()
+
+(* --- analysis accessors ------------------------------------------------ *)
+
+let registry t = t.registry
+let counters t = t.counters
+let shadow t = t.shadow
+let rng t = t.rng
+
+let stack_object_of_routine t routine =
+  match Hashtbl.find_opt t.routine_addrs routine with
+  | None -> None
+  | Some addr -> Hashtbl.find_opt t.routine_objects addr
+
+let stack_objects t =
+  Hashtbl.fold (fun _ obj acc -> obj :: acc) t.routine_objects []
+  |> List.sort (fun (a : Mem_object.t) b -> compare a.id b.id)
+
+let attribute_addr = attribute
+
+let fast_tally t ~iter =
+  if iter < 0 || iter >= Array.length t.tallies then
+    { stack_reads = 0; stack_writes = 0; other_reads = 0; other_writes = 0 }
+  else begin
+    let tal = t.tallies.(iter) in
+    {
+      stack_reads = tal.sr;
+      stack_writes = tal.sw;
+      other_reads = tal.or_;
+      other_writes = tal.ow;
+    }
+  end
+
+let fast_tally_totals t =
+  Array.fold_left
+    (fun acc tal ->
+      {
+        stack_reads = acc.stack_reads + tal.sr;
+        stack_writes = acc.stack_writes + tal.sw;
+        other_reads = acc.other_reads + tal.or_;
+        other_writes = acc.other_writes + tal.ow;
+      })
+    { stack_reads = 0; stack_writes = 0; other_reads = 0; other_writes = 0 }
+    t.tallies
+
+let total_references t = t.total_refs
+let unattributed t = t.unattributed

@@ -1,0 +1,136 @@
+(** Instrumentation context: the OCaml stand-in for PIN.
+
+    The mini-applications are written against this API.  Every array read
+    and write goes through it, producing a memory-reference stream with a
+    synthetic — but structurally faithful — virtual address, which the
+    context attributes on the fly to the memory object it falls in (global
+    symbol, heap allocation site, or routine stack frame) exactly as
+    NV-SCAVENGER does: stack references through the shadow stack, heap and
+    global references through the bucketed object registry.
+
+    External sinks (a cache hierarchy filtering traffic toward the power
+    simulator, or the performance model) can subscribe to the same
+    stream. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+(** {1 Sinks} *)
+
+val add_sink : t -> (Nvsc_memtrace.Access.t -> unit) -> unit
+(** Subscribe to every emitted reference (called after attribution). *)
+
+val set_instr_sink : t -> (int -> unit) -> unit
+(** Receive non-memory committed-instruction counts (from {!flops}). *)
+
+val clear_sinks : t -> unit
+
+val set_sampling : t -> period:int -> sample_length:int -> unit
+(** Enable periodic sampling of the instrumentation itself: out of every
+    [period] references, only the first [sample_length] are observed
+    (attributed, tallied and forwarded to sinks); the rest happen to the
+    application but are invisible to the analysis.  This is the §III-D
+    design the paper rejects — provided so the rejection can be measured
+    (see {!Nvsc_core.Extensions.sampling_ablation}). *)
+
+val sampled_out : t -> int
+(** References dropped by sampling so far. *)
+
+(** {1 Phases and iterations} *)
+
+val set_phase : t -> Nvsc_memtrace.Mem_object.phase -> unit
+(** [Pre] and [Post] are charged to iteration 0 (as in the paper's
+    figure 7); [Main i] (1-based) to iteration [i]. *)
+
+val phase : t -> Nvsc_memtrace.Mem_object.phase
+
+(** {1 Allocation} *)
+
+val alloc_global : t -> name:string -> words:int -> Nvsc_memtrace.Mem_object.t
+(** A global symbol of [words] 8-byte words.  Overlapping globals merge as
+    Fortran common blocks do (see {!Nvsc_memtrace.Object_registry}). *)
+
+val alloc_global_overlay :
+  t ->
+  name:string ->
+  over:Nvsc_memtrace.Mem_object.t ->
+  offset_words:int ->
+  words:int ->
+  Nvsc_memtrace.Mem_object.t
+(** Declare a global symbol aliasing (part of) an existing global's range —
+    a Fortran common block viewed under a different partitioning by another
+    program unit (paper §III-C).  The overlapping objects merge in the
+    registry into one union object (whose combined name identifies it);
+    the merged object is returned.  [over] must be a global. *)
+
+val alloc_heap : t -> site:string -> words:int -> Nvsc_memtrace.Mem_object.t
+(** Heap allocation identified by its allocation-site signature.  If a dead
+    object with the same signature exists it is revived (same identity and
+    base, as the paper's tool treats per-iteration reallocations).  A
+    *live* object with the same signature gets a fresh instance
+    signature. *)
+
+val free_heap : t -> Nvsc_memtrace.Mem_object.t -> unit
+
+(** {1 Routines and stack frames} *)
+
+type frame
+
+val call : t -> routine:string -> frame_words:int -> (frame -> 'a) -> 'a
+(** Enter [routine]: pushes a shadow-stack frame of [frame_words] words and
+    (on first call) registers the routine's frame as a stack memory object
+    keyed by the routine's synthetic starting address.  The frame is popped
+    when the callback returns (also on exceptions). *)
+
+val frame_carve : t -> frame -> words:int -> int
+(** Reserve [words] within the frame and return their base address.  Raises
+    [Invalid_argument] when the frame is exhausted. *)
+
+val frame_routine : frame -> string
+
+(** {1 Reference emission} *)
+
+val read_addr : t -> addr:int -> unit
+val write_addr : t -> addr:int -> unit
+(** Emit a word-sized reference at an arbitrary owned address (the typed
+    {!Farray} accessors are built on these). *)
+
+val flops : t -> int -> unit
+(** Account [n] committed non-memory instructions (arithmetic). *)
+
+(** {1 Analysis state} *)
+
+val registry : t -> Nvsc_memtrace.Object_registry.t
+val counters : t -> Nvsc_memtrace.Counters.t
+val shadow : t -> Nvsc_memtrace.Shadow_stack.t
+val rng : t -> Nvsc_util.Rng.t
+
+val stack_object_of_routine : t -> string -> Nvsc_memtrace.Mem_object.t option
+
+val stack_objects : t -> Nvsc_memtrace.Mem_object.t list
+(** One frame object per routine seen so far (slow stack method). *)
+
+val attribute_addr : t -> int -> Nvsc_memtrace.Mem_object.t option
+(** Resolve an address to its memory object the way the recorder does:
+    stack addresses through the shadow stack, heap/global through the
+    registry.  Exposed for external monitors that subscribe via
+    {!add_sink}. *)
+
+(** Per-iteration tallies of the fast stack method (paper §III-A, method
+    1): whole-stack read/write counts and the share of all references that
+    target the stack. *)
+type fast_tally = {
+  stack_reads : int;
+  stack_writes : int;
+  other_reads : int;
+  other_writes : int;
+}
+
+val fast_tally : t -> iter:int -> fast_tally
+val fast_tally_totals : t -> fast_tally
+
+val total_references : t -> int
+val unattributed : t -> int
+(** References that resolved to no object (should be 0 for well-formed
+    applications; exposed for tests). *)

@@ -1,0 +1,65 @@
+(** Instrumented double-precision arrays.
+
+    The typed face of the instrumentation context: every element access
+    emits a word-sized memory reference at the element's synthetic address
+    before touching the backing store, so the mini-applications compute
+    real values while the analysis sees a faithful address stream. *)
+
+type t
+
+val global : Ctx.t -> name:string -> int -> t
+(** [global ctx ~name n] allocates an [n]-element array in the global
+    segment. *)
+
+val heap : Ctx.t -> site:string -> int -> t
+(** Heap array identified by allocation site.  Reviving a freed same-site
+    allocation reuses the same object identity (fresh zeroed contents). *)
+
+val global_overlay :
+  Ctx.t -> name:string -> over:t -> offset_words:int -> int -> t
+(** [global_overlay ctx ~name ~over ~offset_words n]: an [n]-element view
+    aliasing [over]'s address range from [offset_words] — a Fortran
+    common-block re-partitioning.  Accesses through either array resolve
+    to the same merged memory object (see
+    {!Ctx.alloc_global_overlay}).  The backing stores are independent (the
+    analysis concerns the address stream, not the values). *)
+
+val stack : Ctx.t -> Ctx.frame -> int -> t
+(** Carve an [n]-element array out of the current routine's stack frame;
+    accesses are attributed to the routine's frame object. *)
+
+val free : Ctx.t -> t -> unit
+(** Deallocate (heap arrays only). *)
+
+val length : t -> int
+val obj : t -> Nvsc_memtrace.Mem_object.t option
+(** The owning memory object; [None] for stack arrays (their accesses
+    belong to the routine frame). *)
+
+val base : t -> int
+
+(** {1 Instrumented element access} *)
+
+val get : t -> int -> float
+val set : t -> int -> float -> unit
+
+(** {1 Bulk helpers} — each element access is individually instrumented *)
+
+val fill : Ctx.t -> t -> float -> unit
+val init : Ctx.t -> t -> (int -> float) -> unit
+(** [init ctx a f] writes [f i] at every index (counts as writes only). *)
+
+val sum : Ctx.t -> t -> float
+(** Read-reduce the array. *)
+
+val copy_into : Ctx.t -> src:t -> dst:t -> unit
+(** Element-wise copy (reads of [src], writes of [dst]); lengths must
+    match. *)
+
+(** {1 Uninstrumented escape hatch} *)
+
+val peek : t -> int -> float
+(** Read the backing store without emitting a reference — for test
+    assertions about values, never for workload code. *)
+
+val poke : t -> int -> float -> unit

@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Cam Gtc List Minife Minimd Nek5000 S3d String Workload

@@ -1,0 +1,1 @@
+lib/apps/cam.ml: Array Nvsc_appkit Nvsc_memtrace Workload

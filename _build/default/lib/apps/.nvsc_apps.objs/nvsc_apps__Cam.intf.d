@@ -1,0 +1,1 @@
+lib/apps/cam.mli: Workload

@@ -1,0 +1,1 @@
+lib/apps/gtc.ml: Nvsc_appkit Nvsc_memtrace Workload

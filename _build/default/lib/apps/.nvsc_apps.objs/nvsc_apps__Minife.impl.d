@@ -1,0 +1,1 @@
+lib/apps/minife.ml: Float List Nvsc_appkit Nvsc_memtrace Workload

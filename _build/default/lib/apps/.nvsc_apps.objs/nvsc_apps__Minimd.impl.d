@@ -1,0 +1,1 @@
+lib/apps/minimd.ml: Nvsc_appkit Nvsc_memtrace Stdlib Workload

@@ -1,0 +1,1 @@
+lib/apps/minimd.mli: Workload

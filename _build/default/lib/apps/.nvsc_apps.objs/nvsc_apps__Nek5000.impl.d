@@ -1,0 +1,1 @@
+lib/apps/nek5000.ml: Array Nvsc_appkit Nvsc_memtrace Printf Workload

@@ -1,0 +1,1 @@
+lib/apps/nek5000.mli: Workload

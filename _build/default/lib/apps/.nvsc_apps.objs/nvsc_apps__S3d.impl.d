@@ -1,0 +1,1 @@
+lib/apps/s3d.ml: Nvsc_appkit Nvsc_memtrace Workload

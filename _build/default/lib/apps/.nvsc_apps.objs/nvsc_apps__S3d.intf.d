@@ -1,0 +1,1 @@
+lib/apps/s3d.mli: Workload

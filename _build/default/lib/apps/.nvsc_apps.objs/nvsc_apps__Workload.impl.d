@@ -1,0 +1,1 @@
+lib/apps/workload.ml: Float Nvsc_appkit Stdlib

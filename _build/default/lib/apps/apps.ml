@@ -1,0 +1,13 @@
+let all : (module Workload.APP) list =
+  [ (module Nek5000); (module Cam); (module Gtc); (module S3d) ]
+
+let extended = all @ [ (module Minife : Workload.APP); (module Minimd) ]
+
+let names = List.map (fun (module A : Workload.APP) -> A.name) all
+
+let extended_names =
+  List.map (fun (module A : Workload.APP) -> A.name) extended
+
+let find name =
+  let name = String.lowercase_ascii name in
+  List.find_opt (fun (module A : Workload.APP) -> A.name = name) extended

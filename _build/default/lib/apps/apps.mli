@@ -1,0 +1,22 @@
+(** Registry of the instrumented mini-applications.
+
+    {!all} holds the paper's four (Table I), in the paper's order —
+    everything that regenerates the paper's tables and figures iterates
+    over this list.  {!extended} adds the two beyond-the-paper workloads
+    (MiniFE, MiniMD) used to test that the paper's observations generalise
+    (§I: "observations ... that apply broadly to many applications beyond
+    our initial set"). *)
+
+val all : (module Workload.APP) list
+(** Nek5000, CAM, GTC, S3D. *)
+
+val extended : (module Workload.APP) list
+(** {!all} plus MiniFE and MiniMD. *)
+
+val find : string -> (module Workload.APP) option
+(** Case-insensitive lookup by name over {!extended}. *)
+
+val names : string list
+(** Names of {!all}. *)
+
+val extended_names : string list

@@ -1,0 +1,5 @@
+(** CAM mini-app: global atmosphere model (column physics + spectral
+    dynamics); see the implementation header for the modelled
+    memory-object population. *)
+
+include Workload.APP

@@ -1,0 +1,4 @@
+(** GTC mini-app: particle-in-cell plasma turbulence; see the
+    implementation header for the modelled memory-object population. *)
+
+include Workload.APP

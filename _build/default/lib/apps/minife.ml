@@ -1,0 +1,140 @@
+(** MiniFE-like mini-app: implicit finite elements, sparse CG solve.
+
+    Not one of the paper's four applications — included to test the
+    paper's closing observation that its data-structure classes "apply
+    broadly to many applications beyond our initial set".  The dominant
+    structures are the CSR matrix arrays ([row_ptr], [col_idx], [values]):
+    assembled once, then exclusively read by every SpMV — by footprint the
+    strongest NVRAM candidate among all the mini-apps, far beyond the
+    paper's 7–15 % read-only fractions.  The CG vectors are small and
+    read/write balanced; the SpMV kernel stages each row on its frame. *)
+
+module Ctx = Nvsc_appkit.Ctx
+module Farray = Nvsc_appkit.Farray
+module W = Workload
+
+let name = "minife"
+let description = "Implicit finite elements (sparse CG)"
+let input_description = "2-D 5-point Laplacian, 48x48 grid (scaled)"
+let paper_footprint_mb = 0. (* not in the paper *)
+
+let base_n = 48
+let max_row_nnz = 5
+
+type state = {
+  rows : int;
+  (* CSR structure: read-only after assembly *)
+  row_ptr : Farray.t;
+  col_idx : Farray.t;
+  values : Farray.t;
+  (* CG vectors *)
+  x : Farray.t;
+  b : Farray.t;
+  r : Farray.t;
+  p : Farray.t;
+  ap : Farray.t;
+  (* untouched in the main loop *)
+  assembly_scratch : Farray.t;
+}
+
+(* 5-point stencil neighbours of row i on an n x n grid. *)
+let neighbours n i =
+  let row = i / n and col = i mod n in
+  List.filter
+    (fun (r, c) -> r >= 0 && r < n && c >= 0 && c < n)
+    [ (row, col); (row - 1, col); (row + 1, col); (row, col - 1); (row, col + 1) ]
+  |> List.map (fun (r, c) -> (r * n) + c)
+
+let setup ctx ~scale =
+  let n = W.scaled (sqrt scale) base_n in
+  let rows = n * n in
+  let nnz_cap = rows * max_row_nnz in
+  let g name sz = Farray.global ctx ~name sz in
+  let s =
+    {
+      rows;
+      row_ptr = g "row_ptr" (rows + 1);
+      col_idx = g "col_idx" nnz_cap;
+      values = g "values" nnz_cap;
+      x = g "x" rows;
+      b = g "b" rows;
+      r = g "r" rows;
+      p = g "p" rows;
+      ap = g "ap" rows;
+      assembly_scratch = g "assembly_scratch" (W.scaled scale 8192);
+    }
+  in
+  (* assembly: the only writes the CSR arrays ever see *)
+  Farray.fill ctx s.assembly_scratch 0.;
+  let nnz = ref 0 in
+  for i = 0 to rows - 1 do
+    Farray.set s.row_ptr i (float_of_int !nnz);
+    List.iter
+      (fun j ->
+        Farray.set s.col_idx !nnz (float_of_int j);
+        Farray.set s.values !nnz (if j = i then 4.0 else -1.0);
+        incr nnz)
+      (neighbours n i)
+  done;
+  Farray.set s.row_ptr rows (float_of_int !nnz);
+  Farray.init ctx s.b (fun i -> sin (float_of_int i *. 0.05));
+  Farray.fill ctx s.x 0.;
+  Farray.copy_into ctx ~src:s.b ~dst:s.r;
+  Farray.copy_into ctx ~src:s.b ~dst:s.p;
+  Farray.fill ctx s.ap 0.;
+  s
+
+(* SpMV with the row staged on the routine's frame: the CSR arrays are
+   read-only traffic, the staging gives the kernel its stack signature. *)
+let spmv ctx s ~(src : Farray.t) ~(dst : Farray.t) =
+  Ctx.call ctx ~routine:"spmv_row" ~frame_words:(2 * max_row_nnz)
+    (fun frame ->
+      let vals = Farray.stack ctx frame max_row_nnz in
+      let gathered = Farray.stack ctx frame max_row_nnz in
+      for i = 0 to s.rows - 1 do
+        let lo = int_of_float (Farray.get s.row_ptr i) in
+        let hi = int_of_float (Farray.get s.row_ptr (i + 1)) in
+        let len = hi - lo in
+        for k = 0 to len - 1 do
+          Farray.set vals k (Farray.get s.values (lo + k));
+          let j = int_of_float (Farray.get s.col_idx (lo + k)) in
+          Farray.set gathered k (Farray.get src j)
+        done;
+        let acc = ref 0. in
+        for _pass = 1 to 2 do
+          for k = 0 to len - 1 do
+            acc := !acc +. (Farray.get vals k *. Farray.get gathered k)
+          done
+        done;
+        Ctx.flops ctx (4 * len);
+        Farray.set dst i (!acc /. 2.)
+      done)
+
+let iterate ctx s ~iter =
+  ignore iter;
+  spmv ctx s ~src:s.p ~dst:s.ap;
+  let pap = W.dot ctx s.p s.ap in
+  let rr = W.dot ctx s.r s.r in
+  let alpha = if Float.abs pap > 1e-30 then rr /. pap else 0. in
+  W.saxpy ctx ~alpha ~x:s.p ~y:s.x;
+  W.saxpy ctx ~alpha:(-.alpha) ~x:s.ap ~y:s.r;
+  let rr' = W.dot ctx s.r s.r in
+  let beta = if Float.abs rr > 1e-30 then rr' /. rr else 0. in
+  (* p <- r + beta p *)
+  for i = 0 to s.rows - 1 do
+    Farray.set s.p i (Farray.get s.r i +. (beta *. Farray.get s.p i))
+  done;
+  Ctx.flops ctx (2 * s.rows)
+
+let post ctx s = ignore (W.dot ctx s.x s.b)
+
+let run ?(scale = 1.0) ctx ~iterations =
+  if iterations < 1 then invalid_arg "Minife.run: iterations";
+  Ctx.set_phase ctx Nvsc_memtrace.Mem_object.Pre;
+  let s = setup ctx ~scale in
+  for iter = 1 to iterations do
+    Ctx.set_phase ctx (Nvsc_memtrace.Mem_object.Main iter);
+    iterate ctx s ~iter
+  done;
+  Ctx.set_phase ctx Nvsc_memtrace.Mem_object.Post;
+  post ctx s

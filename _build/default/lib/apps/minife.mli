@@ -1,0 +1,6 @@
+(** MiniFE-like mini-app: sparse-CG finite elements, included to test the
+    paper's observations beyond its original four applications.  Its CSR
+    matrix makes most of the footprint read-only — the strongest static
+    NVRAM-placement case in the suite. *)
+
+include Workload.APP

@@ -1,0 +1,6 @@
+(** MiniMD-like mini-app: Lennard-Jones molecular dynamics, included to
+    test the paper's observations beyond its original four applications.
+    Its neighbour list is read-only between periodic rebuilds — temporally
+    NVRAM-friendly data for a dynamic placement policy. *)
+
+include Workload.APP

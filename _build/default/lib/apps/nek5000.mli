@@ -1,0 +1,5 @@
+(** Nek5000 mini-app: spectral-element incompressible-flow solver on a 2-D
+    eddy problem (see the implementation header for the modelled
+    memory-object population). *)
+
+include Workload.APP

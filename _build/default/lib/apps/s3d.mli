@@ -1,0 +1,4 @@
+(** S3D mini-app: turbulent-combustion direct numerical simulation; see
+    the implementation header for the modelled memory-object population. *)
+
+include Workload.APP

@@ -1,0 +1,1 @@
+lib/cachesim/cache_params.ml: Format Nvsc_util

@@ -1,0 +1,1 @@
+lib/cachesim/cache_params.mli: Format

@@ -1,0 +1,1 @@
+lib/cachesim/hierarchy.ml: Cache Cache_params Nvsc_memtrace

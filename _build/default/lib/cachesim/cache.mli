@@ -1,0 +1,66 @@
+(** A single set-associative, write-back cache level with true-LRU
+    replacement.
+
+    The cache operates on line addresses ([byte address / line size]); the
+    hierarchy is responsible for splitting byte accesses into line
+    accesses.  A lookup returns what traffic the access induces towards the
+    next level: a line fill, a dirty write-back of an evicted line, a
+    forwarded write (no-write-allocate write miss), or nothing. *)
+
+type t
+
+(** Traffic the access generates toward the next memory level. *)
+type effect_ = {
+  hit : bool;
+  fill : int option;  (** line to fetch from below (read request) *)
+  writeback : int option;  (** dirty victim line to write below *)
+  forward_write : int option;
+      (** write sent below without allocating (no-write-allocate policy) *)
+}
+
+val create : Cache_params.t -> t
+
+val params : t -> Cache_params.t
+
+val read : t -> line:int -> effect_
+(** Read lookup.  On a miss the line is allocated clean; a dirty victim is
+    reported in [writeback]. *)
+
+val write : t -> line:int -> effect_
+(** Write lookup.  On a hit the line is dirtied.  On a miss:
+    [Write_allocate] fetches the line ([fill]) and dirties it;
+    [No_write_allocate] leaves the cache unchanged and reports the write in
+    [forward_write]. *)
+
+val probe : t -> line:int -> bool
+(** Non-intrusive presence test (does not touch LRU state). *)
+
+val is_dirty : t -> line:int -> bool
+(** Non-intrusive dirtiness test; false when the line is absent. *)
+
+val flush_dirty : t -> (int -> unit) -> unit
+(** Invoke the callback on every resident dirty line and mark them clean —
+    end-of-trace write-back drain so memory traffic accounting is
+    complete. *)
+
+val invalidate_all : t -> unit
+(** Drop every line without write-backs (used between independent
+    experiments). *)
+
+val resident_lines : t -> int
+
+(** {1 Statistics} *)
+
+val hits : t -> int
+val misses : t -> int
+val read_hits : t -> int
+val read_misses : t -> int
+val write_hits : t -> int
+val write_misses : t -> int
+val evictions : t -> int
+val dirty_evictions : t -> int
+
+val miss_rate : t -> float
+(** Misses over total accesses; 0 when idle. *)
+
+val reset_stats : t -> unit

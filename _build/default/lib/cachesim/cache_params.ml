@@ -1,0 +1,41 @@
+type write_miss_policy = Write_allocate | No_write_allocate
+
+type t = {
+  name : string;
+  size_bytes : int;
+  associativity : int;
+  line_bytes : int;
+  write_miss : write_miss_policy;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ~name ~size_bytes ~associativity ?(line_bytes = 64) ~write_miss () =
+  if not (is_pow2 line_bytes) then
+    invalid_arg "Cache_params.make: line size must be a power of two";
+  if associativity <= 0 then invalid_arg "Cache_params.make: associativity";
+  if size_bytes mod (line_bytes * associativity) <> 0
+     || size_bytes / (line_bytes * associativity) < 1
+  then invalid_arg "Cache_params.make: size not divisible into sets";
+  { name; size_bytes; associativity; line_bytes; write_miss }
+
+let sets t = t.size_bytes / (t.line_bytes * t.associativity)
+
+let paper_l1d =
+  make ~name:"L1D" ~size_bytes:(32 * 1024) ~associativity:4
+    ~write_miss:No_write_allocate ()
+
+let paper_l1i =
+  make ~name:"L1I" ~size_bytes:(32 * 1024) ~associativity:4
+    ~write_miss:No_write_allocate ()
+
+let paper_l2 =
+  make ~name:"L2" ~size_bytes:(1024 * 1024) ~associativity:16
+    ~write_miss:Write_allocate ()
+
+let pp fmt t =
+  Format.fprintf fmt "%s: %a %d-way, %dB lines, %s" t.name Nvsc_util.Units.pp_bytes
+    t.size_bytes t.associativity t.line_bytes
+    (match t.write_miss with
+    | Write_allocate -> "write-allocate"
+    | No_write_allocate -> "no-write-allocate")

@@ -1,0 +1,40 @@
+(** Cache geometry and policy parameters.
+
+    Defaults reproduce Table II of the paper: split 32 KB 4-way L1 with
+    64-byte lines and no-write-allocate, and a private 1 MB 16-way LRU L2
+    with 64-byte lines and write-allocate. *)
+
+type write_miss_policy = Write_allocate | No_write_allocate
+
+type t = {
+  name : string;
+  size_bytes : int;
+  associativity : int;
+  line_bytes : int;
+  write_miss : write_miss_policy;
+}
+
+val make :
+  name:string ->
+  size_bytes:int ->
+  associativity:int ->
+  ?line_bytes:int ->
+  write_miss:write_miss_policy ->
+  unit ->
+  t
+(** [line_bytes] defaults to 64.  Validates that the geometry is coherent
+    (power-of-two line size, at least one set). *)
+
+val sets : t -> int
+(** Number of sets, [size / (line * associativity)]. *)
+
+val paper_l1d : t
+(** 32 KB, 4-way, 64 B lines, no-write-allocate (Table II). *)
+
+val paper_l1i : t
+(** Same geometry as the L1 data cache; instruction side of the split L1. *)
+
+val paper_l2 : t
+(** 1 MB, 16-way, LRU, 64 B lines, write-allocate (Table II). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+module Access = Nvsc_memtrace.Access
+
+type t = {
+  l1d : Cache.t;
+  l2 : Cache.t;
+  line_bytes : int;
+  sink : Access.t -> unit;
+  mutable accesses : int;
+  mutable memory_reads : int;
+  mutable memory_writes : int;
+}
+
+let create ?(l1d = Cache_params.paper_l1d) ?(l2 = Cache_params.paper_l2) ~sink
+    () =
+  if l1d.Cache_params.line_bytes <> l2.Cache_params.line_bytes then
+    invalid_arg "Hierarchy.create: levels must share a line size";
+  {
+    l1d = Cache.create l1d;
+    l2 = Cache.create l2;
+    line_bytes = l1d.Cache_params.line_bytes;
+    sink;
+    accesses = 0;
+    memory_reads = 0;
+    memory_writes = 0;
+  }
+
+let mem_read t line =
+  t.memory_reads <- t.memory_reads + 1;
+  t.sink (Access.read ~addr:(line * t.line_bytes) ~size:t.line_bytes)
+
+let mem_write t line =
+  t.memory_writes <- t.memory_writes + 1;
+  t.sink (Access.write ~addr:(line * t.line_bytes) ~size:t.line_bytes)
+
+(* L2 is the last level: its fills come from memory and its dirty victims
+   and forwarded writes go to memory. *)
+let l2_read t line =
+  let e = Cache.read t.l2 ~line in
+  (match e.Cache.fill with Some l -> mem_read t l | None -> ());
+  match e.Cache.writeback with Some l -> mem_write t l | None -> ()
+
+let l2_write t line =
+  let e = Cache.write t.l2 ~line in
+  (match e.Cache.fill with Some l -> mem_read t l | None -> ());
+  (match e.Cache.writeback with Some l -> mem_write t l | None -> ());
+  match e.Cache.forward_write with Some l -> mem_write t l | None -> ()
+
+let access_line t line op =
+  t.accesses <- t.accesses + 1;
+  match op with
+  | Access.Read ->
+    let e = Cache.read t.l1d ~line in
+    (match e.Cache.fill with Some l -> l2_read t l | None -> ());
+    (match e.Cache.writeback with Some l -> l2_write t l | None -> ())
+  | Access.Write ->
+    let e = Cache.write t.l1d ~line in
+    (match e.Cache.fill with Some l -> l2_read t l | None -> ());
+    (match e.Cache.writeback with Some l -> l2_write t l | None -> ());
+    (match e.Cache.forward_write with Some l -> l2_write t l | None -> ())
+
+let access t (a : Access.t) =
+  let first = a.addr / t.line_bytes in
+  let last = Access.last_byte a / t.line_bytes in
+  for line = first to last do
+    access_line t line a.op
+  done
+
+let access_classified t (a : Access.t) =
+  let l1_misses_before = Cache.misses t.l1d in
+  let mem_before = t.memory_reads + t.memory_writes in
+  access t a;
+  if t.memory_reads + t.memory_writes > mem_before then `Mem
+  else if Cache.misses t.l1d > l1_misses_before then `L2
+  else `L1
+
+let drain t =
+  (* L1 dirty lines write into L2; then L2 dirty lines write to memory. *)
+  Cache.flush_dirty t.l1d (fun line -> l2_write t line);
+  Cache.flush_dirty t.l2 (fun line -> mem_write t line)
+
+let reset t =
+  Cache.invalidate_all t.l1d;
+  Cache.invalidate_all t.l2;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2;
+  t.accesses <- 0;
+  t.memory_reads <- 0;
+  t.memory_writes <- 0
+
+let l1d t = t.l1d
+let l2 t = t.l2
+let accesses t = t.accesses
+let memory_reads t = t.memory_reads
+let memory_writes t = t.memory_writes

@@ -1,0 +1,45 @@
+(** Two-level cache hierarchy that filters an application reference stream
+    into a main-memory trace (paper §III: "memory traces represent main
+    memory accesses due to last level cache misses and cache evictions").
+
+    Data references go through L1D then L2; the resulting DRAM/NVRAM
+    traffic — L2 fills (reads) and L2 dirty evictions / forwarded writes
+    (writes) — is delivered to a sink at line granularity. *)
+
+type t
+
+val create :
+  ?l1d:Cache_params.t ->
+  ?l2:Cache_params.t ->
+  sink:(Nvsc_memtrace.Access.t -> unit) ->
+  unit ->
+  t
+(** Parameters default to the paper's Table II configuration.  [sink]
+    receives each main-memory access (line-sized). *)
+
+val access : t -> Nvsc_memtrace.Access.t -> unit
+(** Run one application reference through the hierarchy.  References that
+    straddle a line boundary are split per line, as hardware would issue
+    them. *)
+
+val access_classified : t -> Nvsc_memtrace.Access.t -> [ `L1 | `L2 | `Mem ]
+(** Like {!access}, additionally reporting the deepest level that had to
+    service the reference ([`Mem] when main-memory traffic was generated).
+    For a reference split across lines, the deepest outcome wins. *)
+
+val drain : t -> unit
+(** Write back all dirty lines (L1 through L2 to memory) so that the
+    memory trace accounts for every store.  Call once at end of trace. *)
+
+val reset : t -> unit
+(** Invalidate both levels and clear statistics. *)
+
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+
+val accesses : t -> int
+(** Application references processed (after line splitting). *)
+
+val memory_reads : t -> int
+val memory_writes : t -> int
+(** Line-granularity traffic delivered to the sink so far. *)

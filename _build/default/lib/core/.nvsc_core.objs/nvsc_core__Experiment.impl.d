@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Format List Nvsc_appkit Nvsc_apps Nvsc_cachesim Nvsc_cpusim Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_util Object_analysis Printf Scavenger Stack_analysis Usage_variance

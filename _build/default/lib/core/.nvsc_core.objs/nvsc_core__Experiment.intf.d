@@ -1,0 +1,1 @@
+lib/core/experiment.mli: Format Nvsc_apps Nvsc_cpusim Nvsc_nvram Object_analysis Scavenger Stack_analysis Usage_variance

@@ -1,0 +1,1 @@
+lib/core/extensions.mli: Format Nvsc_apps Nvsc_dramsim Nvsc_memtrace Nvsc_nvram

@@ -1,0 +1,1 @@
+lib/core/fine_monitor.ml: Hashtbl List Nvsc_appkit Nvsc_memtrace

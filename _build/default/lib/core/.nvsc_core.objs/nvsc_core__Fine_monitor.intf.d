@@ -1,0 +1,1 @@
+lib/core/fine_monitor.mli: Nvsc_appkit

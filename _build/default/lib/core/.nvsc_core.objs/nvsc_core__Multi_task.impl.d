@@ -1,0 +1,1 @@
+lib/core/multi_task.ml: Float Format List Nvsc_apps Nvsc_util Scavenger Stack_analysis

@@ -1,0 +1,1 @@
+lib/core/multi_task.mli: Format Nvsc_apps Stack_analysis

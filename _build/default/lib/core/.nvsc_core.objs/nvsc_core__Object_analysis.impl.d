@@ -1,0 +1,1 @@
+lib/core/object_analysis.ml: Float Format List Nvsc_memtrace Nvsc_nvram Nvsc_util Object_metrics Printf Scavenger Stdlib

@@ -1,0 +1,1 @@
+lib/core/object_analysis.mli: Format Nvsc_memtrace Nvsc_nvram Scavenger

@@ -1,0 +1,1 @@
+lib/core/object_metrics.ml: Array List Nvsc_appkit Nvsc_memtrace Nvsc_nvram Nvsc_util

@@ -1,0 +1,1 @@
+lib/core/object_metrics.mli: Nvsc_appkit Nvsc_memtrace Nvsc_nvram

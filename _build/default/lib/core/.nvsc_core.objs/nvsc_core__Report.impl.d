@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Experiment Float List Nvsc_cpusim Nvsc_nvram Nvsc_util Object_analysis Printf Scavenger Stack_analysis Usage_variance

@@ -1,0 +1,1 @@
+lib/core/scavenger.ml: Array List Nvsc_appkit Nvsc_apps Nvsc_cachesim Nvsc_memtrace Object_metrics

@@ -1,0 +1,1 @@
+lib/core/scavenger.mli: Nvsc_appkit Nvsc_apps Nvsc_memtrace Object_metrics

@@ -1,0 +1,1 @@
+lib/core/stack_analysis.ml: Array Float Format List Nvsc_appkit Nvsc_memtrace Nvsc_util Object_metrics Scavenger

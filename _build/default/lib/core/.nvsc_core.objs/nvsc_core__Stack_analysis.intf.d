@@ -1,0 +1,1 @@
+lib/core/stack_analysis.mli: Format Scavenger

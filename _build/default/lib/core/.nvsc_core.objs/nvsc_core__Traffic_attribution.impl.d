@@ -1,0 +1,1 @@
+lib/core/traffic_attribution.ml: Format List Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_util Object_metrics Printf Scavenger

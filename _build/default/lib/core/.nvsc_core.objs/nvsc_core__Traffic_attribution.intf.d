@@ -1,0 +1,1 @@
+lib/core/traffic_attribution.mli: Format Nvsc_memtrace Nvsc_nvram Scavenger

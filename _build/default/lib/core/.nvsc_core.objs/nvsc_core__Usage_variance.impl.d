@@ -1,0 +1,1 @@
+lib/core/usage_variance.ml: Array Float Format List Nvsc_memtrace Nvsc_util Object_metrics Scavenger

@@ -1,0 +1,1 @@
+lib/core/usage_variance.mli: Format Scavenger

@@ -1,0 +1,289 @@
+module Ctx = Nvsc_appkit.Ctx
+module Mem_object = Nvsc_memtrace.Mem_object
+module Trace_log = Nvsc_memtrace.Trace_log
+module Technology = Nvsc_nvram.Technology
+module Table = Nvsc_util.Table
+module Cache_params = Nvsc_cachesim.Cache_params
+
+type config = { scale : float; iterations : int; perf_scale : float }
+
+(* perf_scale 0.5: the paper's §VII-E simulates a single main-loop
+   iteration of a reduced problem to bound full-system-simulation time; at
+   this size the working sets sit at the paper's cache pressure. *)
+let default_config = { scale = 1.0; iterations = 10; perf_scale = 0.5 }
+let quick_config = { scale = 0.25; iterations = 4; perf_scale = 0.25 }
+
+type bundle = { config : config; results : Scavenger.result list }
+
+let collect ?(config = default_config) () =
+  {
+    config;
+    results =
+      List.map
+        (fun app ->
+          Scavenger.run ~scale:config.scale ~iterations:config.iterations
+            ~with_trace:true app)
+        Nvsc_apps.Apps.all;
+  }
+
+let result bundle name =
+  List.find
+    (fun (r : Scavenger.result) -> r.app_name = name)
+    bundle.results
+
+(* --- data forms -------------------------------------------------------- *)
+
+let table5_data bundle = List.map Stack_analysis.summarize bundle.results
+
+let fig2_data bundle = Stack_analysis.distribution (result bundle "cam")
+
+let fig3_6_data bundle = List.map Object_analysis.analyze bundle.results
+
+let fig7_data bundle =
+  List.filter_map
+    (fun (r : Scavenger.result) ->
+      (* the paper omits GTC: its objects are either touched in every
+         iteration or short-term heap *)
+      if r.app_name = "gtc" then None
+      else Some (r.app_name, Usage_variance.usage_cdf r))
+    bundle.results
+
+let fig8_11_data bundle =
+  List.map
+    (fun (r : Scavenger.result) -> (r.app_name, Usage_variance.variance r))
+    bundle.results
+
+let table6_data bundle =
+  List.map
+    (fun (r : Scavenger.result) ->
+      let trace =
+        match r.mem_trace with
+        | Some t -> t
+        | None -> invalid_arg "Experiment.table6: bundle lacks traces"
+      in
+      let results =
+        Nvsc_dramsim.Memory_system.compare_technologies
+          ~techs:Technology.paper_set
+          ~replay:(fun sink -> Trace_log.replay trace sink)
+          ()
+      in
+      (r.app_name, Nvsc_dramsim.Memory_system.normalized_power results))
+    bundle.results
+
+let perf_replay ?(scale = 0.5) (module A : Nvsc_apps.Workload.APP) model =
+  let ctx = Ctx.create () in
+  Ctx.add_sink ctx (fun a ->
+      match Ctx.phase ctx with
+      | Mem_object.Main _ -> Nvsc_cpusim.Perf_model.access model a
+      | Mem_object.Pre | Mem_object.Post -> ());
+  Ctx.set_instr_sink ctx (fun n ->
+      match Ctx.phase ctx with
+      | Mem_object.Main _ -> Nvsc_cpusim.Perf_model.instructions model n
+      | Mem_object.Pre | Mem_object.Post -> ());
+  (* the paper simulates a single main-loop iteration (§VII-E) *)
+  A.run ~scale ctx ~iterations:1
+
+let fig12_data ?(config = default_config) ?asymmetric () =
+  List.map
+    (fun app ->
+      let (module A : Nvsc_apps.Workload.APP) = app in
+      ( A.name,
+        Nvsc_cpusim.Sensitivity.run ?asymmetric
+          ~replay:(perf_replay ~scale:config.perf_scale app)
+          () ))
+    Nvsc_apps.Apps.all
+
+(* --- printing forms ---------------------------------------------------- *)
+
+let table1 fmt bundle =
+  let table =
+    Table.create ~title:"Table I: Applications characteristics"
+      [
+        ("Application", Table.Left);
+        ("Input problem size", Table.Left);
+        ("Description", Table.Left);
+        ("Footprint (scaled run)", Table.Right);
+        ("Paper footprint", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (r : Scavenger.result) ->
+      Table.add_row table
+        [
+          r.app_name;
+          r.input_description;
+          r.description;
+          Table.cell_bytes r.footprint_bytes;
+          Printf.sprintf "%.0fMB" r.paper_footprint_mb;
+        ])
+    bundle.results;
+  Table.pp fmt table
+
+let table2 fmt () =
+  let table =
+    Table.create ~title:"Table II: Cache configuration"
+      [ ("Level", Table.Left); ("Configuration", Table.Left) ]
+  in
+  let describe p =
+    Format.asprintf "%a" Cache_params.pp p
+  in
+  Table.add_row table [ "L1 (private, split I/D)"; describe Cache_params.paper_l1d ];
+  Table.add_row table [ "L2 (private)"; describe Cache_params.paper_l2 ];
+  Table.pp fmt table
+
+let table3 fmt () =
+  let table =
+    Table.create ~title:"Table III: System configuration"
+      [ ("Feature", Table.Left); ("Value", Table.Left) ]
+  in
+  let p = Nvsc_cpusim.Core_params.paper in
+  Table.add_row table
+    [ "CPU cores";
+      Printf.sprintf "%.3fGHz x86, out of order, one thread per core"
+        p.Nvsc_cpusim.Core_params.clock_ghz ];
+  Table.add_row table
+    [ "TLB per-core size";
+      Printf.sprintf "%d entries" p.Nvsc_cpusim.Core_params.tlb_entries ];
+  Table.add_row table [ "L1 cache hit"; "1 CPU cycle" ];
+  Table.add_row table [ "L2 cache hit"; "5 CPU cycles" ];
+  Table.add_row table
+    [ "Size of miss buffer";
+      Printf.sprintf "%d entries" p.Nvsc_cpusim.Core_params.miss_buffer ];
+  let org = Nvsc_dramsim.Org.paper in
+  Table.add_row table
+    [ "Memory devices"; Format.asprintf "%a" Nvsc_dramsim.Org.pp org ];
+  Table.pp fmt table
+
+let table4 fmt () =
+  let table =
+    Table.create ~title:"Table IV: Memory access latencies"
+      [
+        ("Memory", Table.Left);
+        ("Real read latency", Table.Right);
+        ("Real write latency", Table.Right);
+        ("Performance simulation", Table.Right);
+      ]
+  in
+  List.iter
+    (fun (t : Technology.t) ->
+      Table.add_row table
+        [
+          t.name;
+          Printf.sprintf "%.0fns" t.read_latency_ns;
+          Printf.sprintf "%.0fns" t.write_latency_ns;
+          Printf.sprintf "%.0fns" t.perf_sim_latency_ns;
+        ])
+    Technology.paper_set;
+  Table.pp fmt table
+
+let table5 fmt bundle = Stack_analysis.pp_summary_table fmt (table5_data bundle)
+
+let fig2 fmt bundle = Stack_analysis.pp_distribution fmt (fig2_data bundle)
+
+let fig3_6 fmt bundle =
+  List.iter (Object_analysis.pp_report fmt) (fig3_6_data bundle)
+
+let fig7 fmt bundle =
+  let data = fig7_data bundle in
+  List.iter
+    (fun (app, points) ->
+      Format.fprintf fmt
+        "== Figure 7: cumulative memory usage across time steps: %s ==@." app;
+      Usage_variance.pp_cdf fmt points)
+    data;
+  let series =
+    List.map
+      (fun (app, points) ->
+        ( app,
+          List.map
+            (fun (p : Usage_variance.cdf_point) ->
+              ( float_of_int p.iterations_used,
+                float_of_int p.cumulative_bytes /. 1048576. ))
+            points ))
+      data
+  in
+  Format.pp_print_string fmt
+    (Nvsc_util.Ascii_plot.line
+       ~title:"Figure 7: cumulative MB vs iterations used"
+       ~x_label:"iterations used" ~y_label:"cumulative MB" series)
+
+let fig8_11 fmt bundle =
+  List.iter
+    (fun (app, v) ->
+      Format.fprintf fmt
+        "== Figures 8-11: per-iteration metric variance: %s ==@." app;
+      Usage_variance.pp_variance fmt v)
+    (fig8_11_data bundle)
+
+let table6 fmt bundle =
+  let table =
+    Table.create ~title:"Table VI: Normalized average power consumption"
+      ([ ("Application", Table.Left) ]
+      @ List.map
+          (fun (t : Technology.t) -> (t.name, Table.Right))
+          Technology.paper_set)
+  in
+  let data = table6_data bundle in
+  List.iter
+    (fun (app, powers) ->
+      Table.add_row table
+        (app :: List.map (fun (_, p) -> Table.cell_f ~prec:3 p) powers))
+    data;
+  Table.pp fmt table;
+  List.iter
+    (fun (app, powers) ->
+      Format.pp_print_string fmt
+        (Nvsc_util.Ascii_plot.bars ~max_value:1.0
+           ~title:(Printf.sprintf "Table VI: normalized power, %s" app)
+           (List.map (fun ((t : Technology.t), p) -> (t.name, p)) powers)))
+    data
+
+let fig12 fmt ?config () =
+  let data = fig12_data ?config () in
+  let table =
+    Table.create ~title:"Figure 12: Normalized runtime vs memory latency"
+      ([ ("Application", Table.Left) ]
+      @ List.map
+          (fun (t : Technology.t) ->
+            (Printf.sprintf "%s (%.0fns)" t.name t.perf_sim_latency_ns,
+             Table.Right))
+          Technology.paper_set)
+  in
+  List.iter
+    (fun (app, points) ->
+      Table.add_row table
+        (app
+        :: List.map
+             (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+               Table.cell_f ~prec:3 p.normalized_runtime)
+             points))
+    data;
+  Table.pp fmt table;
+  let series =
+    List.map
+      (fun (app, points) ->
+        ( app,
+          List.map
+            (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+              (p.latency_ns, p.normalized_runtime))
+            points ))
+      data
+  in
+  Format.pp_print_string fmt
+    (Nvsc_util.Ascii_plot.line
+       ~title:"Figure 12: normalized runtime vs memory latency"
+       ~x_label:"memory latency (ns)" ~y_label:"normalized runtime" series)
+
+let run_all fmt ?(config = default_config) () =
+  let bundle = collect ~config () in
+  table1 fmt bundle;
+  table2 fmt ();
+  table3 fmt ();
+  table4 fmt ();
+  table5 fmt bundle;
+  fig2 fmt bundle;
+  fig3_6 fmt bundle;
+  fig7 fmt bundle;
+  fig8_11 fmt bundle;
+  table6 fmt bundle;
+  fig12 fmt ~config ()

@@ -1,0 +1,77 @@
+(** Regeneration of every table and figure in the paper's evaluation.
+
+    [collect] runs the four mini-applications once through the full
+    NV-Scavenger pipeline (with cache-filtered memory traces); the
+    table/figure functions then derive their data from that bundle, except
+    figure 12 which re-runs the applications against the performance model
+    (one run per memory technology, as the paper does).
+
+    Each experiment has a [..._data] form returning structured values (used
+    by the test suite's shape checks) and a printing form used by the
+    [experiments] binary and EXPERIMENTS.md. *)
+
+type config = {
+  scale : float;  (** data-size multiplier for the scavenger runs *)
+  iterations : int;  (** main-loop iterations (paper: 10) *)
+  perf_scale : float;  (** scale for the figure-12 runs *)
+}
+
+val default_config : config
+(** scale 1.0, 10 iterations, perf_scale 0.5 (the figure-12 runs simulate
+    one iteration of a reduced problem, as the paper's §VII-E does). *)
+
+val quick_config : config
+(** Reduced sizes for fast test runs. *)
+
+type bundle = { config : config; results : Scavenger.result list }
+
+val collect : ?config:config -> unit -> bundle
+val result : bundle -> string -> Scavenger.result
+(** Lookup by app name; raises [Not_found]. *)
+
+(** {1 Data forms} *)
+
+val table5_data : bundle -> Stack_analysis.summary list
+val fig2_data : bundle -> Stack_analysis.distribution
+val fig3_6_data : bundle -> Object_analysis.report list
+val fig7_data : bundle -> (string * Usage_variance.cdf_point list) list
+val fig8_11_data : bundle -> (string * Usage_variance.variance) list
+
+val table6_data :
+  bundle -> (string * (Nvsc_nvram.Technology.t * float) list) list
+(** Per app, normalised average power per technology. *)
+
+val perf_replay :
+  ?scale:float ->
+  (module Nvsc_apps.Workload.APP) ->
+  Nvsc_cpusim.Perf_model.t ->
+  unit
+(** Drive one main-loop iteration of the application into a performance
+    model (main-loop references and instruction counts only) — the replay
+    closure behind figure 12. *)
+
+val fig12_data :
+  ?config:config ->
+  ?asymmetric:bool ->
+  unit ->
+  (string * Nvsc_cpusim.Sensitivity.point list) list
+(** Per app, normalised runtime per technology.  [asymmetric] switches the
+    performance model to distinct read/write latencies with posted writes
+    (see {!Nvsc_cpusim.Sensitivity.run}). *)
+
+(** {1 Printing forms} *)
+
+val table1 : Format.formatter -> bundle -> unit
+val table2 : Format.formatter -> unit -> unit
+val table3 : Format.formatter -> unit -> unit
+val table4 : Format.formatter -> unit -> unit
+val table5 : Format.formatter -> bundle -> unit
+val fig2 : Format.formatter -> bundle -> unit
+val fig3_6 : Format.formatter -> bundle -> unit
+val fig7 : Format.formatter -> bundle -> unit
+val fig8_11 : Format.formatter -> bundle -> unit
+val table6 : Format.formatter -> bundle -> unit
+val fig12 : Format.formatter -> ?config:config -> unit -> unit
+
+val run_all : Format.formatter -> ?config:config -> unit -> unit
+(** Collect a bundle and print every table and figure. *)

@@ -1,0 +1,567 @@
+module Mem_object = Nvsc_memtrace.Mem_object
+module Trace_log = Nvsc_memtrace.Trace_log
+module Technology = Nvsc_nvram.Technology
+module Suitability = Nvsc_nvram.Suitability
+module HM = Nvsc_placement.Hybrid_memory
+module Item = Nvsc_placement.Item
+
+(* --- sampling ablation -------------------------------------------------- *)
+
+type sampling_ablation = {
+  app_name : string;
+  sampling_ratio : float;
+  full_objects : int;
+  lost_objects : int;
+  misclassified_read_only : int;
+  verdict_flips : int;
+}
+
+let verdict_of (m : Object_metrics.t) =
+  Suitability.classify ~category:Technology.Cat2_long_write
+    (Object_metrics.suitability_metrics m)
+
+let sampling_ablation ?(scale = 0.5) ?(iterations = 5) ?(period = 10_000)
+    ?(sample_length = 100) (module A : Nvsc_apps.Workload.APP) =
+  let full = Scavenger.run ~scale ~iterations (module A) in
+  let sampled =
+    Scavenger.run ~scale ~iterations ~sampling:(period, sample_length)
+      (module A)
+  in
+  (* objects correspond by name across the two deterministic runs *)
+  let sampled_by_name = Hashtbl.create 64 in
+  List.iter
+    (fun (m : Object_metrics.t) ->
+      Hashtbl.replace sampled_by_name m.obj.Mem_object.signature m)
+    sampled.Scavenger.metrics;
+  let active =
+    List.filter
+      (fun (m : Object_metrics.t) -> m.reads + m.writes > 0)
+      full.Scavenger.metrics
+  in
+  let lost = ref 0 and misread = ref 0 and flips = ref 0 in
+  List.iter
+    (fun (m : Object_metrics.t) ->
+      match Hashtbl.find_opt sampled_by_name m.obj.Mem_object.signature with
+      | None -> incr lost
+      | Some s ->
+        if s.reads + s.writes = 0 then incr lost
+        else begin
+          if Object_metrics.is_read_only s && m.writes > 0 then incr misread;
+          if verdict_of s <> verdict_of m then incr flips
+        end)
+    active;
+  {
+    app_name = full.Scavenger.app_name;
+    sampling_ratio = float_of_int sample_length /. float_of_int period;
+    full_objects = List.length active;
+    lost_objects = !lost;
+    misclassified_read_only = !misread;
+    verdict_flips = !flips;
+  }
+
+(* --- hybrid organisation comparison -------------------------------------- *)
+
+type hybrid_design = {
+  app_name : string;
+  trace_accesses : int;
+  cache_hit_rate : float;
+  hierarchical_avg_latency_ns : float;
+  hierarchical_nvram_bytes : int;
+  horizontal_avg_latency_ns : float;
+  horizontal_nvram_write_fraction : float;
+  latency_advantage : float;
+}
+
+let items_of_result (r : Scavenger.result) =
+  List.map
+    (fun (m : Object_metrics.t) ->
+      {
+        Item.id = m.obj.Mem_object.id;
+        name = m.obj.Mem_object.name;
+        size_bytes = Object_metrics.size_bytes m;
+        reads = m.reads;
+        writes = m.writes;
+        ref_share = m.ref_share;
+      })
+    (Scavenger.global_and_heap_metrics r)
+
+let hybrid_design ?(scale = 0.5) ?(iterations = 5)
+    ?(tech = Technology.get Technology.PCRAM) (module A : Nvsc_apps.Workload.APP)
+    =
+  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let trace = Option.get r.Scavenger.mem_trace in
+  (* hierarchical: a small DRAM page cache (1/4 of the footprint) in front
+     of NVRAM *)
+  let dram_pages = Stdlib.max 16 (r.Scavenger.footprint_bytes / 4 / 4096) in
+  let dc = Nvsc_placement.Dram_cache.create ~dram_pages ~tech () in
+  Trace_log.replay trace (Nvsc_placement.Dram_cache.access dc);
+  Nvsc_placement.Dram_cache.drain dc;
+  let dstats = Nvsc_placement.Dram_cache.stats dc in
+  (* horizontal: static placement over the same footprint, with the same
+     DRAM budget *)
+  let dram_budget = dram_pages * 4096 in
+  let hybrid =
+    HM.create ~dram_bytes:dram_budget
+      ~nvram_bytes:(4 * r.Scavenger.footprint_bytes) ~tech
+  in
+  let hybrid = Nvsc_placement.Static_policy.plan ~hybrid (items_of_result r) in
+  let assessment = HM.assess hybrid in
+  let horizontal_latency =
+    let a = assessment in
+    (* traffic-weighted over reads and writes *)
+    let reads = Trace_log.reads trace and writes = Trace_log.writes trace in
+    let total = float_of_int (reads + writes) in
+    if total = 0. then 0.
+    else
+      ((float_of_int reads *. a.HM.avg_read_latency_ns)
+      +. (float_of_int writes *. a.HM.avg_write_latency_ns))
+      /. total
+  in
+  {
+    app_name = r.Scavenger.app_name;
+    trace_accesses = dstats.Nvsc_placement.Dram_cache.accesses;
+    cache_hit_rate = dstats.hit_rate;
+    hierarchical_avg_latency_ns = dstats.avg_latency_ns;
+    hierarchical_nvram_bytes = dstats.nvram_traffic_bytes;
+    horizontal_avg_latency_ns = horizontal_latency;
+    horizontal_nvram_write_fraction = assessment.HM.write_traffic_to_nvram;
+    latency_advantage =
+      (if horizontal_latency > 0. then
+         dstats.avg_latency_ns /. horizontal_latency
+       else 0.);
+  }
+
+type crossover_point = {
+  hot_fraction : float;
+  hit_rate : float;
+  hierarchical_latency_ns : float;
+  flat_nvram_latency_ns : float;
+  dram_cache_wins : bool;
+}
+
+let dram_cache_crossover ?(tech = Technology.get Technology.PCRAM)
+    ?(accesses = 100_000) ~hot_fractions () =
+  List.map
+    (fun hot_fraction ->
+      let dram_pages = 512 in
+      (* hot set fits the cache; the cold set is 64x larger *)
+      let hot_lines = dram_pages * 4096 / 64 in
+      let dc = Nvsc_placement.Dram_cache.create ~dram_pages ~tech () in
+      List.iter
+        (Nvsc_placement.Dram_cache.access dc)
+        (Nvsc_memtrace.Trace_gen.hot_cold ~seed:11 ~hot_fraction ~hot_lines
+           ~cold_lines:(64 * hot_lines) ~write_fraction:0.25 ~n:accesses ());
+      let s = Nvsc_placement.Dram_cache.stats dc in
+      (* flat NVRAM: every access pays the device latency, no fills *)
+      let flat =
+        (0.75 *. tech.Technology.read_latency_ns)
+        +. (0.25 *. tech.Technology.write_latency_ns)
+      in
+      {
+        hot_fraction;
+        hit_rate = s.Nvsc_placement.Dram_cache.hit_rate;
+        hierarchical_latency_ns = s.avg_latency_ns;
+        flat_nvram_latency_ns = flat;
+        dram_cache_wins = s.avg_latency_ns < flat;
+      })
+    hot_fractions
+
+(* --- placement summary ---------------------------------------------------- *)
+
+type placement_summary = {
+  app_name : string;
+  objects : int;
+  static_nvram_fraction : float;
+  static_slowdown_bound : float;
+  dynamic_nvram_fraction : float;
+  dynamic_slowdown_bound : float;
+  migrations : int;
+  migrated_bytes : int;
+}
+
+let placement_summary ?(scale = 0.5) ?(iterations = 5)
+    ?(tech = Technology.get Technology.STTRAM)
+    (module A : Nvsc_apps.Workload.APP) =
+  let r = Scavenger.run ~scale ~iterations (module A) in
+  let metrics = Scavenger.global_and_heap_metrics r in
+  let items = items_of_result r in
+  let capacity = 2 * r.Scavenger.footprint_bytes in
+  let static =
+    Nvsc_placement.Static_policy.plan
+      ~hybrid:(HM.create ~dram_bytes:capacity ~nvram_bytes:capacity ~tech)
+      items
+  in
+  let sa = HM.assess static in
+  (* dynamic: start everything in NVRAM, feed per-iteration counters *)
+  let hybrid = HM.create ~dram_bytes:capacity ~nvram_bytes:capacity ~tech in
+  List.iter (fun item -> HM.place hybrid item HM.Nvram) items;
+  let demote_popular_reads =
+    match tech.Technology.category with
+    | Technology.Cat2_long_write | Technology.Cat3_dram_like -> true
+    | Technology.Cat1_long_read_write | Technology.Volatile -> false
+  in
+  let policy =
+    Nvsc_placement.Dynamic_policy.create ~demote_popular_reads ~hybrid ()
+  in
+  let item_by_id =
+    List.fold_left
+      (fun acc (i : Item.t) -> (i.id, i) :: acc)
+      [] items
+  in
+  for iter = 1 to r.Scavenger.iterations do
+    let epoch =
+      List.filter_map
+        (fun (m : Object_metrics.t) ->
+          match List.assoc_opt m.obj.Mem_object.id item_by_id with
+          | None -> None
+          | Some item ->
+            Some
+              {
+                Nvsc_placement.Dynamic_policy.item;
+                reads = m.per_iter_reads.(iter - 1);
+                writes = m.per_iter_writes.(iter - 1);
+              })
+        metrics
+    in
+    Nvsc_placement.Dynamic_policy.observe_epoch policy epoch
+  done;
+  let da = HM.assess hybrid in
+  {
+    app_name = r.Scavenger.app_name;
+    objects = List.length items;
+    static_nvram_fraction = sa.HM.nvram_fraction;
+    static_slowdown_bound = sa.HM.slowdown_bound;
+    dynamic_nvram_fraction = da.HM.nvram_fraction;
+    dynamic_slowdown_bound = da.HM.slowdown_bound;
+    migrations = HM.migrations hybrid;
+    migrated_bytes = HM.migrated_bytes hybrid;
+  }
+
+(* --- fine-grained dynamic placement ------------------------------------------ *)
+
+type fine_grained = {
+  app_name : string;
+  window_refs : int;
+  windows : int;
+  migrations : int;
+  avg_nvram_fraction : float;
+  final_nvram_fraction : float;
+}
+
+let fine_grained_placement ?(scale = 0.5) ?(iterations = 5)
+    ?(window_refs = 100_000) ?(tech = Technology.get Technology.STTRAM)
+    (module A : Nvsc_apps.Workload.APP) =
+  (* profile pass: learn the object population (ids are deterministic) *)
+  let profile = Scavenger.run ~scale ~iterations (module A) in
+  let items = items_of_result profile in
+  let total_bytes =
+    List.fold_left (fun acc (i : Item.t) -> acc + i.size_bytes) 0 items
+  in
+  let item_by_id = Hashtbl.create 64 in
+  List.iter (fun (i : Item.t) -> Hashtbl.replace item_by_id i.id i) items;
+  (* online pass: the monitor drives the policy as the app runs *)
+  let capacity = 2 * profile.Scavenger.footprint_bytes in
+  let hybrid = HM.create ~dram_bytes:capacity ~nvram_bytes:capacity ~tech in
+  List.iter (fun item -> HM.place hybrid item HM.Nvram) items;
+  let demote_popular_reads =
+    match tech.Technology.category with
+    | Technology.Cat2_long_write | Technology.Cat3_dram_like -> true
+    | Technology.Cat1_long_read_write | Technology.Volatile -> false
+  in
+  let policy =
+    Nvsc_placement.Dynamic_policy.create ~demote_popular_reads ~hybrid ()
+  in
+  let residency_sum = ref 0. in
+  let samples = ref 0 in
+  let on_window counts =
+    let epoch =
+      List.filter_map
+        (fun (obj_id, reads, writes) ->
+          match Hashtbl.find_opt item_by_id obj_id with
+          | Some item -> Some { Nvsc_placement.Dynamic_policy.item; reads; writes }
+          | None -> None (* stack frames are not placeable objects *))
+        counts
+    in
+    Nvsc_placement.Dynamic_policy.observe_epoch policy epoch;
+    residency_sum :=
+      !residency_sum
+      +. (float_of_int (HM.used_bytes hybrid HM.Nvram) /. float_of_int total_bytes);
+    incr samples
+  in
+  let ctx = Nvsc_appkit.Ctx.create () in
+  let monitor = Fine_monitor.attach ctx ~window_refs ~on_window in
+  A.run ~scale ctx ~iterations;
+  Fine_monitor.flush monitor;
+  {
+    app_name = A.name;
+    window_refs;
+    windows = Fine_monitor.windows monitor;
+    migrations = HM.migrations hybrid;
+    avg_nvram_fraction =
+      (if !samples = 0 then 0. else !residency_sum /. float_of_int !samples);
+    final_nvram_fraction =
+      float_of_int (HM.used_bytes hybrid HM.Nvram) /. float_of_int total_bytes;
+  }
+
+let pp_fine_grained fmt (f : fine_grained) =
+  Format.fprintf fmt
+    "%-8s %d windows of %d refs: %d migrations, NVRAM residency %4.1f%% \
+     (avg) / %4.1f%% (final)@."
+    f.app_name f.windows f.window_refs f.migrations
+    (100. *. f.avg_nvram_fraction)
+    (100. *. f.final_nvram_fraction)
+
+(* --- hybrid memory-system simulation ---------------------------------------- *)
+
+type hybrid_simulation = {
+  app_name : string;
+  nvram_bytes_fraction : float;
+  nvram_access_fraction : float;
+  nvram_write_fraction : float;
+  designs : (string * float * float) list;
+}
+
+(* Address-to-side routing from the static plan: an interval map over the
+   NVRAM-resident objects' ranges. *)
+let interval_table hybrid metrics =
+  let nvram_items = HM.items_in hybrid HM.Nvram in
+  let nvram_ids =
+    List.fold_left (fun acc (i : Item.t) -> (i.id, ()) :: acc) [] nvram_items
+  in
+  let map =
+    Nvsc_util.Interval_map.build
+      (List.filter_map
+         (fun (m : Object_metrics.t) ->
+           if List.mem_assoc m.obj.Mem_object.id nvram_ids then
+             Some
+               ( m.obj.Mem_object.base,
+                 m.obj.Mem_object.base + m.obj.Mem_object.size,
+                 () )
+           else None)
+         metrics)
+  in
+  fun addr ->
+    match Nvsc_util.Interval_map.find map addr with
+    | Some () -> Nvsc_dramsim.Hybrid_system.Nvram_side
+    | None -> Nvsc_dramsim.Hybrid_system.Dram_side
+
+let hybrid_simulation ?(scale = 0.5) ?(iterations = 5)
+    ?(tech = Technology.get Technology.STTRAM)
+    (module A : Nvsc_apps.Workload.APP) =
+  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let trace = Option.get r.Scavenger.mem_trace in
+  let metrics = Scavenger.global_and_heap_metrics r in
+  let items = items_of_result r in
+  let capacity = 2 * r.Scavenger.footprint_bytes in
+  let hybrid =
+    Nvsc_placement.Static_policy.plan
+      ~hybrid:(HM.create ~dram_bytes:capacity ~nvram_bytes:capacity ~tech)
+      items
+  in
+  let placement = interval_table hybrid metrics in
+  let replay sink = Trace_log.replay trace sink in
+  let designs =
+    Nvsc_dramsim.Hybrid_system.compare_designs ~nvram:tech ~placement ~replay ()
+  in
+  let h =
+    Nvsc_dramsim.Hybrid_system.create ~nvram:tech ~placement ()
+  in
+  replay (Nvsc_dramsim.Hybrid_system.access h);
+  let hs = Nvsc_dramsim.Hybrid_system.stats h in
+  {
+    app_name = r.Scavenger.app_name;
+    nvram_bytes_fraction = (HM.assess hybrid).HM.nvram_fraction;
+    nvram_access_fraction = hs.Nvsc_dramsim.Hybrid_system.nvram_fraction;
+    nvram_write_fraction = hs.Nvsc_dramsim.Hybrid_system.nvram_write_fraction;
+    designs;
+  }
+
+let pp_hybrid_simulation fmt (h : hybrid_simulation) =
+  Format.fprintf fmt
+    "%-8s NVRAM holds %4.1f%% of bytes, %4.1f%% of accesses (%4.1f%% of \
+     writes):@."
+    h.app_name
+    (100. *. h.nvram_bytes_fraction)
+    (100. *. h.nvram_access_fraction)
+    (100. *. h.nvram_write_fraction);
+  List.iter
+    (fun (design, power, latency) ->
+      Format.fprintf fmt "         %-12s power %.3f  latency %5.1fns@." design
+        power latency)
+    h.designs
+
+(* --- Table VI robustness --------------------------------------------------- *)
+
+let power_sensitivity ?(scale = 0.5) ?(iterations = 5)
+    (module A : Nvsc_apps.Workload.APP) =
+  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let trace = Option.get r.Scavenger.mem_trace in
+  let replay sink = Trace_log.replay trace sink in
+  let configs =
+    [
+      ("default (FCFS, row:bank:rank:col, open-page)", fun () ->
+        Nvsc_dramsim.Memory_system.compare_technologies
+          ~techs:Technology.paper_set ~replay ());
+      ("FR-FCFS 16", fun () ->
+        Nvsc_dramsim.Memory_system.compare_technologies
+          ~scheduler:(Nvsc_dramsim.Controller.Fr_fcfs 16)
+          ~techs:Technology.paper_set ~replay ());
+      ("line-interleaved mapping", fun () ->
+        Nvsc_dramsim.Memory_system.compare_technologies
+          ~scheme:Nvsc_dramsim.Address_mapping.Line_interleave
+          ~techs:Technology.paper_set ~replay ());
+      ("closed-page policy", fun () ->
+        Nvsc_dramsim.Memory_system.compare_technologies
+          ~row_policy:Nvsc_dramsim.Controller.Closed_page
+          ~techs:Technology.paper_set ~replay ());
+    ]
+  in
+  List.map
+    (fun (label, run) ->
+      (label, Nvsc_dramsim.Memory_system.normalized_power (run ())))
+    configs
+
+(* --- row policy ablation -------------------------------------------------- *)
+
+let row_policy_ablation trace ~tech =
+  List.map
+    (fun policy ->
+      let c = Nvsc_dramsim.Controller.create ~row_policy:policy ~tech () in
+      Trace_log.replay trace (Nvsc_dramsim.Controller.submit c);
+      (policy, Nvsc_dramsim.Controller.stats c))
+    [ Nvsc_dramsim.Controller.Open_page; Nvsc_dramsim.Controller.Closed_page ]
+
+(* --- printing -------------------------------------------------------------- *)
+
+let pp_sampling fmt (s : sampling_ablation) =
+  Format.fprintf fmt
+    "%-8s %4.0f%% sample: %d/%d objects lost, %d falsely read-only, %d \
+     verdict flips@."
+    s.app_name
+    (100. *. s.sampling_ratio)
+    s.lost_objects s.full_objects s.misclassified_read_only s.verdict_flips
+
+let pp_hybrid fmt (h : hybrid_design) =
+  Format.fprintf fmt
+    "%-8s page-cache hit %.2f  latency: hierarchical %.1fns vs horizontal \
+     %.1fns (%.2fx)  NVRAM traffic %a@."
+    h.app_name h.cache_hit_rate h.hierarchical_avg_latency_ns
+    h.horizontal_avg_latency_ns h.latency_advantage Nvsc_util.Units.pp_bytes
+    h.hierarchical_nvram_bytes
+
+let pp_placement fmt (p : placement_summary) =
+  Format.fprintf fmt
+    "%-8s static: %4.1f%% bytes in NVRAM (slowdown bound %.3f); dynamic: \
+     %4.1f%% (bound %.3f) after %d migrations (%a)@."
+    p.app_name
+    (100. *. p.static_nvram_fraction)
+    p.static_slowdown_bound
+    (100. *. p.dynamic_nvram_fraction)
+    p.dynamic_slowdown_bound p.migrations Nvsc_util.Units.pp_bytes
+    p.migrated_bytes
+
+let run_all fmt ?(scale = 0.5) ?(iterations = 5) () =
+  Format.fprintf fmt
+    "== Extension: sampling ablation (the design §III-D rejects) ==@.";
+  List.iter
+    (fun app -> pp_sampling fmt (sampling_ablation ~scale ~iterations app))
+    Nvsc_apps.Apps.all;
+  Format.fprintf fmt
+    "@.== Extension: hybrid organisation (horizontal vs DRAM-cache, §II) ==@.";
+  List.iter
+    (fun app -> pp_hybrid fmt (hybrid_design ~scale ~iterations app))
+    Nvsc_apps.Apps.all;
+  Format.fprintf fmt
+    "@.== Extension: DRAM-cache locality crossover (PCRAM backing) ==@.";
+  List.iter
+    (fun (c : crossover_point) ->
+      Format.fprintf fmt
+        "hot fraction %.2f: hit rate %.2f, hierarchical %.0fns vs flat NVRAM \
+         %.0fns -> %s@."
+        c.hot_fraction c.hit_rate c.hierarchical_latency_ns
+        c.flat_nvram_latency_ns
+        (if c.dram_cache_wins then "DRAM cache wins"
+         else "DRAM cache loses (the paper's poor-locality case)"))
+    (dram_cache_crossover ~hot_fractions:[ 0.99; 0.95; 0.9; 0.7; 0.5; 0.2 ] ());
+  Format.fprintf fmt "@.== Extension: placement policies (§VII-C) ==@.";
+  List.iter
+    (fun app -> pp_placement fmt (placement_summary ~scale ~iterations app))
+    Nvsc_apps.Apps.all;
+  Format.fprintf fmt
+    "@.== Extension: hybrid memory-system simulation (the run §V could \
+     not do; STTRAM half) ==@.";
+  List.iter
+    (fun app ->
+      pp_hybrid_simulation fmt (hybrid_simulation ~scale ~iterations app))
+    Nvsc_apps.Apps.all;
+  Format.fprintf fmt
+    "@.== Extension: Table VI robustness to controller choices (cam) ==@.";
+  List.iter
+    (fun (label, powers) ->
+      Format.fprintf fmt "%-45s" label;
+      List.iter
+        (fun ((t : Technology.t), p) -> Format.fprintf fmt " %s=%.3f" t.name p)
+        powers;
+      Format.pp_print_newline fmt ())
+    (power_sensitivity ~scale ~iterations
+       (Option.get (Nvsc_apps.Apps.find "cam")));
+  Format.fprintf fmt
+    "@.== Extension: main-memory traffic attribution (cam) ==@.";
+  Traffic_attribution.pp_report fmt
+    (Traffic_attribution.analyze
+       (Scavenger.run ~scale ~iterations ~with_trace:true
+          (Option.get (Nvsc_apps.Apps.find "cam"))));
+  Format.fprintf fmt
+    "@.== Extension: fine-grained dynamic placement (§VII-C's monitor, \
+     nek5000) ==@.";
+  pp_fine_grained fmt
+    (fine_grained_placement ~scale ~iterations
+       (Option.get (Nvsc_apps.Apps.find "nek5000")));
+  Format.fprintf fmt
+    "@.== Extension: multi-task representativeness (4 ranks, 20%% \
+     imbalance) ==@.";
+  List.iter
+    (fun app ->
+      Multi_task.pp fmt
+        (Multi_task.run ~base_scale:scale ~iterations app))
+    Nvsc_apps.Apps.all;
+  Format.fprintf fmt
+    "@.== Extension: figure 12 with true read/write asymmetry (posted \
+     writes) ==@.";
+  Format.fprintf fmt
+    "the paper's read=write assumption is a performance lower bound (§V); \
+     with posted writes:@.";
+  let sym = Experiment.fig12_data ~config:Experiment.quick_config () in
+  let asym =
+    Experiment.fig12_data ~config:Experiment.quick_config ~asymmetric:true ()
+  in
+  List.iter2
+    (fun (app, sym_points) (_, asym_points) ->
+      let get points name =
+        (List.find
+           (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+             p.tech.Technology.name = name)
+           points)
+          .Nvsc_cpusim.Sensitivity.normalized_runtime
+      in
+      Format.fprintf fmt
+        "%-8s PCRAM %.3f -> %.3f   STTRAM %.3f -> %.3f@." app
+        (get sym_points "PCRAM") (get asym_points "PCRAM")
+        (get sym_points "STTRAM") (get asym_points "STTRAM"))
+    sym asym;
+  Format.fprintf fmt "@.== Extension: row-buffer policy ablation ==@.";
+  let r =
+    Scavenger.run ~scale ~iterations ~with_trace:true
+      (Option.get (Nvsc_apps.Apps.find "s3d"))
+  in
+  List.iter
+    (fun (policy, (s : Nvsc_dramsim.Controller.stats)) ->
+      Format.fprintf fmt
+        "s3d %-12s row-hit %.2f  avg latency %.1fns  power %a@."
+        (match policy with
+        | Nvsc_dramsim.Controller.Open_page -> "open-page"
+        | Nvsc_dramsim.Controller.Closed_page -> "closed-page")
+        s.row_hit_rate s.avg_latency_ns Nvsc_util.Units.pp_watts s.avg_power_w)
+    (row_policy_ablation
+       (Option.get r.Scavenger.mem_trace)
+       ~tech:(Technology.get Technology.DDR3))

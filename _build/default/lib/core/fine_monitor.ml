@@ -1,0 +1,65 @@
+module Ctx = Nvsc_appkit.Ctx
+module Mem_object = Nvsc_memtrace.Mem_object
+
+type window_counts = (int * int * int) list
+
+type t = {
+  ctx : Ctx.t;
+  window_refs : int;
+  on_window : window_counts -> unit;
+  counts : (int, int ref * int ref) Hashtbl.t;
+  mutable in_window : int;
+  mutable windows : int;
+  mutable seen : int;
+}
+
+let deliver t =
+  if t.in_window > 0 then begin
+    let out =
+      Hashtbl.fold
+        (fun obj_id (r, w) acc -> (obj_id, !r, !w) :: acc)
+        t.counts []
+      |> List.sort compare
+    in
+    Hashtbl.reset t.counts;
+    t.in_window <- 0;
+    t.windows <- t.windows + 1;
+    t.on_window out
+  end
+
+let attach ctx ~window_refs ~on_window =
+  if window_refs <= 0 then invalid_arg "Fine_monitor.attach: window_refs";
+  let t =
+    {
+      ctx;
+      window_refs;
+      on_window;
+      counts = Hashtbl.create 256;
+      in_window = 0;
+      windows = 0;
+      seen = 0;
+    }
+  in
+  Ctx.add_sink ctx (fun a ->
+      t.seen <- t.seen + 1;
+      (match Ctx.attribute_addr ctx a.Nvsc_memtrace.Access.addr with
+      | Some obj ->
+        let r, w =
+          match Hashtbl.find_opt t.counts obj.Mem_object.id with
+          | Some cell -> cell
+          | None ->
+            let cell = (ref 0, ref 0) in
+            Hashtbl.add t.counts obj.Mem_object.id cell;
+            cell
+        in
+        (match a.op with
+        | Nvsc_memtrace.Access.Read -> incr r
+        | Nvsc_memtrace.Access.Write -> incr w)
+      | None -> ());
+      t.in_window <- t.in_window + 1;
+      if t.in_window >= t.window_refs then deliver t);
+  t
+
+let flush t = deliver t
+let windows t = t.windows
+let references_seen t = t.seen

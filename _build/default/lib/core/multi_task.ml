@@ -1,0 +1,79 @@
+type task_summary = {
+  task : int;
+  scale : float;
+  footprint_bytes : int;
+  stack : Stack_analysis.summary;
+}
+
+type aggregate = {
+  app_name : string;
+  tasks : task_summary list;
+  footprint_total : int;
+  ratio_mean : float;
+  ratio_rel_spread : float;
+  pct_mean : float;
+  pct_rel_spread : float;
+  representative : bool;
+}
+
+let spread mean values =
+  if mean = 0. then 0.
+  else begin
+    let mn = List.fold_left Float.min infinity values in
+    let mx = List.fold_left Float.max neg_infinity values in
+    (mx -. mn) /. mean
+  end
+
+let run ?(tasks = 4) ?(base_scale = 0.5) ?(iterations = 4) ?(imbalance = 0.2)
+    (module A : Nvsc_apps.Workload.APP) =
+  if tasks <= 0 then invalid_arg "Multi_task.run: tasks";
+  if imbalance < 0. || imbalance >= 1. then invalid_arg "Multi_task.run: imbalance";
+  let summaries =
+    List.init tasks (fun task ->
+        (* deterministic imbalance: tasks spread evenly in
+           [-imbalance, +imbalance] around the base scale *)
+        let f =
+          if tasks = 1 then 0.
+          else (2. *. float_of_int task /. float_of_int (tasks - 1)) -. 1.
+        in
+        let scale = base_scale *. (1. +. (imbalance *. f)) in
+        let r = Scavenger.run ~scale ~iterations (module A) in
+        {
+          task;
+          scale;
+          footprint_bytes = r.Scavenger.footprint_bytes;
+          stack = Stack_analysis.summarize r;
+        })
+  in
+  let ratios =
+    List.map (fun t -> t.stack.Stack_analysis.rw_ratio) summaries
+  in
+  let pcts =
+    List.map (fun t -> t.stack.Stack_analysis.reference_pct) summaries
+  in
+  let mean xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+  let ratio_mean = mean ratios and pct_mean = mean pcts in
+  let ratio_rel_spread = spread ratio_mean ratios in
+  let pct_rel_spread = spread pct_mean pcts in
+  {
+    app_name = A.name;
+    tasks = summaries;
+    footprint_total =
+      List.fold_left (fun acc t -> acc + t.footprint_bytes) 0 summaries;
+    ratio_mean;
+    ratio_rel_spread;
+    pct_mean;
+    pct_rel_spread;
+    representative = ratio_rel_spread < 0.1 && pct_rel_spread < 0.1;
+  }
+
+let pp fmt a =
+  Format.fprintf fmt
+    "%-8s %d tasks, total footprint %a: stack ratio %.2f (spread %.1f%%), \
+     stack share %.1f%% (spread %.1f%%) -> one rank is %s@."
+    a.app_name (List.length a.tasks) Nvsc_util.Units.pp_bytes a.footprint_total
+    a.ratio_mean
+    (100. *. a.ratio_rel_spread)
+    (100. *. a.pct_mean)
+    (100. *. a.pct_rel_spread)
+    (if a.representative then "representative" else "NOT representative")

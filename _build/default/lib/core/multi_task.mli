@@ -1,0 +1,41 @@
+(** Multi-task (MPI-rank) analysis.
+
+    The paper instruments one MPI task per application and reports
+    "memory footprint per task" (Table I).  Production runs decompose the
+    domain across many tasks that are never perfectly balanced; this
+    module re-runs the instrumentation across several simulated tasks with
+    a deterministic load imbalance and checks that the paper's per-task
+    conclusions (stack share, stack ratio) are stable across ranks —
+    i.e. that profiling one rank, as the paper does, is representative. *)
+
+type task_summary = {
+  task : int;
+  scale : float;  (** this task's share of the domain *)
+  footprint_bytes : int;
+  stack : Stack_analysis.summary;
+}
+
+type aggregate = {
+  app_name : string;
+  tasks : task_summary list;
+  footprint_total : int;
+  ratio_mean : float;  (** mean per-task stack read/write ratio *)
+  ratio_rel_spread : float;  (** (max-min)/mean across tasks *)
+  pct_mean : float;  (** mean stack reference share *)
+  pct_rel_spread : float;
+  representative : bool;
+      (** both relative spreads below 10 %: one rank's profile stands for
+          all of them *)
+}
+
+val run :
+  ?tasks:int ->
+  ?base_scale:float ->
+  ?iterations:int ->
+  ?imbalance:float ->
+  (module Nvsc_apps.Workload.APP) ->
+  aggregate
+(** Defaults: 4 tasks, base_scale 0.5, 4 iterations, imbalance 0.2 (each
+    task's scale varies deterministically within ±20 % of the base). *)
+
+val pp : Format.formatter -> aggregate -> unit

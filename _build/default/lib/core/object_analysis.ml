@@ -1,0 +1,136 @@
+module Mem_object = Nvsc_memtrace.Mem_object
+module Suitability = Nvsc_nvram.Suitability
+module Table = Nvsc_util.Table
+
+type row = {
+  name : string;
+  kind : Nvsc_memtrace.Layout.kind;
+  size_bytes : int;
+  reads : int;
+  writes : int;
+  rw_ratio : float;
+  ref_share : float;
+  verdict : Suitability.verdict;
+}
+
+type report = {
+  app_name : string;
+  rows : row list;
+  footprint_bytes : int;
+  read_only_bytes : int;
+  read_only_fraction : float;
+  ratio_gt_50_bytes : int;
+  ratio_gt_1_bytes : int;
+  ratio_gt_1_fraction : float;
+  nvram_friendly_bytes : int;
+  nvram_friendly_fraction : float;
+}
+
+let analyze ?(category = Nvsc_nvram.Technology.Cat2_long_write)
+    (r : Scavenger.result) =
+  let metrics = Scavenger.global_and_heap_metrics r in
+  let rows =
+    metrics
+    |> List.map (fun (m : Object_metrics.t) ->
+           {
+             name = m.obj.Mem_object.name;
+             kind = m.obj.Mem_object.kind;
+             size_bytes = Object_metrics.size_bytes m;
+             reads = m.reads;
+             writes = m.writes;
+             rw_ratio = m.rw_ratio;
+             ref_share = m.ref_share;
+             verdict =
+               Suitability.classify ~category
+                 (Object_metrics.suitability_metrics m);
+           })
+    |> List.sort (fun a b -> compare b.size_bytes a.size_bytes)
+  in
+  let sum p =
+    List.fold_left (fun acc row -> if p row then acc + row.size_bytes else acc) 0 rows
+  in
+  let footprint_bytes = sum (fun _ -> true) in
+  let read_only_bytes = sum (fun row -> row.reads > 0 && row.writes = 0) in
+  let ratio_gt_50_bytes = sum (fun row -> row.writes > 0 && row.rw_ratio > 50.) in
+  let ratio_gt_1_bytes = sum (fun row -> row.rw_ratio > 1.) in
+  let nvram_friendly_bytes =
+    sum (fun row -> row.verdict <> Suitability.Dram_preferred)
+  in
+  let frac n = if footprint_bytes = 0 then 0. else float_of_int n /. float_of_int footprint_bytes in
+  {
+    app_name = r.app_name;
+    rows;
+    footprint_bytes;
+    read_only_bytes;
+    read_only_fraction = frac read_only_bytes;
+    ratio_gt_50_bytes;
+    ratio_gt_1_bytes;
+    ratio_gt_1_fraction = frac ratio_gt_1_bytes;
+    nvram_friendly_bytes;
+    nvram_friendly_fraction = frac nvram_friendly_bytes;
+  }
+
+let pp_report ?(max_rows = 40) fmt r =
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "Global and heap memory objects: %s" r.app_name)
+      [
+        ("Object", Table.Left);
+        ("Kind", Table.Left);
+        ("Size", Table.Right);
+        ("Reads", Table.Right);
+        ("Writes", Table.Right);
+        ("R/W", Table.Right);
+        ("Ref share", Table.Right);
+        ("Verdict", Table.Left);
+      ]
+  in
+  List.iteri
+    (fun i row ->
+      if i < max_rows then
+        Table.add_row table
+          [
+            row.name;
+            Nvsc_memtrace.Layout.kind_to_string row.kind;
+            Table.cell_bytes row.size_bytes;
+            Table.cell_i row.reads;
+            Table.cell_i row.writes;
+            Table.cell_f row.rw_ratio;
+            Table.cell_pct row.ref_share;
+            Format.asprintf "%a" Suitability.pp_verdict row.verdict;
+          ])
+    r.rows;
+  Table.pp fmt table;
+  Format.fprintf fmt "footprint (global+heap): %a@." Nvsc_util.Units.pp_bytes
+    r.footprint_bytes;
+  Format.fprintf fmt "read-only: %a (%s)@." Nvsc_util.Units.pp_bytes
+    r.read_only_bytes
+    (Table.cell_pct r.read_only_fraction);
+  Format.fprintf fmt "ratio > 50 (written): %a@." Nvsc_util.Units.pp_bytes
+    r.ratio_gt_50_bytes;
+  Format.fprintf fmt "ratio > 1: %a (%s)@." Nvsc_util.Units.pp_bytes
+    r.ratio_gt_1_bytes
+    (Table.cell_pct r.ratio_gt_1_fraction);
+  Format.fprintf fmt "NVRAM-suitable (category 2): %a (%s)@."
+    Nvsc_util.Units.pp_bytes r.nvram_friendly_bytes
+    (Table.cell_pct r.nvram_friendly_fraction);
+  (* the paper's figures 3-6 are per-object scatters; read-only objects
+     (infinite ratio) are pinned at the top of the log-ratio axis *)
+  let point row =
+    let ratio = if row.rw_ratio = infinity then 100. else row.rw_ratio in
+    ( log10 (float_of_int (Stdlib.max 1 row.size_bytes)),
+      log10 (Float.max 0.01 (Float.min 100. ratio)) )
+  in
+  let active = List.filter (fun row -> row.reads + row.writes > 0) r.rows in
+  let ro, written =
+    List.partition (fun row -> row.reads > 0 && row.writes = 0) active
+  in
+  Format.pp_print_string fmt
+    (Nvsc_util.Ascii_plot.line ~height:14
+       ~title:
+         (Printf.sprintf "%s objects: log10 size (x) vs log10 R/W ratio (y)"
+            r.app_name)
+       ~x_label:"log10 bytes" ~y_label:"log10 ratio (read-only pinned at 2)"
+       [
+         ("written", List.map point written); ("read-only", List.map point ro);
+       ])

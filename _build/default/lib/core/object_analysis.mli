@@ -1,0 +1,39 @@
+(** Global- and heap-object analysis (paper §VII-B, figures 3–6).
+
+    Per-object read/write ratios, reference rates and sizes, plus the
+    aggregates the paper quotes: how much of the footprint is read-only
+    during the main loop, how much carries a read/write ratio above 50,
+    and how much is dominated by reads at all (ratio > 1, the
+    STTRAM-friendly set). *)
+
+type row = {
+  name : string;
+  kind : Nvsc_memtrace.Layout.kind;
+  size_bytes : int;
+  reads : int;
+  writes : int;
+  rw_ratio : float;
+  ref_share : float;
+  verdict : Nvsc_nvram.Suitability.verdict;
+      (** against the hybrid target's NVRAM category *)
+}
+
+type report = {
+  app_name : string;
+  rows : row list;  (** global + heap objects, descending size *)
+  footprint_bytes : int;  (** global + heap bytes *)
+  read_only_bytes : int;
+  read_only_fraction : float;
+  ratio_gt_50_bytes : int;  (** writes > 0 but ratio > 50 *)
+  ratio_gt_1_bytes : int;  (** more reads than writes (incl. read-only) *)
+  ratio_gt_1_fraction : float;
+  nvram_friendly_bytes : int;  (** verdict <> Dram_preferred *)
+  nvram_friendly_fraction : float;
+}
+
+val analyze :
+  ?category:Nvsc_nvram.Technology.category -> Scavenger.result -> report
+(** [category] defaults to category 2 (STTRAM-like), the paper's most
+    promising target. *)
+
+val pp_report : ?max_rows:int -> Format.formatter -> report -> unit

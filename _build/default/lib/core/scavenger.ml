@@ -1,0 +1,88 @@
+module Ctx = Nvsc_appkit.Ctx
+module Layout = Nvsc_memtrace.Layout
+module Mem_object = Nvsc_memtrace.Mem_object
+module Trace_log = Nvsc_memtrace.Trace_log
+module Hierarchy = Nvsc_cachesim.Hierarchy
+module Cache = Nvsc_cachesim.Cache
+
+type result = {
+  app_name : string;
+  description : string;
+  input_description : string;
+  paper_footprint_mb : float;
+  iterations : int;
+  scale : float;
+  footprint_bytes : int;
+  total_main_refs : int;
+  metrics : Object_metrics.t list;
+  fast_tallies : Ctx.fast_tally array;
+  mem_trace : Trace_log.t option;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  unattributed : int;
+}
+
+let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
+    (module A : Nvsc_apps.Workload.APP) =
+  let ctx = Ctx.create () in
+  (match sampling with
+  | Some (period, sample_length) -> Ctx.set_sampling ctx ~period ~sample_length
+  | None -> ());
+  let trace = if with_trace then Some (Trace_log.create ()) else None in
+  let hierarchy =
+    match trace with
+    | None -> None
+    | Some log ->
+      let h = Hierarchy.create ~sink:(fun a -> Trace_log.record log a) () in
+      (* Filter only main-loop references through the caches: the paper
+         instruments the main computation loop. *)
+      Ctx.add_sink ctx (fun a ->
+          match Ctx.phase ctx with
+          | Mem_object.Main _ -> Hierarchy.access h a
+          | Mem_object.Pre | Mem_object.Post -> ());
+      Some h
+  in
+  A.run ~scale ctx ~iterations;
+  (match hierarchy with Some h -> Hierarchy.drain h | None -> ());
+  let metrics = Object_metrics.collect ctx ~iterations in
+  let footprint_bytes =
+    List.fold_left (fun acc m -> acc + Object_metrics.size_bytes m) 0 metrics
+  in
+  let fast_tallies =
+    Array.init (iterations + 1) (fun i -> Ctx.fast_tally ctx ~iter:i)
+  in
+  let miss_rate cache_of =
+    match hierarchy with
+    | None -> 0.
+    | Some h -> Cache.miss_rate (cache_of h)
+  in
+  {
+    app_name = A.name;
+    description = A.description;
+    input_description = A.input_description;
+    paper_footprint_mb = A.paper_footprint_mb;
+    iterations;
+    scale;
+    footprint_bytes;
+    total_main_refs = Object_metrics.total_main_refs ctx ~iterations;
+    metrics;
+    fast_tallies;
+    mem_trace = trace;
+    l1_miss_rate = miss_rate Hierarchy.l1d;
+    l2_miss_rate = miss_rate Hierarchy.l2;
+    unattributed = Ctx.unattributed ctx;
+  }
+
+let kind_metrics kind result =
+  List.filter
+    (fun (m : Object_metrics.t) -> m.obj.Mem_object.kind = kind)
+    result.metrics
+
+let stack_metrics = kind_metrics Layout.Stack
+let global_metrics = kind_metrics Layout.Global
+let heap_metrics = kind_metrics Layout.Heap
+
+let global_and_heap_metrics result =
+  List.filter
+    (fun (m : Object_metrics.t) -> m.obj.Mem_object.kind <> Layout.Stack)
+    result.metrics

@@ -1,0 +1,46 @@
+(** NV-Scavenger: run an instrumented application and collect everything
+    the paper's analyses need in one pass (paper §III, figure 1).
+
+    The pipeline mirrors the tool's diagram: the application's reference
+    stream is attributed to memory objects on the fly (statistics, no raw
+    trace retained), while a copy of the stream is filtered through the
+    Table II cache hierarchy to produce the main-memory trace handed to
+    the power simulator. *)
+
+type result = {
+  app_name : string;
+  description : string;
+  input_description : string;
+  paper_footprint_mb : float;
+  iterations : int;
+  scale : float;
+  footprint_bytes : int;  (** sum of all object sizes (scaled run) *)
+  total_main_refs : int;  (** references during main-loop iterations *)
+  metrics : Object_metrics.t list;
+  fast_tallies : Nvsc_appkit.Ctx.fast_tally array;
+      (** index 0 = pre+post, 1..iterations = main loop (fast stack
+          method) *)
+  mem_trace : Nvsc_memtrace.Trace_log.t option;
+      (** cache-filtered main-memory trace of the main loop, when
+          requested *)
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  unattributed : int;  (** references that resolved to no object *)
+}
+
+val run :
+  ?scale:float ->
+  ?iterations:int ->
+  ?with_trace:bool ->
+  ?sampling:int * int ->
+  (module Nvsc_apps.Workload.APP) ->
+  result
+(** Defaults: [scale = 1.0], [iterations = 10] (the paper collects the
+    first 10 iterations of the main loop), [with_trace = false].
+    [sampling = (period, sample_length)] enables the §III-D sampled
+    instrumentation the paper rejects (see {!Extensions}). *)
+
+val stack_metrics : result -> Object_metrics.t list
+val global_metrics : result -> Object_metrics.t list
+val heap_metrics : result -> Object_metrics.t list
+val global_and_heap_metrics : result -> Object_metrics.t list

@@ -1,0 +1,154 @@
+module Ctx = Nvsc_appkit.Ctx
+module Stats = Nvsc_util.Stats
+module Table = Nvsc_util.Table
+
+type summary = {
+  app_name : string;
+  rw_ratio : float;
+  first_iter_ratio : float;
+  steady_ratio : float;
+  reference_pct : float;
+}
+
+let summarize (r : Scavenger.result) =
+  let fold lo hi f =
+    let acc = ref 0 in
+    for i = lo to hi do
+      if i < Array.length r.fast_tallies then
+        acc := !acc + f r.fast_tallies.(i)
+    done;
+    !acc
+  in
+  let n = r.iterations in
+  let sr = fold 1 n (fun t -> t.Ctx.stack_reads) in
+  let sw = fold 1 n (fun t -> t.Ctx.stack_writes) in
+  let orr = fold 1 n (fun t -> t.Ctx.other_reads) in
+  let ow = fold 1 n (fun t -> t.Ctx.other_writes) in
+  let sr1 = fold 1 1 (fun t -> t.Ctx.stack_reads) in
+  let sw1 = fold 1 1 (fun t -> t.Ctx.stack_writes) in
+  let total = sr + sw + orr + ow in
+  {
+    app_name = r.app_name;
+    rw_ratio = Stats.ratio sr sw;
+    first_iter_ratio = Stats.ratio sr1 sw1;
+    steady_ratio = Stats.ratio (sr - sr1) (sw - sw1);
+    reference_pct =
+      (if total = 0 then 0. else float_of_int (sr + sw) /. float_of_int total);
+  }
+
+type frame_row = {
+  routine : string;
+  reads : int;
+  writes : int;
+  rw_ratio : float;
+  ref_share : float;
+}
+
+type distribution = {
+  frames : frame_row list;
+  pct_objects_ratio_gt_10 : float;
+  pct_objects_ratio_gt_50 : float;
+  refs_share_ratio_gt_10 : float;
+  refs_share_ratio_gt_50 : float;
+}
+
+let distribution (r : Scavenger.result) =
+  let stack = Scavenger.stack_metrics r in
+  let total_stack_refs =
+    List.fold_left
+      (fun acc (m : Object_metrics.t) -> acc + m.reads + m.writes)
+      0 stack
+  in
+  let frames =
+    stack
+    |> List.map (fun (m : Object_metrics.t) ->
+           {
+             routine = m.obj.Nvsc_memtrace.Mem_object.name;
+             reads = m.reads;
+             writes = m.writes;
+             rw_ratio = m.rw_ratio;
+             ref_share = m.ref_share;
+           })
+    |> List.sort (fun a b -> compare b.rw_ratio a.rw_ratio)
+  in
+  let count p = List.length (List.filter p frames) in
+  let refs p =
+    List.fold_left
+      (fun acc f -> if p f then acc + f.reads + f.writes else acc)
+      0 frames
+  in
+  let nframes = List.length frames in
+  let pct_of n d = if d = 0 then 0. else float_of_int n /. float_of_int d in
+  {
+    frames;
+    pct_objects_ratio_gt_10 = pct_of (count (fun f -> f.rw_ratio > 10.)) nframes;
+    pct_objects_ratio_gt_50 = pct_of (count (fun f -> f.rw_ratio > 50.)) nframes;
+    refs_share_ratio_gt_10 =
+      pct_of (refs (fun f -> f.rw_ratio > 10.)) total_stack_refs;
+    refs_share_ratio_gt_50 =
+      pct_of (refs (fun f -> f.rw_ratio > 50.)) total_stack_refs;
+  }
+
+let pp_summary_table fmt summaries =
+  let table =
+    Table.create ~title:"Table V: Stack data analysis"
+      [
+        ("Application", Table.Left);
+        ("Read/write ratio", Table.Right);
+        ("(first iter)", Table.Right);
+        ("Reference percentage", Table.Right);
+      ]
+  in
+  List.iter
+    (fun s ->
+      Table.add_row table
+        [
+          s.app_name;
+          Table.cell_f s.steady_ratio;
+          Table.cell_f s.first_iter_ratio;
+          Table.cell_pct s.reference_pct;
+        ])
+    summaries;
+  Table.pp fmt table
+
+let pp_distribution fmt d =
+  let table =
+    Table.create ~title:"Figure 2: per-routine stack frames"
+      [
+        ("Routine", Table.Left);
+        ("Reads", Table.Right);
+        ("Writes", Table.Right);
+        ("R/W ratio", Table.Right);
+        ("Ref share", Table.Right);
+      ]
+  in
+  List.iter
+    (fun f ->
+      Table.add_row table
+        [
+          f.routine;
+          Table.cell_i f.reads;
+          Table.cell_i f.writes;
+          Table.cell_f f.rw_ratio;
+          Table.cell_pct f.ref_share;
+        ])
+    d.frames;
+  Table.pp fmt table;
+  (* the paper's figure 2 is a distribution: render the frame ratios as a
+     log-binned histogram weighted by each frame's reference share *)
+  let hist = Nvsc_util.Histogram.create_log ~lo:1. ~hi:100. ~bins:8 in
+  List.iter
+    (fun f ->
+      let ratio = Float.max 1.0 (Float.min 99.9 f.rw_ratio) in
+      Nvsc_util.Histogram.add_weighted hist ratio f.ref_share)
+    d.frames;
+  Format.fprintf fmt "reference-share by frame read/write ratio:@.";
+  Nvsc_util.Histogram.pp fmt hist;
+  Format.fprintf fmt
+    "frames with ratio>10: %s of objects carrying %s of stack references@."
+    (Table.cell_pct d.pct_objects_ratio_gt_10)
+    (Table.cell_pct d.refs_share_ratio_gt_10);
+  Format.fprintf fmt
+    "frames with ratio>50: %s of objects carrying %s of stack references@."
+    (Table.cell_pct d.pct_objects_ratio_gt_50)
+    (Table.cell_pct d.refs_share_ratio_gt_50)

@@ -1,0 +1,41 @@
+(** Stack-data analysis (paper §VII-A, Table V and figure 2).
+
+    The fast method tallies whole-stack reads and writes per iteration and
+    the stack's share of all references; the slow method attributes stack
+    references to individual routine frames through the shadow stack. *)
+
+(** Table V row for one application. *)
+type summary = {
+  app_name : string;
+  rw_ratio : float;  (** whole-run stack read/write ratio (main loop) *)
+  first_iter_ratio : float;
+      (** iteration 1's ratio, reported separately for CAM in the paper *)
+  steady_ratio : float;  (** ratio over iterations 2..n *)
+  reference_pct : float;
+      (** fraction of all main-loop references that target the stack *)
+}
+
+val summarize : Scavenger.result -> summary
+
+(** Figure 2: distribution of per-frame (per-routine) read/write ratios
+    and reference rates from the slow method. *)
+type frame_row = {
+  routine : string;
+  reads : int;
+  writes : int;
+  rw_ratio : float;
+  ref_share : float;  (** of all main-loop references *)
+}
+
+type distribution = {
+  frames : frame_row list;  (** sorted by descending ratio *)
+  pct_objects_ratio_gt_10 : float;
+  pct_objects_ratio_gt_50 : float;
+  refs_share_ratio_gt_10 : float;
+  refs_share_ratio_gt_50 : float;
+}
+
+val distribution : Scavenger.result -> distribution
+
+val pp_summary_table : Format.formatter -> summary list -> unit
+val pp_distribution : Format.formatter -> distribution -> unit

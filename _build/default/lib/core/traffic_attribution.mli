@@ -1,0 +1,37 @@
+(** Main-memory traffic and energy attribution per memory object.
+
+    The application-level metrics of figures 3–6 count *references*; what
+    the memory system pays for is the cache-filtered traffic.  This
+    analysis attributes the main-memory trace back to the objects whose
+    address ranges it falls in and weighs it with the power model's burst
+    energies, producing the paper's actionable artifact: a ranked list of
+    which data structures cost the most DRAM energy — the candidates a
+    placement effort should tackle first, with their NVRAM verdicts. *)
+
+type row = {
+  name : string;
+  kind : Nvsc_memtrace.Layout.kind;
+  size_bytes : int;
+  line_reads : int;  (** main-memory line fills attributed to the object *)
+  line_writes : int;  (** write-backs / forwarded writes *)
+  energy_nj : float;  (** burst energy on DDR3 *)
+  energy_share : float;
+  verdict : Nvsc_nvram.Suitability.verdict;
+      (** from the object's application-level metrics, category 2 *)
+}
+
+type report = {
+  app_name : string;
+  rows : row list;  (** descending energy *)
+  attributed : int;
+  unattributed : int;
+      (** trace lines whose addresses fall in no object (stack lines and
+          line-granularity spill) *)
+  movable_energy_fraction : float;
+      (** share of attributed burst energy on NVRAM-suitable objects *)
+}
+
+val analyze : Scavenger.result -> report
+(** Requires the result to carry a trace ([~with_trace:true]). *)
+
+val pp_report : ?max_rows:int -> Format.formatter -> report -> unit

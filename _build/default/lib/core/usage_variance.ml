@@ -1,0 +1,136 @@
+module Mem_object = Nvsc_memtrace.Mem_object
+module Layout = Nvsc_memtrace.Layout
+
+type cdf_point = { iterations_used : int; cumulative_bytes : int }
+
+(* Long-term global+heap objects: everything except heap allocated during
+   a main-loop iteration (the paper's short-term objects). *)
+let long_term_metrics (r : Scavenger.result) =
+  Scavenger.global_and_heap_metrics r
+  |> List.filter (fun (m : Object_metrics.t) ->
+         match (m.obj.Mem_object.kind, m.obj.Mem_object.alloc_phase) with
+         | Layout.Heap, Mem_object.Main _ -> false
+         | _ -> true)
+
+let usage_cdf (r : Scavenger.result) =
+  let metrics = long_term_metrics r in
+  let by_used = Array.make (r.iterations + 1) 0 in
+  List.iter
+    (fun (m : Object_metrics.t) ->
+      by_used.(m.iterations_used) <-
+        by_used.(m.iterations_used) + Object_metrics.size_bytes m)
+    metrics;
+  let acc = ref 0 in
+  Array.to_list
+    (Array.mapi
+       (fun i bytes ->
+         acc := !acc + bytes;
+         { iterations_used = i; cumulative_bytes = !acc })
+       by_used)
+
+let untouched_in_main_bytes (r : Scavenger.result) =
+  List.fold_left
+    (fun acc (m : Object_metrics.t) ->
+      if Object_metrics.is_untouched_in_main m then
+        acc + Object_metrics.size_bytes m
+      else acc)
+    0 (long_term_metrics r)
+
+let untouched_in_main_fraction (r : Scavenger.result) =
+  let total =
+    List.fold_left
+      (fun acc m -> acc + Object_metrics.size_bytes m)
+      0 (long_term_metrics r)
+  in
+  if total = 0 then 0.
+  else float_of_int (untouched_in_main_bytes r) /. float_of_int total
+
+let bins =
+  [| (0., 0.5); (0.5, 1.); (1., 2.); (2., 4.); (4., infinity) |]
+
+let bin_of v =
+  let rec go i =
+    if i >= Array.length bins then Array.length bins - 1
+    else begin
+      let lo, hi = bins.(i) in
+      if v >= lo && v < hi then i else go (i + 1)
+    end
+  in
+  go 0
+
+type variance = {
+  iterations : int;
+  objects_considered : int;
+  ratio_dist : float array array;
+  rate_dist : float array array;
+  rate_unchanged : float array;
+}
+
+let variance (r : Scavenger.result) =
+  let n = r.iterations in
+  (* Global and heap objects (the population of figures 3-6) with
+     references and writes in iteration 1 — a zero base makes the
+     normalised value meaningless. *)
+  let actives =
+    List.filter
+      (fun (m : Object_metrics.t) ->
+        Object_metrics.per_iter_refs m ~iter:1 > 0
+        && m.per_iter_writes.(0) > 0)
+      (Scavenger.global_and_heap_metrics r)
+  in
+  let nobj = List.length actives in
+  let ratio_dist = Array.make_matrix n (Array.length bins) 0. in
+  let rate_dist = Array.make_matrix n (Array.length bins) 0. in
+  let rate_unchanged = Array.make n 0. in
+  if nobj > 0 then
+    for iter = 1 to n do
+      List.iter
+        (fun (m : Object_metrics.t) ->
+          let base_ratio = Object_metrics.per_iter_ratio m ~iter:1 in
+          let base_rate = float_of_int (Object_metrics.per_iter_refs m ~iter:1) in
+          let ratio = Object_metrics.per_iter_ratio m ~iter in
+          let rate = float_of_int (Object_metrics.per_iter_refs m ~iter) in
+          let norm_ratio = if base_ratio > 0. then ratio /. base_ratio else 0. in
+          let norm_rate = if base_rate > 0. then rate /. base_rate else 0. in
+          let i = iter - 1 in
+          ratio_dist.(i).(bin_of norm_ratio) <-
+            ratio_dist.(i).(bin_of norm_ratio) +. 1.;
+          rate_dist.(i).(bin_of norm_rate) <-
+            rate_dist.(i).(bin_of norm_rate) +. 1.;
+          if Float.abs (norm_rate -. 1.) <= 0.02 then
+            rate_unchanged.(i) <- rate_unchanged.(i) +. 1.)
+        actives;
+      let i = iter - 1 in
+      for b = 0 to Array.length bins - 1 do
+        ratio_dist.(i).(b) <- ratio_dist.(i).(b) /. float_of_int nobj;
+        rate_dist.(i).(b) <- rate_dist.(i).(b) /. float_of_int nobj
+      done;
+      rate_unchanged.(i) <- rate_unchanged.(i) /. float_of_int nobj
+    done;
+  { iterations = n; objects_considered = nobj; ratio_dist; rate_dist;
+    rate_unchanged }
+
+let stable_fraction v =
+  if v.iterations < 2 then 1.
+  else begin
+    let acc = ref 0. in
+    for i = 1 to v.iterations - 1 do
+      acc := !acc +. v.rate_dist.(i).(2) (* the [1,2) bin *)
+    done;
+    !acc /. float_of_int (v.iterations - 1)
+  end
+
+let pp_cdf fmt points =
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "<=%2d iterations: %a@." p.iterations_used
+        Nvsc_util.Units.pp_bytes p.cumulative_bytes)
+    points
+
+let pp_variance fmt v =
+  Format.fprintf fmt "objects considered: %d@." v.objects_considered;
+  for i = 0 to v.iterations - 1 do
+    Format.fprintf fmt
+      "iter %2d: rate[1,2)=%.2f ratio[1,2)=%.2f rate-unchanged=%.2f@."
+      (i + 1) v.rate_dist.(i).(2) v.ratio_dist.(i).(2) v.rate_unchanged.(i)
+  done

@@ -1,0 +1,50 @@
+(** Memory-usage variance across main-loop iterations (paper §VII-C,
+    figures 7–11).
+
+    Figure 7 is the cumulative distribution of memory usage across time
+    steps: a point (x, y) says y bytes of long-term objects were touched in
+    no more than x main-loop iterations (x = 0 meaning only during the
+    pre/post phases).  Short-term heap objects — allocated and freed inside
+    the main loop — are excluded, as the paper excludes them.
+
+    Figures 8–11 normalise each object's per-iteration read/write ratio and
+    reference rate by its first-iteration value and report, per iteration,
+    how the normalised values distribute; the paper's headline is that more
+    than 60 % of objects stay within [1, 2). *)
+
+type cdf_point = { iterations_used : int; cumulative_bytes : int }
+
+val usage_cdf : Scavenger.result -> cdf_point list
+(** Sorted by [iterations_used] (0 .. n); the last point's
+    [cumulative_bytes] is the total long-term global+heap footprint. *)
+
+val untouched_in_main_bytes : Scavenger.result -> int
+val untouched_in_main_fraction : Scavenger.result -> float
+(** Fraction of the long-term global+heap footprint never referenced in
+    the main loop (Nek5000 ≈ 24 %, CAM ≈ 11.5 % in the paper). *)
+
+val bins : (float * float) array
+(** Normalised-value bins: [0,0.5), [0.5,1), [1,2), [2,4), [4,inf). *)
+
+type variance = {
+  iterations : int;
+  objects_considered : int;
+      (** global+heap objects written in iteration 1 (the normalisation
+          base) *)
+  ratio_dist : float array array;
+      (** [ratio_dist.(i).(b)]: fraction of objects whose normalised
+          read/write ratio in iteration i+1 falls in {!bins}[b] *)
+  rate_dist : float array array;  (** same for reference rates *)
+  rate_unchanged : float array;
+      (** per iteration, fraction of objects whose reference rate is
+          within 2 % of iteration 1's *)
+}
+
+val variance : Scavenger.result -> variance
+
+val stable_fraction : variance -> float
+(** Mean over iterations >= 2 of the fraction of objects whose normalised
+    reference rate lies in [1,2). *)
+
+val pp_cdf : Format.formatter -> cdf_point list -> unit
+val pp_variance : Format.formatter -> variance -> unit

@@ -1,0 +1,1 @@
+lib/cpusim/core_params.ml: Format

@@ -1,0 +1,1 @@
+lib/cpusim/perf_model.ml: Core_params Float Hashtbl Nvsc_cachesim Nvsc_memtrace Option Queue Tlb

@@ -1,0 +1,1 @@
+lib/cpusim/perf_model.mli: Core_params Nvsc_cachesim Nvsc_memtrace

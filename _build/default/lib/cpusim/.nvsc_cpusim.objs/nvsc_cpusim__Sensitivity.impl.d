@@ -1,0 +1,1 @@
+lib/cpusim/sensitivity.ml: Format List Nvsc_nvram Nvsc_util Perf_model

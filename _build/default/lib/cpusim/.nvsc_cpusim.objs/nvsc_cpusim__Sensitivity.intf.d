@@ -1,0 +1,1 @@
+lib/cpusim/sensitivity.mli: Core_params Format Nvsc_nvram Perf_model

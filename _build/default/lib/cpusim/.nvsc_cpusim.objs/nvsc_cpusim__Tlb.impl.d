@@ -1,0 +1,1 @@
+lib/cpusim/tlb.ml: Array

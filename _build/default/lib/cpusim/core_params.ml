@@ -1,0 +1,40 @@
+type t = {
+  clock_ghz : float;
+  issue_width : int;
+  rob_entries : int;
+  miss_buffer : int;
+  effective_mlp : int;
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_miss_cycles : int;
+}
+
+let make ?(clock_ghz = 2.266) ?(issue_width = 4) ?(rob_entries = 128)
+    ?(miss_buffer = 64) ?(effective_mlp = 4) ?(l1_hit_cycles = 1)
+    ?(l2_hit_cycles = 5) ?(tlb_entries = 32) ?(page_bytes = 4096)
+    ?(tlb_miss_cycles = 30) () =
+  if issue_width <= 0 || effective_mlp <= 0 || rob_entries <= 0 then
+    invalid_arg "Core_params.make";
+  {
+    clock_ghz;
+    issue_width;
+    rob_entries;
+    miss_buffer;
+    effective_mlp;
+    l1_hit_cycles;
+    l2_hit_cycles;
+    tlb_entries;
+    page_bytes;
+    tlb_miss_cycles;
+  }
+
+let paper = make ()
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%.3fGHz, issue %d, ROB %d, miss buffer %d (eff. MLP %d), L1 %dcy, L2 \
+     %dcy, TLB %d entries"
+    t.clock_ghz t.issue_width t.rob_entries t.miss_buffer t.effective_mlp
+    t.l1_hit_cycles t.l2_hit_cycles t.tlb_entries

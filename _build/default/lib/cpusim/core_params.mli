@@ -1,0 +1,40 @@
+(** Out-of-order core parameters (paper Table III).
+
+    2.266 GHz x86 core, one thread, out-of-order issue; 32-entry per-core
+    TLB; 1-cycle L1 hit, 5-cycle L2 hit; 64-entry load-fill request queue
+    and 64-entry miss buffer (the hardware ceiling on outstanding misses —
+    the *effective* memory-level parallelism applications extract is far
+    lower and is modelled separately). *)
+
+type t = {
+  clock_ghz : float;
+  issue_width : int;  (** retired instructions per cycle at best *)
+  rob_entries : int;  (** reorder-buffer reach for miss clustering *)
+  miss_buffer : int;  (** hardware max outstanding misses *)
+  effective_mlp : int;
+      (** misses that genuinely overlap within one ROB window *)
+  l1_hit_cycles : int;
+  l2_hit_cycles : int;
+  tlb_entries : int;
+  page_bytes : int;
+  tlb_miss_cycles : int;  (** page-walk penalty *)
+}
+
+val paper : t
+(** Table III values with effective MLP 4. *)
+
+val make :
+  ?clock_ghz:float ->
+  ?issue_width:int ->
+  ?rob_entries:int ->
+  ?miss_buffer:int ->
+  ?effective_mlp:int ->
+  ?l1_hit_cycles:int ->
+  ?l2_hit_cycles:int ->
+  ?tlb_entries:int ->
+  ?page_bytes:int ->
+  ?tlb_miss_cycles:int ->
+  unit ->
+  t
+
+val pp : Format.formatter -> t -> unit

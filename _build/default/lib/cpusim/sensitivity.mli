@@ -1,0 +1,36 @@
+(** The Figure-12 experiment: replay one application workload against the
+    memory latencies of the candidate technologies and report runtimes
+    normalised to DRAM.
+
+    Per the paper's §V assumptions, a single latency is used for both reads
+    and writes (each technology's write latency — a performance lower
+    bound) and main memory is wholly replaced by the technology under
+    test. *)
+
+type point = {
+  tech : Nvsc_nvram.Technology.t;
+  latency_ns : float;
+  runtime_ns : float;
+  normalized_runtime : float;  (** relative to the DDR3 run *)
+  report : Perf_model.report;
+}
+
+val run :
+  ?params:Core_params.t ->
+  ?techs:Nvsc_nvram.Technology.t list ->
+  ?asymmetric:bool ->
+  replay:(Perf_model.t -> unit) ->
+  unit ->
+  point list
+(** [replay model] must drive the identical instruction/reference stream
+    into [model] on every invocation ({!Perf_model.instructions} /
+    {!Perf_model.access}).  [techs] defaults to the paper's four
+    technologies; the list must include DDR3 for normalisation.
+
+    [asymmetric] (default false) removes the paper's read-=-write
+    assumption: reads use each technology's read latency and writes are
+    posted at its write latency through the write buffer (see
+    {!Perf_model.create}), quantifying how conservative the paper's
+    lower bound is. *)
+
+val pp_points : Format.formatter -> point list -> unit

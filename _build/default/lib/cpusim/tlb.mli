@@ -1,0 +1,16 @@
+(** Fully-associative, LRU translation lookaside buffer (32 entries per
+    core in the paper's configuration). *)
+
+type t
+
+val create : entries:int -> page_bytes:int -> t
+
+val access : t -> int -> bool
+(** [access t addr] translates the page of [addr]; returns [true] on a TLB
+    hit.  A miss installs the translation, evicting the LRU entry when
+    full. *)
+
+val hits : t -> int
+val misses : t -> int
+val miss_rate : t -> float
+val reset : t -> unit

@@ -1,0 +1,1 @@
+lib/dramsim/address_mapping.mli: Org

@@ -1,0 +1,1 @@
+lib/dramsim/controller.ml: Address_mapping Array Float List Nvsc_memtrace Nvsc_nvram Org Power_params Timing

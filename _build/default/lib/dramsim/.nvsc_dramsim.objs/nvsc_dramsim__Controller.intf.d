@@ -1,0 +1,1 @@
+lib/dramsim/controller.mli: Address_mapping Nvsc_memtrace Nvsc_nvram Org

@@ -1,0 +1,1 @@
+lib/dramsim/hybrid_system.ml: Controller Float Nvsc_memtrace Nvsc_nvram Org Stdlib

@@ -1,0 +1,1 @@
+lib/dramsim/memory_system.ml: Controller List Nvsc_memtrace Nvsc_nvram

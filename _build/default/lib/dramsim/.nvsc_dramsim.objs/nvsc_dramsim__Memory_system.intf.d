@@ -1,0 +1,1 @@
+lib/dramsim/memory_system.mli: Address_mapping Controller Nvsc_memtrace Nvsc_nvram Org

@@ -1,0 +1,1 @@
+lib/dramsim/org.ml: Format Nvsc_util Printf

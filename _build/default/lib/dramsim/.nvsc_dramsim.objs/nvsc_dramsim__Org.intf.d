@@ -1,0 +1,1 @@
+lib/dramsim/org.mli: Format

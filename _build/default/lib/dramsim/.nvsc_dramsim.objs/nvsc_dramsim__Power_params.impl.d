@@ -1,0 +1,1 @@
+lib/dramsim/power_params.ml: Nvsc_nvram Org

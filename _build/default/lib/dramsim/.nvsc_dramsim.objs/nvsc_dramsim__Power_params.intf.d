@@ -1,0 +1,1 @@
+lib/dramsim/power_params.mli: Nvsc_nvram Org

@@ -1,0 +1,1 @@
+lib/dramsim/timing.ml: Format Nvsc_nvram Org

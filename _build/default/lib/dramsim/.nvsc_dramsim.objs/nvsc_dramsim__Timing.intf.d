@@ -1,0 +1,1 @@
+lib/dramsim/timing.mli: Format Nvsc_nvram Org

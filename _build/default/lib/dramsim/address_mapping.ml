@@ -1,0 +1,40 @@
+type scheme = Row_bank_rank_col | Row_rank_bank_col | Line_interleave
+
+type coords = { rank : int; bank : int; row : int; col : int }
+
+let decode scheme org addr =
+  let line = addr / org.Org.line_bytes in
+  let lines_per_row = Org.lines_per_row org in
+  let line = line mod (org.ranks * org.banks * org.rows * lines_per_row) in
+  match scheme with
+  | Row_bank_rank_col ->
+    let col = line mod lines_per_row in
+    let rest = line / lines_per_row in
+    let rank = rest mod org.ranks in
+    let rest = rest / org.ranks in
+    let bank = rest mod org.banks in
+    let row = rest / org.banks in
+    { rank; bank; row; col }
+  | Row_rank_bank_col ->
+    let col = line mod lines_per_row in
+    let rest = line / lines_per_row in
+    let bank = rest mod org.banks in
+    let rest = rest / org.banks in
+    let rank = rest mod org.ranks in
+    let row = rest / org.ranks in
+    { rank; bank; row; col }
+  | Line_interleave ->
+    let rank = line mod org.ranks in
+    let rest = line / org.ranks in
+    let bank = rest mod org.banks in
+    let rest = rest / org.banks in
+    let col = rest mod lines_per_row in
+    let row = rest / lines_per_row in
+    { rank; bank; row; col }
+
+let scheme_name = function
+  | Row_bank_rank_col -> "row:bank:rank:col"
+  | Row_rank_bank_col -> "row:rank:bank:col"
+  | Line_interleave -> "line-interleave"
+
+let all_schemes = [ Row_bank_rank_col; Row_rank_bank_col; Line_interleave ]

@@ -1,0 +1,302 @@
+module Access = Nvsc_memtrace.Access
+module Technology = Nvsc_nvram.Technology
+
+type row_policy = Open_page | Closed_page
+
+type scheduler = Fcfs | Fr_fcfs of int
+
+type pending = { access : Access.t; coords : Address_mapping.coords }
+
+type t = {
+  org : Org.t;
+  scheme : Address_mapping.scheme;
+  tech : Technology.t;
+  timing : Timing.t;
+  power : Power_params.t;
+  window : int;
+  row_policy : row_policy;
+  scheduler : scheduler;
+  mutable reorder : pending list; (* oldest first *)
+  bank_ready : float array; (* ns; indexed rank * banks + bank *)
+  open_row : int array; (* -1 = closed *)
+  mutable bus_free : float;
+  inflight : float array; (* completion times of outstanding transactions *)
+  mutable inflight_n : int;
+  mutable now : float;
+  next_refresh : float array; (* per rank; infinity for NVRAM *)
+  mutable accesses : int;
+  mutable reads : int;
+  mutable writes : int;
+  mutable row_hits : int;
+  mutable row_misses : int;
+  mutable activations : int;
+  mutable refreshes : int;
+  mutable burst_energy_nj : float;
+  mutable act_pre_energy_nj : float;
+  mutable refresh_energy_nj : float;
+  mutable latency_sum : float;
+  mutable latencies : float array; (* per-access, for percentiles *)
+  mutable latencies_n : int;
+}
+
+let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
+    ?(window = 8) ?(row_policy = Open_page) ?(scheduler = Fcfs) ~tech () =
+  if window <= 0 then invalid_arg "Controller.create: window must be positive";
+  (match scheduler with
+  | Fr_fcfs depth when depth <= 0 ->
+    invalid_arg "Controller.create: Fr_fcfs depth must be positive"
+  | Fcfs | Fr_fcfs _ -> ());
+  let nbanks = Org.total_banks org in
+  let timing = Timing.of_tech tech ~org in
+  {
+    org;
+    scheme;
+    tech;
+    timing;
+    power = Power_params.of_tech tech ~org;
+    window;
+    row_policy;
+    scheduler;
+    reorder = [];
+    bank_ready = Array.make nbanks 0.;
+    open_row = Array.make nbanks (-1);
+    bus_free = 0.;
+    inflight = Array.make window 0.;
+    inflight_n = 0;
+    now = 0.;
+    next_refresh =
+      Array.make org.Org.ranks
+        (if tech.Technology.needs_refresh then timing.Timing.t_refi_ns
+         else infinity);
+    accesses = 0;
+    reads = 0;
+    writes = 0;
+    row_hits = 0;
+    row_misses = 0;
+    activations = 0;
+    refreshes = 0;
+    burst_energy_nj = 0.;
+    act_pre_energy_nj = 0.;
+    refresh_energy_nj = 0.;
+    latency_sum = 0.;
+    latencies = Array.make 1024 0.;
+    latencies_n = 0;
+  }
+
+(* Admission: wait for the earliest completion when the window is full. *)
+let admit t =
+  if t.inflight_n = t.window then begin
+    let min_i = ref 0 in
+    for i = 1 to t.inflight_n - 1 do
+      if t.inflight.(i) < t.inflight.(!min_i) then min_i := i
+    done;
+    let min_c = t.inflight.(!min_i) in
+    if min_c > t.now then t.now <- min_c;
+    (* Drop every transaction completed by [now]. *)
+    let j = ref 0 in
+    for i = 0 to t.inflight_n - 1 do
+      if t.inflight.(i) > t.now then begin
+        t.inflight.(!j) <- t.inflight.(i);
+        incr j
+      end
+    done;
+    t.inflight_n <- !j
+  end
+
+(* Catch up pending refresh operations on a rank: each one blocks every
+   bank of the rank for t_rfc and costs e_refresh. *)
+let refresh_rank t rank upto =
+  while t.next_refresh.(rank) <= upto do
+    let start = t.next_refresh.(rank) in
+    let finish = start +. t.timing.Timing.t_rfc_ns in
+    let base = rank * t.org.Org.banks in
+    for b = base to base + t.org.Org.banks - 1 do
+      if t.bank_ready.(b) < finish then t.bank_ready.(b) <- finish
+    done;
+    t.refreshes <- t.refreshes + 1;
+    t.refresh_energy_nj <- t.refresh_energy_nj +. t.power.Power_params.e_refresh_nj;
+    t.next_refresh.(rank) <- start +. t.timing.Timing.t_refi_ns
+  done
+
+let issue t (a : Access.t) (c : Address_mapping.coords) =
+  admit t;
+  let arrival = t.now in
+  refresh_rank t c.rank arrival;
+  let bank = (c.rank * t.org.Org.banks) + c.bank in
+  let start = Float.max arrival t.bank_ready.(bank) in
+  let row_ready =
+    if t.open_row.(bank) = c.row then begin
+      t.row_hits <- t.row_hits + 1;
+      start
+    end
+    else begin
+      t.row_misses <- t.row_misses + 1;
+      t.activations <- t.activations + 1;
+      t.act_pre_energy_nj <-
+        t.act_pre_energy_nj +. t.power.Power_params.e_act_pre_nj;
+      let penalty =
+        Timing.row_miss_penalty_ns t.timing ~had_open_row:(t.open_row.(bank) >= 0)
+      in
+      t.open_row.(bank) <- c.row;
+      start +. penalty
+    end
+  in
+  (* under the closed-page policy the row is precharged right after the
+     column access: the next access always re-activates but never pays
+     tRP (the precharge overlaps idle time) *)
+  (match t.row_policy with
+  | Closed_page -> t.open_row.(bank) <- -1
+  | Open_page -> ());
+  let cas_done = row_ready +. t.timing.Timing.t_cas_ns in
+  let bus_start = Float.max cas_done t.bus_free in
+  let bus_end = bus_start +. t.timing.Timing.t_burst_ns in
+  t.bus_free <- bus_end;
+  t.accesses <- t.accesses + 1;
+  (match a.op with
+  | Access.Read ->
+    t.reads <- t.reads + 1;
+    t.burst_energy_nj <-
+      t.burst_energy_nj
+      +. Power_params.burst_read_energy_nj t.power
+           ~t_burst_ns:t.timing.Timing.t_burst_ns;
+    t.bank_ready.(bank) <- bus_end
+  | Access.Write ->
+    t.writes <- t.writes + 1;
+    t.burst_energy_nj <-
+      t.burst_energy_nj
+      +. Power_params.burst_write_energy_nj t.power
+           ~t_burst_ns:t.timing.Timing.t_burst_ns;
+    (* Write recovery: the cells absorb the data after the burst. *)
+    t.bank_ready.(bank) <- bus_end +. t.timing.Timing.t_wr_ns);
+  t.latency_sum <- t.latency_sum +. (bus_end -. arrival);
+  if t.latencies_n = Array.length t.latencies then begin
+    let bigger = Array.make (2 * t.latencies_n) 0. in
+    Array.blit t.latencies 0 bigger 0 t.latencies_n;
+    t.latencies <- bigger
+  end;
+  t.latencies.(t.latencies_n) <- bus_end -. arrival;
+  t.latencies_n <- t.latencies_n + 1;
+  t.inflight.(t.inflight_n) <- bus_end;
+  t.inflight_n <- t.inflight_n + 1
+
+(* FR-FCFS selection: among the buffered transactions, prefer one whose
+   bank has its row open (a row hit); ties break to the oldest. *)
+let pick_ready t =
+  let bank_of (p : pending) = (p.coords.rank * t.org.Org.banks) + p.coords.bank in
+  let is_hit p = t.open_row.(bank_of p) = p.coords.row in
+  let rec find_hit acc = function
+    | [] -> None
+    | p :: rest when is_hit p -> Some (p, List.rev_append acc rest)
+    | p :: rest -> find_hit (p :: acc) rest
+  in
+  match find_hit [] t.reorder with
+  | Some (p, rest) -> (p, rest)
+  | None -> (
+    match t.reorder with
+    | p :: rest -> (p, rest)
+    | [] -> invalid_arg "Controller.pick_ready: empty")
+
+let schedule_one t =
+  let p, rest = pick_ready t in
+  t.reorder <- rest;
+  issue t p.access p.coords
+
+let submit t (a : Access.t) =
+  let coords = Address_mapping.decode t.scheme t.org a.addr in
+  match t.scheduler with
+  | Fcfs -> issue t a coords
+  | Fr_fcfs depth ->
+    t.reorder <- t.reorder @ [ { access = a; coords } ];
+    if List.length t.reorder >= depth then schedule_one t
+
+let flush t =
+  while t.reorder <> [] do
+    schedule_one t
+  done
+
+let elapsed_ns t =
+  flush t;
+  let m = ref t.bus_free in
+  for i = 0 to t.inflight_n - 1 do
+    if t.inflight.(i) > !m then m := t.inflight.(i)
+  done;
+  !m
+
+type stats = {
+  accesses : int;
+  reads : int;
+  writes : int;
+  row_hits : int;
+  row_misses : int;
+  activations : int;
+  refreshes : int;
+  elapsed_ns : float;
+  burst_energy_nj : float;
+  act_pre_energy_nj : float;
+  refresh_energy_nj : float;
+  background_energy_nj : float;
+  total_energy_nj : float;
+  avg_power_w : float;
+  avg_latency_ns : float;
+  p50_latency_ns : float;
+  p95_latency_ns : float;
+  p99_latency_ns : float;
+  bandwidth_gbs : float;
+  row_hit_rate : float;
+}
+
+(* One sorted copy serves all three percentiles; Float.compare avoids the
+   polymorphic-comparison cost on large traces. *)
+let latency_percentiles t =
+  if t.latencies_n = 0 then (0., 0., 0.)
+  else begin
+    let sorted = Array.sub t.latencies 0 t.latencies_n in
+    Array.sort Float.compare sorted;
+    let at p =
+      let rank = p *. float_of_int (t.latencies_n - 1) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = int_of_float (Float.ceil rank) in
+      if lo = hi then sorted.(lo)
+      else begin
+        let frac = rank -. float_of_int lo in
+        (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+      end
+    in
+    (at 0.5, at 0.95, at 0.99)
+  end
+
+let stats t =
+  let elapsed = elapsed_ns t in
+  let p50, p95, p99 = latency_percentiles t in
+  let background_energy_nj = t.power.Power_params.p_background_w *. elapsed in
+  let total =
+    t.burst_energy_nj +. t.act_pre_energy_nj +. t.refresh_energy_nj
+    +. background_energy_nj
+  in
+  let avg_power_w = if elapsed > 0. then total /. elapsed else 0. in
+  let bytes = float_of_int (t.accesses * t.org.Org.line_bytes) in
+  {
+    accesses = t.accesses;
+    reads = t.reads;
+    writes = t.writes;
+    row_hits = t.row_hits;
+    row_misses = t.row_misses;
+    activations = t.activations;
+    refreshes = t.refreshes;
+    elapsed_ns = elapsed;
+    burst_energy_nj = t.burst_energy_nj;
+    act_pre_energy_nj = t.act_pre_energy_nj;
+    refresh_energy_nj = t.refresh_energy_nj;
+    background_energy_nj;
+    total_energy_nj = total;
+    avg_power_w;
+    avg_latency_ns =
+      (if t.accesses = 0 then 0. else t.latency_sum /. float_of_int t.accesses);
+    p50_latency_ns = p50;
+    p95_latency_ns = p95;
+    p99_latency_ns = p99;
+    bandwidth_gbs = (if elapsed > 0. then bytes /. elapsed else 0.);
+    row_hit_rate =
+      (if t.accesses = 0 then 0.
+       else float_of_int t.row_hits /. float_of_int t.accesses);
+  }

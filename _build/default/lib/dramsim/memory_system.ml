@@ -1,0 +1,45 @@
+module Access = Nvsc_memtrace.Access
+module Technology = Nvsc_nvram.Technology
+
+type t = { controller : Controller.t; tech : Technology.t }
+
+let create ?org ?scheme ?window ?row_policy ?scheduler ~tech () =
+  {
+    controller =
+      Controller.create ?org ?scheme ?window ?row_policy ?scheduler ~tech ();
+    tech;
+  }
+
+let access t a = Controller.submit t.controller a
+
+let stats t = Controller.stats t.controller
+
+let tech t = t.tech
+
+let run_trace ?org ?scheme ?window ?row_policy ?scheduler ~tech trace =
+  let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
+  List.iter (access t) trace;
+  stats t
+
+let compare_technologies ?org ?scheme ?window ?row_policy ?scheduler ~techs
+    ~replay () =
+  List.map
+    (fun tech ->
+      let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
+      replay (access t);
+      (tech, stats t))
+    techs
+
+let normalized_power results =
+  let base =
+    match
+      List.find_opt
+        (fun ((tech : Technology.t), _) -> tech.tech = Technology.DDR3)
+        results
+    with
+    | Some (_, s) -> s.Controller.avg_power_w
+    | None -> invalid_arg "Memory_system.normalized_power: no DDR3 baseline"
+  in
+  List.map
+    (fun (tech, (s : Controller.stats)) -> (tech, s.avg_power_w /. base))
+    results

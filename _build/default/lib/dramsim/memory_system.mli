@@ -1,0 +1,53 @@
+(** Memory-system front end (the DRAMSim2 "memory system" module): accepts
+    a main-memory trace — produced by the cache hierarchy — and reports
+    simulated power for a chosen memory technology. *)
+
+type t
+
+val create :
+  ?org:Org.t ->
+  ?scheme:Address_mapping.scheme ->
+  ?window:int ->
+  ?row_policy:Controller.row_policy ->
+  ?scheduler:Controller.scheduler ->
+  tech:Nvsc_nvram.Technology.t ->
+  unit ->
+  t
+
+val access : t -> Nvsc_memtrace.Access.t -> unit
+(** Feed one trace record. *)
+
+val stats : t -> Controller.stats
+
+val tech : t -> Nvsc_nvram.Technology.t
+
+val run_trace :
+  ?org:Org.t ->
+  ?scheme:Address_mapping.scheme ->
+  ?window:int ->
+  ?row_policy:Controller.row_policy ->
+  ?scheduler:Controller.scheduler ->
+  tech:Nvsc_nvram.Technology.t ->
+  Nvsc_memtrace.Access.t list ->
+  Controller.stats
+(** One-shot convenience: simulate a whole trace and return the stats. *)
+
+val compare_technologies :
+  ?org:Org.t ->
+  ?scheme:Address_mapping.scheme ->
+  ?window:int ->
+  ?row_policy:Controller.row_policy ->
+  ?scheduler:Controller.scheduler ->
+  techs:Nvsc_nvram.Technology.t list ->
+  replay:((Nvsc_memtrace.Access.t -> unit) -> unit) ->
+  unit ->
+  (Nvsc_nvram.Technology.t * Controller.stats) list
+(** Replay the same trace into a fresh memory system per technology —
+    the Table VI experiment.  [replay sink] must drive [sink] with the
+    identical access sequence on every call. *)
+
+val normalized_power :
+  (Nvsc_nvram.Technology.t * Controller.stats) list ->
+  (Nvsc_nvram.Technology.t * float) list
+(** Average power of each entry normalised by the DDR3 entry (which must be
+    present). *)

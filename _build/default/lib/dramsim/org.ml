@@ -1,0 +1,46 @@
+type t = {
+  ranks : int;
+  banks : int;
+  rows : int;
+  cols : int;
+  device_width_bits : int;
+  bus_width_bits : int;
+  line_bytes : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let make ?(ranks = 16) ?(banks = 16) ?(rows = 1024) ?(cols = 1024)
+    ?(device_width_bits = 4) ?(bus_width_bits = 64) ?(line_bytes = 64) () =
+  let check name v =
+    if not (is_pow2 v) then
+      invalid_arg (Printf.sprintf "Org.make: %s must be a power of two" name)
+  in
+  check "ranks" ranks;
+  check "banks" banks;
+  check "rows" rows;
+  check "cols" cols;
+  check "device_width_bits" device_width_bits;
+  check "bus_width_bits" bus_width_bits;
+  check "line_bytes" line_bytes;
+  let t =
+    { ranks; banks; rows; cols; device_width_bits; bus_width_bits; line_bytes }
+  in
+  if cols * bus_width_bits / 8 < line_bytes then
+    invalid_arg "Org.make: a row must hold at least one line";
+  t
+
+let paper = make ()
+
+let row_bytes t = t.cols * t.bus_width_bits / 8
+let lines_per_row t = row_bytes t / t.line_bytes
+
+let capacity_bytes t = t.ranks * t.banks * t.rows * row_bytes t
+
+let total_banks t = t.ranks * t.banks
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%a: %d ranks x %d banks, %dx%d rows/cols, x%d devices, %d-bit bus"
+    Nvsc_util.Units.pp_bytes (capacity_bytes t) t.ranks t.banks t.rows t.cols
+    t.device_width_bits t.bus_width_bits

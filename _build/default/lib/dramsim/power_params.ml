@@ -1,0 +1,43 @@
+module Technology = Nvsc_nvram.Technology
+
+type t = {
+  vdd : float;
+  burst_read_current_a : float;
+  burst_write_current_a : float;
+  e_act_pre_nj : float;
+  p_background_w : float;
+  e_refresh_nj : float;
+}
+
+(* DDR3 IDD4-class burst currents at the rank level; NVRAM burst currents
+   come from the paper's PCRAM figures (40 mA read / 150 mA write), reused
+   for STTRAM and MRAM as a stated upper bound. *)
+let of_tech (tech : Technology.t) ~org =
+  let ranks = float_of_int org.Org.ranks in
+  let base =
+    {
+      vdd = 1.5;
+      burst_read_current_a = 0.250;
+      burst_write_current_a = 0.255;
+      e_act_pre_nj = 10.0;
+      (* Background power of the peripheral/interface circuitry, which the
+         paper assumes identical for DRAM and NVRAM (§IV): 56.7 mW per
+         powered rank. *)
+      p_background_w = 0.0567 *. ranks;
+      e_refresh_nj = 122.0;
+    }
+  in
+  if Technology.is_nvram tech then
+    {
+      base with
+      burst_read_current_a = tech.read_current_ma /. 1000.;
+      burst_write_current_a = tech.write_current_ma /. 1000.;
+      e_refresh_nj = 0.0 (* the paper: refresh power is 0 for NVRAM *);
+    }
+  else base
+
+let burst_read_energy_nj t ~t_burst_ns =
+  t.vdd *. t.burst_read_current_a *. t_burst_ns
+
+let burst_write_energy_nj t ~t_burst_ns =
+  t.vdd *. t.burst_write_current_a *. t_burst_ns

@@ -1,0 +1,27 @@
+(** Energy/power coefficients for the memory power model (paper §IV).
+
+    The model has the four components the paper names:
+    - {b burst} energy per column read/write — [Vdd x I x t_burst] with the
+      technology's array read/write currents (PCRAM: 40 mA / 150 mA,
+      reused for STTRAM and MRAM as an upper bound; DRAM uses
+      IDD4-class burst currents);
+    - {b activation/precharge} energy per row activation — peripheral
+      circuitry, identical across technologies;
+    - {b background} power — constant standby power of the interface and
+      peripheral circuitry, identical across technologies;
+    - {b refresh} energy per refresh operation per rank — zero for
+      NVRAM. *)
+
+type t = {
+  vdd : float;
+  burst_read_current_a : float;
+  burst_write_current_a : float;
+  e_act_pre_nj : float;
+  p_background_w : float;
+  e_refresh_nj : float;  (** per refresh operation, per rank *)
+}
+
+val of_tech : Nvsc_nvram.Technology.t -> org:Org.t -> t
+
+val burst_read_energy_nj : t -> t_burst_ns:float -> float
+val burst_write_energy_nj : t -> t_burst_ns:float -> float

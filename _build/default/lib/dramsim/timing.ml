@@ -1,0 +1,35 @@
+module Technology = Nvsc_nvram.Technology
+
+type t = {
+  t_cas_ns : float;
+  t_rcd_ns : float;
+  t_rp_ns : float;
+  t_wr_ns : float;
+  t_burst_ns : float;
+  t_refi_ns : float;
+  t_rfc_ns : float;
+}
+
+(* 1600 MT/s double-data-rate bus: one beat every 0.625 ns. *)
+let beat_ns = 0.625
+
+let of_tech (tech : Technology.t) ~org =
+  let beats = org.Org.line_bytes / (org.Org.bus_width_bits / 8) in
+  {
+    t_cas_ns = 5.0;
+    t_rcd_ns = tech.read_latency_ns;
+    t_rp_ns = 5.0;
+    t_wr_ns = tech.write_latency_ns;
+    t_burst_ns = float_of_int beats *. beat_ns;
+    t_refi_ns = 7800.0;
+    t_rfc_ns = 160.0;
+  }
+
+let row_miss_penalty_ns t ~had_open_row =
+  (if had_open_row then t.t_rp_ns else 0.) +. t.t_rcd_ns
+
+let pp fmt t =
+  Format.fprintf fmt
+    "tCAS=%.1f tRCD=%.1f tRP=%.1f tWR=%.1f tBURST=%.2f tREFI=%.0f tRFC=%.0f (ns)"
+    t.t_cas_ns t.t_rcd_ns t.t_rp_ns t.t_wr_ns t.t_burst_ns t.t_refi_ns
+    t.t_rfc_ns

@@ -1,0 +1,27 @@
+(** Device timing parameters, derived per memory technology.
+
+    Following the paper's §IV assumptions, the peripheral circuitry (row
+    buffers, decoders, DIMM interface) is identical across technologies, so
+    column access, precharge and bus-burst times are technology-invariant.
+    What differs is the cell array: row activation costs the technology's
+    read latency (fetching cells into the row buffer) and write recovery
+    costs its write latency (committing data back into cells). *)
+
+type t = {
+  t_cas_ns : float;  (** column access out of the row buffer (peripheral) *)
+  t_rcd_ns : float;  (** activation: cell-array read = tech read latency *)
+  t_rp_ns : float;  (** precharge (peripheral) *)
+  t_wr_ns : float;  (** write recovery into cells = tech write latency *)
+  t_burst_ns : float;  (** one line on the data bus *)
+  t_refi_ns : float;  (** mean refresh interval per rank (DRAM only) *)
+  t_rfc_ns : float;  (** refresh cycle duration *)
+}
+
+val of_tech : Nvsc_nvram.Technology.t -> org:Org.t -> t
+(** Burst time follows from the organisation's bus width at 1600 MT/s. *)
+
+val row_miss_penalty_ns : t -> had_open_row:bool -> float
+(** Time added before column access when the wrong (or no) row is open:
+    [t_rp] (if a row must first be closed) + [t_rcd]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/memtrace/access.mli: Format

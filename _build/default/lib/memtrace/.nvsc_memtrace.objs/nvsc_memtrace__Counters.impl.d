@@ -1,0 +1,1 @@
+lib/memtrace/counters.ml: Access Array Hashtbl List Stdlib

@@ -1,0 +1,1 @@
+lib/memtrace/counters.mli: Access

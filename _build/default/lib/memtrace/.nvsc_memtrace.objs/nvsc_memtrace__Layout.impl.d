@@ -1,0 +1,1 @@
+lib/memtrace/layout.ml: Format

@@ -1,0 +1,1 @@
+lib/memtrace/layout.mli: Format

@@ -1,0 +1,1 @@
+lib/memtrace/mem_object.ml: Format Layout Stdlib

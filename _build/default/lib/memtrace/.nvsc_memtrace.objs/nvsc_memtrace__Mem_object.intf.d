@@ -1,0 +1,1 @@
+lib/memtrace/mem_object.mli: Format Layout

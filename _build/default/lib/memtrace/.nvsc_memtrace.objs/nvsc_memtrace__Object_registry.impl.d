@@ -1,0 +1,1 @@
+lib/memtrace/object_registry.ml: Array Hashtbl Layout List Mem_object Stdlib

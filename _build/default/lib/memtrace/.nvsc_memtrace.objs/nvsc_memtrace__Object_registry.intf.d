@@ -1,0 +1,1 @@
+lib/memtrace/object_registry.mli: Mem_object

@@ -1,0 +1,1 @@
+lib/memtrace/sampler.mli: Access

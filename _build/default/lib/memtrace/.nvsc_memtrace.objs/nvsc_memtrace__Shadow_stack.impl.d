@@ -1,0 +1,1 @@
+lib/memtrace/shadow_stack.ml: Layout

@@ -1,0 +1,1 @@
+lib/memtrace/trace_buffer.ml: Access Array

@@ -1,0 +1,1 @@
+lib/memtrace/trace_file.ml: Access Fun List Printf String Trace_log

@@ -1,0 +1,1 @@
+lib/memtrace/trace_file.mli: Access Trace_log

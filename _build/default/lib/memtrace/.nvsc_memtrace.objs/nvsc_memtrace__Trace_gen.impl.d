@@ -1,0 +1,1 @@
+lib/memtrace/trace_gen.ml: Access Array List Nvsc_util

@@ -1,0 +1,16 @@
+type op = Read | Write
+
+type t = { addr : int; size : int; op : op }
+
+let read ~addr ~size = { addr; size; op = Read }
+let write ~addr ~size = { addr; size; op = Write }
+
+let is_read t = t.op = Read
+let is_write t = t.op = Write
+
+let last_byte t = t.addr + t.size - 1
+
+let pp fmt t =
+  Format.fprintf fmt "%c 0x%x+%d"
+    (match t.op with Read -> 'R' | Write -> 'W')
+    t.addr t.size

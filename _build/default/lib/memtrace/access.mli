@@ -1,0 +1,23 @@
+(** Memory-reference records.
+
+    An access is what PIN hands NV-SCAVENGER per instrumented instruction:
+    an effective address, a size in bytes, and whether it was a load or a
+    store.  Addresses here are synthetic (assigned by {!Layout} /
+    {!Nvsc_appkit}) but behave exactly like virtual addresses for every
+    consumer: object attribution, cache simulation and the memory-system
+    simulators. *)
+
+type op = Read | Write
+
+type t = { addr : int; size : int; op : op }
+
+val read : addr:int -> size:int -> t
+val write : addr:int -> size:int -> t
+
+val is_read : t -> bool
+val is_write : t -> bool
+
+val last_byte : t -> int
+(** Address of the final byte touched, [addr + size - 1]. *)
+
+val pp : Format.formatter -> t -> unit

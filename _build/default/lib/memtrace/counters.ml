@@ -1,0 +1,108 @@
+type per_object = {
+  mutable reads : int array; (* indexed by iteration *)
+  mutable writes : int array;
+  mutable total_reads : int;
+  mutable total_writes : int;
+}
+
+type t = {
+  objects : (int, per_object) Hashtbl.t;
+  mutable iter : int;
+  mutable max_iter : int;
+  mutable grand_total : int;
+}
+
+let create () =
+  { objects = Hashtbl.create 256; iter = 0; max_iter = 0; grand_total = 0 }
+
+let set_iteration t i =
+  if i < 0 then invalid_arg "Counters.set_iteration: negative iteration";
+  t.iter <- i;
+  if i > t.max_iter then t.max_iter <- i
+
+let iteration t = t.iter
+
+let ensure_capacity po iter =
+  let cap = Array.length po.reads in
+  if iter >= cap then begin
+    let cap' = Stdlib.max (iter + 1) (2 * cap) in
+    let grow a =
+      let a' = Array.make cap' 0 in
+      Array.blit a 0 a' 0 cap;
+      a'
+    in
+    po.reads <- grow po.reads;
+    po.writes <- grow po.writes
+  end
+
+let get_or_create t obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | Some po -> po
+  | None ->
+    let po =
+      { reads = Array.make 4 0; writes = Array.make 4 0;
+        total_reads = 0; total_writes = 0 }
+    in
+    Hashtbl.add t.objects obj_id po;
+    po
+
+let record_n t ~obj_id ~op ~n =
+  if n < 0 then invalid_arg "Counters.record_n: negative count";
+  if n > 0 then begin
+    let po = get_or_create t obj_id in
+    ensure_capacity po t.iter;
+    (match op with
+    | Access.Read ->
+      po.reads.(t.iter) <- po.reads.(t.iter) + n;
+      po.total_reads <- po.total_reads + n
+    | Access.Write ->
+      po.writes.(t.iter) <- po.writes.(t.iter) + n;
+      po.total_writes <- po.total_writes + n);
+    t.grand_total <- t.grand_total + n
+  end
+
+let record t ~obj_id ~op = record_n t ~obj_id ~op ~n:1
+
+let count_at a iter = if iter < Array.length a then a.(iter) else 0
+
+let reads t ~obj_id ~iter =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> 0
+  | Some po -> count_at po.reads iter
+
+let writes t ~obj_id ~iter =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> 0
+  | Some po -> count_at po.writes iter
+
+let total_reads t ~obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> 0
+  | Some po -> po.total_reads
+
+let total_writes t ~obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> 0
+  | Some po -> po.total_writes
+
+let grand_total t = t.grand_total
+
+let iterations_touched t ~obj_id =
+  match Hashtbl.find_opt t.objects obj_id with
+  | None -> []
+  | Some po ->
+    let acc = ref [] in
+    for i = Array.length po.reads - 1 downto 0 do
+      if count_at po.reads i > 0 || count_at po.writes i > 0 then
+        acc := i :: !acc
+    done;
+    !acc
+
+let touched_in_main_loop t ~obj_id =
+  List.exists (fun i -> i >= 1) (iterations_touched t ~obj_id)
+
+let max_iteration t = t.max_iter
+
+let tracked_objects t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects []
+  |> List.sort compare

@@ -1,0 +1,25 @@
+type kind = Global | Heap | Stack
+
+let kind_to_string = function
+  | Global -> "global"
+  | Heap -> "heap"
+  | Stack -> "stack"
+
+let pp_kind fmt k = Format.pp_print_string fmt (kind_to_string k)
+
+let global_base = 0x0800_0000
+let global_limit = 0x4000_0000
+
+let heap_base = 0x4000_0000
+let heap_limit = 0x7000_0000
+
+let stack_limit = 0x7000_0000
+let stack_top = 0x7fff_0000
+
+let classify addr =
+  if addr >= global_base && addr < global_limit then Some Global
+  else if addr >= heap_base && addr < heap_limit then Some Heap
+  else if addr > stack_limit && addr <= stack_top then Some Stack
+  else None
+
+let word = 8

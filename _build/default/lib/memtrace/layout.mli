@@ -1,0 +1,35 @@
+(** Synthetic virtual-address-space layout.
+
+    Mirrors the classic Unix process layout the paper's tool assumes: global
+    data low, heap above it growing up, stack high growing down.  Region
+    classification of a raw address is a range test, exactly as
+    NV-SCAVENGER classifies references against the stack pointer and the
+    known segment bounds. *)
+
+type kind = Global | Heap | Stack
+
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string
+
+val global_base : int
+(** Base of the global data segment. *)
+
+val global_limit : int
+(** Exclusive upper bound of the global segment. *)
+
+val heap_base : int
+val heap_limit : int
+
+val stack_top : int
+(** Highest stack address; the stack grows downward from here. *)
+
+val stack_limit : int
+(** Lowest address the stack may reach (exclusive lower bound). *)
+
+val classify : int -> kind option
+(** [classify addr] returns the region containing [addr], or [None] for an
+    unmapped address. *)
+
+val word : int
+(** Natural word size in bytes (8, matching the x86-64 doubles the target
+    applications traffic in). *)

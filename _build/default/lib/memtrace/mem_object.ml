@@ -1,0 +1,48 @@
+type phase = Pre | Main of int | Post
+
+type t = {
+  id : int;
+  name : string;
+  kind : Layout.kind;
+  base : int;
+  size : int;
+  signature : string;
+  callstack : string list;
+  alloc_phase : phase;
+  mutable live : bool;
+}
+
+let make ~id ~name ~kind ~base ~size ?signature ?(callstack = [])
+    ?(alloc_phase = Pre) () =
+  if size <= 0 then invalid_arg "Mem_object.make: size must be positive";
+  let signature = match signature with Some s -> s | None -> name in
+  { id; name; kind; base; size; signature; callstack; alloc_phase; live = true }
+
+let contains t addr = addr >= t.base && addr < t.base + t.size
+
+let overlaps t ~base ~size = base < t.base + t.size && t.base < base + size
+
+let last_byte t = t.base + t.size - 1
+
+let merge_overlapping a b ~id =
+  if a.kind <> Layout.Global || b.kind <> Layout.Global then
+    invalid_arg "Mem_object.merge_overlapping: only global objects merge";
+  let base = Stdlib.min a.base b.base in
+  let stop = Stdlib.max (a.base + a.size) (b.base + b.size) in
+  let name = a.name ^ "+" ^ b.name in
+  {
+    id;
+    name;
+    kind = Layout.Global;
+    base;
+    size = stop - base;
+    signature = name;
+    callstack = [];
+    alloc_phase = a.alloc_phase;
+    live = true;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "#%d %s %a [0x%x,+%d)%s" t.id t.name Layout.pp_kind
+    t.kind t.base t.size
+    (if t.live then "" else " (dead)")

@@ -1,0 +1,53 @@
+(** Application memory objects: the unit of NVRAM-placement analysis.
+
+    A memory object is a named, contiguous address range in one of the
+    three regions — a global symbol (or merged Fortran common block), a
+    heap allocation identified by its allocation-site signature, or a
+    routine's stack frame.  The paper analyses access patterns at exactly
+    this granularity (§III). *)
+
+type phase = Pre | Main of int | Post
+
+type t = {
+  id : int;
+  name : string;  (** symbol, routine, or allocation-site label *)
+  kind : Layout.kind;
+  base : int;
+  size : int;  (** bytes *)
+  signature : string;
+      (** identity key: for heap objects the callsite + size + callstack
+          (paper §III-B); for globals the symbol name; for stack frames the
+          routine's starting address rendered as its name. *)
+  callstack : string list;  (** outermost first; empty for globals *)
+  alloc_phase : phase;
+  mutable live : bool;
+}
+
+val make :
+  id:int ->
+  name:string ->
+  kind:Layout.kind ->
+  base:int ->
+  size:int ->
+  ?signature:string ->
+  ?callstack:string list ->
+  ?alloc_phase:phase ->
+  unit ->
+  t
+(** [signature] defaults to [name]; [alloc_phase] defaults to [Pre]. *)
+
+val contains : t -> int -> bool
+(** [contains t addr] is true when [addr] falls in [\[base, base+size)]. *)
+
+val overlaps : t -> base:int -> size:int -> bool
+(** Ranges intersect. *)
+
+val last_byte : t -> int
+
+val merge_overlapping : t -> t -> id:int -> t
+(** [merge_overlapping a b ~id] is the union object the paper builds for
+    Fortran common blocks viewed under different names: its range is the
+    convex hull of both ranges and its name combines both names.  Requires
+    both objects to be [Global]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+type t = {
+  period : int;
+  sample_length : int;
+  sink : Access.t -> unit;
+  mutable position : int;
+  mutable seen : int;
+  mutable forwarded : int;
+}
+
+let create ~period ~sample_length ~sink =
+  if period <= 0 || sample_length <= 0 || sample_length > period then
+    invalid_arg "Sampler.create: need 0 < sample_length <= period";
+  { period; sample_length; sink; position = 0; seen = 0; forwarded = 0 }
+
+let push t access =
+  t.seen <- t.seen + 1;
+  if t.position < t.sample_length then begin
+    t.forwarded <- t.forwarded + 1;
+    t.sink access
+  end;
+  t.position <- (t.position + 1) mod t.period
+
+let seen t = t.seen
+let forwarded t = t.forwarded
+let dropped t = t.seen - t.forwarded
+
+let sampling_ratio t =
+  if t.seen = 0 then 0. else float_of_int t.forwarded /. float_of_int t.seen

@@ -1,0 +1,31 @@
+(** Periodic reference sampling — the optimisation the paper *rejects*.
+
+    §III-D: "sampling is not applicable to our case study, because we
+    intend to establish a memory access panorama for all memory objects.
+    Sampling can lead to the loss of access information for many memory
+    objects, which in turn causes improper data placement."
+
+    This module implements the rejected design (SimPoint-style periodic
+    windows) so the claim can be measured: run the same application with
+    and without sampling and compare how many memory objects are observed
+    and how far their read/write ratios drift.  See the
+    [sampling-ablation] test and bench. *)
+
+type t
+
+val create :
+  period:int -> sample_length:int -> sink:(Access.t -> unit) -> t
+(** Out of every [period] references, the first [sample_length] are
+    forwarded to [sink] and the rest dropped.  Requires
+    [0 < sample_length <= period]. *)
+
+val push : t -> Access.t -> unit
+
+val seen : t -> int
+(** Total references pushed. *)
+
+val forwarded : t -> int
+val dropped : t -> int
+
+val sampling_ratio : t -> float
+(** [forwarded / seen]; 0 when idle. *)

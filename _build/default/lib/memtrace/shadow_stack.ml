@@ -1,0 +1,56 @@
+type frame = {
+  routine : string;
+  routine_addr : int;
+  base_sp : int;
+  frame_size : int;
+}
+
+type t = {
+  top : int;
+  mutable sp : int;
+  mutable min_sp : int;
+  mutable frames : frame list; (* innermost first *)
+  mutable depth : int;
+}
+
+let create ?top () =
+  let top = match top with Some t -> t | None -> Layout.stack_top in
+  { top; sp = top; min_sp = top; frames = []; depth = 0 }
+
+let sp t = t.sp
+let max_extent t = t.min_sp
+let depth t = t.depth
+
+let push t ~routine ~routine_addr ~frame_size =
+  if frame_size < 0 then invalid_arg "Shadow_stack.push: negative frame size";
+  let frame = { routine; routine_addr; base_sp = t.sp; frame_size } in
+  t.sp <- t.sp - frame_size;
+  if t.sp < t.min_sp then t.min_sp <- t.sp;
+  if t.sp <= Layout.stack_limit then failwith "Shadow_stack: stack overflow";
+  t.frames <- frame :: t.frames;
+  t.depth <- t.depth + 1;
+  frame
+
+let pop t =
+  match t.frames with
+  | [] -> invalid_arg "Shadow_stack.pop: empty stack"
+  | frame :: rest ->
+    t.sp <- frame.base_sp;
+    t.frames <- rest;
+    t.depth <- t.depth - 1
+
+let current t = match t.frames with [] -> None | f :: _ -> Some f
+
+let frames t = t.frames
+
+let frame_contains frame addr =
+  addr >= frame.base_sp - frame.frame_size && addr < frame.base_sp
+
+let attribute t addr =
+  let rec walk = function
+    | [] -> None
+    | f :: rest -> if frame_contains f addr then Some f else walk rest
+  in
+  walk t.frames
+
+let in_stack t addr = addr >= t.min_sp && addr <= t.top

@@ -1,0 +1,50 @@
+(** Shadow call stack for stack-frame attribution (paper §III-A).
+
+    The slow stack method instruments every call and return, maintains a
+    shadow stack of frames with their base stack pointers, and attributes
+    each stack reference to the frame whose range contains it — including
+    references made by a callee into a caller's frame, which are charged to
+    the caller (the routine that actually allocated the data). *)
+
+type frame = {
+  routine : string;
+  routine_addr : int;  (** starting address used as the routine signature *)
+  base_sp : int;  (** stack pointer on entry (frame occupies below this) *)
+  frame_size : int;
+}
+
+type t
+
+val create : ?top:int -> unit -> t
+(** [top] defaults to {!Layout.stack_top}. *)
+
+val sp : t -> int
+(** Current stack pointer. *)
+
+val max_extent : t -> int
+(** Lowest stack-pointer value observed so far (deepest stack growth); the
+    fast method counts an address as a stack reference when it lies between
+    this and {!Layout.stack_top}. *)
+
+val depth : t -> int
+
+val push : t -> routine:string -> routine_addr:int -> frame_size:int -> frame
+(** Enter a routine: the stack pointer drops by [frame_size] and the new
+    frame spans [\[sp_after, sp_before)]. *)
+
+val pop : t -> unit
+(** Leave the current routine.  Raises [Invalid_argument] on an empty
+    stack. *)
+
+val current : t -> frame option
+
+val frames : t -> frame list
+(** Innermost first. *)
+
+val attribute : t -> int -> frame option
+(** Attribute a stack address to the live frame containing it, walking from
+    the innermost frame outwards; [None] if the address is not covered by
+    any live frame (e.g. a popped region). *)
+
+val in_stack : t -> int -> bool
+(** The fast method's range test: [max_extent <= addr <= top]. *)

@@ -1,0 +1,30 @@
+type t = {
+  buf : Access.t array;
+  mutable len : int;
+  flush_fn : Access.t array -> int -> unit;
+  mutable pushed : int;
+  mutable flushes : int;
+}
+
+let dummy = Access.read ~addr:0 ~size:1
+
+let create ?(capacity = 65536) ~flush () =
+  if capacity <= 0 then invalid_arg "Trace_buffer.create: capacity";
+  { buf = Array.make capacity dummy; len = 0; flush_fn = flush;
+    pushed = 0; flushes = 0 }
+
+let flush t =
+  if t.len > 0 then begin
+    t.flush_fn t.buf t.len;
+    t.flushes <- t.flushes + 1;
+    t.len <- 0
+  end
+
+let push t access =
+  t.buf.(t.len) <- access;
+  t.len <- t.len + 1;
+  t.pushed <- t.pushed + 1;
+  if t.len = Array.length t.buf then flush t
+
+let pushed t = t.pushed
+let flushes t = t.flushes

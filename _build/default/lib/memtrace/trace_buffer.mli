@@ -1,0 +1,28 @@
+(** Batched reference processing (paper §III-D).
+
+    NV-SCAVENGER places raw references in a memory buffer and processes the
+    whole buffer at once when it fills, amortising per-access bookkeeping
+    and keeping the analysis out of the traced program's cache-hot path.
+    The same structure is used here between the instrumented applications
+    and the analysis sinks. *)
+
+type t
+
+val create : ?capacity:int -> flush:(Access.t array -> int -> unit) -> unit -> t
+(** [flush batch n] receives the buffer array and the number of valid
+    entries; it must not retain the array.  [capacity] defaults to
+    65536. *)
+
+val push : t -> Access.t -> unit
+(** Append a reference; triggers a flush when the buffer fills. *)
+
+val flush : t -> unit
+(** Force processing of any buffered references (call at iteration
+    boundaries so per-iteration counters are exact). *)
+
+val pushed : t -> int
+(** Total references pushed so far. *)
+
+val flushes : t -> int
+(** Number of flush callbacks performed (including forced ones that had
+    data). *)

@@ -1,0 +1,62 @@
+module Rng = Nvsc_util.Rng
+
+let sequential ?(start = 0) ?(line_bytes = 64) ~n () =
+  List.init n (fun i -> Access.read ~addr:((start + i) * line_bytes) ~size:line_bytes)
+
+let strided ?(start = 0) ?(line_bytes = 64) ~stride_lines ~n () =
+  if stride_lines <= 0 then invalid_arg "Trace_gen.strided: stride";
+  List.init n (fun i ->
+      Access.read ~addr:((start + (i * stride_lines)) * line_bytes) ~size:line_bytes)
+
+let op_of rng write_fraction addr =
+  if Rng.bernoulli rng write_fraction then Access.write ~addr ~size:64
+  else Access.read ~addr ~size:64
+
+let hot_cold ~seed ~hot_fraction ~hot_lines ~cold_lines ~write_fraction ~n ()
+    =
+  if hot_lines <= 0 || cold_lines <= 0 then invalid_arg "Trace_gen.hot_cold";
+  let rng = Rng.of_int seed in
+  List.init n (fun _ ->
+      let line =
+        if Rng.bernoulli rng hot_fraction then Rng.int rng hot_lines
+        else hot_lines + Rng.int rng cold_lines
+      in
+      op_of rng write_fraction (line * 64))
+
+let zipf ~seed ?(exponent = 1.0) ~lines ~write_fraction ~n () =
+  if lines <= 0 then invalid_arg "Trace_gen.zipf";
+  let rng = Rng.of_int seed in
+  (* cumulative harmonic weights for inverse-CDF sampling *)
+  let cum = Array.make lines 0. in
+  let acc = ref 0. in
+  for i = 0 to lines - 1 do
+    acc := !acc +. (1. /. (float_of_int (i + 1) ** exponent));
+    cum.(i) <- !acc
+  done;
+  let total = !acc in
+  let sample () =
+    let u = Rng.float rng total in
+    (* binary search for the first cumulative weight >= u *)
+    let lo = ref 0 and hi = ref (lines - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < u then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  List.init n (fun _ -> op_of rng write_fraction (sample () * 64))
+
+let interleave streams =
+  let rec go acc streams =
+    let heads, tails =
+      List.fold_right
+        (fun stream (hs, ts) ->
+          match stream with
+          | [] -> (hs, ts)
+          | x :: rest -> (x :: hs, rest :: ts))
+        streams ([], [])
+    in
+    if heads = [] then List.rev acc
+    else go (List.rev_append heads acc) tails
+  in
+  go [] streams

@@ -1,0 +1,59 @@
+type t = {
+  mutable addrs : int array;
+  (* size and op packed: positive size = read, negative = write *)
+  mutable ops : int array;
+  mutable len : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let create ?(initial_capacity = 4096) () =
+  if initial_capacity <= 0 then invalid_arg "Trace_log.create";
+  {
+    addrs = Array.make initial_capacity 0;
+    ops = Array.make initial_capacity 0;
+    len = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let grow t =
+  let cap = Array.length t.addrs in
+  let cap' = 2 * cap in
+  let addrs = Array.make cap' 0 in
+  let ops = Array.make cap' 0 in
+  Array.blit t.addrs 0 addrs 0 cap;
+  Array.blit t.ops 0 ops 0 cap;
+  t.addrs <- addrs;
+  t.ops <- ops
+
+let record t (a : Access.t) =
+  if t.len = Array.length t.addrs then grow t;
+  t.addrs.(t.len) <- a.addr;
+  (t.ops.(t.len) <-
+     (match a.op with Access.Read -> a.size | Access.Write -> -a.size));
+  t.len <- t.len + 1;
+  match a.op with
+  | Access.Read -> t.reads <- t.reads + 1
+  | Access.Write -> t.writes <- t.writes + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace_log.get";
+  let packed = t.ops.(i) in
+  if packed > 0 then Access.read ~addr:t.addrs.(i) ~size:packed
+  else Access.write ~addr:t.addrs.(i) ~size:(-packed)
+
+let replay t f =
+  for i = 0 to t.len - 1 do
+    f (get t i)
+  done
+
+let reads t = t.reads
+let writes t = t.writes
+
+let clear t =
+  t.len <- 0;
+  t.reads <- 0;
+  t.writes <- 0

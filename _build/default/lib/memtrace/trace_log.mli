@@ -1,0 +1,26 @@
+(** In-memory recording of an access stream for later replay.
+
+    Table VI replays one cache-filtered main-memory trace into a fresh
+    memory-system simulation per technology; this compact log (two int
+    arrays, no per-record allocation) is the carrier.  NV-SCAVENGER itself
+    computes statistics on the fly and never stores raw traces (§III-D) —
+    the log exists for the *simulator* hand-off, mirroring the paper's
+    "trace files" between the tool and DRAMSim2. *)
+
+type t
+
+val create : ?initial_capacity:int -> unit -> t
+
+val record : t -> Access.t -> unit
+
+val length : t -> int
+
+val get : t -> int -> Access.t
+
+val replay : t -> (Access.t -> unit) -> unit
+(** Deliver every recorded access, in order. *)
+
+val reads : t -> int
+val writes : t -> int
+
+val clear : t -> unit

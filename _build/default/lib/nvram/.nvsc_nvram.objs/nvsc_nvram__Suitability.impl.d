@@ -1,0 +1,1 @@
+lib/nvram/suitability.ml: Format Nvsc_util Printf Technology

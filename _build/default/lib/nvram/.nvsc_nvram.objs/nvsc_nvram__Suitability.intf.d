@@ -1,0 +1,1 @@
+lib/nvram/suitability.mli: Format Technology

@@ -1,0 +1,1 @@
+lib/nvram/technology.ml: Format List String

@@ -1,0 +1,1 @@
+lib/nvram/wear_leveling.mli:

@@ -1,0 +1,61 @@
+type t = {
+  tech : Technology.t;
+  wear : int array;
+  mutable total : int;
+  mutable max_wear : int;
+}
+
+let create ~tech ~lines =
+  if lines <= 0 then invalid_arg "Endurance.create: lines must be positive";
+  { tech; wear = Array.make lines 0; total = 0; max_wear = 0 }
+
+let record_writes t ~line ~n =
+  if line < 0 || line >= Array.length t.wear then
+    invalid_arg "Endurance.record_writes: line out of range";
+  if n < 0 then invalid_arg "Endurance.record_writes: negative count";
+  t.wear.(line) <- t.wear.(line) + n;
+  t.total <- t.total + n;
+  if t.wear.(line) > t.max_wear then t.max_wear <- t.wear.(line)
+
+let record_write t ~line = record_writes t ~line ~n:1
+
+let writes_to t ~line =
+  if line < 0 || line >= Array.length t.wear then
+    invalid_arg "Endurance.writes_to: line out of range";
+  t.wear.(line)
+
+let total_writes t = t.total
+let max_wear t = t.max_wear
+
+let wear_imbalance t =
+  if t.total = 0 then 0.
+  else begin
+    let mean = float_of_int t.total /. float_of_int (Array.length t.wear) in
+    float_of_int t.max_wear /. mean
+  end
+
+let worn_out_lines t =
+  let limit = t.tech.Technology.write_endurance in
+  Array.fold_left
+    (fun acc w -> if float_of_int w > limit then acc + 1 else acc)
+    0 t.wear
+
+let lifetime_seconds t ~write_rate_per_s ~wear_levelled =
+  if write_rate_per_s <= 0. then infinity
+  else begin
+    let endurance = t.tech.Technology.write_endurance in
+    let lines = float_of_int (Array.length t.wear) in
+    if wear_levelled then endurance *. lines /. write_rate_per_s
+    else begin
+      (* Without levelling the hottest line fails first: scale by the
+         observed share of traffic it absorbs (uniform if no history). *)
+      let hot_share =
+        if t.total = 0 then 1. /. lines
+        else float_of_int t.max_wear /. float_of_int t.total
+      in
+      endurance /. (write_rate_per_s *. hot_share)
+    end
+  end
+
+let lifetime_years t ~write_rate_per_s ~wear_levelled =
+  lifetime_seconds t ~write_rate_per_s ~wear_levelled /. (365.25 *. 86400.)

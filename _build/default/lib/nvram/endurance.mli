@@ -1,0 +1,41 @@
+(** Write-endurance accounting.
+
+    The paper's third NVRAM limitation (§II) is bounded write endurance:
+    PCRAM cells survive ~10^8–10^9.7 writes versus DRAM's 10^16.  This
+    module tracks per-line write wear for a device region and estimates
+    device lifetime under an observed write rate, with and without ideal
+    wear-levelling. *)
+
+type t
+
+val create : tech:Technology.t -> lines:int -> t
+(** Track [lines] equally-sized wear units of the given technology. *)
+
+val record_write : t -> line:int -> unit
+(** Wear one unit.  Out-of-range lines are rejected. *)
+
+val record_writes : t -> line:int -> n:int -> unit
+
+val writes_to : t -> line:int -> int
+val total_writes : t -> int
+
+val max_wear : t -> int
+(** Highest per-line write count. *)
+
+val wear_imbalance : t -> float
+(** [max wear / mean wear]; 1.0 is perfectly even, large values mean a few
+    hot lines will fail early.  0 when nothing was written. *)
+
+val worn_out_lines : t -> int
+(** Lines whose write count already exceeds the technology's endurance. *)
+
+val lifetime_seconds : t -> write_rate_per_s:float -> wear_levelled:bool -> float
+(** Estimated time to first cell failure given a sustained aggregate write
+    rate (writes/second spread over the device).
+
+    With [wear_levelled] the whole device absorbs
+    [endurance * lines] writes before failure; without it, failure happens
+    when the currently hottest line (by observed distribution) reaches the
+    endurance limit.  [infinity] when the write rate is 0. *)
+
+val lifetime_years : t -> write_rate_per_s:float -> wear_levelled:bool -> float

@@ -1,0 +1,77 @@
+type metrics = {
+  reads : int;
+  writes : int;
+  size_bytes : int;
+  ref_rate : float;
+}
+
+let read_write_ratio m = Nvsc_util.Stats.ratio m.reads m.writes
+
+let is_read_only m = m.reads > 0 && m.writes = 0
+
+type thresholds = {
+  friendly_rw_ratio : float;
+  candidate_rw_ratio : float;
+  hot_write_rate : float;
+  min_size_bytes : int;
+}
+
+(* hot_write_rate: an object with read/write ratio 50 has at most 1/51 ~
+   0.0196 of its traffic as writes, so the guard must sit below that to be
+   able to reject the paper's corner case — a high-ratio object that still
+   carries a large absolute write flux. *)
+let default_thresholds =
+  {
+    friendly_rw_ratio = 50.;
+    candidate_rw_ratio = 10.;
+    hot_write_rate = 0.015;
+    min_size_bytes = 4096;
+  }
+
+type verdict = Nvram_friendly | Nvram_candidate | Dram_preferred
+
+(* Absolute write flux of the object: its share of total traffic that is
+   writes. ref_rate covers reads+writes, so scale by the write fraction. *)
+let write_flux m =
+  let total = m.reads + m.writes in
+  if total = 0 then 0.
+  else m.ref_rate *. (float_of_int m.writes /. float_of_int total)
+
+let classify_with_reason th ~category m =
+  let ratio = read_write_ratio m in
+  match category with
+  | Technology.Volatile -> (Dram_preferred, "DRAM target: nothing to decide")
+  | Technology.Cat3_dram_like ->
+    if m.size_bytes >= th.min_size_bytes then
+      (Nvram_friendly, "category-3 device performs like DRAM")
+    else (Dram_preferred, "object too small to be worth placing")
+  | Technology.Cat1_long_read_write | Technology.Cat2_long_write ->
+    if m.size_bytes < th.min_size_bytes then
+      (Dram_preferred, "object too small to be worth placing")
+    else if
+      category = Technology.Cat1_long_read_write
+      && write_flux m > th.hot_write_rate
+    then
+      ( Dram_preferred,
+        Printf.sprintf
+          "write flux %.3f of traffic exceeds category-1 budget %.3f"
+          (write_flux m) th.hot_write_rate )
+    else if ratio >= th.friendly_rw_ratio then
+      (Nvram_friendly, Printf.sprintf "read/write ratio %.1f >= %.1f" ratio
+         th.friendly_rw_ratio)
+    else if ratio >= th.candidate_rw_ratio then
+      (Nvram_candidate, Printf.sprintf "read/write ratio %.1f >= %.1f" ratio
+         th.candidate_rw_ratio)
+    else
+      (Dram_preferred, Printf.sprintf "read/write ratio %.1f too low" ratio)
+
+let classify ?(thresholds = default_thresholds) ~category m =
+  fst (classify_with_reason thresholds ~category m)
+
+let explain ?(thresholds = default_thresholds) ~category m =
+  classify_with_reason thresholds ~category m
+
+let pp_verdict fmt = function
+  | Nvram_friendly -> Format.pp_print_string fmt "NVRAM-friendly"
+  | Nvram_candidate -> Format.pp_print_string fmt "NVRAM-candidate"
+  | Dram_preferred -> Format.pp_print_string fmt "DRAM-preferred"

@@ -1,0 +1,68 @@
+(** NVRAM-placement suitability on the paper's three metrics (§II):
+
+    1. {b read/write ratio} — higher means less write-intensive, favoured
+       by NVRAM and especially by category-2 devices;
+    2. {b memory size} — static power savings scale with the bytes moved
+       to NVRAM, so bigger objects matter more;
+    3. {b reference rate} — complements the ratio: an object with a high
+       read/write ratio can still carry a large {e absolute} write flux,
+       which category-1 devices cannot afford.
+
+    The classification below encodes the management policy of §II: place as
+    much data as possible in NVRAM while steering performance-critical,
+    frequently-written data away from it. *)
+
+type metrics = {
+  reads : int;
+  writes : int;
+  size_bytes : int;
+  ref_rate : float;
+      (** references to the object per main-loop iteration, normalised by
+          the iteration's total references (so it is a fraction in [0,1]
+          of the application's traffic) *)
+}
+
+val read_write_ratio : metrics -> float
+(** {!Nvsc_util.Stats.ratio} convention: [infinity] for read-only objects
+    with at least one read, [0.] for untouched ones. *)
+
+val is_read_only : metrics -> bool
+(** At least one read and zero writes. *)
+
+(** Thresholds steering the verdict; see {!default_thresholds}. *)
+type thresholds = {
+  friendly_rw_ratio : float;
+      (** ratio above which an object is NVRAM-friendly (paper highlights
+          objects with ratio > 50, and > 10 as secondary candidates) *)
+  candidate_rw_ratio : float;
+  hot_write_rate : float;
+      (** fraction of total traffic that, if carried as *writes* by one
+          object, disqualifies it from category-1 NVRAM *)
+  min_size_bytes : int;
+      (** objects smaller than this are not worth migrating *)
+}
+
+val default_thresholds : thresholds
+
+type verdict =
+  | Nvram_friendly  (** place in NVRAM outright *)
+  | Nvram_candidate
+      (** favourable ratio; worth placing on category-2 devices or under a
+          dynamic policy *)
+  | Dram_preferred  (** keep in DRAM *)
+
+val classify :
+  ?thresholds:thresholds -> category:Technology.category -> metrics -> verdict
+(** Verdict for placing the object on a device of the given category.
+    Category-1 devices additionally reject objects whose absolute write
+    flux exceeds [hot_write_rate]; category-3 devices accept anything of
+    sufficient size; [Volatile] always answers [Dram_preferred]. *)
+
+val explain :
+  ?thresholds:thresholds ->
+  category:Technology.category ->
+  metrics ->
+  verdict * string
+(** Verdict plus a one-line human-readable justification. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

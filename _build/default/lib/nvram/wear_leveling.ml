@@ -1,0 +1,140 @@
+type scheme =
+  | Start_gap of { gap_move_interval : int }
+  | Table_based of { swap_interval : int }
+
+type state =
+  | Gap of { interval : int; mutable start : int; mutable gap : int }
+  | Table of {
+      interval : int;
+      map : int array; (* logical -> physical *)
+      inverse : int array;
+      logical_writes : int array;
+    }
+
+type t = {
+  lines : int;
+  state : state;
+  wear : int array; (* physical, includes remap copies *)
+  mutable writes : int;
+  mutable remaps : int;
+}
+
+let create scheme ~lines =
+  if lines <= 0 then invalid_arg "Wear_leveling.create: lines";
+  match scheme with
+  | Start_gap { gap_move_interval } ->
+    if gap_move_interval <= 0 then
+      invalid_arg "Wear_leveling.create: gap_move_interval";
+    {
+      lines;
+      state = Gap { interval = gap_move_interval; start = 0; gap = lines };
+      (* physical space has one spare line *)
+      wear = Array.make (lines + 1) 0;
+      writes = 0;
+      remaps = 0;
+    }
+  | Table_based { swap_interval } ->
+    if swap_interval <= 0 then invalid_arg "Wear_leveling.create: swap_interval";
+    {
+      lines;
+      state =
+        Table
+          {
+            interval = swap_interval;
+            map = Array.init lines Fun.id;
+            inverse = Array.init lines Fun.id;
+            logical_writes = Array.make lines 0;
+          };
+      wear = Array.make lines 0;
+      writes = 0;
+      remaps = 0;
+    }
+
+(* Start-Gap mapping (Qureshi et al., MICRO'09): with N logical lines over
+   N+1 physical ones, logical L maps to (start + L) mod N, and the result
+   is bumped past the gap when it is >= gap.  Since the pre-bump value is
+   in [0, N-1], the bump never wraps and the mapping stays injective. *)
+let physical_of_logical t logical =
+  if logical < 0 || logical >= t.lines then
+    invalid_arg "Wear_leveling.physical_of_logical";
+  match t.state with
+  | Gap g ->
+    let p = (g.start + logical) mod t.lines in
+    if p >= g.gap then p + 1 else p
+  | Table tb -> tb.map.(logical)
+
+let move_gap t =
+  match t.state with
+  | Gap g ->
+    (* the line just below the gap moves into the gap slot *)
+    t.wear.(g.gap) <- t.wear.(g.gap) + 1;
+    t.remaps <- t.remaps + 1;
+    if g.gap = 0 then begin
+      (* a full rotation completed: reset the gap and advance start *)
+      g.gap <- t.lines;
+      g.start <- (g.start + 1) mod t.lines
+    end
+    else g.gap <- g.gap - 1
+  | Table _ -> ()
+
+let table_swap t =
+  match t.state with
+  | Gap _ -> ()
+  | Table tb ->
+    (* Swap the hottest logical line's physical frame with the coldest
+       physical frame — but only when the hot frame's wear actually
+       exceeds the cold frame's by a margin (Zhou et al.'s segment-swap
+       discipline).  Without the guard, a sequential sweep workload makes
+       the scheme chase its own tail: each window's "hottest" is the sweep
+       front, and the symmetric swap funnels every front onto one frame,
+       *amplifying* wear instead of levelling it. *)
+    let hot_l = ref 0 and cold_p = ref 0 in
+    for l = 1 to t.lines - 1 do
+      if tb.logical_writes.(l) > tb.logical_writes.(!hot_l) then hot_l := l
+    done;
+    for p = 1 to t.lines - 1 do
+      if t.wear.(p) < t.wear.(!cold_p) then cold_p := p
+    done;
+    let hot_p = tb.map.(!hot_l) in
+    let wear_gap = Stdlib.max 8 (tb.interval / 8) in
+    if hot_p <> !cold_p && t.wear.(hot_p) > t.wear.(!cold_p) + wear_gap then begin
+      let cold_l = tb.inverse.(!cold_p) in
+      tb.map.(!hot_l) <- !cold_p;
+      tb.map.(cold_l) <- hot_p;
+      tb.inverse.(!cold_p) <- !hot_l;
+      tb.inverse.(hot_p) <- cold_l;
+      (* the swap itself writes both frames *)
+      t.wear.(hot_p) <- t.wear.(hot_p) + 1;
+      t.wear.(!cold_p) <- t.wear.(!cold_p) + 1;
+      t.remaps <- t.remaps + 2
+    end;
+    Array.fill tb.logical_writes 0 t.lines 0
+
+let write t logical =
+  let p = physical_of_logical t logical in
+  t.wear.(p) <- t.wear.(p) + 1;
+  t.writes <- t.writes + 1;
+  (match t.state with
+  | Gap g ->
+    if t.writes mod g.interval = 0 then move_gap t
+  | Table tb ->
+    tb.logical_writes.(logical) <- tb.logical_writes.(logical) + 1;
+    if t.writes mod tb.interval = 0 then table_swap t);
+  p
+
+let writes t = t.writes
+let remaps t = t.remaps
+
+let extra_write_overhead t =
+  if t.writes = 0 then 0. else float_of_int t.remaps /. float_of_int t.writes
+
+let wear t = Array.copy t.wear
+
+let wear_imbalance t =
+  let total = Array.fold_left ( + ) 0 t.wear in
+  if total = 0 then 0.
+  else begin
+    let mx = Array.fold_left Stdlib.max 0 t.wear in
+    let mean = float_of_int total /. float_of_int (Array.length t.wear) in
+    float_of_int mx /. mean
+  end

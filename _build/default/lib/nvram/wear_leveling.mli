@@ -1,0 +1,51 @@
+(** Wear-levelling schemes for category-1 NVRAM.
+
+    The paper's §II requires that category-1 devices be managed "such that
+    performance and device endurance is within acceptable constraints".
+    This module provides the two classic address-remapping schemes used for
+    PCRAM main memories, so the endurance model can be driven with and
+    without levelling:
+
+    - {b Start-Gap} (Qureshi et al., MICRO'09): one spare line and two
+      registers ([start], [gap]); every [gap_move_interval] writes the gap
+      line moves by one, slowly rotating the logical-to-physical mapping
+      with near-zero metadata;
+    - {b table-based} remapping: an explicit indirection table with
+      hottest-to-coldest swaps every [swap_interval] writes, guarded by a
+      wear-gap threshold (Zhou et al.'s segment-swap discipline) so that
+      sequential sweeps do not trick the scheme into concentrating wear —
+      stronger levelling under skew at the cost of table storage and swap
+      traffic. *)
+
+type scheme = Start_gap of { gap_move_interval : int } | Table_based of { swap_interval : int }
+
+type t
+
+val create : scheme -> lines:int -> t
+(** [lines] is the number of logical lines; physical capacity is
+    [lines + 1] for Start-Gap (the spare) and [lines] for table-based. *)
+
+val physical_of_logical : t -> int -> int
+(** Current mapping.  Raises [Invalid_argument] out of range. *)
+
+val write : t -> int -> int
+(** [write t logical] records a write to [logical], returns the physical
+    line that absorbed it, and advances the scheme (gap movement or hot/cold
+    swap) when its interval elapses. *)
+
+val writes : t -> int
+val remaps : t -> int
+(** Gap movements or swaps performed so far — each costs one extra line
+    copy of device traffic. *)
+
+val extra_write_overhead : t -> float
+(** Device writes added by the scheme per application write,
+    [remaps / writes]; e.g. Start-Gap with interval 100 adds ~1 %. *)
+
+val wear : t -> int array
+(** Physical per-line write counts (including remap copies). *)
+
+val wear_imbalance : t -> float
+(** max/mean of physical wear; 0 when nothing written.  The point of the
+    module: under a skewed write stream this stays near 1 with levelling
+    and grows unboundedly without. *)

@@ -1,0 +1,1 @@
+lib/placement/checkpoint.ml: Float Format Nvsc_nvram String

@@ -1,0 +1,1 @@
+lib/placement/checkpoint.mli: Format Nvsc_nvram

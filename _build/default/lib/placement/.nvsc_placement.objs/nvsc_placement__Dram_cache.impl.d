@@ -1,0 +1,1 @@
+lib/placement/dram_cache.ml: Format Nvsc_cachesim Nvsc_memtrace Nvsc_nvram Nvsc_util

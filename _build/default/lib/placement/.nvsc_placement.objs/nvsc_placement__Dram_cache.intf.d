@@ -1,0 +1,1 @@
+lib/placement/dram_cache.mli: Format Nvsc_memtrace Nvsc_nvram

@@ -1,0 +1,1 @@
+lib/placement/dynamic_policy.ml: Hybrid_memory Item List

@@ -1,0 +1,1 @@
+lib/placement/dynamic_policy.mli: Hybrid_memory Item

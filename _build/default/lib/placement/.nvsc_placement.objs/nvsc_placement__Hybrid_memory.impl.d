@@ -1,0 +1,1 @@
+lib/placement/hybrid_memory.ml: Format Hashtbl Item List Nvsc_nvram

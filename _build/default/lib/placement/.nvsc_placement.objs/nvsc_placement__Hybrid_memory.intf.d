@@ -1,0 +1,1 @@
+lib/placement/hybrid_memory.mli: Format Item Nvsc_nvram

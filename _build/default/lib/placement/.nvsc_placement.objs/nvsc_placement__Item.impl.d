@@ -1,0 +1,1 @@
+lib/placement/item.ml: Format Nvsc_nvram Nvsc_util

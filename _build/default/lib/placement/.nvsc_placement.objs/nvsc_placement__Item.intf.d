@@ -1,0 +1,1 @@
+lib/placement/item.mli: Format Nvsc_nvram

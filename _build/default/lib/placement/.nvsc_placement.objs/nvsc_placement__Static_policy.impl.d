@@ -1,0 +1,1 @@
+lib/placement/static_policy.ml: Hybrid_memory Item List Nvsc_nvram

@@ -1,0 +1,1 @@
+lib/placement/static_policy.mli: Hybrid_memory Item Nvsc_nvram

@@ -1,0 +1,72 @@
+type epoch_stats = { item : Item.t; reads : int; writes : int }
+
+type t = {
+  hybrid : Hybrid_memory.t;
+  write_intensity_threshold : float;
+  popularity_threshold : float;
+  demote_popular_reads : bool;
+  mutable epochs : int;
+  mutable promotions : int;
+  mutable demotions : int;
+}
+
+let create ?(write_intensity_threshold = 0.3) ?(popularity_threshold = 0.02)
+    ?(demote_popular_reads = false) ~hybrid () =
+  { hybrid; write_intensity_threshold; popularity_threshold;
+    demote_popular_reads; epochs = 0; promotions = 0; demotions = 0 }
+
+let observe_epoch t stats =
+  t.epochs <- t.epochs + 1;
+  let total_refs =
+    List.fold_left (fun acc s -> acc + s.reads + s.writes) 0 stats
+  in
+  let share s =
+    if total_refs = 0 then 0.
+    else float_of_int (s.reads + s.writes) /. float_of_int total_refs
+  in
+  let write_frac s =
+    let n = s.reads + s.writes in
+    if n = 0 then 0. else float_of_int s.writes /. float_of_int n
+  in
+  (* Promote hot writers out of NVRAM first (frees NVRAM room), then
+     demote cold read-mostly data from DRAM into the freed space. *)
+  List.iter
+    (fun s ->
+      match Hybrid_memory.location t.hybrid s.item with
+      | Some Hybrid_memory.Nvram
+        when write_frac s > t.write_intensity_threshold
+             && s.reads + s.writes > 0 ->
+        if
+          Hybrid_memory.free_bytes t.hybrid Hybrid_memory.Dram
+          >= s.item.Item.size_bytes
+        then begin
+          Hybrid_memory.migrate t.hybrid s.item Hybrid_memory.Dram;
+          t.promotions <- t.promotions + 1
+        end
+      | _ -> ())
+    stats;
+  let demotable s =
+    (share s < t.popularity_threshold
+    && write_frac s <= t.write_intensity_threshold)
+    || (t.demote_popular_reads
+       && s.reads + s.writes > 0
+       && write_frac s <= 0.02)
+  in
+  List.iter
+    (fun s ->
+      match Hybrid_memory.location t.hybrid s.item with
+      | Some Hybrid_memory.Dram when demotable s ->
+        if
+          Hybrid_memory.free_bytes t.hybrid Hybrid_memory.Nvram
+          >= s.item.Item.size_bytes
+        then begin
+          Hybrid_memory.migrate t.hybrid s.item Hybrid_memory.Nvram;
+          t.demotions <- t.demotions + 1
+        end
+      | _ -> ())
+    stats
+
+let hybrid t = t.hybrid
+let epochs t = t.epochs
+let promotions t = t.promotions
+let demotions t = t.demotions

@@ -1,0 +1,46 @@
+(** Dynamic, epoch-based page/object migration in the style of Ramos,
+    Gorbatov & Bianchini's hardware-driven page placement (the paper's
+    reference \[3\], discussed in §II and §VII-C).
+
+    The memory controller is modelled as monitoring the popularity and
+    write intensity of each object per epoch (here: per main-loop
+    iteration).  At epoch boundaries, performance-critical and frequently
+    written objects are migrated to DRAM and cold, read-mostly objects to
+    NVRAM.  Migration traffic is charged so the benefit of moving
+    temporally NVRAM-friendly data (§VII-C) can be weighed against its
+    cost. *)
+
+type epoch_stats = { item : Item.t; reads : int; writes : int }
+(** One item's traffic during the epoch just ended ([item.reads]/[writes]
+    are its whole-run numbers; the epoch's own counts are here). *)
+
+type t
+
+val create :
+  ?write_intensity_threshold:float ->
+  ?popularity_threshold:float ->
+  ?demote_popular_reads:bool ->
+  hybrid:Hybrid_memory.t ->
+  unit ->
+  t
+(** [write_intensity_threshold] (default 0.3): epoch write fraction above
+    which an NVRAM-resident object is pulled back to DRAM.
+    [popularity_threshold] (default 0.02): epoch reference share below
+    which a DRAM-resident object is demoted to NVRAM.
+    [demote_popular_reads] (default false): also demote *popular* objects
+    whose epoch traffic is essentially read-only — correct for category-2
+    devices (STTRAM-class), whose reads cost the same as DRAM's; keep it
+    off for category-1 targets, where popular data hurts even when
+    read-mostly. *)
+
+val observe_epoch : t -> epoch_stats list -> unit
+(** Feed one epoch's per-object counters and perform migrations. *)
+
+val hybrid : t -> Hybrid_memory.t
+val epochs : t -> int
+
+val promotions : t -> int
+(** Migrations NVRAM -> DRAM performed so far. *)
+
+val demotions : t -> int
+(** Migrations DRAM -> NVRAM. *)

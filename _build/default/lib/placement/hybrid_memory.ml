@@ -1,0 +1,144 @@
+module Technology = Nvsc_nvram.Technology
+
+type location = Dram | Nvram
+
+type t = {
+  dram_bytes : int;
+  nvram_bytes : int;
+  tech : Technology.t;
+  placements : (int, Item.t * location) Hashtbl.t;
+  mutable dram_used : int;
+  mutable nvram_used : int;
+  mutable migrations : int;
+  mutable migrated_bytes : int;
+}
+
+let create ~dram_bytes ~nvram_bytes ~tech =
+  if dram_bytes <= 0 || nvram_bytes <= 0 then
+    invalid_arg "Hybrid_memory.create: capacities must be positive";
+  if not (Technology.is_nvram tech) then
+    invalid_arg "Hybrid_memory.create: tech must be an NVRAM technology";
+  {
+    dram_bytes;
+    nvram_bytes;
+    tech;
+    placements = Hashtbl.create 256;
+    dram_used = 0;
+    nvram_used = 0;
+    migrations = 0;
+    migrated_bytes = 0;
+  }
+
+let tech t = t.tech
+
+let capacity t = function Dram -> t.dram_bytes | Nvram -> t.nvram_bytes
+let used_bytes t = function Dram -> t.dram_used | Nvram -> t.nvram_used
+let free_bytes t loc = capacity t loc - used_bytes t loc
+
+let charge t loc bytes =
+  match loc with
+  | Dram -> t.dram_used <- t.dram_used + bytes
+  | Nvram -> t.nvram_used <- t.nvram_used + bytes
+
+let place t (item : Item.t) loc =
+  if Hashtbl.mem t.placements item.id then
+    invalid_arg "Hybrid_memory.place: item already placed";
+  if free_bytes t loc < item.size_bytes then
+    invalid_arg "Hybrid_memory.place: capacity exceeded";
+  Hashtbl.add t.placements item.id (item, loc);
+  charge t loc item.size_bytes
+
+let location t (item : Item.t) =
+  match Hashtbl.find_opt t.placements item.id with
+  | Some (_, loc) -> Some loc
+  | None -> None
+
+let migrate t (item : Item.t) loc =
+  match Hashtbl.find_opt t.placements item.id with
+  | None -> invalid_arg "Hybrid_memory.migrate: item not placed"
+  | Some (_, current) when current = loc -> ()
+  | Some (stored, current) ->
+    if free_bytes t loc < item.size_bytes then
+      invalid_arg "Hybrid_memory.migrate: capacity exceeded";
+    charge t current (-stored.Item.size_bytes);
+    charge t loc stored.size_bytes;
+    Hashtbl.replace t.placements item.id (stored, loc);
+    t.migrations <- t.migrations + 1;
+    t.migrated_bytes <- t.migrated_bytes + stored.size_bytes
+
+let items_in t loc =
+  Hashtbl.fold
+    (fun _ (item, l) acc -> if l = loc then item :: acc else acc)
+    t.placements []
+  |> List.sort (fun (a : Item.t) b -> compare a.id b.id)
+
+let migrations t = t.migrations
+let migrated_bytes t = t.migrated_bytes
+
+type assessment = {
+  nvram_fraction : float;
+  standby_saving : float;
+  write_traffic_to_nvram : float;
+  read_traffic_to_nvram : float;
+  avg_read_latency_ns : float;
+  avg_write_latency_ns : float;
+  slowdown_bound : float;
+}
+
+let assess t =
+  let dram = Technology.get Technology.DDR3 in
+  let fold f init =
+    Hashtbl.fold (fun _ (item, loc) acc -> f acc item loc) t.placements init
+  in
+  let total_bytes = fold (fun acc (i : Item.t) _ -> acc + i.size_bytes) 0 in
+  let nvram_bytes = used_bytes t Nvram in
+  let total_reads = fold (fun acc (i : Item.t) _ -> acc + i.reads) 0 in
+  let total_writes = fold (fun acc (i : Item.t) _ -> acc + i.writes) 0 in
+  let nv_reads =
+    fold (fun acc (i : Item.t) loc -> if loc = Nvram then acc + i.reads else acc) 0
+  in
+  let nv_writes =
+    fold
+      (fun acc (i : Item.t) loc -> if loc = Nvram then acc + i.writes else acc)
+      0
+  in
+  let frac num den = if den = 0 then 0. else float_of_int num /. float_of_int den in
+  let wlat =
+    ((frac (total_writes - nv_writes) total_writes *. dram.write_latency_ns)
+    +. (frac nv_writes total_writes *. t.tech.Technology.write_latency_ns))
+  in
+  let rlat =
+    ((frac (total_reads - nv_reads) total_reads *. dram.read_latency_ns)
+    +. (frac nv_reads total_reads *. t.tech.Technology.read_latency_ns))
+  in
+  let total_refs = total_reads + total_writes in
+  let dram_mean =
+    ((frac total_reads total_refs *. dram.read_latency_ns)
+    +. (frac total_writes total_refs *. dram.write_latency_ns))
+  in
+  let hybrid_mean =
+    ((frac total_reads total_refs *. rlat) +. (frac total_writes total_refs *. wlat))
+  in
+  {
+    nvram_fraction = frac nvram_bytes total_bytes;
+    (* standby power is proportional to resident capacity; the NVRAM
+       share of it drops to the technology's relative standby power *)
+    standby_saving =
+      frac nvram_bytes total_bytes
+      *. (1. -. t.tech.Technology.standby_power_rel);
+    write_traffic_to_nvram = frac nv_writes total_writes;
+    read_traffic_to_nvram = frac nv_reads total_reads;
+    avg_read_latency_ns = (if total_reads = 0 then 0. else rlat);
+    avg_write_latency_ns = (if total_writes = 0 then 0. else wlat);
+    slowdown_bound = (if dram_mean = 0. then 1. else hybrid_mean /. dram_mean);
+  }
+
+let pp_assessment fmt a =
+  Format.fprintf fmt
+    "NVRAM %.1f%% of bytes; standby saving %.1f%%; writes to NVRAM %.1f%%; \
+     reads to NVRAM %.1f%%; mean lat R %.1fns W %.1fns; slowdown bound %.2fx"
+    (100. *. a.nvram_fraction)
+    (100. *. a.standby_saving)
+    (100. *. a.write_traffic_to_nvram)
+    (100. *. a.read_traffic_to_nvram)
+    a.avg_read_latency_ns a.avg_write_latency_ns a.slowdown_bound

@@ -1,0 +1,27 @@
+type t = {
+  id : int;
+  name : string;
+  size_bytes : int;
+  reads : int;
+  writes : int;
+  ref_share : float;
+}
+
+let rw_ratio t = Nvsc_util.Stats.ratio t.reads t.writes
+
+let write_share t =
+  let total = t.reads + t.writes in
+  if total = 0 then 0.
+  else t.ref_share *. (float_of_int t.writes /. float_of_int total)
+
+let suitability t =
+  {
+    Nvsc_nvram.Suitability.reads = t.reads;
+    writes = t.writes;
+    size_bytes = t.size_bytes;
+    ref_rate = t.ref_share;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "#%d %s %a r=%d w=%d share=%.4f" t.id t.name
+    Nvsc_util.Units.pp_bytes t.size_bytes t.reads t.writes t.ref_share

@@ -1,0 +1,23 @@
+(** Placement items: the object-level summary a placement policy consumes.
+
+    Deliberately independent of the instrumentation pipeline so policies
+    can be driven from any source (our scavenger, a synthetic generator, a
+    parsed external profile). *)
+
+type t = {
+  id : int;
+  name : string;
+  size_bytes : int;
+  reads : int;  (** main-loop reads *)
+  writes : int;
+  ref_share : float;  (** fraction of total references *)
+}
+
+val rw_ratio : t -> float
+val write_share : t -> float
+(** The item's share of total traffic that is writes
+    ([ref_share * writes/(reads+writes)]). *)
+
+val suitability : t -> Nvsc_nvram.Suitability.metrics
+
+val pp : Format.formatter -> t -> unit

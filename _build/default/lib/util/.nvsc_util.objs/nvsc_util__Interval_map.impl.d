@@ -1,0 +1,1 @@
+lib/util/interval_map.ml: Array List

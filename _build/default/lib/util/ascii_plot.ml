@@ -1,0 +1,84 @@
+let glyphs = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let line ?(width = 72) ?(height = 20) ?title ?x_label ?y_label series =
+  let buf = Buffer.create 1024 in
+  (match title with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "-- %s --\n" t)
+  | None -> ());
+  let points = List.concat_map snd series in
+  if points = [] then begin
+    Buffer.add_string buf "(no data)\n";
+    Buffer.contents buf
+  end
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let fmin = List.fold_left Float.min infinity in
+    let fmax = List.fold_left Float.max neg_infinity in
+    let x0 = fmin xs and x1 = fmax xs in
+    let y0 = Float.min 0. (fmin ys) and y1 = fmax ys in
+    let x1 = if x1 = x0 then x0 +. 1. else x1 in
+    let y1 = if y1 = y0 then y0 +. 1. else y1 in
+    let grid = Array.make_matrix height width ' ' in
+    let place gi (x, y) =
+      let cx =
+        int_of_float ((x -. x0) /. (x1 -. x0) *. float_of_int (width - 1))
+      in
+      let cy =
+        int_of_float ((y -. y0) /. (y1 -. y0) *. float_of_int (height - 1))
+      in
+      let row = height - 1 - cy in
+      if row >= 0 && row < height && cx >= 0 && cx < width then
+        grid.(row).(cx) <- glyphs.(gi mod Array.length glyphs)
+    in
+    List.iteri (fun gi (_, pts) -> List.iter (place gi) pts) series;
+    (match y_label with
+    | Some l -> Buffer.add_string buf (l ^ "\n")
+    | None -> ());
+    Array.iteri
+      (fun row cells ->
+        let y = y1 -. (float_of_int row /. float_of_int (height - 1) *. (y1 -. y0)) in
+        Buffer.add_string buf (Printf.sprintf "%10.3g |" y);
+        Array.iter (Buffer.add_char buf) cells;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ');
+    Buffer.add_char buf '+';
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%10s  %.4g%s%.4g" "" x0
+         (String.make (max 1 (width - 12)) ' ')
+         x1);
+    (match x_label with
+    | Some l -> Buffer.add_string buf (Printf.sprintf "  (%s)" l)
+    | None -> ());
+    Buffer.add_char buf '\n';
+    List.iteri
+      (fun gi (name, _) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" glyphs.(gi mod Array.length glyphs) name))
+      series;
+    Buffer.contents buf
+  end
+
+let bars ?(width = 50) ?title ?max_value entries =
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t -> Buffer.add_string buf (Printf.sprintf "-- %s --\n" t)
+  | None -> ());
+  let mx =
+    match max_value with
+    | Some m -> m
+    | None -> List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-300 entries
+  in
+  let label_w =
+    List.fold_left (fun acc (l, _) -> Stdlib.max acc (String.length l)) 0 entries
+  in
+  List.iter
+    (fun (label, v) ->
+      let v' = Float.max 0. v in
+      let n = int_of_float (Float.round (v' /. mx *. float_of_int width)) in
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s |%s %.3f\n" label_w label (String.make n '=') v))
+    entries;
+  Buffer.contents buf

@@ -1,0 +1,25 @@
+(** Terminal plots for the figure regenerators.
+
+    The paper's figures are charts; the experiment harness renders
+    text-mode equivalents so a full run reads like the evaluation section.
+    Two forms cover every figure: multi-series line/step charts (CDFs,
+    per-iteration series) and labelled horizontal bars (normalised power
+    and runtime). *)
+
+val line :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  (string * (float * float) list) list ->
+  string
+(** [line series] plots each named series ([(x, y)] points, any order)
+    on a shared grid, one glyph per series ([*], [+], [o], [x], ...), with
+    a legend and axis ranges.  Empty input yields an empty-plot notice.
+    Default 72x20 grid. *)
+
+val bars :
+  ?width:int -> ?title:string -> ?max_value:float -> (string * float) list -> string
+(** Horizontal bar chart; bars scale to the maximum value (or
+    [max_value]).  Negative values are clamped to zero. *)

@@ -1,0 +1,90 @@
+type t = {
+  edges : float array; (* strictly increasing, length = nbins + 1 *)
+  weights : float array; (* length = nbins *)
+  mutable under : float;
+  mutable over : float;
+  mutable total : float;
+}
+
+let create_edges edges =
+  let n = Array.length edges in
+  if n < 2 then invalid_arg "Histogram.create_edges: need at least two edges";
+  for i = 0 to n - 2 do
+    if edges.(i) >= edges.(i + 1) then
+      invalid_arg "Histogram.create_edges: edges must be strictly increasing"
+  done;
+  {
+    edges = Array.copy edges;
+    weights = Array.make (n - 1) 0.;
+    under = 0.;
+    over = 0.;
+    total = 0.;
+  }
+
+let create_linear ~lo ~hi ~bins =
+  if not (lo < hi) || bins <= 0 then invalid_arg "Histogram.create_linear";
+  let w = (hi -. lo) /. float_of_int bins in
+  create_edges (Array.init (bins + 1) (fun i -> lo +. (float_of_int i *. w)))
+
+let create_log ~lo ~hi ~bins =
+  if not (0. < lo && lo < hi) || bins <= 0 then invalid_arg "Histogram.create_log";
+  let r = (hi /. lo) ** (1.0 /. float_of_int bins) in
+  create_edges (Array.init (bins + 1) (fun i -> lo *. (r ** float_of_int i)))
+
+(* Binary search for the bin containing v: largest i with edges.(i) <= v. *)
+let find_bin t v =
+  let n = Array.length t.edges in
+  if v < t.edges.(0) then `Under
+  else if v >= t.edges.(n - 1) then `Over
+  else begin
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.edges.(mid) <= v then lo := mid else hi := mid
+    done;
+    `Bin !lo
+  end
+
+let add_weighted t v w =
+  t.total <- t.total +. w;
+  match find_bin t v with
+  | `Under -> t.under <- t.under +. w
+  | `Over -> t.over <- t.over +. w
+  | `Bin i -> t.weights.(i) <- t.weights.(i) +. w
+
+let add t v = add_weighted t v 1.0
+
+let total_weight t = t.total
+let underflow t = t.under
+let overflow t = t.over
+
+let bins t =
+  Array.mapi (fun i w -> (t.edges.(i), t.edges.(i + 1), w)) t.weights
+
+let fraction_in t ~lo ~hi =
+  if t.total = 0. then 0.
+  else begin
+    let acc = ref 0. in
+    Array.iteri
+      (fun i w ->
+        let blo = t.edges.(i) and bhi = t.edges.(i + 1) in
+        let ov_lo = Stdlib.max blo lo and ov_hi = Stdlib.min bhi hi in
+        if ov_hi > ov_lo then
+          acc := !acc +. (w *. (ov_hi -. ov_lo) /. (bhi -. blo)))
+      t.weights;
+    !acc /. t.total
+  end
+
+let pp fmt t =
+  let max_w =
+    Array.fold_left Stdlib.max 1e-300 t.weights
+  in
+  Array.iteri
+    (fun i w ->
+      let bar = int_of_float (40. *. w /. max_w) in
+      Format.fprintf fmt "[%10.3g, %10.3g) %12.4g %s@."
+        t.edges.(i)
+        t.edges.(i + 1)
+        w
+        (String.make bar '#'))
+    t.weights

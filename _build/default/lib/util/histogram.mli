@@ -1,0 +1,38 @@
+(** Fixed-bin and logarithmic histograms for distribution reporting
+    (figures 2 and 8–11 of the paper present binned distributions of
+    read/write ratios and reference rates). *)
+
+type t
+
+val create_linear : lo:float -> hi:float -> bins:int -> t
+(** [create_linear ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width
+    bins plus an underflow and an overflow bin.  Requires [lo < hi] and
+    [bins > 0]. *)
+
+val create_log : lo:float -> hi:float -> bins:int -> t
+(** Same, but bin edges are spaced geometrically.  Requires [0 < lo < hi]. *)
+
+val create_edges : float array -> t
+(** Histogram with explicit, strictly increasing bin edges. A value [v]
+    falls in bin [i] when [edges.(i) <= v < edges.(i+1)]. *)
+
+val add : t -> float -> unit
+val add_weighted : t -> float -> float -> unit
+(** [add_weighted t v w] adds weight [w] at value [v] (for size-weighted
+    distributions). *)
+
+val total_weight : t -> float
+val underflow : t -> float
+val overflow : t -> float
+
+val bins : t -> (float * float * float) array
+(** [(lo, hi, weight)] per bin, in order, excluding under/overflow. *)
+
+val fraction_in : t -> lo:float -> hi:float -> float
+(** Fraction of total weight whose value fell in [\[lo, hi)] (computed from
+    exact sample placement rather than bin boundaries when the range
+    coincides with bin edges; otherwise approximated by whole bins whose
+    span intersects the range, proportionally). *)
+
+val pp : Format.formatter -> t -> unit
+(** Render bins as rows of [lo..hi count bar]. *)

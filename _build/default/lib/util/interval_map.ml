@@ -1,0 +1,44 @@
+type 'a t = { starts : int array; stops : int array; values : 'a array }
+
+let build ranges =
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) ranges
+  in
+  List.iter
+    (fun (start, stop, _) ->
+      if start >= stop then invalid_arg "Interval_map.build: empty range")
+    sorted;
+  let rec check = function
+    | (_, stop1, _) :: ((start2, _, _) :: _ as rest) ->
+      if stop1 > start2 then invalid_arg "Interval_map.build: overlapping ranges";
+      check rest
+    | _ -> ()
+  in
+  check sorted;
+  {
+    starts = Array.of_list (List.map (fun (s, _, _) -> s) sorted);
+    stops = Array.of_list (List.map (fun (_, e, _) -> e) sorted);
+    values = Array.of_list (List.map (fun (_, _, v) -> v) sorted);
+  }
+
+let find t x =
+  let n = Array.length t.starts in
+  if n = 0 then None
+  else begin
+    (* last range with start <= x *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    if t.starts.(0) > x then None
+    else begin
+      while !lo < !hi do
+        let mid = (!lo + !hi + 1) / 2 in
+        if t.starts.(mid) <= x then lo := mid else hi := mid - 1
+      done;
+      if x < t.stops.(!lo) then Some t.values.(!lo) else None
+    end
+  end
+
+let size t = Array.length t.starts
+
+let ranges t =
+  Array.to_list
+    (Array.mapi (fun i s -> (s, t.stops.(i), t.values.(i))) t.starts)

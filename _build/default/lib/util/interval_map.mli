@@ -1,0 +1,19 @@
+(** Immutable interval-to-value map over integer half-open ranges, built
+    once and probed by binary search — the address-range lookup structure
+    shared by trace attribution and hybrid-placement routing. *)
+
+type 'a t
+
+val build : (int * int * 'a) list -> 'a t
+(** [build ranges] from [(start, stop, value)] triples with [start < stop].
+    Ranges must be pairwise disjoint; raises [Invalid_argument]
+    otherwise. *)
+
+val find : 'a t -> int -> 'a option
+(** [find t x] is the value of the range containing [x], if any.
+    O(log n). *)
+
+val size : 'a t -> int
+
+val ranges : 'a t -> (int * int * 'a) list
+(** Sorted by start. *)

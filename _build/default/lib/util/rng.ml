@@ -1,0 +1,71 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let of_int seed = create (Int64.of_int seed)
+let copy t = { state = t.state }
+
+(* SplitMix64 output function: the state advances by a fixed odd constant and
+   the result is a bijective scramble of the new state. *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = next_int64 t in
+  create (mix seed)
+
+let int t bound =
+  assert (bound > 0);
+  (* Take the top bits (better mixed) and reduce; bias is negligible for the
+     bounds used in simulation (<< 2^53). *)
+  let v = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  v mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 t) 11) in
+  bound *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let bernoulli t p =
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  float t 1.0 < p
+
+let gaussian t ~mean ~stddev =
+  (* Box–Muller; guard against log 0. *)
+  let u1 = Stdlib.max (float t 1.0) 1e-300 in
+  let u2 = float t 1.0 in
+  mean +. (stddev *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let exponential t ~rate =
+  assert (rate > 0.);
+  let u = Stdlib.max (float t 1.0) 1e-300 in
+  -.log u /. rate
+
+let pareto t ~shape ~scale =
+  assert (shape > 0. && scale > 0.);
+  let u = Stdlib.max (float t 1.0) 1e-300 in
+  scale /. (u ** (1.0 /. shape))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))

@@ -1,0 +1,59 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic behaviour in the simulators and workload generators is
+    driven through this module so that every experiment is reproducible from
+    a seed.  The generator is SplitMix64 (Steele, Lea & Flood, OOPSLA'14):
+    fast, statistically solid for simulation purposes, and trivially
+    splittable so that independent subsystems can derive independent
+    streams from one master seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator from a 64-bit seed. *)
+
+val of_int : int -> t
+(** [of_int seed] is [create (Int64.of_int seed)]. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of the
+    subsequent outputs of [t].  [t] advances by one step. *)
+
+val copy : t -> t
+(** [copy t] duplicates the state; both generators then produce the same
+    stream. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive; requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val exponential : t -> rate:float -> float
+(** Exponential deviate with the given rate; [rate] must be positive. *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto deviate (heavy tail), used for skewed object-popularity draws. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

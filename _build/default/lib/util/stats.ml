@@ -1,0 +1,95 @@
+type t = {
+  mutable n : int;
+  mutable mean : float;
+  mutable m2 : float;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+let create () =
+  { n = 0; mean = 0.; m2 = 0.; sum = 0.; mn = infinity; mx = neg_infinity }
+
+let add t x =
+  t.n <- t.n + 1;
+  t.sum <- t.sum +. x;
+  let delta = x -. t.mean in
+  t.mean <- t.mean +. (delta /. float_of_int t.n);
+  t.m2 <- t.m2 +. (delta *. (x -. t.mean));
+  if x < t.mn then t.mn <- x;
+  if x > t.mx then t.mx <- x
+
+let count t = t.n
+let total t = t.sum
+let mean t = if t.n = 0 then 0. else t.mean
+let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+let stddev t = sqrt (variance t)
+let min t = t.mn
+let max t = t.mx
+
+let merge a b =
+  if a.n = 0 then { b with n = b.n }
+  else if b.n = 0 then { a with n = a.n }
+  else begin
+    let n = a.n + b.n in
+    let delta = b.mean -. a.mean in
+    let mean = a.mean +. (delta *. float_of_int b.n /. float_of_int n) in
+    let m2 =
+      a.m2 +. b.m2
+      +. (delta *. delta *. float_of_int a.n *. float_of_int b.n /. float_of_int n)
+    in
+    {
+      n;
+      mean;
+      m2;
+      sum = a.sum +. b.sum;
+      mn = Stdlib.min a.mn b.mn;
+      mx = Stdlib.max a.mx b.mx;
+    }
+  end
+
+let percentile xs p =
+  if Array.length xs = 0 then invalid_arg "Stats.percentile: empty array";
+  let p = if p < 0. then 0. else if p > 1. then 1. else p in
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let frac = rank -. float_of_int lo in
+    (sorted.(lo) *. (1. -. frac)) +. (sorted.(hi) *. frac)
+  end
+
+let median xs = percentile xs 0.5
+
+let cdf xs =
+  let n = Array.length xs in
+  if n = 0 then []
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let nf = float_of_int n in
+    (* One point per distinct value: (v, #samples <= v / n). *)
+    let rec collect i acc =
+      if i >= n then List.rev acc
+      else begin
+        let v = sorted.(i) in
+        let rec last j = if j + 1 < n && sorted.(j + 1) = v then last (j + 1) else j in
+        let j = last i in
+        collect (j + 1) ((v, float_of_int (j + 1) /. nf) :: acc)
+      end
+    in
+    collect 0 []
+  end
+
+let ratio num den =
+  if den = 0 then if num = 0 then 0. else infinity
+  else float_of_int num /. float_of_int den
+
+let geometric_mean xs =
+  if Array.length xs = 0 then invalid_arg "Stats.geometric_mean: empty array";
+  let sum_logs = Array.fold_left (fun acc x -> acc +. log x) 0. xs in
+  exp (sum_logs /. float_of_int (Array.length xs))

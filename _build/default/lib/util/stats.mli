@@ -1,0 +1,49 @@
+(** Streaming and batch statistics used throughout the analysis pipeline. *)
+
+(** {1 Streaming accumulator} *)
+
+type t
+(** Welford streaming accumulator for count / mean / variance / extrema. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the samples; 0 if empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 with fewer than two samples. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Minimum sample; [infinity] if empty. *)
+
+val max : t -> float
+(** Maximum sample; [neg_infinity] if empty. *)
+
+val merge : t -> t -> t
+(** [merge a b] is an accumulator equivalent to having seen both streams
+    (Chan's parallel update). The arguments are unchanged. *)
+
+(** {1 Batch helpers} *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,1\]]; linear interpolation between
+    closest ranks. The array is not modified. Raises [Invalid_argument] on
+    an empty array. *)
+
+val median : float array -> float
+
+val cdf : float array -> (float * float) list
+(** [cdf xs] is the empirical CDF as a sorted list of
+    [(value, fraction <= value)] points, one per distinct value. *)
+
+val ratio : int -> int -> float
+(** [ratio num den] is [num/den] as floats, and [infinity] when [den = 0]
+    but [num > 0], and [0.] when both are zero.  This is the convention the
+    paper uses for read/write ratios of read-only objects. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; raises [Invalid_argument]
+    on empty input. *)

@@ -1,0 +1,1 @@
+test/test_access_layout.ml: Alcotest Nvsc_memtrace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_appkit.ml: Alcotest List Nvsc_appkit Nvsc_memtrace Option String

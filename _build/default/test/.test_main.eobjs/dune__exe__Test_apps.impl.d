@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest List Nvsc_appkit Nvsc_apps Nvsc_memtrace Option

@@ -1,0 +1,1 @@
+test/test_buffers.ml: Alcotest Array Fun Gen List Nvsc_memtrace Printf QCheck QCheck_alcotest

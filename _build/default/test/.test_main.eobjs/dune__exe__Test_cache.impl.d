@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Gen List Nvsc_cachesim QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List Nvsc_appkit Nvsc_apps Nvsc_core Nvsc_memtrace

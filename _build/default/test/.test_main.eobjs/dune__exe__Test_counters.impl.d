@@ -1,0 +1,1 @@
+test/test_counters.ml: Alcotest Gen List Nvsc_memtrace Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cpusim.ml: Alcotest Gen List Nvsc_cpusim Nvsc_memtrace Nvsc_nvram Nvsc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dramsim.ml: Alcotest Gen List Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions_modules.ml: Alcotest Filename Fun List Nvsc_appkit Nvsc_apps Nvsc_core Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_placement Nvsc_util Option String Sys

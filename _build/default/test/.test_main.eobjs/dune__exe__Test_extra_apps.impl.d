@@ -1,0 +1,1 @@
+test/test_extra_apps.ml: Alcotest Array List Nvsc_apps Nvsc_core Nvsc_memtrace Option Printf

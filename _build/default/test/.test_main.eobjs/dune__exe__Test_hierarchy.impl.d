@@ -1,0 +1,1 @@
+test/test_hierarchy.ml: Alcotest Gen Hashtbl List Nvsc_cachesim Nvsc_memtrace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Array Float Gen List Nvsc_util QCheck QCheck_alcotest

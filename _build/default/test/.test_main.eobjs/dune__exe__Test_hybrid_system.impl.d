@@ -1,0 +1,1 @@
+test/test_hybrid_system.ml: Alcotest List Nvsc_dramsim Nvsc_memtrace Nvsc_nvram

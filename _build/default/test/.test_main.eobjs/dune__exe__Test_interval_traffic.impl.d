@@ -1,0 +1,1 @@
+test/test_interval_traffic.ml: Alcotest Float Gen Lazy List Nvsc_apps Nvsc_core Nvsc_nvram Nvsc_util Option QCheck QCheck_alcotest

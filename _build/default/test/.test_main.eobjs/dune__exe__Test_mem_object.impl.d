@@ -1,0 +1,1 @@
+test/test_mem_object.ml: Alcotest Nvsc_memtrace

@@ -1,0 +1,1 @@
+test/test_nvram.ml: Alcotest List Nvsc_nvram Option QCheck QCheck_alcotest String

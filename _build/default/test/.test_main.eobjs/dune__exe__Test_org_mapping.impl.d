@@ -1,0 +1,1 @@
+test/test_org_mapping.ml: Alcotest Nvsc_dramsim Printf QCheck QCheck_alcotest

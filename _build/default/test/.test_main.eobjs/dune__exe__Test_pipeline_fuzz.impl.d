@@ -1,0 +1,1 @@
+test/test_pipeline_fuzz.ml: Array Float List Nvsc_appkit Nvsc_apps Nvsc_core Nvsc_memtrace Printf QCheck QCheck_alcotest Stdlib

@@ -1,0 +1,1 @@
+test/test_placement.ml: Alcotest Gen List Nvsc_nvram Nvsc_placement Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_registry.ml: Alcotest Gen List Nvsc_memtrace Nvsc_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_report_experiment.ml: Alcotest Format Gen Lazy List Nvsc_apps Nvsc_core Nvsc_cpusim Nvsc_dramsim Nvsc_memtrace Nvsc_nvram Nvsc_util Option QCheck QCheck_alcotest String

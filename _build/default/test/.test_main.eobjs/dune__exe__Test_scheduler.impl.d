@@ -1,0 +1,1 @@
+test/test_scheduler.ml: Alcotest Float Gen List Nvsc_dramsim Nvsc_memtrace Nvsc_nvram QCheck QCheck_alcotest

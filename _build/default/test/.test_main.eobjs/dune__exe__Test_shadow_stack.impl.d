@@ -1,0 +1,1 @@
+test/test_shadow_stack.ml: Alcotest Gen List Nvsc_memtrace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_shapes.ml: Alcotest Array Float Lazy List Nvsc_core Nvsc_cpusim Nvsc_memtrace Nvsc_nvram Printf

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Float Gen List Nvsc_util QCheck QCheck_alcotest

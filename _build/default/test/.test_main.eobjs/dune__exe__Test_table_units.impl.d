@@ -1,0 +1,1 @@
+test/test_table_units.ml: Alcotest Float Format List Nvsc_util String

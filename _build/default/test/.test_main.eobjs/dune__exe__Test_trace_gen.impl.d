@@ -1,0 +1,1 @@
+test/test_trace_gen.ml: Alcotest Float List Nvsc_dramsim Nvsc_memtrace Nvsc_nvram

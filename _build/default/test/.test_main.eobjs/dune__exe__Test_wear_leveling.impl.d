@@ -1,0 +1,1 @@
+test/test_wear_leveling.ml: Alcotest Array Gen Hashtbl List Nvsc_nvram Nvsc_util Printf QCheck QCheck_alcotest

@@ -1,0 +1,54 @@
+module Access = Nvsc_memtrace.Access
+module Layout = Nvsc_memtrace.Layout
+
+let test_access_basics () =
+  let r = Access.read ~addr:0x1000 ~size:8 in
+  let w = Access.write ~addr:0x2000 ~size:64 in
+  Alcotest.(check bool) "read" true (Access.is_read r && not (Access.is_write r));
+  Alcotest.(check bool) "write" true (Access.is_write w && not (Access.is_read w));
+  Alcotest.(check int) "last byte" 0x1007 (Access.last_byte r);
+  Alcotest.(check int) "last byte of line" 0x203f (Access.last_byte w)
+
+let test_layout_regions () =
+  let k a = Layout.classify a in
+  Alcotest.(check bool) "global base" true (k Layout.global_base = Some Layout.Global);
+  Alcotest.(check bool) "heap base" true (k Layout.heap_base = Some Layout.Heap);
+  Alcotest.(check bool) "stack top" true (k Layout.stack_top = Some Layout.Stack);
+  Alcotest.(check bool) "below global" true (k (Layout.global_base - 1) = None);
+  Alcotest.(check bool) "above stack" true (k (Layout.stack_top + 1) = None)
+
+let test_layout_contiguity () =
+  (* the global segment ends where the heap begins *)
+  Alcotest.(check int) "global limit = heap base" Layout.heap_base
+    Layout.global_limit;
+  Alcotest.(check int) "heap limit = stack limit" Layout.stack_limit
+    Layout.heap_limit;
+  Alcotest.(check bool) "stack limit excluded" true
+    (Layout.classify Layout.stack_limit = None)
+
+let classify_total_prop =
+  QCheck.Test.make ~name:"classification is a partition"
+    QCheck.(int_range 0 0x7fff_ffff)
+    (fun addr ->
+      match Layout.classify addr with
+      | Some Layout.Global -> addr >= Layout.global_base && addr < Layout.global_limit
+      | Some Layout.Heap -> addr >= Layout.heap_base && addr < Layout.heap_limit
+      | Some Layout.Stack -> addr > Layout.stack_limit && addr <= Layout.stack_top
+      | None ->
+        addr < Layout.global_base
+        || (addr = Layout.stack_limit)
+        || addr > Layout.stack_top)
+
+let test_kind_strings () =
+  Alcotest.(check string) "global" "global" (Layout.kind_to_string Layout.Global);
+  Alcotest.(check string) "heap" "heap" (Layout.kind_to_string Layout.Heap);
+  Alcotest.(check string) "stack" "stack" (Layout.kind_to_string Layout.Stack)
+
+let suite =
+  [
+    Alcotest.test_case "access basics" `Quick test_access_basics;
+    Alcotest.test_case "layout regions" `Quick test_layout_regions;
+    Alcotest.test_case "layout contiguity" `Quick test_layout_contiguity;
+    QCheck_alcotest.to_alcotest classify_total_prop;
+    Alcotest.test_case "kind strings" `Quick test_kind_strings;
+  ]

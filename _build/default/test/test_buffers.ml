@@ -1,0 +1,108 @@
+module Trace_buffer = Nvsc_memtrace.Trace_buffer
+module Trace_log = Nvsc_memtrace.Trace_log
+module Access = Nvsc_memtrace.Access
+
+let test_buffer_flush_on_full () =
+  let seen = ref [] in
+  let flush buf n =
+    for i = 0 to n - 1 do
+      seen := buf.(i) :: !seen
+    done
+  in
+  let b = Trace_buffer.create ~capacity:4 ~flush () in
+  for i = 0 to 9 do
+    Trace_buffer.push b (Access.read ~addr:i ~size:8)
+  done;
+  (* two automatic flushes of 4; 2 still buffered *)
+  Alcotest.(check int) "flushes" 2 (Trace_buffer.flushes b);
+  Alcotest.(check int) "seen" 8 (List.length !seen);
+  Trace_buffer.flush b;
+  Alcotest.(check int) "after force" 10 (List.length !seen);
+  Alcotest.(check int) "pushed" 10 (Trace_buffer.pushed b);
+  (* order preserved *)
+  let addrs = List.rev_map (fun (a : Access.t) -> a.addr) !seen in
+  Alcotest.(check (list int)) "order" (List.init 10 Fun.id) addrs
+
+let test_buffer_empty_flush () =
+  let calls = ref 0 in
+  let b = Trace_buffer.create ~capacity:4 ~flush:(fun _ _ -> incr calls) () in
+  Trace_buffer.flush b;
+  Alcotest.(check int) "no empty flush" 0 !calls
+
+let test_log_roundtrip () =
+  let log = Trace_log.create ~initial_capacity:2 () in
+  let accesses =
+    [
+      Access.read ~addr:0x100 ~size:64;
+      Access.write ~addr:0x200 ~size:64;
+      Access.read ~addr:0x300 ~size:8;
+    ]
+  in
+  List.iter (Trace_log.record log) accesses;
+  Alcotest.(check int) "length" 3 (Trace_log.length log);
+  Alcotest.(check int) "reads" 2 (Trace_log.reads log);
+  Alcotest.(check int) "writes" 1 (Trace_log.writes log);
+  List.iteri
+    (fun i expected ->
+      let got = Trace_log.get log i in
+      Alcotest.(check bool)
+        (Printf.sprintf "record %d" i)
+        true
+        (got.Access.addr = expected.Access.addr
+        && got.size = expected.size
+        && got.op = expected.op))
+    accesses
+
+let test_log_replay_order () =
+  let log = Trace_log.create () in
+  for i = 0 to 99 do
+    Trace_log.record log (Access.read ~addr:i ~size:8)
+  done;
+  let replayed = ref [] in
+  Trace_log.replay log (fun a -> replayed := a.Access.addr :: !replayed);
+  Alcotest.(check (list int)) "order" (List.init 100 Fun.id) (List.rev !replayed)
+
+let test_log_clear () =
+  let log = Trace_log.create () in
+  Trace_log.record log (Access.write ~addr:1 ~size:8);
+  Trace_log.clear log;
+  Alcotest.(check int) "length" 0 (Trace_log.length log);
+  Alcotest.(check int) "writes" 0 (Trace_log.writes log)
+
+let test_log_get_bounds () =
+  let log = Trace_log.create () in
+  Alcotest.check_raises "oob" (Invalid_argument "Trace_log.get") (fun () ->
+      ignore (Trace_log.get log 0))
+
+let log_growth_prop =
+  QCheck.Test.make ~name:"log preserves arbitrary streams" ~count:50
+    QCheck.(
+      list_of_size
+        Gen.(int_range 0 500)
+        (pair (int_range 0 (1 lsl 30)) bool))
+    (fun events ->
+      let log = Trace_log.create ~initial_capacity:1 () in
+      List.iter
+        (fun (addr, is_read) ->
+          Trace_log.record log
+            (if is_read then Access.read ~addr ~size:64
+             else Access.write ~addr ~size:64))
+        events;
+      Trace_log.length log = List.length events
+      && List.for_all2
+           (fun (addr, is_read) i ->
+             let a = Trace_log.get log i in
+             a.Access.addr = addr && Access.is_read a = is_read)
+           events
+           (List.init (List.length events) Fun.id))
+
+let suite =
+  [
+    Alcotest.test_case "buffer flush on full" `Quick test_buffer_flush_on_full;
+    Alcotest.test_case "buffer empty flush" `Quick test_buffer_empty_flush;
+    Alcotest.test_case "log roundtrip" `Quick test_log_roundtrip;
+    Alcotest.test_case "log replay order" `Quick test_log_replay_order;
+    Alcotest.test_case "log clear" `Quick test_log_clear;
+    Alcotest.test_case "log bounds" `Quick test_log_get_bounds;
+    QCheck_alcotest.to_alcotest log_growth_prop;
+  ]

@@ -1,0 +1,150 @@
+module Cache = Nvsc_cachesim.Cache
+module P = Nvsc_cachesim.Cache_params
+
+let tiny ?(write_miss = P.Write_allocate) ?(assoc = 2) ?(sets = 4) () =
+  P.make ~name:"tiny" ~size_bytes:(64 * assoc * sets) ~associativity:assoc
+    ~write_miss ()
+
+let test_params_validation () =
+  Alcotest.check_raises "bad line"
+    (Invalid_argument "Cache_params.make: line size must be a power of two")
+    (fun () ->
+      ignore
+        (P.make ~name:"x" ~size_bytes:1024 ~associativity:2 ~line_bytes:48
+           ~write_miss:P.Write_allocate ()));
+  Alcotest.(check int) "paper L1 sets" 128 (P.sets P.paper_l1d);
+  Alcotest.(check int) "paper L2 sets" 1024 (P.sets P.paper_l2)
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create (tiny ()) in
+  let e = Cache.read c ~line:0 in
+  Alcotest.(check bool) "cold miss" false e.Cache.hit;
+  Alcotest.(check bool) "fills" true (e.Cache.fill = Some 0);
+  let e = Cache.read c ~line:0 in
+  Alcotest.(check bool) "hit" true e.Cache.hit;
+  Alcotest.(check int) "stats" 1 (Cache.read_hits c);
+  Alcotest.(check int) "misses" 1 (Cache.read_misses c)
+
+let test_lru_eviction_order () =
+  let c = Cache.create (tiny ~assoc:2 ~sets:1 ()) in
+  ignore (Cache.read c ~line:0);
+  ignore (Cache.read c ~line:1);
+  ignore (Cache.read c ~line:0);
+  (* line 1 is now LRU; inserting line 2 must evict it *)
+  ignore (Cache.read c ~line:2);
+  Alcotest.(check bool) "0 resident" true (Cache.probe c ~line:0);
+  Alcotest.(check bool) "1 evicted" false (Cache.probe c ~line:1);
+  Alcotest.(check bool) "2 resident" true (Cache.probe c ~line:2);
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions c)
+
+let test_dirty_eviction_writeback () =
+  let c = Cache.create (tiny ~assoc:1 ~sets:1 ()) in
+  ignore (Cache.write c ~line:0);
+  Alcotest.(check bool) "dirty" true (Cache.is_dirty c ~line:0);
+  let e = Cache.read c ~line:1 in
+  Alcotest.(check bool) "writeback of dirty victim" true
+    (e.Cache.writeback = Some 0);
+  Alcotest.(check int) "dirty evictions" 1 (Cache.dirty_evictions c)
+
+let test_clean_eviction_no_writeback () =
+  let c = Cache.create (tiny ~assoc:1 ~sets:1 ()) in
+  ignore (Cache.read c ~line:0);
+  let e = Cache.read c ~line:1 in
+  Alcotest.(check bool) "no writeback" true (e.Cache.writeback = None)
+
+let test_no_write_allocate () =
+  let c = Cache.create (tiny ~write_miss:P.No_write_allocate ()) in
+  let e = Cache.write c ~line:5 in
+  Alcotest.(check bool) "miss" false e.Cache.hit;
+  Alcotest.(check bool) "forwarded" true (e.Cache.forward_write = Some 5);
+  Alcotest.(check bool) "no fill" true (e.Cache.fill = None);
+  Alcotest.(check bool) "not resident" false (Cache.probe c ~line:5);
+  (* write hit still dirties *)
+  ignore (Cache.read c ~line:5);
+  let e = Cache.write c ~line:5 in
+  Alcotest.(check bool) "write hit" true e.Cache.hit;
+  Alcotest.(check bool) "dirty now" true (Cache.is_dirty c ~line:5)
+
+let test_write_allocate_dirties () =
+  let c = Cache.create (tiny ()) in
+  let e = Cache.write c ~line:3 in
+  Alcotest.(check bool) "fill on write miss" true (e.Cache.fill = Some 3);
+  Alcotest.(check bool) "dirty after allocate" true (Cache.is_dirty c ~line:3)
+
+let test_flush_dirty () =
+  let c = Cache.create (tiny ()) in
+  ignore (Cache.write c ~line:0);
+  ignore (Cache.write c ~line:1);
+  ignore (Cache.read c ~line:2);
+  let flushed = ref [] in
+  Cache.flush_dirty c (fun l -> flushed := l :: !flushed);
+  Alcotest.(check (list int)) "both dirty lines" [ 0; 1 ]
+    (List.sort compare !flushed);
+  (* second flush is a no-op: lines are clean now *)
+  let again = ref 0 in
+  Cache.flush_dirty c (fun _ -> incr again);
+  Alcotest.(check int) "clean after flush" 0 !again
+
+let test_invalidate_all () =
+  let c = Cache.create (tiny ()) in
+  ignore (Cache.write c ~line:0);
+  Cache.invalidate_all c;
+  Alcotest.(check int) "empty" 0 (Cache.resident_lines c);
+  Alcotest.(check bool) "gone" false (Cache.probe c ~line:0)
+
+let test_probe_does_not_touch_lru () =
+  let c = Cache.create (tiny ~assoc:2 ~sets:1 ()) in
+  ignore (Cache.read c ~line:0);
+  ignore (Cache.read c ~line:1);
+  (* probing 0 must NOT refresh it *)
+  ignore (Cache.probe c ~line:0);
+  ignore (Cache.read c ~line:2);
+  Alcotest.(check bool) "0 was still LRU" false (Cache.probe c ~line:0)
+
+let test_capacity_bound_prop =
+  QCheck.Test.make ~name:"resident lines never exceed capacity" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 500) (int_range 0 1000))
+    (fun lines ->
+      let c = Cache.create (tiny ~assoc:2 ~sets:4 ()) in
+      List.iter (fun l -> ignore (Cache.read c ~line:l)) lines;
+      Cache.resident_lines c <= 8)
+
+let test_hit_after_miss_prop =
+  QCheck.Test.make ~name:"immediate re-access always hits" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_range 0 1000))
+    (fun lines ->
+      let c = Cache.create (tiny ~assoc:4 ~sets:8 ()) in
+      List.for_all
+        (fun l ->
+          ignore (Cache.read c ~line:l);
+          let e = Cache.read c ~line:l in
+          e.Cache.hit)
+        lines)
+
+let test_miss_rate () =
+  let c = Cache.create (tiny ()) in
+  ignore (Cache.read c ~line:0);
+  ignore (Cache.read c ~line:0);
+  Alcotest.(check (float 1e-9)) "50%" 0.5 (Cache.miss_rate c);
+  Cache.reset_stats c;
+  Alcotest.(check (float 1e-9)) "reset" 0. (Cache.miss_rate c)
+
+let suite =
+  [
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+    Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "dirty eviction writeback" `Quick
+      test_dirty_eviction_writeback;
+    Alcotest.test_case "clean eviction" `Quick test_clean_eviction_no_writeback;
+    Alcotest.test_case "no-write-allocate" `Quick test_no_write_allocate;
+    Alcotest.test_case "write-allocate dirties" `Quick
+      test_write_allocate_dirties;
+    Alcotest.test_case "flush dirty" `Quick test_flush_dirty;
+    Alcotest.test_case "invalidate all" `Quick test_invalidate_all;
+    Alcotest.test_case "probe preserves LRU" `Quick
+      test_probe_does_not_touch_lru;
+    QCheck_alcotest.to_alcotest test_capacity_bound_prop;
+    QCheck_alcotest.to_alcotest test_hit_after_miss_prop;
+    Alcotest.test_case "miss rate" `Quick test_miss_rate;
+  ]

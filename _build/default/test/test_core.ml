@@ -1,0 +1,187 @@
+(* Unit tests of the analysis layer against a tiny hand-built application
+   whose counts are known exactly. *)
+
+module Ctx = Nvsc_appkit.Ctx
+module Farray = Nvsc_appkit.Farray
+module Mem_object = Nvsc_memtrace.Mem_object
+module OM = Nvsc_core.Object_metrics
+
+module Toy_app : Nvsc_apps.Workload.APP = struct
+  let name = "toy"
+  let description = "hand-built fixture"
+  let input_description = "fixed"
+  let paper_footprint_mb = 0.
+
+  (* Objects:
+     - "ro": 8 words, read 4x per iteration, written only in Pre
+     - "rw": 8 words, 2 reads + 1 write per iteration
+     - "idle": 16 words, touched only in Post
+     - heap "hp": 4 words, 1 write per iteration
+     - routine "k": 2 stack writes + 6 stack reads per iteration *)
+  let run ?scale ctx ~iterations =
+    ignore scale;
+    Ctx.set_phase ctx Mem_object.Pre;
+    let ro = Farray.global ctx ~name:"ro" 8 in
+    let rw = Farray.global ctx ~name:"rw" 8 in
+    let idle = Farray.global ctx ~name:"idle" 16 in
+    let hp = Farray.heap ctx ~site:"hp" 4 in
+    Farray.fill ctx ro 1.;
+    for iter = 1 to iterations do
+      Ctx.set_phase ctx (Mem_object.Main iter);
+      for i = 0 to 3 do
+        ignore (Farray.get ro i)
+      done;
+      ignore (Farray.get rw 0);
+      ignore (Farray.get rw 1);
+      Farray.set rw 0 2.;
+      Farray.set hp 0 3.;
+      Ctx.call ctx ~routine:"k" ~frame_words:4 (fun frame ->
+          let t = Farray.stack ctx frame 2 in
+          Farray.set t 0 1.;
+          Farray.set t 1 2.;
+          for _ = 1 to 3 do
+            ignore (Farray.get t 0);
+            ignore (Farray.get t 1)
+          done)
+    done;
+    Ctx.set_phase ctx Mem_object.Post;
+    Farray.set idle 0 9.
+end
+
+let result = lazy (Nvsc_core.Scavenger.run ~iterations:4 (module Toy_app))
+
+let metric name =
+  let r = Lazy.force result in
+  List.find
+    (fun (m : OM.t) -> m.obj.Mem_object.name = name)
+    r.Nvsc_core.Scavenger.metrics
+
+let test_read_only_detection () =
+  let m = metric "ro" in
+  Alcotest.(check int) "reads" 16 m.OM.reads;
+  Alcotest.(check int) "writes" 0 m.OM.writes;
+  Alcotest.(check bool) "ratio infinite" true (m.OM.rw_ratio = infinity);
+  Alcotest.(check bool) "read-only" true (OM.is_read_only m);
+  Alcotest.(check bool) "pre writes kept out of main metrics" true
+    m.OM.touched_outside_main
+
+let test_rw_metrics () =
+  let m = metric "rw" in
+  Alcotest.(check int) "reads" 8 m.OM.reads;
+  Alcotest.(check int) "writes" 4 m.OM.writes;
+  Alcotest.(check (float 1e-9)) "ratio" 2. m.OM.rw_ratio;
+  Alcotest.(check int) "iterations used" 4 m.OM.iterations_used;
+  Alcotest.(check int) "per-iter reads" 2 m.OM.per_iter_reads.(2);
+  Alcotest.(check (float 1e-9)) "per-iter ratio" 2. (OM.per_iter_ratio m ~iter:3);
+  Alcotest.(check int) "size" 64 (OM.size_bytes m)
+
+let test_untouched_detection () =
+  let m = metric "idle" in
+  Alcotest.(check bool) "untouched in main" true (OM.is_untouched_in_main m);
+  Alcotest.(check bool) "touched outside" true m.OM.touched_outside_main;
+  Alcotest.(check int) "no main iterations" 0 m.OM.iterations_used
+
+let test_stack_metrics () =
+  let m = metric "k" in
+  Alcotest.(check bool) "stack kind" true
+    (m.OM.obj.Mem_object.kind = Nvsc_memtrace.Layout.Stack);
+  Alcotest.(check int) "stack reads" 24 m.OM.reads;
+  Alcotest.(check int) "stack writes" 8 m.OM.writes;
+  Alcotest.(check (float 1e-9)) "stack ratio" 3. m.OM.rw_ratio
+
+let test_ref_shares_sum_to_one () =
+  let r = Lazy.force result in
+  let total =
+    List.fold_left (fun acc (m : OM.t) -> acc +. m.OM.ref_share) 0.
+      r.Nvsc_core.Scavenger.metrics
+  in
+  Alcotest.(check (float 1e-9)) "shares sum to 1" 1.0 total
+
+let test_total_main_refs () =
+  let r = Lazy.force result in
+  (* per iteration: 4 ro + 3 rw + 1 hp + 8 stack = 16; 4 iterations *)
+  Alcotest.(check int) "total" 64 r.Nvsc_core.Scavenger.total_main_refs
+
+let test_stack_summary () =
+  let s = Nvsc_core.Stack_analysis.summarize (Lazy.force result) in
+  (* stack: 6 reads / 2 writes per iteration *)
+  Alcotest.(check (float 1e-9)) "stack ratio" 3. s.Nvsc_core.Stack_analysis.rw_ratio;
+  Alcotest.(check (float 1e-9)) "reference pct" 0.5
+    s.Nvsc_core.Stack_analysis.reference_pct;
+  Alcotest.(check (float 1e-9)) "first = steady here" 3.
+    s.Nvsc_core.Stack_analysis.first_iter_ratio
+
+let test_object_analysis_aggregates () =
+  let rep = Nvsc_core.Object_analysis.analyze (Lazy.force result) in
+  (* global+heap objects: ro 64B, rw 64B, idle 128B, hp 32B = 288B *)
+  Alcotest.(check int) "footprint" 288 rep.Nvsc_core.Object_analysis.footprint_bytes;
+  Alcotest.(check int) "read-only bytes" 64
+    rep.Nvsc_core.Object_analysis.read_only_bytes;
+  Alcotest.(check int) "gt1 bytes: ro + rw" 128
+    rep.Nvsc_core.Object_analysis.ratio_gt_1_bytes;
+  Alcotest.(check int) "rows" 4 (List.length rep.Nvsc_core.Object_analysis.rows)
+
+let test_usage_cdf () =
+  let r = Lazy.force result in
+  let cdf = Nvsc_core.Usage_variance.usage_cdf r in
+  Alcotest.(check int) "points 0..4" 5 (List.length cdf);
+  let p0 = List.hd cdf in
+  (* idle (128B) is the only long-term object used in 0 iterations *)
+  Alcotest.(check int) "idle at x=0" 128
+    p0.Nvsc_core.Usage_variance.cumulative_bytes;
+  let last = List.nth cdf 4 in
+  Alcotest.(check int) "total long-term" 288
+    last.Nvsc_core.Usage_variance.cumulative_bytes;
+  Alcotest.(check int) "untouched bytes" 128
+    (Nvsc_core.Usage_variance.untouched_in_main_bytes r)
+
+let test_variance_stability () =
+  let v = Nvsc_core.Usage_variance.variance (Lazy.force result) in
+  (* rw and hp are written in iteration 1: both perfectly stable *)
+  Alcotest.(check int) "objects" 2 v.Nvsc_core.Usage_variance.objects_considered;
+  Alcotest.(check (float 1e-9)) "fully stable" 1.0
+    (Nvsc_core.Usage_variance.stable_fraction v);
+  Alcotest.(check (float 1e-9)) "unchanged" 1.0
+    v.Nvsc_core.Usage_variance.rate_unchanged.(3)
+
+let test_scavenger_fields () =
+  let r = Lazy.force result in
+  Alcotest.(check string) "name" "toy" r.Nvsc_core.Scavenger.app_name;
+  Alcotest.(check int) "no unattributed" 0 r.Nvsc_core.Scavenger.unattributed;
+  Alcotest.(check int) "iterations" 4 r.Nvsc_core.Scavenger.iterations;
+  Alcotest.(check bool) "no trace requested" true
+    (r.Nvsc_core.Scavenger.mem_trace = None);
+  (* kind filters partition the metrics *)
+  let s = List.length (Nvsc_core.Scavenger.stack_metrics r) in
+  let g = List.length (Nvsc_core.Scavenger.global_metrics r) in
+  let h = List.length (Nvsc_core.Scavenger.heap_metrics r) in
+  Alcotest.(check int) "partition" (List.length r.Nvsc_core.Scavenger.metrics)
+    (s + g + h)
+
+let test_scavenger_trace () =
+  let r = Nvsc_core.Scavenger.run ~iterations:2 ~with_trace:true (module Toy_app) in
+  match r.Nvsc_core.Scavenger.mem_trace with
+  | None -> Alcotest.fail "expected trace"
+  | Some t ->
+    Alcotest.(check bool) "trace nonempty" true
+      (Nvsc_memtrace.Trace_log.length t > 0);
+    Alcotest.(check bool) "l2 miss rate sensible" true
+      (r.Nvsc_core.Scavenger.l2_miss_rate >= 0.
+      && r.Nvsc_core.Scavenger.l2_miss_rate <= 1.)
+
+let suite =
+  [
+    Alcotest.test_case "read-only detection" `Quick test_read_only_detection;
+    Alcotest.test_case "rw metrics" `Quick test_rw_metrics;
+    Alcotest.test_case "untouched detection" `Quick test_untouched_detection;
+    Alcotest.test_case "stack metrics" `Quick test_stack_metrics;
+    Alcotest.test_case "ref shares sum to 1" `Quick test_ref_shares_sum_to_one;
+    Alcotest.test_case "total main refs" `Quick test_total_main_refs;
+    Alcotest.test_case "stack summary" `Quick test_stack_summary;
+    Alcotest.test_case "object analysis aggregates" `Quick
+      test_object_analysis_aggregates;
+    Alcotest.test_case "usage cdf" `Quick test_usage_cdf;
+    Alcotest.test_case "variance stability" `Quick test_variance_stability;
+    Alcotest.test_case "scavenger fields" `Quick test_scavenger_fields;
+    Alcotest.test_case "scavenger trace" `Quick test_scavenger_trace;
+  ]

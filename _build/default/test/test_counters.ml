@@ -1,0 +1,102 @@
+module C = Nvsc_memtrace.Counters
+module Access = Nvsc_memtrace.Access
+
+let test_basic_recording () =
+  let c = C.create () in
+  C.set_iteration c 1;
+  C.record c ~obj_id:1 ~op:Access.Read;
+  C.record c ~obj_id:1 ~op:Access.Read;
+  C.record c ~obj_id:1 ~op:Access.Write;
+  Alcotest.(check int) "reads" 2 (C.reads c ~obj_id:1 ~iter:1);
+  Alcotest.(check int) "writes" 1 (C.writes c ~obj_id:1 ~iter:1);
+  Alcotest.(check int) "other iter" 0 (C.reads c ~obj_id:1 ~iter:2);
+  Alcotest.(check int) "other object" 0 (C.reads c ~obj_id:9 ~iter:1);
+  Alcotest.(check int) "grand total" 3 (C.grand_total c)
+
+let test_iteration_separation () =
+  let c = C.create () in
+  for iter = 0 to 5 do
+    C.set_iteration c iter;
+    C.record_n c ~obj_id:4 ~op:Access.Read ~n:(iter + 1)
+  done;
+  for iter = 0 to 5 do
+    Alcotest.(check int)
+      (Printf.sprintf "iter %d" iter)
+      (iter + 1)
+      (C.reads c ~obj_id:4 ~iter)
+  done;
+  Alcotest.(check int) "total" 21 (C.total_reads c ~obj_id:4);
+  Alcotest.(check int) "max iteration" 5 (C.max_iteration c)
+
+let test_iterations_touched () =
+  let c = C.create () in
+  C.set_iteration c 0;
+  C.record c ~obj_id:2 ~op:Access.Write;
+  C.set_iteration c 3;
+  C.record c ~obj_id:2 ~op:Access.Read;
+  Alcotest.(check (list int)) "touched" [ 0; 3 ] (C.iterations_touched c ~obj_id:2);
+  Alcotest.(check bool) "in main loop" true (C.touched_in_main_loop c ~obj_id:2);
+  C.record c ~obj_id:5 ~op:Access.Read;
+  Alcotest.(check bool) "only iter 3" true (C.touched_in_main_loop c ~obj_id:5)
+
+let test_pre_post_only () =
+  let c = C.create () in
+  C.set_iteration c 0;
+  C.record c ~obj_id:8 ~op:Access.Read;
+  Alcotest.(check bool) "not in main" false (C.touched_in_main_loop c ~obj_id:8)
+
+let test_record_n_zero () =
+  let c = C.create () in
+  C.record_n c ~obj_id:1 ~op:Access.Read ~n:0;
+  Alcotest.(check int) "nothing recorded" 0 (C.grand_total c);
+  Alcotest.(check (list int)) "no objects" [] (C.tracked_objects c)
+
+let test_invalid () =
+  let c = C.create () in
+  Alcotest.check_raises "negative iteration"
+    (Invalid_argument "Counters.set_iteration: negative iteration") (fun () ->
+      C.set_iteration c (-1));
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Counters.record_n: negative count") (fun () ->
+      C.record_n c ~obj_id:1 ~op:Access.Read ~n:(-1))
+
+let test_tracked_objects_sorted () =
+  let c = C.create () in
+  List.iter
+    (fun id -> C.record c ~obj_id:id ~op:Access.Write)
+    [ 5; 1; 9; 3 ];
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5; 9 ] (C.tracked_objects c)
+
+let conservation_prop =
+  QCheck.Test.make ~name:"per-iteration counts sum to totals" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 100) (pair (int_range 0 9) bool))
+    (fun events ->
+      let c = C.create () in
+      List.iteri
+        (fun i (obj_id, is_read) ->
+          C.set_iteration c (i mod 7);
+          C.record c ~obj_id
+            ~op:(if is_read then Access.Read else Access.Write))
+        events;
+      List.for_all
+        (fun obj_id ->
+          let sum = ref 0 in
+          for iter = 0 to C.max_iteration c do
+            sum := !sum + C.reads c ~obj_id ~iter + C.writes c ~obj_id ~iter
+          done;
+          !sum = C.total_reads c ~obj_id + C.total_writes c ~obj_id)
+        (C.tracked_objects c)
+      && C.grand_total c = List.length events)
+
+let suite =
+  [
+    Alcotest.test_case "basic recording" `Quick test_basic_recording;
+    Alcotest.test_case "iteration separation" `Quick test_iteration_separation;
+    Alcotest.test_case "iterations touched" `Quick test_iterations_touched;
+    Alcotest.test_case "pre/post only" `Quick test_pre_post_only;
+    Alcotest.test_case "record_n zero" `Quick test_record_n_zero;
+    Alcotest.test_case "invalid arguments" `Quick test_invalid;
+    Alcotest.test_case "tracked objects sorted" `Quick
+      test_tracked_objects_sorted;
+    QCheck_alcotest.to_alcotest conservation_prop;
+  ]

@@ -1,0 +1,85 @@
+module H = Nvsc_util.Histogram
+
+let checkb name b = Alcotest.(check bool) name true b
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_linear_binning () =
+  let h = H.create_linear ~lo:0. ~hi:10. ~bins:5 in
+  H.add h 0.;
+  H.add h 1.9;
+  H.add h 2.0;
+  H.add h 9.99;
+  let bins = H.bins h in
+  let _, _, w0 = bins.(0) in
+  let _, _, w1 = bins.(1) in
+  let _, _, w4 = bins.(4) in
+  checkb "bin 0 has two" (feq w0 2.);
+  checkb "bin 1 has one (left-closed)" (feq w1 1.);
+  checkb "bin 4 has one" (feq w4 1.)
+
+let test_under_overflow () =
+  let h = H.create_linear ~lo:0. ~hi:1. ~bins:2 in
+  H.add h (-0.5);
+  H.add h 1.0;
+  H.add h 2.0;
+  checkb "underflow" (feq (H.underflow h) 1.);
+  checkb "overflow (hi is exclusive)" (feq (H.overflow h) 2.);
+  checkb "total counts everything" (feq (H.total_weight h) 3.)
+
+let test_log_bins_increasing () =
+  let h = H.create_log ~lo:1. ~hi:1000. ~bins:3 in
+  let bins = H.bins h in
+  Alcotest.(check int) "3 bins" 3 (Array.length bins);
+  let lo0, hi0, _ = bins.(0) in
+  checkb "first bin [1,10)" (feq lo0 1. && feq ~eps:1e-6 hi0 10.)
+
+let test_weighted () =
+  let h = H.create_linear ~lo:0. ~hi:10. ~bins:2 in
+  H.add_weighted h 1. 3.5;
+  H.add_weighted h 6. 1.5;
+  let bins = H.bins h in
+  let _, _, w0 = bins.(0) in
+  checkb "weighted bin" (feq w0 3.5);
+  checkb "total weight" (feq (H.total_weight h) 5.0)
+
+let test_fraction_in () =
+  let h = H.create_linear ~lo:0. ~hi:4. ~bins:4 in
+  List.iter (H.add h) [ 0.5; 1.5; 2.5; 3.5 ];
+  checkb "half the mass in [0,2)" (feq (H.fraction_in h ~lo:0. ~hi:2.) 0.5);
+  checkb "all the mass in [0,4)" (feq (H.fraction_in h ~lo:0. ~hi:4.) 1.0)
+
+let test_invalid_args () =
+  Alcotest.check_raises "bad linear" (Invalid_argument "Histogram.create_linear")
+    (fun () -> ignore (H.create_linear ~lo:1. ~hi:1. ~bins:4));
+  Alcotest.check_raises "bad log" (Invalid_argument "Histogram.create_log")
+    (fun () -> ignore (H.create_log ~lo:0. ~hi:10. ~bins:4))
+
+let test_edges_custom () =
+  let h = H.create_edges [| 0.; 1.; 100. |] in
+  H.add h 50.;
+  let bins = H.bins h in
+  let _, _, w1 = bins.(1) in
+  checkb "lands in wide bin" (feq w1 1.)
+
+let conservation_prop =
+  QCheck.Test.make ~name:"weight conservation"
+    QCheck.(list_of_size Gen.(int_range 0 200) (float_range (-10.) 20.))
+    (fun xs ->
+      let h = H.create_linear ~lo:0. ~hi:10. ~bins:7 in
+      List.iter (H.add h) xs;
+      let binned = Array.fold_left (fun acc (_, _, w) -> acc +. w) 0. (H.bins h) in
+      feq ~eps:1e-6
+        (binned +. H.underflow h +. H.overflow h)
+        (float_of_int (List.length xs)))
+
+let suite =
+  [
+    Alcotest.test_case "linear binning" `Quick test_linear_binning;
+    Alcotest.test_case "under/overflow" `Quick test_under_overflow;
+    Alcotest.test_case "log bins" `Quick test_log_bins_increasing;
+    Alcotest.test_case "weighted adds" `Quick test_weighted;
+    Alcotest.test_case "fraction_in" `Quick test_fraction_in;
+    Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "custom edges" `Quick test_edges_custom;
+    QCheck_alcotest.to_alcotest conservation_prop;
+  ]

@@ -1,0 +1,113 @@
+module IM = Nvsc_util.Interval_map
+module TA = Nvsc_core.Traffic_attribution
+
+(* --- interval map -------------------------------------------------------- *)
+
+let test_find () =
+  let m = IM.build [ (10, 20, "a"); (30, 40, "b") ] in
+  Alcotest.(check (option string)) "inside a" (Some "a") (IM.find m 15);
+  Alcotest.(check (option string)) "start inclusive" (Some "a") (IM.find m 10);
+  Alcotest.(check (option string)) "stop exclusive" None (IM.find m 20);
+  Alcotest.(check (option string)) "gap" None (IM.find m 25);
+  Alcotest.(check (option string)) "before all" None (IM.find m 5);
+  Alcotest.(check (option string)) "after all" None (IM.find m 100);
+  Alcotest.(check (option string)) "in b" (Some "b") (IM.find m 39);
+  Alcotest.(check int) "size" 2 (IM.size m)
+
+let test_empty () =
+  let m = IM.build [] in
+  Alcotest.(check (option int)) "empty" None (IM.find m 0)
+
+let test_validation () =
+  Alcotest.check_raises "overlap"
+    (Invalid_argument "Interval_map.build: overlapping ranges") (fun () ->
+      ignore (IM.build [ (0, 10, ()); (5, 15, ()) ]));
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Interval_map.build: empty range") (fun () ->
+      ignore (IM.build [ (5, 5, ()) ]))
+
+let find_equals_linear_prop =
+  QCheck.Test.make ~name:"interval find = linear scan" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 20) (pair (int_range 0 500) (int_range 1 30)))
+        (list_of_size Gen.(int_range 1 50) (int_range 0 700)))
+    (fun (raw, probes) ->
+      (* build disjoint ranges by laying them out end to end with gaps *)
+      let _, ranges =
+        List.fold_left
+          (fun (cursor, acc) (gap, len) ->
+            let start = cursor + gap in
+            (start + len, (start, start + len, start) :: acc))
+          (0, []) raw
+      in
+      let m = IM.build ranges in
+      List.for_all
+        (fun x ->
+          let linear =
+            List.find_opt (fun (s, e, _) -> x >= s && x < e) ranges
+            |> Option.map (fun (_, _, v) -> v)
+          in
+          IM.find m x = linear)
+        probes)
+
+(* --- traffic attribution -------------------------------------------------- *)
+
+let report =
+  lazy
+    (TA.analyze
+       (Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:3 ~with_trace:true
+          (Option.get (Nvsc_apps.Apps.find "cam"))))
+
+let test_conservation () =
+  let r = Lazy.force report in
+  let lines =
+    List.fold_left
+      (fun acc (row : TA.row) -> acc + row.line_reads + row.line_writes)
+      0 r.rows
+  in
+  Alcotest.(check int) "attributed lines match rows" r.attributed lines;
+  let shares =
+    List.fold_left (fun acc (row : TA.row) -> acc +. row.energy_share) 0. r.rows
+  in
+  Alcotest.(check bool) "shares sum to 1" true (Float.abs (shares -. 1.) < 1e-9);
+  Alcotest.(check bool) "movable fraction in range" true
+    (r.movable_energy_fraction >= 0. && r.movable_energy_fraction <= 1.)
+
+let test_sorted_and_readonly_present () =
+  let r = Lazy.force report in
+  let rec descending = function
+    | (a : TA.row) :: (b :: _ as rest) ->
+      a.energy_nj >= b.energy_nj && descending rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "descending energy" true (descending r.rows);
+  (* the Legendre table is read-only at the application level; at the
+     memory level only its boundary lines may ever be written back —
+     cache-line false sharing with adjacent objects *)
+  let leg = List.find (fun (row : TA.row) -> row.name = "leg_coef") r.rows in
+  Alcotest.(check bool) "at most boundary-line writes" true
+    (leg.TA.line_writes <= 2);
+  Alcotest.(check bool) "and it is NVRAM-friendly" true
+    (leg.TA.verdict = Nvsc_nvram.Suitability.Nvram_friendly)
+
+let test_requires_trace () =
+  let r =
+    Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:1
+      (Option.get (Nvsc_apps.Apps.find "gtc"))
+  in
+  Alcotest.check_raises "no trace"
+    (Invalid_argument "Traffic_attribution.analyze: result lacks a trace")
+    (fun () -> ignore (TA.analyze r))
+
+let suite =
+  [
+    Alcotest.test_case "interval find" `Quick test_find;
+    Alcotest.test_case "interval empty" `Quick test_empty;
+    Alcotest.test_case "interval validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest find_equals_linear_prop;
+    Alcotest.test_case "traffic conservation" `Slow test_conservation;
+    Alcotest.test_case "traffic sorted, read-only clean" `Slow
+      test_sorted_and_readonly_present;
+    Alcotest.test_case "traffic requires trace" `Quick test_requires_trace;
+  ]

@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "nv_scavenger"
+    [
+      ("rng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("histogram", Test_histogram.suite);
+      ("table-units", Test_table_units.suite);
+      ("access-layout", Test_access_layout.suite);
+      ("mem-object", Test_mem_object.suite);
+      ("object-registry", Test_registry.suite);
+      ("shadow-stack", Test_shadow_stack.suite);
+      ("counters", Test_counters.suite);
+      ("buffers", Test_buffers.suite);
+      ("trace-gen", Test_trace_gen.suite);
+      ("cache", Test_cache.suite);
+      ("hierarchy", Test_hierarchy.suite);
+      ("org-mapping", Test_org_mapping.suite);
+      ("dramsim", Test_dramsim.suite);
+      ("scheduler", Test_scheduler.suite);
+      ("hybrid-system", Test_hybrid_system.suite);
+      ("cpusim", Test_cpusim.suite);
+      ("nvram", Test_nvram.suite);
+      ("wear-leveling", Test_wear_leveling.suite);
+      ("extensions", Test_extensions_modules.suite);
+      ("placement", Test_placement.suite);
+      ("appkit", Test_appkit.suite);
+      ("apps", Test_apps.suite);
+      ("extra-apps", Test_extra_apps.suite);
+      ("core-analysis", Test_core.suite);
+      ("pipeline-fuzz", Test_pipeline_fuzz.suite);
+      ("interval-traffic", Test_interval_traffic.suite);
+      ("report-experiment", Test_report_experiment.suite);
+      ("paper-shapes", Test_shapes.suite);
+    ]

@@ -1,0 +1,58 @@
+module Mem_object = Nvsc_memtrace.Mem_object
+module Layout = Nvsc_memtrace.Layout
+
+let mk ?(kind = Layout.Global) ?(base = 0x0800_0000) ?(size = 64) ~id name =
+  Mem_object.make ~id ~name ~kind ~base ~size ()
+
+let test_contains () =
+  let o = mk ~id:1 "a" ~base:100 ~size:10 in
+  Alcotest.(check bool) "first byte" true (Mem_object.contains o 100);
+  Alcotest.(check bool) "last byte" true (Mem_object.contains o 109);
+  Alcotest.(check bool) "past end" false (Mem_object.contains o 110);
+  Alcotest.(check bool) "before" false (Mem_object.contains o 99);
+  Alcotest.(check int) "last_byte" 109 (Mem_object.last_byte o)
+
+let test_overlaps () =
+  let o = mk ~id:1 "a" ~base:100 ~size:10 in
+  Alcotest.(check bool) "overlap left" true (Mem_object.overlaps o ~base:95 ~size:6);
+  Alcotest.(check bool) "overlap inside" true (Mem_object.overlaps o ~base:104 ~size:2);
+  Alcotest.(check bool) "touching is disjoint" false
+    (Mem_object.overlaps o ~base:110 ~size:5);
+  Alcotest.(check bool) "disjoint" false (Mem_object.overlaps o ~base:0 ~size:10)
+
+let test_merge () =
+  let a = mk ~id:1 "blk1" ~base:100 ~size:10 in
+  let b = mk ~id:2 "blk2" ~base:105 ~size:20 in
+  let m = Mem_object.merge_overlapping a b ~id:3 in
+  Alcotest.(check int) "base" 100 m.Mem_object.base;
+  Alcotest.(check int) "size is hull" 25 m.Mem_object.size;
+  Alcotest.(check string) "combined name" "blk1+blk2" m.Mem_object.name;
+  Alcotest.(check bool) "live" true m.Mem_object.live
+
+let test_merge_rejects_non_global () =
+  let a = mk ~id:1 "h" ~kind:Layout.Heap ~base:Nvsc_memtrace.Layout.heap_base in
+  let b = mk ~id:2 "g" in
+  Alcotest.check_raises "non-global merge"
+    (Invalid_argument "Mem_object.merge_overlapping: only global objects merge")
+    (fun () -> ignore (Mem_object.merge_overlapping a b ~id:3))
+
+let test_size_validation () =
+  Alcotest.check_raises "zero size"
+    (Invalid_argument "Mem_object.make: size must be positive") (fun () ->
+      ignore (mk ~id:1 "bad" ~size:0))
+
+let test_default_signature () =
+  let o = mk ~id:1 "sym" in
+  Alcotest.(check string) "signature defaults to name" "sym"
+    o.Mem_object.signature
+
+let suite =
+  [
+    Alcotest.test_case "contains" `Quick test_contains;
+    Alcotest.test_case "overlaps" `Quick test_overlaps;
+    Alcotest.test_case "merge overlapping globals" `Quick test_merge;
+    Alcotest.test_case "merge rejects non-global" `Quick
+      test_merge_rejects_non_global;
+    Alcotest.test_case "size validation" `Quick test_size_validation;
+    Alcotest.test_case "default signature" `Quick test_default_signature;
+  ]

@@ -1,0 +1,185 @@
+module Tech = Nvsc_nvram.Technology
+module Endurance = Nvsc_nvram.Endurance
+module Suitability = Nvsc_nvram.Suitability
+
+(* --- technology -------------------------------------------------------- *)
+
+let test_table4_latencies () =
+  let check name r w p =
+    let t = Option.get (Tech.of_string name) in
+    Alcotest.(check (float 1e-9)) (name ^ " read") r t.Tech.read_latency_ns;
+    Alcotest.(check (float 1e-9)) (name ^ " write") w t.Tech.write_latency_ns;
+    Alcotest.(check (float 1e-9)) (name ^ " perf") p t.Tech.perf_sim_latency_ns
+  in
+  check "ddr3" 10. 10. 10.;
+  check "pcram" 20. 100. 100.;
+  check "sttram" 10. 20. 20.;
+  check "mram" 12. 12. 12.
+
+let test_categories () =
+  Alcotest.(check bool) "PCRAM cat1" true
+    ((Tech.get Tech.PCRAM).category = Tech.Cat1_long_read_write);
+  Alcotest.(check bool) "Flash cat1" true
+    ((Tech.get Tech.Flash).category = Tech.Cat1_long_read_write);
+  Alcotest.(check bool) "STTRAM cat2" true
+    ((Tech.get Tech.STTRAM).category = Tech.Cat2_long_write);
+  Alcotest.(check bool) "RRAM cat3" true
+    ((Tech.get Tech.RRAM).category = Tech.Cat3_dram_like);
+  Alcotest.(check bool) "DDR3 volatile" true
+    ((Tech.get Tech.DDR3).category = Tech.Volatile)
+
+let test_nvram_flags () =
+  List.iter
+    (fun t ->
+      if Tech.is_nvram t then begin
+        Alcotest.(check bool) (t.Tech.name ^ " no refresh") false t.needs_refresh;
+        Alcotest.(check (float 1e-9)) (t.Tech.name ^ " zero standby") 0.
+          t.standby_power_rel
+      end)
+    Tech.all;
+  Alcotest.(check bool) "DDR3 refreshes" true (Tech.get Tech.DDR3).needs_refresh
+
+let test_endurance_ordering () =
+  (* the paper: PCRAM ~1e8..1e9.7 writes, far below DRAM's 1e16 *)
+  let p = (Tech.get Tech.PCRAM).write_endurance in
+  Alcotest.(check bool) "PCRAM in range" true (p >= 1e8 && p <= 10. ** 9.7);
+  Alcotest.(check bool) "DRAM way higher" true
+    ((Tech.get Tech.DDR3).write_endurance > 1e15)
+
+let test_of_string () =
+  Alcotest.(check bool) "case-insensitive" true
+    (Tech.of_string "PCRAM" <> None && Tech.of_string "PcRam" <> None);
+  Alcotest.(check bool) "unknown" true (Tech.of_string "dramzilla" = None);
+  Alcotest.(check int) "paper set" 4 (List.length Tech.paper_set)
+
+(* --- endurance --------------------------------------------------------- *)
+
+let test_wear_tracking () =
+  let e = Endurance.create ~tech:(Tech.get Tech.PCRAM) ~lines:4 in
+  Endurance.record_writes e ~line:0 ~n:10;
+  Endurance.record_write e ~line:1;
+  Alcotest.(check int) "line 0" 10 (Endurance.writes_to e ~line:0);
+  Alcotest.(check int) "line 1" 1 (Endurance.writes_to e ~line:1);
+  Alcotest.(check int) "total" 11 (Endurance.total_writes e);
+  Alcotest.(check int) "max" 10 (Endurance.max_wear e);
+  (* imbalance = max/mean = 10/2.75 *)
+  Alcotest.(check (float 1e-6)) "imbalance" (10. /. 2.75)
+    (Endurance.wear_imbalance e)
+
+let test_wear_bounds () =
+  let e = Endurance.create ~tech:(Tech.get Tech.PCRAM) ~lines:2 in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Endurance.record_writes: line out of range") (fun () ->
+      Endurance.record_write e ~line:2)
+
+let test_worn_out () =
+  let flash = Tech.get Tech.Flash in
+  let e = Endurance.create ~tech:flash ~lines:2 in
+  Endurance.record_writes e ~line:0 ~n:200_000 (* > 1e5 endurance *);
+  Alcotest.(check int) "one line worn" 1 (Endurance.worn_out_lines e)
+
+let test_lifetime () =
+  let e = Endurance.create ~tech:(Tech.get Tech.PCRAM) ~lines:1000 in
+  let levelled =
+    Endurance.lifetime_seconds e ~write_rate_per_s:1e6 ~wear_levelled:true
+  in
+  (* uniform history -> unlevelled assumes uniform spread *)
+  let unlevelled =
+    Endurance.lifetime_seconds e ~write_rate_per_s:1e6 ~wear_levelled:false
+  in
+  Alcotest.(check bool) "levelling >= unlevelled" true (levelled >= unlevelled);
+  Alcotest.(check bool) "zero rate lives forever" true
+    (Endurance.lifetime_seconds e ~write_rate_per_s:0. ~wear_levelled:true
+    = infinity);
+  (* a hot line shortens unlevelled lifetime *)
+  Endurance.record_writes e ~line:0 ~n:1_000_000;
+  let hot =
+    Endurance.lifetime_seconds e ~write_rate_per_s:1e6 ~wear_levelled:false
+  in
+  Alcotest.(check bool) "hot line fails earlier" true (hot < unlevelled);
+  Alcotest.(check bool) "years conversion" true
+    (Endurance.lifetime_years e ~write_rate_per_s:1e6 ~wear_levelled:true
+    < levelled)
+
+(* --- suitability ------------------------------------------------------- *)
+
+let m ?(reads = 1000) ?(writes = 10) ?(size = 1 lsl 20) ?(rate = 0.01) () =
+  { Suitability.reads; writes; size_bytes = size; ref_rate = rate }
+
+let test_metric_helpers () =
+  Alcotest.(check (float 1e-9)) "ratio" 100. (Suitability.read_write_ratio (m ()));
+  Alcotest.(check bool) "read-only" true
+    (Suitability.is_read_only (m ~writes:0 ()));
+  Alcotest.(check bool) "not read-only" false (Suitability.is_read_only (m ()))
+
+let test_classification_cat2 () =
+  let c = Tech.Cat2_long_write in
+  Alcotest.(check bool) "high ratio friendly" true
+    (Suitability.classify ~category:c (m ~reads:5100 ~writes:100 ())
+    = Suitability.Nvram_friendly);
+  Alcotest.(check bool) "mid ratio candidate" true
+    (Suitability.classify ~category:c (m ~reads:200 ~writes:10 ())
+    = Suitability.Nvram_candidate);
+  Alcotest.(check bool) "low ratio stays in DRAM" true
+    (Suitability.classify ~category:c (m ~reads:15 ~writes:10 ())
+    = Suitability.Dram_preferred);
+  Alcotest.(check bool) "tiny object not worth it" true
+    (Suitability.classify ~category:c (m ~reads:5100 ~writes:100 ~size:128 ())
+    = Suitability.Dram_preferred)
+
+let test_cat1_write_flux_guard () =
+  (* the paper's third metric: a high ratio with a huge absolute write flux
+     disqualifies category-1 placement but not category-2 *)
+  let hot = m ~reads:60_000 ~writes:1000 ~rate:0.95 () in
+  Alcotest.(check bool) "cat1 rejects hot writer" true
+    (Suitability.classify ~category:Tech.Cat1_long_read_write hot
+    = Suitability.Dram_preferred);
+  Alcotest.(check bool) "cat2 accepts it" true
+    (Suitability.classify ~category:Tech.Cat2_long_write hot
+    = Suitability.Nvram_friendly)
+
+let test_cat3_and_volatile () =
+  Alcotest.(check bool) "cat3 accepts anything sizable" true
+    (Suitability.classify ~category:Tech.Cat3_dram_like (m ~reads:1 ~writes:999 ())
+    = Suitability.Nvram_friendly);
+  Alcotest.(check bool) "volatile never places" true
+    (Suitability.classify ~category:Tech.Volatile (m ())
+    = Suitability.Dram_preferred)
+
+let test_read_only_always_friendly_prop =
+  QCheck.Test.make ~name:"big read-only objects are always NVRAM-friendly"
+    ~count:100
+    QCheck.(pair (int_range 1 1_000_000) (float_range 0.0 0.5))
+    (fun (reads, rate) ->
+      Suitability.classify ~category:Tech.Cat2_long_write
+        (m ~reads ~writes:0 ~rate ())
+      = Suitability.Nvram_friendly)
+
+let test_explain () =
+  let verdict, reason =
+    Suitability.explain ~category:Tech.Cat2_long_write (m ~reads:15 ~writes:10 ())
+  in
+  Alcotest.(check bool) "verdict matches" true
+    (verdict = Suitability.Dram_preferred);
+  Alcotest.(check bool) "has a reason" true (String.length reason > 0)
+
+let suite =
+  [
+    Alcotest.test_case "Table IV latencies" `Quick test_table4_latencies;
+    Alcotest.test_case "categories (§II)" `Quick test_categories;
+    Alcotest.test_case "NVRAM flags" `Quick test_nvram_flags;
+    Alcotest.test_case "endurance ordering" `Quick test_endurance_ordering;
+    Alcotest.test_case "name lookup" `Quick test_of_string;
+    Alcotest.test_case "wear tracking" `Quick test_wear_tracking;
+    Alcotest.test_case "wear bounds" `Quick test_wear_bounds;
+    Alcotest.test_case "worn-out lines" `Quick test_worn_out;
+    Alcotest.test_case "lifetime model" `Quick test_lifetime;
+    Alcotest.test_case "metric helpers" `Quick test_metric_helpers;
+    Alcotest.test_case "category-2 classification" `Quick
+      test_classification_cat2;
+    Alcotest.test_case "category-1 write-flux guard" `Quick
+      test_cat1_write_flux_guard;
+    Alcotest.test_case "category-3 and volatile" `Quick test_cat3_and_volatile;
+    QCheck_alcotest.to_alcotest test_read_only_always_friendly_prop;
+    Alcotest.test_case "explain" `Quick test_explain;
+  ]

@@ -1,0 +1,186 @@
+(* Whole-pipeline property tests: random synthetic applications generated
+   against the appkit API, run through the scavenger, with the analysis
+   invariants checked on whatever came out. *)
+
+module Ctx = Nvsc_appkit.Ctx
+module Farray = Nvsc_appkit.Farray
+module Mem_object = Nvsc_memtrace.Mem_object
+module OM = Nvsc_core.Object_metrics
+
+(* A random app: a handful of global/heap arrays and routines, with a
+   random per-iteration access script. *)
+type action =
+  | Read_array of int * int (* array index, element count *)
+  | Write_array of int * int
+  | Call_routine of int * int * int (* routine id, writes, read passes *)
+
+type spec = {
+  seed : int;
+  arrays : (bool * int) list; (* (is_heap, words) *)
+  script : action list;
+  iterations : int;
+}
+
+let gen_spec =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* arrays =
+      list_size (int_range 1 6) (pair bool (int_range 4 256))
+    in
+    let n_arrays = List.length arrays in
+    let* script =
+      list_size (int_range 1 20)
+        (oneof
+           [
+             (let* a = int_range 0 (n_arrays - 1) in
+              let* n = int_range 1 64 in
+              return (Read_array (a, n)));
+             (let* a = int_range 0 (n_arrays - 1) in
+              let* n = int_range 1 64 in
+              return (Write_array (a, n)));
+             (let* r = int_range 0 3 in
+              let* w = int_range 1 8 in
+              let* p = int_range 0 10 in
+              return (Call_routine (r, w, p)));
+           ])
+    in
+    let* iterations = int_range 1 6 in
+    return { seed; arrays; script; iterations })
+
+let arbitrary_spec = QCheck.make gen_spec
+
+let app_of_spec spec : (module Nvsc_apps.Workload.APP) =
+  (module struct
+    let name = "fuzz"
+    let description = "generated"
+    let input_description = "generated"
+    let paper_footprint_mb = 0.
+
+    let run ?scale ctx ~iterations =
+      ignore scale;
+      Ctx.set_phase ctx Mem_object.Pre;
+      let arrays =
+        List.mapi
+          (fun i (is_heap, words) ->
+            if is_heap then Farray.heap ctx ~site:(Printf.sprintf "h%d" i) words
+            else Farray.global ctx ~name:(Printf.sprintf "g%d" i) words)
+          spec.arrays
+      in
+      let arr = Array.of_list arrays in
+      for iter = 1 to iterations do
+        Ctx.set_phase ctx (Mem_object.Main iter);
+        List.iter
+          (fun action ->
+            match action with
+            | Read_array (a, n) ->
+              let fa = arr.(a mod Array.length arr) in
+              for k = 0 to Stdlib.min n (Farray.length fa) - 1 do
+                ignore (Farray.get fa k)
+              done
+            | Write_array (a, n) ->
+              let fa = arr.(a mod Array.length arr) in
+              for k = 0 to Stdlib.min n (Farray.length fa) - 1 do
+                Farray.set fa k (float_of_int k)
+              done
+            | Call_routine (r, w, passes) ->
+              Ctx.call ctx
+                ~routine:(Printf.sprintf "r%d" r)
+                ~frame_words:w
+                (fun frame ->
+                  let t = Farray.stack ctx frame w in
+                  for k = 0 to w - 1 do
+                    Farray.set t k 0.
+                  done;
+                  for _ = 1 to passes do
+                    for k = 0 to w - 1 do
+                      ignore (Farray.get t k)
+                    done
+                  done))
+          spec.script
+      done;
+      Ctx.set_phase ctx Mem_object.Post;
+      List.iter (fun fa -> ignore (Farray.get fa 0)) arrays
+  end)
+
+let run_spec spec =
+  Nvsc_core.Scavenger.run ~iterations:spec.iterations (app_of_spec spec)
+
+let fuzz_attribution_complete =
+  QCheck.Test.make ~name:"fuzz: every reference attributed" ~count:40
+    arbitrary_spec (fun spec ->
+      (run_spec spec).Nvsc_core.Scavenger.unattributed = 0)
+
+let fuzz_shares_sum =
+  QCheck.Test.make ~name:"fuzz: ref shares sum to 1 (or all zero)" ~count:40
+    arbitrary_spec (fun spec ->
+      let r = run_spec spec in
+      let total =
+        List.fold_left (fun acc (m : OM.t) -> acc +. m.OM.ref_share) 0.
+          r.Nvsc_core.Scavenger.metrics
+      in
+      r.Nvsc_core.Scavenger.total_main_refs = 0 || Float.abs (total -. 1.) < 1e-9)
+
+let fuzz_counts_match_tallies =
+  QCheck.Test.make ~name:"fuzz: object counters match fast tallies" ~count:40
+    arbitrary_spec (fun spec ->
+      let r = run_spec spec in
+      let from_metrics =
+        List.fold_left
+          (fun acc (m : OM.t) -> acc + m.OM.reads + m.OM.writes)
+          0 r.Nvsc_core.Scavenger.metrics
+      in
+      let from_tallies =
+        Array.to_list r.Nvsc_core.Scavenger.fast_tallies
+        |> List.tl (* iteration 0 = pre/post, not in main metrics *)
+        |> List.fold_left
+             (fun acc (t : Ctx.fast_tally) ->
+               acc + t.stack_reads + t.stack_writes + t.other_reads
+               + t.other_writes)
+             0
+      in
+      from_metrics = from_tallies
+      && from_metrics = r.Nvsc_core.Scavenger.total_main_refs)
+
+let fuzz_cdf_invariants =
+  QCheck.Test.make ~name:"fuzz: usage CDF monotone, ends at footprint"
+    ~count:40 arbitrary_spec (fun spec ->
+      let r = run_spec spec in
+      let cdf = Nvsc_core.Usage_variance.usage_cdf r in
+      let rec monotone prev = function
+        | [] -> true
+        | (p : Nvsc_core.Usage_variance.cdf_point) :: rest ->
+          p.cumulative_bytes >= prev && monotone p.cumulative_bytes rest
+      in
+      monotone 0 cdf
+      && List.length cdf = spec.iterations + 1)
+
+let fuzz_sampling_observes_subset =
+  QCheck.Test.make ~name:"fuzz: sampling observes a subset" ~count:20
+    arbitrary_spec (fun spec ->
+      let full = run_spec spec in
+      let sampled =
+        Nvsc_core.Scavenger.run ~iterations:spec.iterations ~sampling:(10, 1)
+          (app_of_spec spec)
+      in
+      sampled.Nvsc_core.Scavenger.total_main_refs
+      <= full.Nvsc_core.Scavenger.total_main_refs)
+
+let fuzz_determinism =
+  QCheck.Test.make ~name:"fuzz: runs are deterministic" ~count:20
+    arbitrary_spec (fun spec ->
+      let a = run_spec spec and b = run_spec spec in
+      a.Nvsc_core.Scavenger.total_main_refs
+      = b.Nvsc_core.Scavenger.total_main_refs
+      && List.length a.Nvsc_core.Scavenger.metrics
+         = List.length b.Nvsc_core.Scavenger.metrics)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      fuzz_attribution_complete;
+      fuzz_shares_sum;
+      fuzz_counts_match_tallies;
+      fuzz_cdf_invariants;
+      fuzz_sampling_observes_subset;
+      fuzz_determinism;
+    ]

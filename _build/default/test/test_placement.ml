@@ -1,0 +1,211 @@
+module Item = Nvsc_placement.Item
+module HM = Nvsc_placement.Hybrid_memory
+module Static = Nvsc_placement.Static_policy
+module Dynamic = Nvsc_placement.Dynamic_policy
+module Tech = Nvsc_nvram.Technology
+
+let item ?(reads = 100) ?(writes = 10) ?(size = 64 * 1024) ?(share = 0.01) id
+    name =
+  { Item.id; name; size_bytes = size; reads; writes; ref_share = share }
+
+let sttram = Tech.get Tech.STTRAM
+
+let mk ?(dram = 1 lsl 20) ?(nvram = 1 lsl 20) () =
+  HM.create ~dram_bytes:dram ~nvram_bytes:nvram ~tech:sttram
+
+(* --- item -------------------------------------------------------------- *)
+
+let test_item_metrics () =
+  let i = item ~reads:30 ~writes:10 ~share:0.2 1 "x" in
+  Alcotest.(check (float 1e-9)) "ratio" 3. (Item.rw_ratio i);
+  Alcotest.(check (float 1e-9)) "write share" 0.05 (Item.write_share i);
+  let s = Item.suitability i in
+  Alcotest.(check int) "suitability carries size" i.Item.size_bytes
+    s.Nvsc_nvram.Suitability.size_bytes
+
+(* --- hybrid memory ----------------------------------------------------- *)
+
+let test_place_and_capacity () =
+  let h = mk ~nvram:(100 * 1024) () in
+  let a = item ~size:(60 * 1024) 1 "a" in
+  let b = item ~size:(60 * 1024) 2 "b" in
+  HM.place h a HM.Nvram;
+  Alcotest.(check int) "used" (60 * 1024) (HM.used_bytes h HM.Nvram);
+  Alcotest.(check int) "free" (40 * 1024) (HM.free_bytes h HM.Nvram);
+  Alcotest.check_raises "over capacity"
+    (Invalid_argument "Hybrid_memory.place: capacity exceeded") (fun () ->
+      HM.place h b HM.Nvram);
+  Alcotest.check_raises "double placement"
+    (Invalid_argument "Hybrid_memory.place: item already placed") (fun () ->
+      HM.place h a HM.Dram)
+
+let test_migrate () =
+  let h = mk () in
+  let a = item 1 "a" in
+  HM.place h a HM.Dram;
+  HM.migrate h a HM.Nvram;
+  Alcotest.(check bool) "moved" true (HM.location h a = Some HM.Nvram);
+  Alcotest.(check int) "dram freed" 0 (HM.used_bytes h HM.Dram);
+  Alcotest.(check int) "migrations" 1 (HM.migrations h);
+  Alcotest.(check int) "bytes" a.Item.size_bytes (HM.migrated_bytes h);
+  (* same-destination migration is free *)
+  HM.migrate h a HM.Nvram;
+  Alcotest.(check int) "no-op migration" 1 (HM.migrations h)
+
+let test_validation () =
+  Alcotest.check_raises "dram tech rejected"
+    (Invalid_argument "Hybrid_memory.create: tech must be an NVRAM technology")
+    (fun () ->
+      ignore
+        (HM.create ~dram_bytes:1 ~nvram_bytes:1 ~tech:(Tech.get Tech.DDR3)))
+
+let test_assessment () =
+  let h = mk () in
+  let ro = item ~reads:1000 ~writes:0 ~size:(512 * 1024) ~share:0.5 1 "ro" in
+  let hot = item ~reads:100 ~writes:900 ~size:(512 * 1024) ~share:0.5 2 "hot" in
+  HM.place h ro HM.Nvram;
+  HM.place h hot HM.Dram;
+  let a = HM.assess h in
+  Alcotest.(check (float 1e-9)) "half the bytes" 0.5 a.HM.nvram_fraction;
+  Alcotest.(check (float 1e-9)) "standby saving = nvram fraction" 0.5
+    a.HM.standby_saving;
+  Alcotest.(check (float 1e-9)) "no writes to NVRAM" 0.
+    a.HM.write_traffic_to_nvram;
+  (* reads: 1000 of 1100 go to STTRAM whose read latency equals DRAM *)
+  Alcotest.(check (float 1e-9)) "read latency unchanged" 10.
+    a.HM.avg_read_latency_ns;
+  Alcotest.(check (float 1e-9)) "writes stay at DRAM speed" 10.
+    a.HM.avg_write_latency_ns;
+  Alcotest.(check (float 1e-9)) "no slowdown" 1.0 a.HM.slowdown_bound
+
+let test_assessment_write_penalty () =
+  let h = mk () in
+  let w = item ~reads:0 ~writes:100 ~share:1.0 1 "w" in
+  HM.place h w HM.Nvram;
+  let a = HM.assess h in
+  Alcotest.(check (float 1e-9)) "all writes to NVRAM" 1.0
+    a.HM.write_traffic_to_nvram;
+  Alcotest.(check (float 1e-9)) "write latency is STTRAM's" 20.
+    a.HM.avg_write_latency_ns;
+  Alcotest.(check (float 1e-9)) "slowdown bound 2x" 2.0 a.HM.slowdown_bound
+
+(* --- static policy ----------------------------------------------------- *)
+
+let test_static_plan_separates () =
+  let h = mk ~dram:(10 lsl 20) ~nvram:(10 lsl 20) () in
+  let ro = item ~reads:10_000 ~writes:0 ~size:(1 lsl 20) ~share:0.05 1 "ro" in
+  let hot = item ~reads:100 ~writes:100 ~size:(1 lsl 20) ~share:0.6 2 "hot" in
+  let cold_high = item ~reads:900 ~writes:10 ~size:(2 lsl 20) ~share:0.05 3 "aux" in
+  let h = Static.plan ~hybrid:h [ ro; hot; cold_high ] in
+  Alcotest.(check bool) "read-only in NVRAM" true
+    (HM.location h ro = Some HM.Nvram);
+  Alcotest.(check bool) "high-ratio in NVRAM" true
+    (HM.location h cold_high = Some HM.Nvram);
+  Alcotest.(check bool) "write-hot in DRAM" true
+    (HM.location h hot = Some HM.Dram)
+
+let test_static_spill () =
+  (* NVRAM too small for both candidates: best-scored first, rest spills *)
+  let h = mk ~dram:(10 lsl 20) ~nvram:((3 lsl 20) / 2) () in
+  let big = item ~reads:1000 ~writes:0 ~size:(1 lsl 20) ~share:0.01 1 "big" in
+  let small = item ~reads:1000 ~writes:0 ~size:(1 lsl 19) ~share:0.01 2 "small" in
+  let h = Static.plan ~hybrid:h [ small; big ] in
+  Alcotest.(check bool) "bigger candidate wins NVRAM" true
+    (HM.location h big = Some HM.Nvram);
+  Alcotest.(check bool) "both placed" true (HM.location h small <> None)
+
+let test_static_everything_placed_prop =
+  QCheck.Test.make ~name:"static plan places every item exactly once" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_range 0 1000) (int_range 0 1000)))
+    (fun specs ->
+      let items =
+        List.mapi
+          (fun i (r, w) ->
+            item ~reads:r ~writes:w ~size:4096 ~share:0.001 i
+              (Printf.sprintf "o%d" i))
+          specs
+      in
+      let h = mk ~dram:(64 lsl 20) ~nvram:(64 lsl 20) () in
+      let h = Static.plan ~hybrid:h items in
+      List.for_all (fun i -> HM.location h i <> None) items
+      && List.length (HM.items_in h HM.Dram)
+         + List.length (HM.items_in h HM.Nvram)
+         = List.length items)
+
+(* --- dynamic policy ---------------------------------------------------- *)
+
+let test_dynamic_promotes_hot_writer () =
+  let h = mk () in
+  let x = item ~reads:10 ~writes:10 ~size:4096 1 "x" in
+  HM.place h x HM.Nvram;
+  let p = Dynamic.create ~hybrid:h () in
+  Dynamic.observe_epoch p [ { Dynamic.item = x; reads = 1; writes = 9 } ];
+  Alcotest.(check bool) "promoted to DRAM" true (HM.location h x = Some HM.Dram);
+  Alcotest.(check int) "one promotion" 1 (Dynamic.promotions p);
+  Alcotest.(check int) "epochs" 1 (Dynamic.epochs p)
+
+let test_dynamic_demotes_cold () =
+  let h = mk () in
+  let cold = item ~size:4096 1 "cold" in
+  let busy = item ~size:4096 2 "busy" in
+  HM.place h cold HM.Dram;
+  HM.place h busy HM.Dram;
+  let p = Dynamic.create ~popularity_threshold:0.05 ~hybrid:h () in
+  Dynamic.observe_epoch p
+    [
+      { Dynamic.item = cold; reads = 1; writes = 0 };
+      { Dynamic.item = busy; reads = 99; writes = 0 };
+    ];
+  Alcotest.(check bool) "cold demoted" true (HM.location h cold = Some HM.Nvram);
+  Alcotest.(check bool) "busy stays" true (HM.location h busy = Some HM.Dram);
+  Alcotest.(check int) "one demotion" 1 (Dynamic.demotions p)
+
+let test_dynamic_untouched_not_promoted () =
+  let h = mk () in
+  let idle = item ~size:4096 1 "idle" in
+  HM.place h idle HM.Nvram;
+  let p = Dynamic.create ~hybrid:h () in
+  Dynamic.observe_epoch p [ { Dynamic.item = idle; reads = 0; writes = 0 } ];
+  Alcotest.(check bool) "idle stays in NVRAM" true
+    (HM.location h idle = Some HM.Nvram)
+
+let test_dynamic_stable_workload_settles () =
+  (* after the first epoch's migrations, a stable workload causes no
+     further movement *)
+  let h = mk () in
+  let a = item ~size:4096 1 "a" and b = item ~size:4096 2 "b" in
+  HM.place h a HM.Nvram;
+  HM.place h b HM.Dram;
+  let p = Dynamic.create ~hybrid:h () in
+  let epoch =
+    [
+      { Dynamic.item = a; reads = 2; writes = 8 };
+      { Dynamic.item = b; reads = 500; writes = 500 };
+    ]
+  in
+  Dynamic.observe_epoch p epoch;
+  let after_first = HM.migrations h in
+  Dynamic.observe_epoch p epoch;
+  Dynamic.observe_epoch p epoch;
+  Alcotest.(check int) "no churn" after_first (HM.migrations h)
+
+let suite =
+  [
+    Alcotest.test_case "item metrics" `Quick test_item_metrics;
+    Alcotest.test_case "place and capacity" `Quick test_place_and_capacity;
+    Alcotest.test_case "migrate" `Quick test_migrate;
+    Alcotest.test_case "hybrid validation" `Quick test_validation;
+    Alcotest.test_case "assessment" `Quick test_assessment;
+    Alcotest.test_case "assessment write penalty" `Quick
+      test_assessment_write_penalty;
+    Alcotest.test_case "static plan separates" `Quick test_static_plan_separates;
+    Alcotest.test_case "static spill" `Quick test_static_spill;
+    QCheck_alcotest.to_alcotest test_static_everything_placed_prop;
+    Alcotest.test_case "dynamic promotes hot writer" `Quick
+      test_dynamic_promotes_hot_writer;
+    Alcotest.test_case "dynamic demotes cold" `Quick test_dynamic_demotes_cold;
+    Alcotest.test_case "dynamic keeps idle" `Quick
+      test_dynamic_untouched_not_promoted;
+    Alcotest.test_case "dynamic settles" `Quick
+      test_dynamic_stable_workload_settles;
+  ]

@@ -1,0 +1,125 @@
+module Rng = Nvsc_util.Rng
+
+let check = Alcotest.(check bool)
+
+let test_determinism () =
+  let a = Rng.of_int 7 and b = Rng.of_int 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_copy () =
+  let a = Rng.of_int 11 in
+  ignore (Rng.next_int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 a)
+    (Rng.next_int64 b)
+
+let test_split_independent () =
+  let a = Rng.of_int 3 in
+  let b = Rng.split a in
+  (* not a rigorous independence test; just require the streams differ *)
+  let differs = ref false in
+  for _ = 1 to 20 do
+    if Rng.next_int64 a <> Rng.next_int64 b then differs := true
+  done;
+  check "split streams differ" true !differs
+
+let test_int_bounds () =
+  let r = Rng.of_int 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 17 in
+    check "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_in_bounds () =
+  let r = Rng.of_int 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in r (-3) 4 in
+    check "-3 <= v <= 4" true (v >= -3 && v <= 4)
+  done
+
+let test_float_bounds () =
+  let r = Rng.of_int 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 2.5 in
+    check "0 <= v < 2.5" true (v >= 0. && v < 2.5)
+  done
+
+let test_int_mean () =
+  let r = Rng.of_int 21 in
+  let n = 100_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.int r 100
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  check "mean near 49.5" true (Float.abs (mean -. 49.5) < 1.0)
+
+let test_bernoulli_rate () =
+  let r = Rng.of_int 33 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli r 0.3 then incr hits
+  done;
+  let rate = float_of_int !hits /. float_of_int n in
+  check "rate near 0.3" true (Float.abs (rate -. 0.3) < 0.02)
+
+let test_gaussian_moments () =
+  let r = Rng.of_int 17 in
+  let n = 100_000 in
+  let stats = Nvsc_util.Stats.create () in
+  for _ = 1 to n do
+    Nvsc_util.Stats.add stats (Rng.gaussian r ~mean:5.0 ~stddev:2.0)
+  done;
+  check "mean near 5" true (Float.abs (Nvsc_util.Stats.mean stats -. 5.0) < 0.05);
+  check "stddev near 2" true
+    (Float.abs (Nvsc_util.Stats.stddev stats -. 2.0) < 0.05)
+
+let test_exponential_mean () =
+  let r = Rng.of_int 29 in
+  let n = 100_000 in
+  let sum = ref 0. in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential r ~rate:4.0
+  done;
+  check "mean near 1/4" true (Float.abs ((!sum /. float_of_int n) -. 0.25) < 0.01)
+
+let test_pareto_lower_bound () =
+  let r = Rng.of_int 31 in
+  for _ = 1 to 10_000 do
+    check "pareto >= scale" true (Rng.pareto r ~shape:2.0 ~scale:1.5 >= 1.5)
+  done
+
+let test_shuffle_permutation () =
+  let r = Rng.of_int 41 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_choose_member () =
+  let r = Rng.of_int 43 in
+  let a = [| 2; 4; 8 |] in
+  for _ = 1 to 100 do
+    check "member" true (Array.mem (Rng.choose r a) a)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "copy" `Quick test_copy;
+    Alcotest.test_case "split independence" `Quick test_split_independent;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in_bounds;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "int mean" `Quick test_int_mean;
+    Alcotest.test_case "bernoulli rate" `Quick test_bernoulli_rate;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "pareto lower bound" `Quick test_pareto_lower_bound;
+    Alcotest.test_case "shuffle is a permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "choose membership" `Quick test_choose_member;
+  ]

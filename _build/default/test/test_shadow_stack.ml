@@ -1,0 +1,103 @@
+module S = Nvsc_memtrace.Shadow_stack
+module Layout = Nvsc_memtrace.Layout
+
+let test_push_pop_sp () =
+  let s = S.create () in
+  let top = S.sp s in
+  Alcotest.(check int) "starts at top" Layout.stack_top top;
+  let f = S.push s ~routine:"a" ~routine_addr:0x400000 ~frame_size:256 in
+  Alcotest.(check int) "sp dropped" (top - 256) (S.sp s);
+  Alcotest.(check int) "frame base" top f.S.base_sp;
+  Alcotest.(check int) "depth" 1 (S.depth s);
+  S.pop s;
+  Alcotest.(check int) "sp restored" top (S.sp s);
+  Alcotest.(check int) "depth 0" 0 (S.depth s)
+
+let test_max_extent () =
+  let s = S.create () in
+  let top = S.sp s in
+  let _ = S.push s ~routine:"a" ~routine_addr:1 ~frame_size:100 in
+  let _ = S.push s ~routine:"b" ~routine_addr:2 ~frame_size:200 in
+  S.pop s;
+  S.pop s;
+  Alcotest.(check int) "deepest extent remembered" (top - 300) (S.max_extent s);
+  (* fast method counts popped-but-reached addresses as stack *)
+  Alcotest.(check bool) "fast in_stack" true (S.in_stack s (top - 250));
+  Alcotest.(check bool) "beyond extent" false (S.in_stack s (top - 301))
+
+let test_attribute_own_frame () =
+  let s = S.create () in
+  let f = S.push s ~routine:"leaf" ~routine_addr:7 ~frame_size:64 in
+  (match S.attribute s (f.S.base_sp - 1) with
+  | Some g -> Alcotest.(check string) "own frame" "leaf" g.S.routine
+  | None -> Alcotest.fail "expected attribution");
+  S.pop s
+
+let test_attribute_caller_frame () =
+  let s = S.create () in
+  let caller = S.push s ~routine:"caller" ~routine_addr:1 ~frame_size:128 in
+  let _ = S.push s ~routine:"callee" ~routine_addr:2 ~frame_size:64 in
+  (* the callee touches data the caller allocated: charged to the caller *)
+  (match S.attribute s (caller.S.base_sp - 100) with
+  | Some g -> Alcotest.(check string) "caller charged" "caller" g.S.routine
+  | None -> Alcotest.fail "expected attribution");
+  S.pop s;
+  S.pop s
+
+let test_attribute_outside () =
+  let s = S.create () in
+  let _ = S.push s ~routine:"a" ~routine_addr:1 ~frame_size:64 in
+  Alcotest.(check bool) "above live frames" true
+    (S.attribute s (Layout.stack_top - 1000) = None);
+  S.pop s
+
+let test_pop_empty () =
+  let s = S.create () in
+  Alcotest.check_raises "pop empty"
+    (Invalid_argument "Shadow_stack.pop: empty stack") (fun () -> S.pop s)
+
+let test_zero_size_frame () =
+  let s = S.create () in
+  let f = S.push s ~routine:"empty" ~routine_addr:1 ~frame_size:0 in
+  Alcotest.(check int) "no sp change" f.S.base_sp (S.sp s);
+  S.pop s
+
+let test_deep_nesting () =
+  let s = S.create () in
+  for i = 1 to 100 do
+    ignore (S.push s ~routine:(string_of_int i) ~routine_addr:i ~frame_size:16)
+  done;
+  Alcotest.(check int) "depth 100" 100 (S.depth s);
+  (match S.current s with
+  | Some f -> Alcotest.(check string) "innermost" "100" f.S.routine
+  | None -> Alcotest.fail "current");
+  for _ = 1 to 100 do
+    S.pop s
+  done;
+  Alcotest.(check int) "unwound" 0 (S.depth s)
+
+let balanced_prop =
+  QCheck.Test.make ~name:"balanced push/pop restores sp" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (int_range 0 256))
+    (fun sizes ->
+      let s = S.create () in
+      let top = S.sp s in
+      List.iter
+        (fun sz -> ignore (S.push s ~routine:"r" ~routine_addr:1 ~frame_size:sz))
+        sizes;
+      List.iter (fun _ -> S.pop s) sizes;
+      S.sp s = top && S.depth s = 0)
+
+let suite =
+  [
+    Alcotest.test_case "push/pop stack pointer" `Quick test_push_pop_sp;
+    Alcotest.test_case "max extent" `Quick test_max_extent;
+    Alcotest.test_case "attribute own frame" `Quick test_attribute_own_frame;
+    Alcotest.test_case "attribute caller frame" `Quick
+      test_attribute_caller_frame;
+    Alcotest.test_case "attribute outside" `Quick test_attribute_outside;
+    Alcotest.test_case "pop empty raises" `Quick test_pop_empty;
+    Alcotest.test_case "zero-size frame" `Quick test_zero_size_frame;
+    Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+    QCheck_alcotest.to_alcotest balanced_prop;
+  ]

@@ -1,0 +1,121 @@
+module Stats = Nvsc_util.Stats
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+let checkf ?eps name a b = Alcotest.(check bool) name true (feq ?eps a b)
+
+let test_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  checkf "mean" 0. (Stats.mean s);
+  checkf "variance" 0. (Stats.variance s);
+  Alcotest.(check bool) "min" true (Stats.min s = infinity);
+  Alcotest.(check bool) "max" true (Stats.max s = neg_infinity)
+
+let test_known_values () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Stats.count s);
+  checkf "mean" 5.0 (Stats.mean s);
+  (* sample variance of that classic set is 32/7 *)
+  checkf ~eps:1e-9 "variance" (32. /. 7.) (Stats.variance s);
+  checkf "min" 2. (Stats.min s);
+  checkf "max" 9. (Stats.max s);
+  checkf "total" 40. (Stats.total s)
+
+let test_merge_equiv () =
+  let a = Stats.create () and b = Stats.create () and whole = Stats.create () in
+  let rng = Nvsc_util.Rng.of_int 1 in
+  for i = 1 to 1000 do
+    let v = Nvsc_util.Rng.float rng 100. in
+    Stats.add whole v;
+    if i mod 3 = 0 then Stats.add a v else Stats.add b v
+  done;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" (Stats.count whole) (Stats.count m);
+  checkf ~eps:1e-6 "mean" (Stats.mean whole) (Stats.mean m);
+  checkf ~eps:1e-6 "variance" (Stats.variance whole) (Stats.variance m);
+  checkf "min" (Stats.min whole) (Stats.min m);
+  checkf "max" (Stats.max whole) (Stats.max m)
+
+let test_merge_empty () =
+  let a = Stats.create () in
+  let b = Stats.create () in
+  Stats.add b 3.;
+  let m = Stats.merge a b in
+  Alcotest.(check int) "count" 1 (Stats.count m);
+  checkf "mean" 3. (Stats.mean m)
+
+let test_percentile () =
+  let xs = [| 15.; 20.; 35.; 40.; 50. |] in
+  checkf "p0 = min" 15. (Stats.percentile xs 0.);
+  checkf "p100 = max" 50. (Stats.percentile xs 1.);
+  checkf "median" 35. (Stats.percentile xs 0.5);
+  checkf "p25" 20. (Stats.percentile xs 0.25)
+
+let test_percentile_interpolation () =
+  let xs = [| 1.; 2. |] in
+  checkf "p50 interpolates" 1.5 (Stats.percentile xs 0.5)
+
+let test_percentile_unsorted_input () =
+  let xs = [| 50.; 15.; 40.; 20.; 35. |] in
+  checkf "median of unsorted" 35. (Stats.median xs);
+  (* input must not be mutated *)
+  Alcotest.(check (array (float 0.0))) "input untouched"
+    [| 50.; 15.; 40.; 20.; 35. |] xs
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty raises"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 0.5))
+
+let test_cdf () =
+  let points = Stats.cdf [| 3.; 1.; 3.; 2. |] in
+  Alcotest.(check int) "distinct values" 3 (List.length points);
+  let v, f = List.nth points 0 in
+  Alcotest.(check bool) "first" true (feq v 1. && feq f 0.25);
+  let v, f = List.nth points 2 in
+  Alcotest.(check bool) "last" true (feq v 3. && feq f 1.0)
+
+let test_cdf_monotone_prop =
+  QCheck.Test.make ~name:"cdf is monotone and ends at 1"
+    QCheck.(array_of_size Gen.(int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let points = Stats.cdf xs in
+      let ok = ref true in
+      let prev_v = ref neg_infinity and prev_f = ref 0. in
+      List.iter
+        (fun (v, f) ->
+          if v <= !prev_v || f < !prev_f then ok := false;
+          prev_v := v;
+          prev_f := f)
+        points;
+      !ok && feq !prev_f 1.0)
+
+let test_ratio () =
+  checkf "normal" 2.5 (Stats.ratio 5 2);
+  Alcotest.(check bool) "read-only is infinite" true (Stats.ratio 3 0 = infinity);
+  checkf "untouched" 0. (Stats.ratio 0 0)
+
+let test_geometric_mean () =
+  checkf ~eps:1e-9 "gm(2,8)" 4.0 (Stats.geometric_mean [| 2.; 8. |]);
+  checkf ~eps:1e-9 "gm(singleton)" 7.0 (Stats.geometric_mean [| 7. |])
+
+let qcheck t = QCheck_alcotest.to_alcotest t
+
+let suite =
+  [
+    Alcotest.test_case "empty accumulator" `Quick test_empty;
+    Alcotest.test_case "known values" `Quick test_known_values;
+    Alcotest.test_case "merge equivalence" `Quick test_merge_equiv;
+    Alcotest.test_case "merge with empty" `Quick test_merge_empty;
+    Alcotest.test_case "percentiles" `Quick test_percentile;
+    Alcotest.test_case "percentile interpolation" `Quick
+      test_percentile_interpolation;
+    Alcotest.test_case "percentile unsorted input" `Quick
+      test_percentile_unsorted_input;
+    Alcotest.test_case "percentile empty raises" `Quick test_percentile_empty;
+    Alcotest.test_case "cdf points" `Quick test_cdf;
+    qcheck test_cdf_monotone_prop;
+    Alcotest.test_case "ratio conventions" `Quick test_ratio;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+  ]

@@ -1,0 +1,77 @@
+module Table = Nvsc_util.Table
+module Units = Nvsc_util.Units
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_render_contains () =
+  let t = Table.create ~title:"T" [ ("A", Table.Left); ("B", Table.Right) ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "yy"; "22" ];
+  let s = Table.to_string t in
+  Alcotest.(check bool) "title" true (contains ~needle:"== T ==" s);
+  Alcotest.(check bool) "headers" true (contains ~needle:"A" s);
+  Alcotest.(check bool) "cells" true (contains ~needle:"yy" s);
+  Alcotest.(check int) "rows" 2 (Table.row_count t)
+
+let test_arity_mismatch () =
+  let t = Table.create [ ("A", Table.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity mismatch")
+    (fun () -> Table.add_row t [ "a"; "b" ])
+
+let test_alignment_padding () =
+  let t = Table.create [ ("H", Table.Right) ] in
+  Table.add_row t [ "1" ];
+  Table.add_row t [ "100" ];
+  let lines = String.split_on_char '\n' (Table.to_string t) in
+  (* the row "1" must be right-aligned to width 3 *)
+  Alcotest.(check bool) "right aligned" true
+    (List.exists (fun l -> l = "  1") lines)
+
+let test_cells () =
+  Alcotest.(check string) "float" "3.14" (Table.cell_f ~prec:2 3.14159);
+  Alcotest.(check string) "inf" "inf" (Table.cell_f infinity);
+  Alcotest.(check string) "nan" "nan" (Table.cell_f Float.nan);
+  Alcotest.(check string) "pct" "75.6%" (Table.cell_pct 0.756);
+  Alcotest.(check string) "int" "42" (Table.cell_i 42)
+
+let test_bytes_format () =
+  let s n = Format.asprintf "%a" Units.pp_bytes n in
+  Alcotest.(check string) "bytes" "824B" (s 824);
+  Alcotest.(check string) "kb" "2.0KB" (s 2048);
+  Alcotest.(check string) "mb" "1.5MB" (s (3 * 1024 * 1024 / 2));
+  Alcotest.(check string) "gb" "2.00GB" (s (2 * 1024 * 1024 * 1024))
+
+let test_ns_format () =
+  let s t = Format.asprintf "%a" Units.pp_ns t in
+  Alcotest.(check string) "ns" "10.0ns" (s 10.);
+  Alcotest.(check string) "us" "1.50us" (s 1500.);
+  Alcotest.(check string) "ms" "2.00ms" (s 2e6);
+  Alcotest.(check string) "s" "1.000s" (s 1e9)
+
+let test_watts_format () =
+  let s w = Format.asprintf "%a" Units.pp_watts w in
+  Alcotest.(check string) "mw" "956.0mW" (s 0.956);
+  Alcotest.(check string) "w" "1.441W" (s 1.441)
+
+let test_cycle_conversions () =
+  Alcotest.(check (float 1e-9)) "cycles to ns" 100.
+    (Units.ns_of_cycles ~cycles:100 ~ghz:1.0);
+  Alcotest.(check int) "ns to cycles rounds up" 23
+    (Units.cycles_of_ns ~ns:10. ~ghz:2.266);
+  Alcotest.(check int) "kib" 2048 (Units.kib 2);
+  Alcotest.(check int) "mib" (1024 * 1024) (Units.mib 1)
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_render_contains;
+    Alcotest.test_case "table arity" `Quick test_arity_mismatch;
+    Alcotest.test_case "table alignment" `Quick test_alignment_padding;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+    Alcotest.test_case "bytes formatting" `Quick test_bytes_format;
+    Alcotest.test_case "time formatting" `Quick test_ns_format;
+    Alcotest.test_case "power formatting" `Quick test_watts_format;
+    Alcotest.test_case "cycle conversions" `Quick test_cycle_conversions;
+  ]

@@ -1,0 +1,146 @@
+module WL = Nvsc_nvram.Wear_leveling
+
+let start_gap ?(interval = 16) lines =
+  WL.create (WL.Start_gap { gap_move_interval = interval }) ~lines
+
+let table ?(interval = 32) lines =
+  WL.create (WL.Table_based { swap_interval = interval }) ~lines
+
+let test_identity_before_movement () =
+  let t = start_gap 8 in
+  for l = 0 to 7 do
+    Alcotest.(check int)
+      (Printf.sprintf "line %d" l)
+      l
+      (WL.physical_of_logical t l)
+  done
+
+let test_mapping_stays_injective () =
+  let t = start_gap ~interval:3 16 in
+  for w = 1 to 500 do
+    ignore (WL.write t (w mod 16));
+    let seen = Hashtbl.create 17 in
+    for l = 0 to 15 do
+      let p = WL.physical_of_logical t l in
+      Alcotest.(check bool) "in physical range" true (p >= 0 && p <= 16);
+      Alcotest.(check bool) "injective" false (Hashtbl.mem seen p);
+      Hashtbl.add seen p ()
+    done
+  done
+
+let test_gap_rotates () =
+  let t = start_gap ~interval:1 4 in
+  (* every write moves the gap; after 5 moves it wrapped once *)
+  for _ = 1 to 5 do
+    ignore (WL.write t 0)
+  done;
+  Alcotest.(check int) "remaps counted" 5 (WL.remaps t);
+  Alcotest.(check bool) "mapping moved" true (WL.physical_of_logical t 0 <> 0)
+
+let test_overhead () =
+  let t = start_gap ~interval:100 64 in
+  for w = 1 to 10_000 do
+    ignore (WL.write t (w mod 64))
+  done;
+  Alcotest.(check (float 1e-9)) "1% overhead" 0.01 (WL.extra_write_overhead t)
+
+let skewed_writes t n =
+  (* 90% of writes hit line 0 *)
+  let rng = Nvsc_util.Rng.of_int 5 in
+  for _ = 1 to n do
+    let l = if Nvsc_util.Rng.bernoulli rng 0.9 then 0 else Nvsc_util.Rng.int rng 64 in
+    ignore (WL.write t l)
+  done
+
+let test_start_gap_levels_skew () =
+  let levelled = start_gap ~interval:8 64 in
+  skewed_writes levelled 50_000;
+  let unlevelled = start_gap ~interval:1_000_000 64 in
+  skewed_writes unlevelled 50_000;
+  Alcotest.(check bool) "levelling reduces imbalance" true
+    (WL.wear_imbalance levelled < 0.3 *. WL.wear_imbalance unlevelled);
+  (* with 90% of writes on one line of 64, unlevelled imbalance ~ 58x *)
+  Alcotest.(check bool) "unlevelled is terrible" true
+    (WL.wear_imbalance unlevelled > 20.)
+
+let test_table_levels_skew () =
+  let t = table ~interval:64 64 in
+  skewed_writes t 50_000;
+  Alcotest.(check bool) "table-based levels too" true (WL.wear_imbalance t < 10.);
+  Alcotest.(check bool) "swaps happened" true (WL.remaps t > 0)
+
+let test_table_mapping_consistent () =
+  let t = table ~interval:8 16 in
+  for w = 1 to 200 do
+    ignore (WL.write t (w mod 16))
+  done;
+  let seen = Hashtbl.create 17 in
+  for l = 0 to 15 do
+    let p = WL.physical_of_logical t l in
+    Alcotest.(check bool) "injective after swaps" false (Hashtbl.mem seen p);
+    Hashtbl.add seen p ()
+  done
+
+let test_table_does_not_amplify_sweeps () =
+  (* regression: a sequential sweep must not trick the hot/cold swapper
+     into funnelling every sweep front onto one frame (the wear-gap guard
+     prevents it) *)
+  let lines = 512 in
+  let t = table ~interval:64 lines in
+  for w = 0 to 20_000 do
+    (* sweep with a small per-window repeat, like an iterative kernel *)
+    ignore (WL.write t (w / 4 mod lines))
+  done;
+  Alcotest.(check bool) "no amplification" true (WL.wear_imbalance t < 3.);
+  Alcotest.(check bool) "few or no swaps" true
+    (WL.extra_write_overhead t < 0.01)
+
+let test_wear_conservation () =
+  let t = start_gap ~interval:10 32 in
+  for w = 1 to 1000 do
+    ignore (WL.write t (w mod 32))
+  done;
+  let total = Array.fold_left ( + ) 0 (WL.wear t) in
+  Alcotest.(check int) "wear = writes + remap copies" (WL.writes t + WL.remaps t)
+    total
+
+let test_validation () =
+  Alcotest.check_raises "lines" (Invalid_argument "Wear_leveling.create: lines")
+    (fun () -> ignore (start_gap 0));
+  Alcotest.check_raises "interval"
+    (Invalid_argument "Wear_leveling.create: gap_move_interval") (fun () ->
+      ignore (WL.create (WL.Start_gap { gap_move_interval = 0 }) ~lines:4));
+  let t = start_gap 4 in
+  Alcotest.check_raises "range"
+    (Invalid_argument "Wear_leveling.physical_of_logical") (fun () ->
+      ignore (WL.physical_of_logical t 4))
+
+let write_returns_mapping_prop =
+  QCheck.Test.make ~name:"write returns the pre-advance mapping" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 200) (int_range 0 15))
+    (fun ls ->
+      let t = start_gap ~interval:7 16 in
+      List.for_all
+        (fun l ->
+          let expected = WL.physical_of_logical t l in
+          WL.write t l = expected)
+        ls)
+
+let suite =
+  [
+    Alcotest.test_case "identity before movement" `Quick
+      test_identity_before_movement;
+    Alcotest.test_case "mapping stays injective" `Quick
+      test_mapping_stays_injective;
+    Alcotest.test_case "gap rotates" `Quick test_gap_rotates;
+    Alcotest.test_case "write overhead" `Quick test_overhead;
+    Alcotest.test_case "start-gap levels skew" `Quick test_start_gap_levels_skew;
+    Alcotest.test_case "table-based levels skew" `Quick test_table_levels_skew;
+    Alcotest.test_case "table mapping consistent" `Quick
+      test_table_mapping_consistent;
+    Alcotest.test_case "table does not amplify sweeps" `Quick
+      test_table_does_not_amplify_sweeps;
+    Alcotest.test_case "wear conservation" `Quick test_wear_conservation;
+    Alcotest.test_case "validation" `Quick test_validation;
+    QCheck_alcotest.to_alcotest write_returns_mapping_prop;
+  ]
