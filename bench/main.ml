@@ -75,16 +75,43 @@ let bench_fig12 =
 
 (* --- substrate micro-benches ------------------------------------------- *)
 
+(* Materialise a generated stream as an array fixture by draining it into a
+   trace log (streaming API; no intermediate list). *)
+let gen_array gen =
+  let log = Nvsc_memtrace.Trace_log.create () in
+  let s = Nvsc_memtrace.Trace_log.sink log in
+  ignore (Nvsc_memtrace.Trace_gen.into gen s);
+  Nvsc_memtrace.Sink.flush s;
+  Array.init (Nvsc_memtrace.Trace_log.length log) (Nvsc_memtrace.Trace_log.get log)
+
 let trace_10k =
   lazy
-    (Array.of_list
+    (gen_array
        (Nvsc_memtrace.Trace_gen.hot_cold ~seed:7 ~hot_fraction:0.7
           ~hot_lines:8192 ~cold_lines:262144 ~write_fraction:0.3 ~n:10_000 ()))
+
+(* Fixture for the sink-throughput comparison: a recorded 100k-reference
+   trace replayed per-access (old pipeline shape) vs as one flat batch. *)
+let throughput_refs = 100_000
+
+let log_100k =
+  lazy
+    (let log = Nvsc_memtrace.Trace_log.create ~initial_capacity:throughput_refs () in
+     let s = Nvsc_memtrace.Trace_log.sink log in
+     ignore
+       (Nvsc_memtrace.Trace_gen.into
+          (Nvsc_memtrace.Trace_gen.zipf ~seed:11 ~lines:65536
+             ~write_fraction:0.3 ~n:throughput_refs ())
+          s);
+     Nvsc_memtrace.Sink.flush s;
+     log)
 
 let bench_cache_filter =
   Test.make ~name:"substrate:cache-hierarchy-10k"
     (Staged.stage (fun () ->
-         let h = Nvsc_cachesim.Hierarchy.create ~sink:ignore () in
+         let h =
+           Nvsc_cachesim.Hierarchy.create ~sink:(Nvsc_memtrace.Sink.null ()) ()
+         in
          Array.iter (Nvsc_cachesim.Hierarchy.access h) (Lazy.force trace_10k);
          Nvsc_cachesim.Hierarchy.drain h))
 
@@ -153,17 +180,42 @@ let bench_mapping scheme =
          Array.iter (Nvsc_dramsim.Controller.submit c) (Lazy.force trace_10k);
          ignore (Nvsc_dramsim.Controller.stats c)))
 
-let bench_trace_buffer ~name ~capacity =
+let bench_sink_capacity ~name ~capacity =
   Test.make ~name
     (Staged.stage (fun () ->
-         let sink = ref 0 in
-         let b =
-           Nvsc_memtrace.Trace_buffer.create ~capacity
-             ~flush:(fun _ n -> sink := !sink + n)
-             ()
+         let count = ref 0 in
+         let s =
+           Nvsc_memtrace.Sink.create ~capacity (fun _ ~first:_ ~n ->
+               count := !count + n)
          in
-         Array.iter (Nvsc_memtrace.Trace_buffer.push b) (Lazy.force trace_10k);
-         Nvsc_memtrace.Trace_buffer.flush b))
+         Array.iter (Nvsc_memtrace.Sink.push_access s) (Lazy.force trace_10k);
+         Nvsc_memtrace.Sink.flush s))
+
+(* Satellite: old per-access closure transport vs flat batch delivery over
+   the same recorded trace.  The per-run ratio is printed after the table. *)
+let bench_sink_closure =
+  Test.make ~name:"pipeline:sink-throughput-closure"
+    (Staged.stage (fun () ->
+         let total = ref 0 in
+         Nvsc_memtrace.Trace_log.replay (Lazy.force log_100k) (fun a ->
+             total := !total + (a.Access.addr lxor a.Access.size));
+         ignore !total))
+
+let bench_sink_batched =
+  Test.make ~name:"pipeline:sink-throughput-batched"
+    (Staged.stage (fun () ->
+         let total = ref 0 in
+         (* capacity 1: replay_batch delivers the log zero-copy, so the
+            sink's own buffer is never used — don't pay for one *)
+         let s =
+           Nvsc_memtrace.Sink.create ~capacity:1 (fun b ~first ~n ->
+               let module B = Nvsc_memtrace.Sink.Batch in
+               for i = first to first + n - 1 do
+                 total := !total + (B.addr b i lxor B.size b i)
+               done)
+         in
+         Nvsc_memtrace.Trace_log.replay_batch (Lazy.force log_100k) s;
+         ignore !total))
 
 let bench_wear_leveling ~name scheme =
   Test.make ~name
@@ -235,8 +287,10 @@ let tests =
       bench_registry_lookup ~name:"ablation:registry-lru1" ~cache_slots:1;
       bench_mapping Nvsc_dramsim.Address_mapping.Row_bank_rank_col;
       bench_mapping Nvsc_dramsim.Address_mapping.Line_interleave;
-      bench_trace_buffer ~name:"ablation:trace-buffer-64k" ~capacity:65536;
-      bench_trace_buffer ~name:"ablation:trace-buffer-16" ~capacity:16;
+      bench_sink_capacity ~name:"ablation:sink-batch-64k" ~capacity:65536;
+      bench_sink_capacity ~name:"ablation:sink-batch-16" ~capacity:16;
+      bench_sink_closure;
+      bench_sink_batched;
       bench_wear_leveling ~name:"ablation:wear-start-gap"
         (Nvsc_nvram.Wear_leveling.Start_gap { gap_move_interval = 100 });
       bench_wear_leveling ~name:"ablation:wear-table"
@@ -259,6 +313,7 @@ let () =
   (* force shared fixtures outside the measured region *)
   ignore (Lazy.force bundle);
   ignore (Lazy.force trace_10k);
+  ignore (Lazy.force log_100k);
   ignore (Lazy.force lookup_pattern);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
@@ -290,4 +345,29 @@ let () =
   List.iter
     (fun (name, ns) ->
       Format.printf "%-50s %12.1fus@." name (ns /. 1_000.))
-    rows
+    rows;
+  (* sink-throughput summary: refs/sec through both transports *)
+  let find suffix =
+    List.find_map
+      (fun (name, ns) ->
+        if
+          String.length name >= String.length suffix
+          && String.sub name
+               (String.length name - String.length suffix)
+               (String.length suffix)
+             = suffix
+        then Some ns
+        else None)
+      rows
+  in
+  match (find "sink-throughput-closure", find "sink-throughput-batched") with
+  | Some c, Some b when b > 0. && c > 0. ->
+    let refs = float_of_int throughput_refs in
+    Format.printf
+      "@.sink throughput (%d refs): closure %.1f Mref/s, batched %.1f Mref/s \
+       (%.2fx)@."
+      throughput_refs
+      (refs /. c *. 1_000.)
+      (refs /. b *. 1_000.)
+      (c /. b)
+  | _ -> ()

@@ -187,7 +187,7 @@ let power_cmd =
         let results =
           Nvsc_dramsim.Memory_system.compare_technologies
             ~techs:Nvsc_nvram.Technology.paper_set
-            ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay trace sink)
+            ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
             ()
         in
         List.iter

@@ -46,7 +46,7 @@ let () =
   let powers =
     Nvsc_dramsim.Memory_system.compare_technologies
       ~techs:Nvsc_nvram.Technology.paper_set
-      ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay trace sink)
+      ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
       ()
     |> Nvsc_dramsim.Memory_system.normalized_power
   in

@@ -4,6 +4,7 @@ module Mem_object = Nvsc_memtrace.Mem_object
 module Object_registry = Nvsc_memtrace.Object_registry
 module Shadow_stack = Nvsc_memtrace.Shadow_stack
 module Counters = Nvsc_memtrace.Counters
+module Sink = Nvsc_memtrace.Sink
 module Rng = Nvsc_util.Rng
 
 type fast_tally = {
@@ -27,20 +28,57 @@ type frame = {
   limit : int;
 }
 
+type attributed_sink = Sink.Batch.t -> int array -> first:int -> n:int -> unit
+
 type t = {
   rng : Rng.t;
   registry : Object_registry.t;
   counters : Counters.t;
   shadow : Shadow_stack.t;
-  mutable sinks : (Access.t -> unit) list;
+  mutable sinks : Sink.t array;
+  mutable attr_sinks : attributed_sink array;
   mutable instr_sink : (int -> unit) option;
+  (* the emission batch: references accumulate here and flush to the sinks
+     when the batch fills or at a phase boundary (paper §III-D).  The
+     parallel [obj_ids] array carries emission-time attribution (-1 =
+     unattributed) for attributed sinks; [instr_before.(i)] counts plain
+     instructions committed since reference [i-1], so an instruction sink
+     can be interleaved back in program order at flush time. *)
+  batch : Sink.Batch.t;
+  obj_ids : int array;
+  instr_before : int array;
+  batch_capacity : int;
+  mutable batch_len : int;
+  mutable pending_instr : int;
+  mutable batches_out : int;
+  mutable capacity_flushes : int;
+  mutable boundary_flushes : int;
   mutable phase : Mem_object.phase;
+  mutable cur_tally : mutable_tally;
   mutable heap_brk : int;
   mutable global_brk : int;
   mutable next_id : int;
   mutable next_routine_addr : int;
   routine_addrs : (string, int) Hashtbl.t;
   routine_objects : (int, Mem_object.t) Hashtbl.t; (* keyed by routine addr *)
+  (* one-entry memo for stack attribution: routine objects are registered
+     once and never replaced, so the memo can never go stale *)
+  mutable memo_routine_addr : int;
+  mutable memo_routine_obj : Mem_object.t option;
+  (* one-entry memo for heap/global attribution: a hit means [addr] falls
+     in [memo_obj_lo, memo_obj_hi], the range of the last attributed
+     object.  Invalidated on every registry mutation (allocation, free,
+     global merge), so a hit can never be stale. *)
+  mutable memo_obj : Mem_object.t option;
+  mutable memo_obj_lo : int;
+  mutable memo_obj_hi : int;
+  (* one-entry memo for the stack-frame walk: valid only while the shadow
+     stack's stamp is unchanged (no push/pop), so a hit sees the same live
+     frames the walk would. *)
+  mutable memo_frame_stamp : int;
+  mutable memo_frame_lo : int;
+  mutable memo_frame_hi : int; (* exclusive *)
+  mutable memo_frame_obj : Mem_object.t option;
   heap_instances : (string, int) Hashtbl.t; (* live-collision counters *)
   mutable tallies : mutable_tally array; (* per iteration *)
   mutable total_refs : int;
@@ -51,23 +89,48 @@ type t = {
 
 and sampling = { period : int; sample_length : int; mutable position : int }
 
-let create ?(seed = 42) () =
+let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity) () =
+  if batch_capacity <= 0 then invalid_arg "Ctx.create: batch_capacity";
+  let tallies = Array.init 4 (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 }) in
+  let batch = Sink.Batch.create batch_capacity in
+  (* the context only emits word-sized references: prefill once *)
+  Sink.Batch.fill_sizes batch Layout.word;
   {
     rng = Rng.of_int seed;
     registry = Object_registry.create ();
     counters = Counters.create ();
     shadow = Shadow_stack.create ();
-    sinks = [];
+    sinks = [||];
+    attr_sinks = [||];
     instr_sink = None;
+    batch;
+    obj_ids = Array.make batch_capacity (-1);
+    instr_before = Array.make batch_capacity 0;
+    batch_capacity;
+    batch_len = 0;
+    pending_instr = 0;
+    batches_out = 0;
+    capacity_flushes = 0;
+    boundary_flushes = 0;
     phase = Mem_object.Pre;
+    cur_tally = tallies.(0);
     heap_brk = Layout.heap_base;
     global_brk = Layout.global_base;
     next_id = 0;
     next_routine_addr = 0x0040_0000;
     routine_addrs = Hashtbl.create 64;
     routine_objects = Hashtbl.create 64;
+    memo_routine_addr = min_int;
+    memo_routine_obj = None;
+    memo_obj = None;
+    memo_obj_lo = 1;
+    memo_obj_hi = 0;
+    memo_frame_stamp = -1;
+    memo_frame_lo = 1;
+    memo_frame_hi = 0;
+    memo_frame_obj = None;
     heap_instances = Hashtbl.create 64;
-    tallies = Array.init 4 (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 });
+    tallies;
     total_refs = 0;
     unattributed = 0;
     sampling = None;
@@ -81,11 +144,54 @@ let set_sampling t ~period ~sample_length =
 
 let sampled_out t = t.sampled_out
 
-let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+(* --- batched delivery --------------------------------------------------- *)
+
+let deliver_segment t first n =
+  if n > 0 then
+    Array.iter (fun s -> Sink.deliver s t.batch ~first ~n) t.sinks
+
+let flush_batch t ~boundary =
+  let n = t.batch_len in
+  if n > 0 then begin
+    t.batch_len <- 0;
+    t.batches_out <- t.batches_out + 1;
+    if boundary then t.boundary_flushes <- t.boundary_flushes + 1
+    else t.capacity_flushes <- t.capacity_flushes + 1;
+    (match t.instr_sink with
+    | None -> deliver_segment t 0 n
+    | Some isink ->
+      (* interleave instruction counts back between the reference segments
+         they preceded, preserving program order for the consumer *)
+      let seg = ref 0 in
+      for i = 0 to n - 1 do
+        let k = t.instr_before.(i) in
+        if k > 0 then begin
+          deliver_segment t !seg (i - !seg);
+          isink k;
+          seg := i
+        end
+      done;
+      deliver_segment t !seg (n - !seg));
+    Array.iter (fun f -> f t.batch t.obj_ids ~first:0 ~n) t.attr_sinks
+  end;
+  if boundary && t.pending_instr > 0 then begin
+    (match t.instr_sink with Some isink -> isink t.pending_instr | None -> ());
+    t.pending_instr <- 0
+  end
+
+let flush_refs t = flush_batch t ~boundary:true
+
+let add_sink t sink = t.sinks <- Array.append t.sinks [| sink |]
+
+let add_attributed_sink t f =
+  t.attr_sinks <- Array.append t.attr_sinks [| f |]
+
 let set_instr_sink t sink = t.instr_sink <- Some sink
 
 let clear_sinks t =
-  t.sinks <- [];
+  flush_refs t;
+  t.sinks <- [||];
+  t.attr_sinks <- [||];
   t.instr_sink <- None
 
 let iteration_of_phase = function
@@ -94,9 +200,26 @@ let iteration_of_phase = function
     if i < 1 then invalid_arg "Ctx: main-loop iterations are 1-based";
     i
 
+let tally t iter =
+  let n = Array.length t.tallies in
+  if iter >= n then begin
+    let n' = Stdlib.max (iter + 1) (2 * n) in
+    let t' =
+      Array.init n' (fun i ->
+          if i < n then t.tallies.(i) else { sr = 0; sw = 0; or_ = 0; ow = 0 })
+    in
+    t.tallies <- t'
+  end;
+  t.tallies.(iter)
+
 let set_phase t phase =
+  let iter = iteration_of_phase phase in
+  (* flush before the phase changes: buffered references were emitted in
+     the old phase and must be seen by phase-sensitive sinks under it *)
+  flush_batch t ~boundary:true;
   t.phase <- phase;
-  Counters.set_iteration t.counters (iteration_of_phase phase)
+  Counters.set_iteration t.counters iter;
+  t.cur_tally <- tally t iter
 
 let phase t = t.phase
 
@@ -105,10 +228,16 @@ let fresh_id t =
   t.next_id <- id + 1;
   id
 
+let invalidate_obj_memo t =
+  t.memo_obj <- None;
+  t.memo_obj_lo <- 1;
+  t.memo_obj_hi <- 0
+
 (* --- allocation ------------------------------------------------------- *)
 
 let alloc_global t ~name ~words =
   if words <= 0 then invalid_arg "Ctx.alloc_global: words";
+  invalidate_obj_memo t;
   let size = words * Layout.word in
   let base = t.global_brk in
   if base + size > Layout.global_limit then failwith "Ctx: global segment full";
@@ -122,6 +251,7 @@ let alloc_global t ~name ~words =
 let alloc_global_overlay t ~name ~over ~offset_words ~words =
   if words <= 0 || offset_words < 0 then
     invalid_arg "Ctx.alloc_global_overlay: bad range";
+  invalidate_obj_memo t;
   if over.Mem_object.kind <> Layout.Global then
     invalid_arg "Ctx.alloc_global_overlay: base object must be global";
   let base = over.Mem_object.base + (offset_words * Layout.word) in
@@ -141,6 +271,7 @@ let callstack_names t =
 
 let alloc_heap t ~site ~words =
   if words <= 0 then invalid_arg "Ctx.alloc_heap: words";
+  invalidate_obj_memo t;
   let size = words * Layout.word in
   match Object_registry.find_by_signature t.registry site with
   | Some obj when (not obj.Mem_object.live) && obj.Mem_object.size = size ->
@@ -181,6 +312,7 @@ let alloc_heap t ~site ~words =
 let free_heap t obj =
   if obj.Mem_object.kind <> Layout.Heap then
     invalid_arg "Ctx.free_heap: not a heap object";
+  invalidate_obj_memo t;
   Object_registry.deallocate t.registry obj
 
 (* --- routines --------------------------------------------------------- *)
@@ -237,18 +369,6 @@ let frame_routine frame = frame.routine
 
 (* --- reference emission ----------------------------------------------- *)
 
-let tally t iter =
-  let n = Array.length t.tallies in
-  if iter >= n then begin
-    let n' = Stdlib.max (iter + 1) (2 * n) in
-    let t' =
-      Array.init n' (fun i ->
-          if i < n then t.tallies.(i) else { sr = 0; sw = 0; or_ = 0; ow = 0 })
-    in
-    t.tallies <- t'
-  end;
-  t.tallies.(iter)
-
 let attribute t addr =
   match Layout.classify addr with
   | Some Layout.Stack -> (
@@ -257,6 +377,32 @@ let attribute t addr =
     | None -> None)
   | Some (Layout.Heap | Layout.Global) -> Object_registry.lookup t.registry addr
   | None -> None
+
+let attribute_stack t addr =
+  if
+    t.memo_frame_stamp = Shadow_stack.stamp t.shadow
+    && addr >= t.memo_frame_lo
+    && addr < t.memo_frame_hi
+  then t.memo_frame_obj
+  else
+    match Shadow_stack.attribute t.shadow addr with
+    | Some frame ->
+      let ra = frame.Shadow_stack.routine_addr in
+      let obj =
+        if ra = t.memo_routine_addr then t.memo_routine_obj
+        else begin
+          let obj = Hashtbl.find_opt t.routine_objects ra in
+          t.memo_routine_addr <- ra;
+          t.memo_routine_obj <- obj;
+          obj
+        end
+      in
+      t.memo_frame_stamp <- Shadow_stack.stamp t.shadow;
+      t.memo_frame_lo <- frame.Shadow_stack.base_sp - frame.Shadow_stack.frame_size;
+      t.memo_frame_hi <- frame.Shadow_stack.base_sp;
+      t.memo_frame_obj <- obj;
+      obj
+    | None -> None
 
 (* With sampling enabled, a reference outside the sample window is
    invisible to the whole analysis (attribution, tallies and sinks) — as
@@ -272,22 +418,52 @@ let sampling_drops t =
 
 let emit_observed t addr op =
   t.total_refs <- t.total_refs + 1;
-  let iter = iteration_of_phase t.phase in
-  let tal = tally t iter in
-  let is_stack = match Layout.classify addr with
-    | Some Layout.Stack -> true
-    | _ -> false
+  let tal = t.cur_tally in
+  let obj =
+    match Layout.classify addr with
+    | Some Layout.Stack ->
+      (match op with
+      | Access.Read -> tal.sr <- tal.sr + 1
+      | Access.Write -> tal.sw <- tal.sw + 1);
+      attribute_stack t addr
+    | Some (Layout.Heap | Layout.Global) ->
+      (match op with
+      | Access.Read -> tal.or_ <- tal.or_ + 1
+      | Access.Write -> tal.ow <- tal.ow + 1);
+      if addr >= t.memo_obj_lo && addr <= t.memo_obj_hi then t.memo_obj
+      else begin
+        let found = Object_registry.lookup t.registry addr in
+        (match found with
+        | Some o ->
+          t.memo_obj <- found;
+          t.memo_obj_lo <- o.Mem_object.base;
+          t.memo_obj_hi <- Mem_object.last_byte o
+        | None -> ());
+        found
+      end
+    | None ->
+      (match op with
+      | Access.Read -> tal.or_ <- tal.or_ + 1
+      | Access.Write -> tal.ow <- tal.ow + 1);
+      None
   in
-  (match (is_stack, op) with
-  | true, Access.Read -> tal.sr <- tal.sr + 1
-  | true, Access.Write -> tal.sw <- tal.sw + 1
-  | false, Access.Read -> tal.or_ <- tal.or_ + 1
-  | false, Access.Write -> tal.ow <- tal.ow + 1);
-  (match attribute t addr with
-  | Some obj -> Counters.record t.counters ~obj_id:obj.Mem_object.id ~op
-  | None -> t.unattributed <- t.unattributed + 1);
-  let access = { Access.addr; size = Layout.word; op } in
-  List.iter (fun sink -> sink access) t.sinks
+  let obj_id =
+    match obj with
+    | Some o ->
+      Counters.record t.counters ~obj_id:o.Mem_object.id ~op;
+      o.Mem_object.id
+    | None ->
+      t.unattributed <- t.unattributed + 1;
+      -1
+  in
+  let i = t.batch_len in
+  (* i < batch_capacity = length of all three arrays, by construction *)
+  Sink.Batch.set_addr_op t.batch i ~addr ~op;
+  Array.unsafe_set t.obj_ids i obj_id;
+  Array.unsafe_set t.instr_before i t.pending_instr;
+  t.pending_instr <- 0;
+  t.batch_len <- i + 1;
+  if t.batch_len = t.batch_capacity then flush_batch t ~boundary:false
 
 let emit t addr op = if sampling_drops t then () else emit_observed t addr op
 
@@ -296,7 +472,9 @@ let write_addr t ~addr = emit t addr Access.Write
 
 let flops t n =
   if n < 0 then invalid_arg "Ctx.flops: negative";
-  match t.instr_sink with Some sink -> sink n | None -> ()
+  match t.instr_sink with
+  | Some _ -> t.pending_instr <- t.pending_instr + n
+  | None -> ()
 
 (* --- analysis accessors ------------------------------------------------ *)
 
@@ -343,3 +521,24 @@ let fast_tally_totals t =
 
 let total_references t = t.total_refs
 let unattributed t = t.unattributed
+
+(* --- pipeline self-observability --------------------------------------- *)
+
+type pipeline_stats = {
+  batch_capacity : int;
+  refs : int;
+  batches : int;
+  capacity_flushes : int;
+  boundary_flushes : int;
+  sinks : Sink.stats list;
+}
+
+let pipeline_stats (t : t) =
+  {
+    batch_capacity = t.batch_capacity;
+    refs = t.total_refs;
+    batches = t.batches_out;
+    capacity_flushes = t.capacity_flushes;
+    boundary_flushes = t.boundary_flushes;
+    sinks = Array.to_list (Array.map Sink.stats t.sinks);
+  }

@@ -8,23 +8,47 @@
     NV-SCAVENGER does: stack references through the shadow stack, heap and
     global references through the bucketed object registry.
 
-    External sinks (a cache hierarchy filtering traffic toward the power
-    simulator, or the performance model) can subscribe to the same
-    stream. *)
+    References do not leave the context one at a time: they accumulate in a
+    flat {!Nvsc_memtrace.Sink.Batch.t} and are delivered to the subscribed
+    sinks a batch at a time — when the batch fills, or at a phase boundary
+    (the paper's §III-D batching of raw references).  Attribution, the fast
+    stack tallies and the per-object counters still happen at emission
+    time, so analysis results are independent of the batch capacity. *)
 
 type t
 
-val create : ?seed:int -> unit -> t
+val create : ?seed:int -> ?batch_capacity:int -> unit -> t
+(** [batch_capacity] sets the emission batch size (default
+    {!Nvsc_memtrace.Sink.default_capacity}).  Results are invariant in it;
+    only flush cadence changes. *)
 
 (** {1 Sinks} *)
 
-val add_sink : t -> (Nvsc_memtrace.Access.t -> unit) -> unit
-(** Subscribe to every emitted reference (called after attribution). *)
+val add_sink : t -> Nvsc_memtrace.Sink.t -> unit
+(** Subscribe a sink to the reference stream.  Batches are delivered in
+    subscription order; within a batch references are in program order and
+    were all emitted under the same phase. *)
+
+type attributed_sink =
+  Nvsc_memtrace.Sink.Batch.t -> int array -> first:int -> n:int -> unit
+(** A batch consumer that also receives the emission-time attribution:
+    the second argument maps batch index [i] to the owning object's id, or
+    [-1] when the reference resolved to no object. *)
+
+val add_attributed_sink : t -> attributed_sink -> unit
 
 val set_instr_sink : t -> (int -> unit) -> unit
-(** Receive non-memory committed-instruction counts (from {!flops}). *)
+(** Receive non-memory committed-instruction counts (from {!flops}).
+    Counts are buffered alongside the reference batch and replayed in
+    program order at flush time. *)
 
 val clear_sinks : t -> unit
+(** Flushes buffered references, then unsubscribes every sink. *)
+
+val flush_refs : t -> unit
+(** Deliver any buffered references (and pending instruction counts) to the
+    sinks now.  Called implicitly at phase boundaries; call it before
+    reading sink-side state mid-phase. *)
 
 val set_sampling : t -> period:int -> sample_length:int -> unit
 (** Enable periodic sampling of the instrumentation itself: out of every
@@ -41,7 +65,9 @@ val sampled_out : t -> int
 
 val set_phase : t -> Nvsc_memtrace.Mem_object.phase -> unit
 (** [Pre] and [Post] are charged to iteration 0 (as in the paper's
-    figure 7); [Main i] (1-based) to iteration [i]. *)
+    figure 7); [Main i] (1-based) to iteration [i].  Buffered references
+    are flushed {e before} the phase changes, so phase-sensitive sinks
+    always see a reference under the phase it was emitted in. *)
 
 val phase : t -> Nvsc_memtrace.Mem_object.phase
 
@@ -114,8 +140,7 @@ val stack_objects : t -> Nvsc_memtrace.Mem_object.t list
 val attribute_addr : t -> int -> Nvsc_memtrace.Mem_object.t option
 (** Resolve an address to its memory object the way the recorder does:
     stack addresses through the shadow stack, heap/global through the
-    registry.  Exposed for external monitors that subscribe via
-    {!add_sink}. *)
+    registry.  Exposed for external monitors. *)
 
 (** Per-iteration tallies of the fast stack method (paper §III-A, method
     1): whole-stack read/write counts and the share of all references that
@@ -134,3 +159,16 @@ val total_references : t -> int
 val unattributed : t -> int
 (** References that resolved to no object (should be 0 for well-formed
     applications; exposed for tests). *)
+
+(** {1 Pipeline self-observability} *)
+
+type pipeline_stats = {
+  batch_capacity : int;
+  refs : int;  (** references entered into the emission batch *)
+  batches : int;  (** batches flushed to the sinks *)
+  capacity_flushes : int;
+  boundary_flushes : int;
+  sinks : Nvsc_memtrace.Sink.stats list;
+}
+
+val pipeline_stats : t -> pipeline_stats

@@ -1,10 +1,11 @@
 module Access = Nvsc_memtrace.Access
+module Sink = Nvsc_memtrace.Sink
 
 type t = {
   l1d : Cache.t;
   l2 : Cache.t;
   line_bytes : int;
-  sink : Access.t -> unit;
+  sink : Sink.t;
   mutable accesses : int;
   mutable memory_reads : int;
   mutable memory_writes : int;
@@ -26,11 +27,13 @@ let create ?(l1d = Cache_params.paper_l1d) ?(l2 = Cache_params.paper_l2) ~sink
 
 let mem_read t line =
   t.memory_reads <- t.memory_reads + 1;
-  t.sink (Access.read ~addr:(line * t.line_bytes) ~size:t.line_bytes)
+  Sink.push t.sink ~addr:(line * t.line_bytes) ~size:t.line_bytes
+    ~op:Access.Read
 
 let mem_write t line =
   t.memory_writes <- t.memory_writes + 1;
-  t.sink (Access.write ~addr:(line * t.line_bytes) ~size:t.line_bytes)
+  Sink.push t.sink ~addr:(line * t.line_bytes) ~size:t.line_bytes
+    ~op:Access.Write
 
 (* L2 is the last level: its fills come from memory and its dirty victims
    and forwarded writes go to memory. *)
@@ -58,25 +61,37 @@ let access_line t line op =
     (match e.Cache.writeback with Some l -> l2_write t l | None -> ());
     (match e.Cache.forward_write with Some l -> l2_write t l | None -> ())
 
-let access t (a : Access.t) =
-  let first = a.addr / t.line_bytes in
-  let last = Access.last_byte a / t.line_bytes in
+let access_raw t ~addr ~size ~op =
+  let first = addr / t.line_bytes in
+  let last = (addr + size - 1) / t.line_bytes in
   for line = first to last do
-    access_line t line a.op
+    access_line t line op
   done
 
-let access_classified t (a : Access.t) =
+let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
+
+let consume t batch ~first ~n =
+  for i = first to first + n - 1 do
+    access_raw t ~addr:(Sink.Batch.addr batch i) ~size:(Sink.Batch.size batch i)
+      ~op:(Sink.Batch.op batch i)
+  done
+
+let access_classified_raw t ~addr ~size ~op =
   let l1_misses_before = Cache.misses t.l1d in
   let mem_before = t.memory_reads + t.memory_writes in
-  access t a;
+  access_raw t ~addr ~size ~op;
   if t.memory_reads + t.memory_writes > mem_before then `Mem
   else if Cache.misses t.l1d > l1_misses_before then `L2
   else `L1
 
+let access_classified t (a : Access.t) =
+  access_classified_raw t ~addr:a.addr ~size:a.size ~op:a.op
+
 let drain t =
   (* L1 dirty lines write into L2; then L2 dirty lines write to memory. *)
   Cache.flush_dirty t.l1d (fun line -> l2_write t line);
-  Cache.flush_dirty t.l2 (fun line -> mem_write t line)
+  Cache.flush_dirty t.l2 (fun line -> mem_write t line);
+  Sink.flush t.sink
 
 let reset t =
   Cache.invalidate_all t.l1d;

@@ -4,32 +4,46 @@
 
     Data references go through L1D then L2; the resulting DRAM/NVRAM
     traffic — L2 fills (reads) and L2 dirty evictions / forwarded writes
-    (writes) — is delivered to a sink at line granularity. *)
+    (writes) — is pushed into a {!Nvsc_memtrace.Sink.t} at line
+    granularity, so downstream consumers receive it in flat batches. *)
 
 type t
 
 val create :
   ?l1d:Cache_params.t ->
   ?l2:Cache_params.t ->
-  sink:(Nvsc_memtrace.Access.t -> unit) ->
+  sink:Nvsc_memtrace.Sink.t ->
   unit ->
   t
 (** Parameters default to the paper's Table II configuration.  [sink]
-    receives each main-memory access (line-sized). *)
+    receives each main-memory access (line-sized); it is flushed by
+    {!drain}. *)
 
-val access : t -> Nvsc_memtrace.Access.t -> unit
+val access_raw : t -> addr:int -> size:int -> op:Nvsc_memtrace.Access.op -> unit
 (** Run one application reference through the hierarchy.  References that
     straddle a line boundary are split per line, as hardware would issue
     them. *)
 
+val access : t -> Nvsc_memtrace.Access.t -> unit
+(** Per-record convenience over {!access_raw}. *)
+
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Run a batch slice through the hierarchy in order (the sink-consumer
+    shape: wrap with [Sink.create (Hierarchy.consume t)]). *)
+
+val access_classified_raw :
+  t -> addr:int -> size:int -> op:Nvsc_memtrace.Access.op -> [ `L1 | `L2 | `Mem ]
+(** Like {!access_raw}, additionally reporting the deepest level that had
+    to service the reference ([`Mem] when main-memory traffic was
+    generated).  For a reference split across lines, the deepest outcome
+    wins. *)
+
 val access_classified : t -> Nvsc_memtrace.Access.t -> [ `L1 | `L2 | `Mem ]
-(** Like {!access}, additionally reporting the deepest level that had to
-    service the reference ([`Mem] when main-memory traffic was generated).
-    For a reference split across lines, the deepest outcome wins. *)
 
 val drain : t -> unit
 (** Write back all dirty lines (L1 through L2 to memory) so that the
-    memory trace accounts for every store.  Call once at end of trace. *)
+    memory trace accounts for every store, then flush the sink.  Call once
+    at end of trace. *)
 
 val reset : t -> unit
 (** Invalidate both levels and clear statistics. *)
@@ -42,4 +56,5 @@ val accesses : t -> int
 
 val memory_reads : t -> int
 val memory_writes : t -> int
-(** Line-granularity traffic delivered to the sink so far. *)
+(** Line-granularity traffic generated so far (counted at generation time,
+    independent of sink buffering). *)

@@ -64,7 +64,7 @@ let table6_data bundle =
       let results =
         Nvsc_dramsim.Memory_system.compare_technologies
           ~techs:Technology.paper_set
-          ~replay:(fun sink -> Trace_log.replay trace sink)
+          ~replay:(fun sink -> Trace_log.replay_batch trace sink)
           ()
       in
       (r.app_name, Nvsc_dramsim.Memory_system.normalized_power results))
@@ -72,16 +72,18 @@ let table6_data bundle =
 
 let perf_replay ?(scale = 0.5) (module A : Nvsc_apps.Workload.APP) model =
   let ctx = Ctx.create () in
-  Ctx.add_sink ctx (fun a ->
-      match Ctx.phase ctx with
-      | Mem_object.Main _ -> Nvsc_cpusim.Perf_model.access model a
-      | Mem_object.Pre | Mem_object.Post -> ());
+  Ctx.add_sink ctx
+    (Nvsc_memtrace.Sink.create ~name:"perf-model" (fun b ~first ~n ->
+         match Ctx.phase ctx with
+         | Mem_object.Main _ -> Nvsc_cpusim.Perf_model.consume model b ~first ~n
+         | Mem_object.Pre | Mem_object.Post -> ()));
   Ctx.set_instr_sink ctx (fun n ->
       match Ctx.phase ctx with
       | Mem_object.Main _ -> Nvsc_cpusim.Perf_model.instructions model n
       | Mem_object.Pre | Mem_object.Post -> ());
   (* the paper simulates a single main-loop iteration (§VII-E) *)
-  A.run ~scale ctx ~iterations:1
+  A.run ~scale ctx ~iterations:1;
+  Ctx.flush_refs ctx
 
 let fig12_data ?(config = default_config) ?asymmetric () =
   List.map

@@ -94,7 +94,7 @@ let hybrid_design ?(scale = 0.5) ?(iterations = 5)
      of NVRAM *)
   let dram_pages = Stdlib.max 16 (r.Scavenger.footprint_bytes / 4 / 4096) in
   let dc = Nvsc_placement.Dram_cache.create ~dram_pages ~tech () in
-  Trace_log.replay trace (Nvsc_placement.Dram_cache.access dc);
+  Trace_log.replay_batch trace (Nvsc_placement.Dram_cache.sink dc);
   Nvsc_placement.Dram_cache.drain dc;
   let dstats = Nvsc_placement.Dram_cache.stats dc in
   (* horizontal: static placement over the same footprint, with the same
@@ -147,10 +147,13 @@ let dram_cache_crossover ?(tech = Technology.get Technology.PCRAM)
       (* hot set fits the cache; the cold set is 64x larger *)
       let hot_lines = dram_pages * 4096 / 64 in
       let dc = Nvsc_placement.Dram_cache.create ~dram_pages ~tech () in
-      List.iter
-        (Nvsc_placement.Dram_cache.access dc)
-        (Nvsc_memtrace.Trace_gen.hot_cold ~seed:11 ~hot_fraction ~hot_lines
-           ~cold_lines:(64 * hot_lines) ~write_fraction:0.25 ~n:accesses ());
+      let dc_sink = Nvsc_placement.Dram_cache.sink dc in
+      ignore
+        (Nvsc_memtrace.Trace_gen.into
+           (Nvsc_memtrace.Trace_gen.hot_cold ~seed:11 ~hot_fraction ~hot_lines
+              ~cold_lines:(64 * hot_lines) ~write_fraction:0.25 ~n:accesses ())
+           dc_sink);
+      Nvsc_memtrace.Sink.flush dc_sink;
       let s = Nvsc_placement.Dram_cache.stats dc in
       (* flat NVRAM: every access pays the device latency, no fills *)
       let flat =
@@ -359,14 +362,14 @@ let hybrid_simulation ?(scale = 0.5) ?(iterations = 5)
       items
   in
   let placement = interval_table hybrid metrics in
-  let replay sink = Trace_log.replay trace sink in
+  let replay sink = Trace_log.replay_batch trace sink in
   let designs =
     Nvsc_dramsim.Hybrid_system.compare_designs ~nvram:tech ~placement ~replay ()
   in
   let h =
     Nvsc_dramsim.Hybrid_system.create ~nvram:tech ~placement ()
   in
-  replay (Nvsc_dramsim.Hybrid_system.access h);
+  replay (Nvsc_dramsim.Hybrid_system.sink h);
   let hs = Nvsc_dramsim.Hybrid_system.stats h in
   {
     app_name = r.Scavenger.app_name;
@@ -396,7 +399,7 @@ let power_sensitivity ?(scale = 0.5) ?(iterations = 5)
     (module A : Nvsc_apps.Workload.APP) =
   let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
   let trace = Option.get r.Scavenger.mem_trace in
-  let replay sink = Trace_log.replay trace sink in
+  let replay sink = Trace_log.replay_batch trace sink in
   let configs =
     [
       ("default (FCFS, row:bank:rank:col, open-page)", fun () ->
@@ -427,7 +430,7 @@ let row_policy_ablation trace ~tech =
   List.map
     (fun policy ->
       let c = Nvsc_dramsim.Controller.create ~row_policy:policy ~tech () in
-      Trace_log.replay trace (Nvsc_dramsim.Controller.submit c);
+      Trace_log.replay_batch trace (Nvsc_dramsim.Controller.sink c);
       (policy, Nvsc_dramsim.Controller.stats c))
     [ Nvsc_dramsim.Controller.Open_page; Nvsc_dramsim.Controller.Closed_page ]
 

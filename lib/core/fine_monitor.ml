@@ -1,5 +1,6 @@
 module Ctx = Nvsc_appkit.Ctx
 module Mem_object = Nvsc_memtrace.Mem_object
+module Sink = Nvsc_memtrace.Sink
 
 type window_counts = (int * int * int) list
 
@@ -40,26 +41,31 @@ let attach ctx ~window_refs ~on_window =
       seen = 0;
     }
   in
-  Ctx.add_sink ctx (fun a ->
-      t.seen <- t.seen + 1;
-      (match Ctx.attribute_addr ctx a.Nvsc_memtrace.Access.addr with
-      | Some obj ->
-        let r, w =
-          match Hashtbl.find_opt t.counts obj.Mem_object.id with
-          | Some cell -> cell
-          | None ->
-            let cell = (ref 0, ref 0) in
-            Hashtbl.add t.counts obj.Mem_object.id cell;
-            cell
-        in
-        (match a.op with
-        | Nvsc_memtrace.Access.Read -> incr r
-        | Nvsc_memtrace.Access.Write -> incr w)
-      | None -> ());
-      t.in_window <- t.in_window + 1;
-      if t.in_window >= t.window_refs then deliver t);
+  (* Attributed batches carry the emission-time object ids, so the monitor
+     needs no address re-resolution at delivery time. *)
+  Ctx.add_attributed_sink ctx (fun batch obj_ids ~first ~n ->
+      for i = first to first + n - 1 do
+        t.seen <- t.seen + 1;
+        let id = obj_ids.(i) in
+        if id >= 0 then begin
+          let r, w =
+            match Hashtbl.find_opt t.counts id with
+            | Some cell -> cell
+            | None ->
+              let cell = (ref 0, ref 0) in
+              Hashtbl.add t.counts id cell;
+              cell
+          in
+          if Sink.Batch.is_write batch i then incr w else incr r
+        end;
+        t.in_window <- t.in_window + 1;
+        if t.in_window >= t.window_refs then deliver t
+      done);
   t
 
-let flush t = deliver t
+let flush t =
+  Ctx.flush_refs t.ctx;
+  deliver t
+
 let windows t = t.windows
 let references_seen t = t.seen

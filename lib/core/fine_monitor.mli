@@ -20,12 +20,14 @@ val attach :
   window_refs:int ->
   on_window:(window_counts -> unit) ->
   t
-(** Register the monitor as a sink on the context.  [on_window] fires each
-    time [window_refs] references have been observed (and once more for a
-    final partial window via {!flush}). *)
+(** Register the monitor as an attributed batch sink on the context:
+    window counts use the emission-time attribution carried alongside each
+    batch.  [on_window] fires each time [window_refs] references have been
+    observed (and once more for a final partial window via {!flush}). *)
 
 val flush : t -> unit
-(** Deliver the current partial window, if any. *)
+(** Flush the context's buffered references, then deliver the current
+    partial window, if any. *)
 
 val windows : t -> int
 (** Completed windows so far. *)

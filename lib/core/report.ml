@@ -191,6 +191,40 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
              points))
     (Experiment.fig12_data ~config:bundle.config ());
   add_table buf t;
+
+  section buf "Reference-stream transport (pipeline counters)";
+  let t =
+    Table.create
+      [
+        ("Application", Table.Left);
+        ("Batch capacity", Table.Right);
+        ("References", Table.Right);
+        ("Batches", Table.Right);
+        ("Capacity flushes", Table.Right);
+        ("Boundary flushes", Table.Right);
+        ("Sinks (pushed/batches)", Table.Left);
+      ]
+  in
+  List.iter
+    (fun (r : Scavenger.result) ->
+      let p = r.Scavenger.pipeline in
+      Table.add_row t
+        [
+          r.Scavenger.app_name;
+          Table.cell_i p.Nvsc_appkit.Ctx.batch_capacity;
+          Table.cell_i p.Nvsc_appkit.Ctx.refs;
+          Table.cell_i p.Nvsc_appkit.Ctx.batches;
+          Table.cell_i p.Nvsc_appkit.Ctx.capacity_flushes;
+          Table.cell_i p.Nvsc_appkit.Ctx.boundary_flushes;
+          String.concat ", "
+            (List.map
+               (fun (s : Nvsc_memtrace.Sink.stats) ->
+                 Printf.sprintf "%s %d/%d" s.Nvsc_memtrace.Sink.name
+                   s.Nvsc_memtrace.Sink.pushed s.Nvsc_memtrace.Sink.batches)
+               p.Nvsc_appkit.Ctx.sinks);
+        ])
+    bundle.results;
+  add_table buf t;
   Buffer.contents buf
 
 let markdown ?config () =

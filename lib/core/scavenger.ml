@@ -2,6 +2,7 @@ module Ctx = Nvsc_appkit.Ctx
 module Layout = Nvsc_memtrace.Layout
 module Mem_object = Nvsc_memtrace.Mem_object
 module Trace_log = Nvsc_memtrace.Trace_log
+module Sink = Nvsc_memtrace.Sink
 module Hierarchy = Nvsc_cachesim.Hierarchy
 module Cache = Nvsc_cachesim.Cache
 
@@ -20,6 +21,7 @@ type result = {
   l1_miss_rate : float;
   l2_miss_rate : float;
   unattributed : int;
+  pipeline : Ctx.pipeline_stats;
 }
 
 let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
@@ -33,16 +35,21 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
     match trace with
     | None -> None
     | Some log ->
-      let h = Hierarchy.create ~sink:(fun a -> Trace_log.record log a) () in
-      (* Filter only main-loop references through the caches: the paper
-         instruments the main computation loop. *)
-      Ctx.add_sink ctx (fun a ->
-          match Ctx.phase ctx with
-          | Mem_object.Main _ -> Hierarchy.access h a
-          | Mem_object.Pre | Mem_object.Post -> ());
+      let h =
+        Hierarchy.create ~sink:(Trace_log.sink ~name:"trace-log" log) ()
+      in
+      (* Filter only main-loop batches through the caches: the paper
+         instruments the main computation loop.  Batches are delivered
+         under their emission phase, so the filter is exact. *)
+      Ctx.add_sink ctx
+        (Sink.create ~name:"cache-hierarchy" (fun b ~first ~n ->
+             match Ctx.phase ctx with
+             | Mem_object.Main _ -> Hierarchy.consume h b ~first ~n
+             | Mem_object.Pre | Mem_object.Post -> ()));
       Some h
   in
   A.run ~scale ctx ~iterations;
+  Ctx.flush_refs ctx;
   (match hierarchy with Some h -> Hierarchy.drain h | None -> ());
   let metrics = Object_metrics.collect ctx ~iterations in
   let footprint_bytes =
@@ -71,6 +78,7 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
     l1_miss_rate = miss_rate Hierarchy.l1d;
     l2_miss_rate = miss_rate Hierarchy.l2;
     unattributed = Ctx.unattributed ctx;
+    pipeline = Ctx.pipeline_stats ctx;
   }
 
 let kind_metrics kind result =

@@ -26,6 +26,9 @@ type result = {
   l1_miss_rate : float;
   l2_miss_rate : float;
   unattributed : int;  (** references that resolved to no object *)
+  pipeline : Nvsc_appkit.Ctx.pipeline_stats;
+      (** reference-stream transport counters: batches delivered, flush
+          causes, per-sink totals (pipeline self-observability) *)
 }
 
 val run :

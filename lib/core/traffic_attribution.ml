@@ -44,12 +44,17 @@ let analyze (result : Scavenger.result) =
          metrics)
   in
   let attributed = ref 0 and unattributed = ref 0 in
-  Nvsc_memtrace.Trace_log.replay trace (fun a ->
-      match Interval_map.find map a.Access.addr with
-      | Some cell ->
-        incr attributed;
-        if Access.is_write a then cell.w <- cell.w + 1 else cell.r <- cell.r + 1
-      | None -> incr unattributed);
+  (* walk the trace's flat batch directly: no record materialisation *)
+  let batch, n = Nvsc_memtrace.Trace_log.as_batch trace in
+  let module Batch = Nvsc_memtrace.Sink.Batch in
+  for i = 0 to n - 1 do
+    match Interval_map.find map (Batch.addr batch i) with
+    | Some cell ->
+      incr attributed;
+      if Batch.is_write batch i then cell.w <- cell.w + 1
+      else cell.r <- cell.r + 1
+    | None -> incr unattributed
+  done;
   (* DDR3 burst energies at line granularity *)
   let power =
     Nvsc_dramsim.Power_params.of_tech

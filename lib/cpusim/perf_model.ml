@@ -1,4 +1,5 @@
 module Access = Nvsc_memtrace.Access
+module Sink = Nvsc_memtrace.Sink
 module Hierarchy = Nvsc_cachesim.Hierarchy
 
 type t = {
@@ -46,7 +47,7 @@ let create ?(params = Core_params.paper) ?l1d ?l2 ?mem_write_latency_ns
   let p = params in
   {
     p;
-    hierarchy = Hierarchy.create ?l1d ?l2 ~sink:(fun _ -> ()) ();
+    hierarchy = Hierarchy.create ?l1d ?l2 ~sink:(Sink.null ()) ();
     tlb = Tlb.create ~entries:p.tlb_entries ~page_bytes:p.page_bytes;
     mem_latency_ns;
     mem_latency_cycles = mem_latency_ns *. p.clock_ghz;
@@ -161,27 +162,35 @@ let posted_write t write_cycles =
   (* the write still occupies a bandwidth slot *)
   t.mem_stall <- t.mem_stall +. t.covered_miss_cycles
 
-let access t (a : Access.t) =
+let access_raw t ~addr ~size ~op =
   t.mem_instr_count <- t.mem_instr_count + 1;
   retire t 1;
-  if not (Tlb.access t.tlb a.addr) then
+  if not (Tlb.access t.tlb addr) then
     t.tlb_stall <- t.tlb_stall +. float_of_int t.p.tlb_miss_cycles;
-  match Hierarchy.access_classified t.hierarchy a with
+  match Hierarchy.access_classified_raw t.hierarchy ~addr ~size ~op with
   | `L1 -> t.l1_hits <- t.l1_hits + 1
   | `L2 ->
     t.l2_hits <- t.l2_hits + 1;
     t.l2_stall <- t.l2_stall +. t.l2_visible_cycles
   | `Mem -> (
     t.mem_accesses <- t.mem_accesses + 1;
-    match (a.op, t.write_latency_cycles) with
+    match (op, t.write_latency_cycles) with
     | Access.Write, Some write_cycles -> posted_write t write_cycles
     | (Access.Read | Access.Write), _ ->
-      let line = a.addr / 64 in
+      let line = addr / 64 in
       if stream_covered t line then begin
         t.covered_misses <- t.covered_misses + 1;
         t.mem_stall <- t.mem_stall +. t.covered_miss_cycles
       end
       else demand_miss t)
+
+let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
+
+let consume t batch ~first ~n =
+  for i = first to first + n - 1 do
+    access_raw t ~addr:(Sink.Batch.addr batch i) ~size:(Sink.Batch.size batch i)
+      ~op:(Sink.Batch.op batch i)
+  done
 
 type report = {
   instructions : int;

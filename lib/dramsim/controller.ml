@@ -5,7 +5,7 @@ type row_policy = Open_page | Closed_page
 
 type scheduler = Fcfs | Fr_fcfs of int
 
-type pending = { access : Access.t; coords : Address_mapping.coords }
+type pending = { op : Access.op; coords : Address_mapping.coords }
 
 type t = {
   org : Org.t;
@@ -118,7 +118,7 @@ let refresh_rank t rank upto =
     t.next_refresh.(rank) <- start +. t.timing.Timing.t_refi_ns
   done
 
-let issue t (a : Access.t) (c : Address_mapping.coords) =
+let issue t (op : Access.op) (c : Address_mapping.coords) =
   admit t;
   let arrival = t.now in
   refresh_rank t c.rank arrival;
@@ -152,7 +152,7 @@ let issue t (a : Access.t) (c : Address_mapping.coords) =
   let bus_end = bus_start +. t.timing.Timing.t_burst_ns in
   t.bus_free <- bus_end;
   t.accesses <- t.accesses + 1;
-  (match a.op with
+  (match op with
   | Access.Read ->
     t.reads <- t.reads + 1;
     t.burst_energy_nj <-
@@ -199,15 +199,25 @@ let pick_ready t =
 let schedule_one t =
   let p, rest = pick_ready t in
   t.reorder <- rest;
-  issue t p.access p.coords
+  issue t p.op p.coords
 
-let submit t (a : Access.t) =
-  let coords = Address_mapping.decode t.scheme t.org a.addr in
+let submit_ref t ~addr ~(op : Access.op) =
+  let coords = Address_mapping.decode t.scheme t.org addr in
   match t.scheduler with
-  | Fcfs -> issue t a coords
+  | Fcfs -> issue t op coords
   | Fr_fcfs depth ->
-    t.reorder <- t.reorder @ [ { access = a; coords } ];
+    t.reorder <- t.reorder @ [ { op; coords } ];
     if List.length t.reorder >= depth then schedule_one t
+
+let submit t (a : Access.t) = submit_ref t ~addr:a.addr ~op:a.op
+
+let consume t batch ~first ~n =
+  let module Batch = Nvsc_memtrace.Sink.Batch in
+  for i = first to first + n - 1 do
+    submit_ref t ~addr:(Batch.addr batch i) ~op:(Batch.op batch i)
+  done
+
+let sink ?name t = Nvsc_memtrace.Sink.create ?name (consume t)
 
 let flush t =
   while t.reorder <> [] do

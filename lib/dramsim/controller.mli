@@ -46,6 +46,17 @@ val submit : t -> Nvsc_memtrace.Access.t -> unit
     transactions may be buffered; {!flush} (or {!stats}/{!elapsed_ns},
     which flush implicitly) issues any remainder. *)
 
+val submit_ref : t -> addr:int -> op:Nvsc_memtrace.Access.op -> unit
+(** Scalar {!submit}: the same transaction without materialising an
+    [Access.t] (batch consumers' hot path). *)
+
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Submit a batch slice of transactions in order (the sink-consumer
+    shape). *)
+
+val sink : ?name:string -> t -> Nvsc_memtrace.Sink.t
+(** A sink feeding this controller via {!consume}. *)
+
 val flush : t -> unit
 (** Issue every buffered transaction (no-op under [Fcfs]). *)
 

@@ -35,15 +35,26 @@ let create ?(org = Org.paper) ?scheme ?window ~nvram ~placement () =
     writes = 0;
   }
 
-let access t (a : Access.t) =
+let access_ref t ~addr ~(op : Access.op) =
   t.accesses <- t.accesses + 1;
-  if Access.is_write a then t.writes <- t.writes + 1;
-  match t.placement a.addr with
-  | Dram_side -> Controller.submit t.dram a
+  let is_write = op = Access.Write in
+  if is_write then t.writes <- t.writes + 1;
+  match t.placement addr with
+  | Dram_side -> Controller.submit_ref t.dram ~addr ~op
   | Nvram_side ->
     t.to_nvram <- t.to_nvram + 1;
-    if Access.is_write a then t.nvram_writes <- t.nvram_writes + 1;
-    Controller.submit t.nvram a
+    if is_write then t.nvram_writes <- t.nvram_writes + 1;
+    Controller.submit_ref t.nvram ~addr ~op
+
+let access t (a : Access.t) = access_ref t ~addr:a.addr ~op:a.op
+
+let consume t batch ~first ~n =
+  let module Batch = Nvsc_memtrace.Sink.Batch in
+  for i = first to first + n - 1 do
+    access_ref t ~addr:(Batch.addr batch i) ~op:(Batch.op batch i)
+  done
+
+let sink ?name t = Nvsc_memtrace.Sink.create ?name (consume t)
 
 type stats = {
   dram : Controller.stats;
@@ -99,13 +110,17 @@ let compare_designs ?(org = Org.paper) ?scheme ?window ~nvram ~placement
   (* all-DRAM and all-NVRAM at full capacity *)
   let single tech =
     let c = Controller.create ~org ?scheme ?window ~tech () in
-    replay (Controller.submit c);
+    let s = Controller.sink ~name:("all-" ^ tech.Technology.name) c in
+    replay s;
+    Nvsc_memtrace.Sink.flush s;
     Controller.stats c
   in
   let d = single (Technology.get Technology.DDR3) in
   let n = single nvram in
   let h = create ~org ?scheme ?window ~nvram ~placement () in
-  replay (access h);
+  let hsink = sink ~name:"hybrid" h in
+  replay hsink;
+  Nvsc_memtrace.Sink.flush hsink;
   let hs = stats h in
   let base = d.Controller.avg_power_w in
   [

@@ -32,6 +32,12 @@ val create :
 
 val access : t -> Nvsc_memtrace.Access.t -> unit
 
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Route a batch slice of trace records in order. *)
+
+val sink : ?name:string -> t -> Nvsc_memtrace.Sink.t
+(** A sink feeding this hybrid via {!consume}. *)
+
 type stats = {
   dram : Controller.stats;
   nvram : Controller.stats;
@@ -52,7 +58,7 @@ val compare_designs :
   ?window:int ->
   nvram:Nvsc_nvram.Technology.t ->
   placement:(int -> side) ->
-  replay:((Nvsc_memtrace.Access.t -> unit) -> unit) ->
+  replay:(Nvsc_memtrace.Sink.t -> unit) ->
   unit ->
   (string * float * float) list
 (** The experiment the paper could not run: replay one trace through

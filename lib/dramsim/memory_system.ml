@@ -11,6 +11,8 @@ let create ?org ?scheme ?window ?row_policy ?scheduler ~tech () =
   }
 
 let access t a = Controller.submit t.controller a
+let consume t batch ~first ~n = Controller.consume t.controller batch ~first ~n
+let sink ?name t = Controller.sink ?name t.controller
 
 let stats t = Controller.stats t.controller
 
@@ -26,7 +28,9 @@ let compare_technologies ?org ?scheme ?window ?row_policy ?scheduler ~techs
   List.map
     (fun tech ->
       let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
-      replay (access t);
+      let s = sink ~name:tech.Technology.name t in
+      replay s;
+      Nvsc_memtrace.Sink.flush s;
       (tech, stats t))
     techs
 

@@ -17,6 +17,12 @@ val create :
 val access : t -> Nvsc_memtrace.Access.t -> unit
 (** Feed one trace record. *)
 
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Feed a batch slice of trace records in order. *)
+
+val sink : ?name:string -> t -> Nvsc_memtrace.Sink.t
+(** A sink feeding this system via {!consume}. *)
+
 val stats : t -> Controller.stats
 
 val tech : t -> Nvsc_nvram.Technology.t
@@ -30,7 +36,8 @@ val run_trace :
   tech:Nvsc_nvram.Technology.t ->
   Nvsc_memtrace.Access.t list ->
   Controller.stats
-(** One-shot convenience: simulate a whole trace and return the stats. *)
+(** One-shot convenience: simulate a whole materialised trace and return
+    the stats (list-compat shim; tests only — hot paths use {!sink}). *)
 
 val compare_technologies :
   ?org:Org.t ->
@@ -39,12 +46,14 @@ val compare_technologies :
   ?row_policy:Controller.row_policy ->
   ?scheduler:Controller.scheduler ->
   techs:Nvsc_nvram.Technology.t list ->
-  replay:((Nvsc_memtrace.Access.t -> unit) -> unit) ->
+  replay:(Nvsc_memtrace.Sink.t -> unit) ->
   unit ->
   (Nvsc_nvram.Technology.t * Controller.stats) list
 (** Replay the same trace into a fresh memory system per technology —
     the Table VI experiment.  [replay sink] must drive [sink] with the
-    identical access sequence on every call. *)
+    identical access sequence on every call (batched delivery via
+    {!Nvsc_memtrace.Trace_log.replay_batch}, or per-access pushes); the
+    sink is flushed after each replay. *)
 
 val normalized_power :
   (Nvsc_nvram.Technology.t * Controller.stats) list ->

@@ -10,10 +10,25 @@ type t = {
   mutable iter : int;
   mutable max_iter : int;
   mutable grand_total : int;
+  (* one-entry memo: successive references to the same object (array
+     sweeps) skip the hash lookup and its option allocation *)
+  mutable memo_id : int;
+  mutable memo_po : per_object;
 }
 
+let fresh_po () =
+  { reads = Array.make 4 0; writes = Array.make 4 0;
+    total_reads = 0; total_writes = 0 }
+
 let create () =
-  { objects = Hashtbl.create 256; iter = 0; max_iter = 0; grand_total = 0 }
+  {
+    objects = Hashtbl.create 256;
+    iter = 0;
+    max_iter = 0;
+    grand_total = 0;
+    memo_id = min_int;
+    memo_po = fresh_po ();
+  }
 
 let set_iteration t i =
   if i < 0 then invalid_arg "Counters.set_iteration: negative iteration";
@@ -36,15 +51,20 @@ let ensure_capacity po iter =
   end
 
 let get_or_create t obj_id =
-  match Hashtbl.find_opt t.objects obj_id with
-  | Some po -> po
-  | None ->
+  if obj_id = t.memo_id then t.memo_po
+  else begin
     let po =
-      { reads = Array.make 4 0; writes = Array.make 4 0;
-        total_reads = 0; total_writes = 0 }
+      match Hashtbl.find_opt t.objects obj_id with
+      | Some po -> po
+      | None ->
+        let po = fresh_po () in
+        Hashtbl.add t.objects obj_id po;
+        po
     in
-    Hashtbl.add t.objects obj_id po;
+    t.memo_id <- obj_id;
+    t.memo_po <- po;
     po
+  end
 
 let record_n t ~obj_id ~op ~n =
   if n < 0 then invalid_arg "Counters.record_n: negative count";

@@ -127,10 +127,18 @@ let cache_find t addr =
   let rec go i =
     if i >= n then None
     else
-      match t.cache.(i) with
+      let entry = t.cache.(i) in
+      match entry with
       | Some obj when obj.Mem_object.live && Mem_object.contains obj addr ->
-        cache_promote t i obj;
-        Some obj
+        (* move-to-front reusing the existing option box: a cache hit —
+           the common case on the emission hot path — allocates nothing *)
+        if i > 0 then begin
+          for j = i downto 1 do
+            t.cache.(j) <- t.cache.(j - 1)
+          done;
+          t.cache.(0) <- entry
+        end;
+        entry
       | _ -> go (i + 1)
   in
   go 0

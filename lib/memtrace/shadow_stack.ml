@@ -11,11 +11,12 @@ type t = {
   mutable min_sp : int;
   mutable frames : frame list; (* innermost first *)
   mutable depth : int;
+  mutable stamp : int; (* bumped on every push/pop: memo invalidation *)
 }
 
 let create ?top () =
   let top = match top with Some t -> t | None -> Layout.stack_top in
-  { top; sp = top; min_sp = top; frames = []; depth = 0 }
+  { top; sp = top; min_sp = top; frames = []; depth = 0; stamp = 0 }
 
 let sp t = t.sp
 let max_extent t = t.min_sp
@@ -29,6 +30,7 @@ let push t ~routine ~routine_addr ~frame_size =
   if t.sp <= Layout.stack_limit then failwith "Shadow_stack: stack overflow";
   t.frames <- frame :: t.frames;
   t.depth <- t.depth + 1;
+  t.stamp <- t.stamp + 1;
   frame
 
 let pop t =
@@ -37,7 +39,10 @@ let pop t =
   | frame :: rest ->
     t.sp <- frame.base_sp;
     t.frames <- rest;
-    t.depth <- t.depth - 1
+    t.depth <- t.depth - 1;
+    t.stamp <- t.stamp + 1
+
+let stamp t = t.stamp
 
 let current t = match t.frames with [] -> None | f :: _ -> Some f
 

@@ -36,6 +36,11 @@ val pop : t -> unit
 (** Leave the current routine.  Raises [Invalid_argument] on an empty
     stack. *)
 
+val stamp : t -> int
+(** Monotonic counter bumped on every {!push} and {!pop}.  While the stamp
+    is unchanged the set of live frames (and their extents) is unchanged,
+    so callers may cache {!attribute} results keyed by it. *)
+
 val current : t -> frame option
 
 val frames : t -> frame list

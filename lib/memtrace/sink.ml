@@ -1,0 +1,152 @@
+module Batch = struct
+  type t = {
+    mutable addrs : int array;
+    mutable sizes : int array;
+    mutable ops : Bytes.t;
+  }
+
+  let create capacity =
+    if capacity <= 0 then invalid_arg "Sink.Batch.create: capacity";
+    {
+      addrs = Array.make capacity 0;
+      sizes = Array.make capacity 0;
+      ops = Bytes.make capacity '\000';
+    }
+
+  let capacity b = Array.length b.addrs
+
+  let ensure b want =
+    let cap = Array.length b.addrs in
+    if want > cap then begin
+      let cap' = ref (2 * cap) in
+      while want > !cap' do
+        cap' := 2 * !cap'
+      done;
+      let addrs = Array.make !cap' 0 in
+      let sizes = Array.make !cap' 0 in
+      let ops = Bytes.make !cap' '\000' in
+      Array.blit b.addrs 0 addrs 0 cap;
+      Array.blit b.sizes 0 sizes 0 cap;
+      Bytes.blit b.ops 0 ops 0 cap;
+      b.addrs <- addrs;
+      b.sizes <- sizes;
+      b.ops <- ops
+    end
+
+  (* Hot-path accessors: callers index within [0, capacity) by
+     construction (consumers receive a validated [first]/[n] slice;
+     producers flush before the batch fills), so elide bounds checks. *)
+  let[@inline] addr b i = Array.unsafe_get b.addrs i
+  let[@inline] size b i = Array.unsafe_get b.sizes i
+  let[@inline] is_write b i = Bytes.unsafe_get b.ops i <> '\000'
+  let[@inline] op b i = if is_write b i then Access.Write else Access.Read
+  let[@inline] op_char = function
+    | Access.Read -> '\000'
+    | Access.Write -> '\001'
+
+  let[@inline] set b i ~addr ~size ~op =
+    Array.unsafe_set b.addrs i addr;
+    Array.unsafe_set b.sizes i size;
+    Bytes.unsafe_set b.ops i (op_char op)
+
+  let[@inline] set_addr_op b i ~addr ~op =
+    Array.unsafe_set b.addrs i addr;
+    Bytes.unsafe_set b.ops i (op_char op)
+
+  let fill_sizes b size = Array.fill b.sizes 0 (Array.length b.sizes) size
+
+  let access b i = { Access.addr = addr b i; size = size b i; op = op b i }
+
+  let iter b ~first ~n f =
+    for i = first to first + n - 1 do
+      f (access b i)
+    done
+end
+
+type consumer = Batch.t -> first:int -> n:int -> unit
+
+type t = {
+  name : string;
+  consumer : consumer;
+  batch : Batch.t;
+  mutable len : int;
+  mutable pushed : int;
+  mutable batches : int;
+  mutable capacity_flushes : int;
+  mutable boundary_flushes : int;
+}
+
+let default_capacity = 65536
+
+let create ?(name = "sink") ?(capacity = default_capacity) consumer =
+  {
+    name;
+    consumer;
+    batch = Batch.create capacity;
+    len = 0;
+    pushed = 0;
+    batches = 0;
+    capacity_flushes = 0;
+    boundary_flushes = 0;
+  }
+
+let of_fn ?name ?capacity f =
+  create ?name ?capacity (fun b ~first ~n -> Batch.iter b ~first ~n f)
+
+let null () = create ~name:"null" (fun _ ~first:_ ~n:_ -> ())
+
+let flush t =
+  if t.len > 0 then begin
+    let n = t.len in
+    t.len <- 0;
+    t.batches <- t.batches + 1;
+    t.boundary_flushes <- t.boundary_flushes + 1;
+    t.consumer t.batch ~first:0 ~n
+  end
+
+let push t ~addr ~size ~op =
+  let i = t.len in
+  Batch.set t.batch i ~addr ~size ~op;
+  t.len <- i + 1;
+  t.pushed <- t.pushed + 1;
+  if t.len = Batch.capacity t.batch then begin
+    let n = t.len in
+    t.len <- 0;
+    t.batches <- t.batches + 1;
+    t.capacity_flushes <- t.capacity_flushes + 1;
+    t.consumer t.batch ~first:0 ~n
+  end
+
+let push_access t (a : Access.t) = push t ~addr:a.addr ~size:a.size ~op:a.op
+
+let deliver t batch ~first ~n =
+  if n > 0 then begin
+    flush t;
+    t.pushed <- t.pushed + n;
+    t.batches <- t.batches + 1;
+    t.consumer batch ~first ~n
+  end
+
+let name t = t.name
+let pushed t = t.pushed
+let batches t = t.batches
+let capacity_flushes t = t.capacity_flushes
+let boundary_flushes t = t.boundary_flushes
+let flushes t = t.capacity_flushes + t.boundary_flushes
+
+type stats = {
+  name : string;
+  pushed : int;
+  batches : int;
+  capacity_flushes : int;
+  boundary_flushes : int;
+}
+
+let stats (t : t) =
+  {
+    name = t.name;
+    pushed = t.pushed;
+    batches = t.batches;
+    capacity_flushes = t.capacity_flushes;
+    boundary_flushes = t.boundary_flushes;
+  }

@@ -1,27 +1,82 @@
 module Rng = Nvsc_util.Rng
 
+(* A generator is a pull-stream: [next sink] pushes at most one reference
+   and reports whether it did.  Streams carry their own RNG state, created
+   at construction, and produce elements in the same order the old
+   list-returning generators did — so seeded sequences are unchanged. *)
+type t = { next : Sink.t -> bool }
+
+let next t sink = t.next sink
+
+let into t sink =
+  let n = ref 0 in
+  while t.next sink do
+    incr n
+  done;
+  !n
+
+let to_list t =
+  let acc = ref [] in
+  let sink = Sink.of_fn ~name:"to_list" (fun a -> acc := a :: !acc) in
+  ignore (into t sink);
+  Sink.flush sink;
+  List.rev !acc
+
+let of_list accesses =
+  let rem = ref accesses in
+  {
+    next =
+      (fun sink ->
+        match !rem with
+        | [] -> false
+        | a :: tl ->
+          rem := tl;
+          Sink.push_access sink a;
+          true);
+  }
+
+let counted n emit =
+  let i = ref 0 in
+  {
+    next =
+      (fun sink ->
+        if !i >= n then false
+        else begin
+          emit sink !i;
+          incr i;
+          true
+        end);
+  }
+
 let sequential ?(start = 0) ?(line_bytes = 64) ~n () =
-  List.init n (fun i -> Access.read ~addr:((start + i) * line_bytes) ~size:line_bytes)
+  counted n (fun sink i ->
+      Sink.push sink
+        ~addr:((start + i) * line_bytes)
+        ~size:line_bytes ~op:Access.Read)
 
 let strided ?(start = 0) ?(line_bytes = 64) ~stride_lines ~n () =
   if stride_lines <= 0 then invalid_arg "Trace_gen.strided: stride";
-  List.init n (fun i ->
-      Access.read ~addr:((start + (i * stride_lines)) * line_bytes) ~size:line_bytes)
+  counted n (fun sink i ->
+      Sink.push sink
+        ~addr:((start + (i * stride_lines)) * line_bytes)
+        ~size:line_bytes ~op:Access.Read)
 
-let op_of rng write_fraction addr =
-  if Rng.bernoulli rng write_fraction then Access.write ~addr ~size:64
-  else Access.read ~addr ~size:64
+let push_op rng write_fraction sink addr =
+  let op =
+    if Rng.bernoulli rng write_fraction then Access.Write else Access.Read
+  in
+  Sink.push sink ~addr ~size:64 ~op
 
 let hot_cold ~seed ~hot_fraction ~hot_lines ~cold_lines ~write_fraction ~n ()
     =
   if hot_lines <= 0 || cold_lines <= 0 then invalid_arg "Trace_gen.hot_cold";
   let rng = Rng.of_int seed in
-  List.init n (fun _ ->
+  counted n (fun sink _ ->
       let line =
         if Rng.bernoulli rng hot_fraction then Rng.int rng hot_lines
         else hot_lines + Rng.int rng cold_lines
       in
-      op_of rng write_fraction (line * 64))
+      push_op rng write_fraction sink (line * 64))
 
 let zipf ~seed ?(exponent = 1.0) ~lines ~write_fraction ~n () =
   if lines <= 0 then invalid_arg "Trace_gen.zipf";
@@ -44,19 +99,24 @@ let zipf ~seed ?(exponent = 1.0) ~lines ~write_fraction ~n () =
     done;
     !lo
   in
-  List.init n (fun _ -> op_of rng write_fraction (sample () * 64))
+  counted n (fun sink _ -> push_op rng write_fraction sink (sample () * 64))
 
 let interleave streams =
-  let rec go acc streams =
-    let heads, tails =
-      List.fold_right
-        (fun stream (hs, ts) ->
-          match stream with
-          | [] -> (hs, ts)
-          | x :: rest -> (x :: hs, rest :: ts))
-        streams ([], [])
-    in
-    if heads = [] then List.rev acc
-    else go (List.rev_append heads acc) tails
-  in
-  go [] streams
+  let arr = Array.of_list streams in
+  let k = Array.length arr in
+  let idx = ref 0 in
+  {
+    next =
+      (fun sink ->
+        (* rotate through the children, skipping exhausted ones; one full
+           barren rotation means the whole interleave is drained *)
+        let rec go tries =
+          if tries = 0 then false
+          else begin
+            let s = arr.(!idx) in
+            idx := (!idx + 1) mod k;
+            if s.next sink then true else go (tries - 1)
+          end
+        in
+        if k = 0 then false else go k);
+  }

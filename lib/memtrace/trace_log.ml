@@ -1,7 +1,5 @@
 type t = {
-  mutable addrs : int array;
-  (* size and op packed: positive size = read, negative = write *)
-  mutable ops : int array;
+  batch : Sink.Batch.t;
   mutable len : int;
   mutable reads : int;
   mutable writes : int;
@@ -9,46 +7,48 @@ type t = {
 
 let create ?(initial_capacity = 4096) () =
   if initial_capacity <= 0 then invalid_arg "Trace_log.create";
-  {
-    addrs = Array.make initial_capacity 0;
-    ops = Array.make initial_capacity 0;
-    len = 0;
-    reads = 0;
-    writes = 0;
-  }
+  { batch = Sink.Batch.create initial_capacity; len = 0; reads = 0; writes = 0 }
 
-let grow t =
-  let cap = Array.length t.addrs in
-  let cap' = 2 * cap in
-  let addrs = Array.make cap' 0 in
-  let ops = Array.make cap' 0 in
-  Array.blit t.addrs 0 addrs 0 cap;
-  Array.blit t.ops 0 ops 0 cap;
-  t.addrs <- addrs;
-  t.ops <- ops
-
-let record t (a : Access.t) =
-  if t.len = Array.length t.addrs then grow t;
-  t.addrs.(t.len) <- a.addr;
-  (t.ops.(t.len) <-
-     (match a.op with Access.Read -> a.size | Access.Write -> -a.size));
+let record_raw t ~addr ~size ~op =
+  Sink.Batch.ensure t.batch (t.len + 1);
+  Sink.Batch.set t.batch t.len ~addr ~size ~op;
   t.len <- t.len + 1;
-  match a.op with
+  match op with
   | Access.Read -> t.reads <- t.reads + 1
   | Access.Write -> t.writes <- t.writes + 1
+
+let record t (a : Access.t) = record_raw t ~addr:a.addr ~size:a.size ~op:a.op
+
+let record_batch t batch ~first ~n =
+  Sink.Batch.ensure t.batch (t.len + n);
+  Array.blit batch.Sink.Batch.addrs first t.batch.Sink.Batch.addrs t.len n;
+  Array.blit batch.Sink.Batch.sizes first t.batch.Sink.Batch.sizes t.len n;
+  Bytes.blit batch.Sink.Batch.ops first t.batch.Sink.Batch.ops t.len n;
+  let writes = ref 0 in
+  for i = first to first + n - 1 do
+    if Sink.Batch.is_write batch i then incr writes
+  done;
+  t.writes <- t.writes + !writes;
+  t.reads <- t.reads + n - !writes;
+  t.len <- t.len + n
+
+let sink ?(name = "trace-log") t =
+  Sink.create ~name (fun batch ~first ~n -> record_batch t batch ~first ~n)
 
 let length t = t.len
 
 let get t i =
   if i < 0 || i >= t.len then invalid_arg "Trace_log.get";
-  let packed = t.ops.(i) in
-  if packed > 0 then Access.read ~addr:t.addrs.(i) ~size:packed
-  else Access.write ~addr:t.addrs.(i) ~size:(-packed)
+  Sink.Batch.access t.batch i
 
 let replay t f =
   for i = 0 to t.len - 1 do
-    f (get t i)
+    f (Sink.Batch.access t.batch i)
   done
+
+let replay_batch t sink = Sink.deliver sink t.batch ~first:0 ~n:t.len
+
+let as_batch t = (t.batch, t.len)
 
 let reads t = t.reads
 let writes t = t.writes

@@ -61,15 +61,15 @@ let writeback_page t =
   t.nvram_traffic_bytes <- t.nvram_traffic_bytes + t.page_bytes;
   t.nvram_line_writes <- t.nvram_line_writes + (t.page_bytes / t.line_bytes)
 
-let access t (a : Access.t) =
+let access_raw t ~addr ~size ~op =
   t.accesses <- t.accesses + 1;
-  let page = a.addr / t.page_bytes in
+  let page = addr / t.page_bytes in
   let e =
-    match a.op with
+    match op with
     | Access.Read -> Cache.read t.cache ~line:page
     | Access.Write -> Cache.write t.cache ~line:page
   in
-  t.dram_traffic_bytes <- t.dram_traffic_bytes + a.size;
+  t.dram_traffic_bytes <- t.dram_traffic_bytes + size;
   if e.Cache.hit then begin
     t.hits <- t.hits + 1;
     t.latency_sum <- t.latency_sum +. t.dram.Technology.read_latency_ns
@@ -88,6 +88,17 @@ let access t (a : Access.t) =
     | Some _ -> writeback_page t
     | None -> ()
   end
+
+let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
+
+let consume t batch ~first ~n =
+  let module Sink = Nvsc_memtrace.Sink in
+  for i = first to first + n - 1 do
+    access_raw t ~addr:(Sink.Batch.addr batch i) ~size:(Sink.Batch.size batch i)
+      ~op:(Sink.Batch.op batch i)
+  done
+
+let sink ?name t = Nvsc_memtrace.Sink.create ?name (consume t)
 
 let drain t = Cache.flush_dirty t.cache (fun _ -> writeback_page t)
 

@@ -32,9 +32,18 @@ val create :
     [dram_pages] is rounded up to a whole number of sets.  [tech] is the
     backing NVRAM. *)
 
-val access : t -> Nvsc_memtrace.Access.t -> unit
+val access_raw : t -> addr:int -> size:int -> op:Nvsc_memtrace.Access.op -> unit
 (** One main-memory access (line granularity, as produced by the cache
     hierarchy or a trace log). *)
+
+val access : t -> Nvsc_memtrace.Access.t -> unit
+(** Per-record convenience over {!access_raw}. *)
+
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Run a batch slice through the page cache in order. *)
+
+val sink : ?name:string -> t -> Nvsc_memtrace.Sink.t
+(** A sink feeding this cache via {!consume}. *)
 
 val drain : t -> unit
 (** Write every dirty cached page back to NVRAM (end-of-run accounting). *)

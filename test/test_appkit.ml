@@ -131,10 +131,11 @@ let test_fast_tally () =
 let test_sink_stream () =
   let ctx = Ctx.create () in
   let seen = ref [] in
-  Ctx.add_sink ctx (fun a -> seen := a :: !seen);
+  Ctx.add_sink ctx (Nvsc_memtrace.Sink.of_fn (fun a -> seen := a :: !seen));
   let g = Farray.global ctx ~name:"g" 4 in
   Farray.set g 1 2.0;
   ignore (Farray.get g 1);
+  Ctx.flush_refs ctx;
   match List.rev !seen with
   | [ w; r ] ->
     Alcotest.(check bool) "write then read" true
@@ -149,7 +150,35 @@ let test_instr_sink () =
   Ctx.set_instr_sink ctx (fun k -> n := !n + k);
   Ctx.flops ctx 10;
   Ctx.flops ctx 5;
+  Ctx.flush_refs ctx;
   Alcotest.(check int) "instructions forwarded" 15 !n
+
+let test_batched_delivery_program_order () =
+  (* instruction counts and references must reach the sinks in program
+     order, with the batch boundaries invisible *)
+  let ctx = Ctx.create ~batch_capacity:2 () in
+  let events = ref [] in
+  Ctx.add_sink ctx
+    (Nvsc_memtrace.Sink.of_fn (fun a -> events := `Ref a.Access.addr :: !events));
+  Ctx.set_instr_sink ctx (fun k -> events := `Instr k :: !events);
+  let g = Farray.global ctx ~name:"g" 8 in
+  let addr i = Nvsc_memtrace.Layout.global_base + (i * Layout.word) in
+  Ctx.flops ctx 3;
+  ignore (Farray.get g 0);
+  ignore (Farray.get g 1);
+  Ctx.flops ctx 2;
+  ignore (Farray.get g 2);
+  (* capacity-2 batches have flushed mid-stream; the tail needs a flush *)
+  Ctx.flops ctx 4;
+  Ctx.flush_refs ctx;
+  Alcotest.(check bool) "program order preserved" true
+    (List.rev !events
+    = [ `Instr 3; `Ref (addr 0); `Ref (addr 1); `Instr 2; `Ref (addr 2);
+        `Instr 4 ]);
+  let p = Ctx.pipeline_stats ctx in
+  Alcotest.(check int) "refs" 3 p.Ctx.refs;
+  Alcotest.(check int) "capacity flushes" 1 p.Ctx.capacity_flushes;
+  Alcotest.(check bool) "boundary flushes" true (p.Ctx.boundary_flushes >= 1)
 
 let test_bulk_helpers () =
   let ctx = Ctx.create () in
@@ -222,6 +251,60 @@ let test_free_validation () =
        false
      with Invalid_argument _ -> true)
 
+let test_batch_capacity_invariance () =
+  (* a real workload must produce identical per-iteration tallies, grand
+     totals, and sink-visible reference streams whatever the batch
+     capacity; the pipeline counters must satisfy their invariants *)
+  let iterations = 2 in
+  let run capacity =
+    let ctx = Ctx.create ~batch_capacity:capacity () in
+    let count = ref 0 and digest = ref 0 in
+    Ctx.add_sink ctx
+      (Nvsc_memtrace.Sink.create (fun b ~first ~n ->
+           for i = first to first + n - 1 do
+             incr count;
+             (* order-sensitive stream digest *)
+             digest :=
+               (!digest * 31) + (Nvsc_memtrace.Sink.Batch.addr b i land 0xffff)
+           done));
+    let (module A : Nvsc_apps.Workload.APP) =
+      Option.get (Nvsc_apps.Apps.find "gtc")
+    in
+    A.run ~scale:0.05 ctx ~iterations;
+    Ctx.flush_refs ctx;
+    let p = Ctx.pipeline_stats ctx in
+    (* invariants: counters agree with what the sink saw *)
+    Alcotest.(check int)
+      (Printf.sprintf "refs = delivered (capacity %d)" capacity)
+      !count p.Ctx.refs;
+    Alcotest.(check int)
+      (Printf.sprintf "sink pushed (capacity %d)" capacity)
+      !count
+      (List.fold_left
+         (fun acc (s : Nvsc_memtrace.Sink.stats) -> acc + s.pushed)
+         0 p.Ctx.sinks);
+    Alcotest.(check int)
+      (Printf.sprintf "batches = flushes (capacity %d)" capacity)
+      p.Ctx.batches
+      (p.Ctx.capacity_flushes + p.Ctx.boundary_flushes);
+    if capacity = 1 then
+      Alcotest.(check int) "capacity 1: every ref flushes" !count
+        p.Ctx.capacity_flushes;
+    let tallies =
+      List.init (iterations + 1) (fun i -> Ctx.fast_tally ctx ~iter:i)
+    in
+    (!count, !digest, tallies, Ctx.fast_tally_totals ctx,
+     Ctx.total_references ctx, Ctx.unattributed ctx)
+  in
+  let reference = run 65536 in
+  List.iter
+    (fun capacity ->
+      let r = run capacity in
+      Alcotest.(check bool)
+        (Printf.sprintf "capacity %d matches capacity 65536" capacity)
+        true (r = reference))
+    [ 1; 7 ]
+
 let suite =
   [
     Alcotest.test_case "global allocation" `Quick test_global_allocation;
@@ -239,6 +322,10 @@ let suite =
     Alcotest.test_case "fast tally" `Quick test_fast_tally;
     Alcotest.test_case "sink stream" `Quick test_sink_stream;
     Alcotest.test_case "instruction sink" `Quick test_instr_sink;
+    Alcotest.test_case "batched delivery program order" `Quick
+      test_batched_delivery_program_order;
+    Alcotest.test_case "batch capacity invariance" `Quick
+      test_batch_capacity_invariance;
     Alcotest.test_case "bulk helpers" `Quick test_bulk_helpers;
     Alcotest.test_case "phase->iteration mapping" `Quick
       test_phase_iteration_mapping;

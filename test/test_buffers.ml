@@ -1,33 +1,73 @@
-module Trace_buffer = Nvsc_memtrace.Trace_buffer
+module Sink = Nvsc_memtrace.Sink
 module Trace_log = Nvsc_memtrace.Trace_log
 module Access = Nvsc_memtrace.Access
 
-let test_buffer_flush_on_full () =
+let test_sink_flush_on_full () =
   let seen = ref [] in
-  let flush buf n =
-    for i = 0 to n - 1 do
-      seen := buf.(i) :: !seen
-    done
+  let s =
+    Sink.create ~capacity:4 (fun b ~first ~n ->
+        for i = first to first + n - 1 do
+          seen := Sink.Batch.access b i :: !seen
+        done)
   in
-  let b = Trace_buffer.create ~capacity:4 ~flush () in
   for i = 0 to 9 do
-    Trace_buffer.push b (Access.read ~addr:i ~size:8)
+    Sink.push s ~addr:i ~size:8 ~op:Access.Read
   done;
   (* two automatic flushes of 4; 2 still buffered *)
-  Alcotest.(check int) "flushes" 2 (Trace_buffer.flushes b);
+  Alcotest.(check int) "capacity flushes" 2 (Sink.capacity_flushes s);
   Alcotest.(check int) "seen" 8 (List.length !seen);
-  Trace_buffer.flush b;
+  Sink.flush s;
   Alcotest.(check int) "after force" 10 (List.length !seen);
-  Alcotest.(check int) "pushed" 10 (Trace_buffer.pushed b);
+  Alcotest.(check int) "boundary flushes" 1 (Sink.boundary_flushes s);
+  Alcotest.(check int) "pushed" 10 (Sink.pushed s);
+  Alcotest.(check int) "batches" 3 (Sink.batches s);
   (* order preserved *)
   let addrs = List.rev_map (fun (a : Access.t) -> a.addr) !seen in
   Alcotest.(check (list int)) "order" (List.init 10 Fun.id) addrs
 
-let test_buffer_empty_flush () =
+let test_sink_empty_flush () =
   let calls = ref 0 in
-  let b = Trace_buffer.create ~capacity:4 ~flush:(fun _ _ -> incr calls) () in
-  Trace_buffer.flush b;
-  Alcotest.(check int) "no empty flush" 0 !calls
+  let s = Sink.create ~capacity:4 (fun _ ~first:_ ~n:_ -> incr calls) in
+  Sink.flush s;
+  Alcotest.(check int) "no empty flush" 0 !calls;
+  Alcotest.(check int) "no batches" 0 (Sink.batches s)
+
+let test_sink_deliver_zero_copy () =
+  let batches = ref [] in
+  let s =
+    Sink.create ~capacity:4 (fun b ~first ~n -> batches := (b, first, n) :: !batches)
+  in
+  let b = Sink.Batch.create 8 in
+  for i = 0 to 5 do
+    Sink.Batch.set b i ~addr:(100 + i) ~size:64 ~op:Access.Write
+  done;
+  (* one buffered push, then a delivered batch: the push must flush first *)
+  Sink.push s ~addr:7 ~size:8 ~op:Access.Read;
+  Sink.deliver s b ~first:1 ~n:4;
+  Alcotest.(check int) "two consumer calls" 2 (List.length !batches);
+  (match !batches with
+  | [ (delivered, first, n); (_, _, 1) ] ->
+    Alcotest.(check bool) "same batch, not a copy" true (delivered == b);
+    Alcotest.(check int) "first" 1 first;
+    Alcotest.(check int) "n" 4 n
+  | _ -> Alcotest.fail "unexpected delivery shape");
+  Alcotest.(check int) "pushed counts delivered refs" 5 (Sink.pushed s);
+  (* empty deliveries are dropped *)
+  Sink.deliver s b ~first:0 ~n:0;
+  Alcotest.(check int) "no empty delivery" 2 (List.length !batches)
+
+let test_batch_accessors () =
+  let b = Sink.Batch.create 2 in
+  Sink.Batch.set b 0 ~addr:0x40 ~size:64 ~op:Access.Read;
+  Sink.Batch.set b 1 ~addr:0x80 ~size:32 ~op:Access.Write;
+  Alcotest.(check int) "addr" 0x80 (Sink.Batch.addr b 1);
+  Alcotest.(check int) "size" 32 (Sink.Batch.size b 1);
+  Alcotest.(check bool) "write op" true (Sink.Batch.is_write b 1);
+  Alcotest.(check bool) "read op" false (Sink.Batch.is_write b 0);
+  Sink.Batch.ensure b 5;
+  Alcotest.(check bool) "grown" true (Sink.Batch.capacity b >= 5);
+  Alcotest.(check int) "data preserved" 0x40 (Sink.Batch.addr b 0);
+  Alcotest.(check bool) "ops preserved" true (Sink.Batch.is_write b 1)
 
 let test_log_roundtrip () =
   let log = Trace_log.create ~initial_capacity:2 () in
@@ -61,6 +101,51 @@ let test_log_replay_order () =
   let replayed = ref [] in
   Trace_log.replay log (fun a -> replayed := a.Access.addr :: !replayed);
   Alcotest.(check (list int)) "order" (List.init 100 Fun.id) (List.rev !replayed)
+
+let test_log_replay_batch () =
+  let log = Trace_log.create ~initial_capacity:4 () in
+  for i = 0 to 99 do
+    Trace_log.record log
+      (if i mod 3 = 0 then Access.write ~addr:i ~size:64
+       else Access.read ~addr:i ~size:64)
+  done;
+  (* batched replay must equal per-access replay, in one delivery *)
+  let replayed = ref [] in
+  let s =
+    Sink.of_fn (fun a -> replayed := a :: !replayed)
+  in
+  Trace_log.replay_batch log s;
+  Alcotest.(check int) "one batch" 1 (Sink.batches s);
+  Alcotest.(check int) "all delivered" 100 (Sink.pushed s);
+  let got = List.rev !replayed in
+  Alcotest.(check (list int)) "addresses" (List.init 100 Fun.id)
+    (List.map (fun (a : Access.t) -> a.addr) got);
+  Alcotest.(check bool) "ops" true
+    (List.for_all2
+       (fun (a : Access.t) i -> Access.is_write a = (i mod 3 = 0))
+       got
+       (List.init 100 Fun.id))
+
+let test_log_record_batch () =
+  let log = Trace_log.create () in
+  let b = Sink.Batch.create 8 in
+  for i = 0 to 7 do
+    Sink.Batch.set b i ~addr:(i * 64) ~size:64
+      ~op:(if i < 3 then Access.Write else Access.Read)
+  done;
+  Trace_log.record_batch log b ~first:2 ~n:5;
+  Alcotest.(check int) "length" 5 (Trace_log.length log);
+  Alcotest.(check int) "writes" 1 (Trace_log.writes log);
+  Alcotest.(check int) "reads" 4 (Trace_log.reads log);
+  Alcotest.(check int) "first record" 128 (Trace_log.get log 0).Access.addr;
+  (* the log's own sink records through record_batch *)
+  let log2 = Trace_log.create () in
+  let s = Trace_log.sink log2 in
+  Sink.deliver s b ~first:0 ~n:8;
+  Sink.push s ~addr:999 ~size:8 ~op:Access.Write;
+  Sink.flush s;
+  Alcotest.(check int) "sink records all" 9 (Trace_log.length log2);
+  Alcotest.(check int) "sink writes" 4 (Trace_log.writes log2)
 
 let test_log_clear () =
   let log = Trace_log.create () in
@@ -98,10 +183,15 @@ let log_growth_prop =
 
 let suite =
   [
-    Alcotest.test_case "buffer flush on full" `Quick test_buffer_flush_on_full;
-    Alcotest.test_case "buffer empty flush" `Quick test_buffer_empty_flush;
+    Alcotest.test_case "sink flush on full" `Quick test_sink_flush_on_full;
+    Alcotest.test_case "sink empty flush" `Quick test_sink_empty_flush;
+    Alcotest.test_case "sink deliver zero-copy" `Quick
+      test_sink_deliver_zero_copy;
+    Alcotest.test_case "batch accessors" `Quick test_batch_accessors;
     Alcotest.test_case "log roundtrip" `Quick test_log_roundtrip;
     Alcotest.test_case "log replay order" `Quick test_log_replay_order;
+    Alcotest.test_case "log replay batch" `Quick test_log_replay_batch;
+    Alcotest.test_case "log record batch" `Quick test_log_record_batch;
     Alcotest.test_case "log clear" `Quick test_log_clear;
     Alcotest.test_case "log bounds" `Quick test_log_get_bounds;
     QCheck_alcotest.to_alcotest log_growth_prop;

@@ -122,7 +122,7 @@ let test_normalized_power_table6_band () =
   in
   let results =
     Memory_system.compare_technologies ~techs:Tech.paper_set
-      ~replay:(fun sink -> List.iter sink trace)
+      ~replay:(fun sink -> List.iter (Nvsc_memtrace.Sink.push_access sink) trace)
       ()
   in
   let norm = Memory_system.normalized_power results in

@@ -228,6 +228,8 @@ let test_fine_monitor_windows () =
   for _ = 1 to 25 do
     ignore (Nvsc_appkit.Farray.get a 0)
   done;
+  (* references are batched in the Ctx until a boundary flush *)
+  Nvsc_appkit.Ctx.flush_refs ctx;
   Alcotest.(check int) "two full windows" 2 (Nvsc_core.Fine_monitor.windows m);
   Nvsc_core.Fine_monitor.flush m;
   Alcotest.(check int) "partial window flushed" 3

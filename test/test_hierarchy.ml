@@ -1,6 +1,7 @@
 module H = Nvsc_cachesim.Hierarchy
 module P = Nvsc_cachesim.Cache_params
 module Access = Nvsc_memtrace.Access
+module Sink = Nvsc_memtrace.Sink
 
 let small_l1 =
   P.make ~name:"L1" ~size_bytes:(64 * 8) ~associativity:2
@@ -12,7 +13,10 @@ let small_l2 =
 
 let make () =
   let trace = ref [] in
-  let h = H.create ~l1d:small_l1 ~l2:small_l2 ~sink:(fun a -> trace := a :: !trace) () in
+  (* capacity 1: every memory-side reference is delivered immediately, so
+     the tests can inspect [trace] without flushing *)
+  let sink = Sink.of_fn ~capacity:1 (fun a -> trace := a :: !trace) in
+  let h = H.create ~l1d:small_l1 ~l2:small_l2 ~sink () in
   (h, trace)
 
 let test_read_miss_generates_memory_read () =
@@ -95,7 +99,7 @@ let test_mismatched_lines_rejected () =
   in
   Alcotest.check_raises "line mismatch"
     (Invalid_argument "Hierarchy.create: levels must share a line size")
-    (fun () -> ignore (H.create ~l1d:small_l1 ~l2:l2_bad ~sink:ignore ()))
+    (fun () -> ignore (H.create ~l1d:small_l1 ~l2:l2_bad ~sink:(Sink.null ()) ()))
 
 let conservation_prop =
   QCheck.Test.make ~name:"all stores eventually reach memory" ~count:30
@@ -106,9 +110,10 @@ let conservation_prop =
       let written = Hashtbl.create 64 in
       let h =
         H.create ~l1d:small_l1 ~l2:small_l2
-          ~sink:(fun a ->
-            if Access.is_write a then
-              Hashtbl.replace written (a.Access.addr / 64) ())
+          ~sink:
+            (Sink.of_fn (fun a ->
+                 if Access.is_write a then
+                   Hashtbl.replace written (a.Access.addr / 64) ()))
           ()
       in
       List.iter (fun l -> H.access h (Access.write ~addr:(l * 64) ~size:8)) lines;

@@ -56,7 +56,7 @@ let test_compare_designs_bounds () =
   in
   let designs =
     HS.compare_designs ~nvram:sttram ~placement:parity_placement
-      ~replay:(fun sink -> List.iter sink trace)
+      ~replay:(fun sink -> List.iter (Nvsc_memtrace.Sink.push_access sink) trace)
       ()
   in
   let power name =
