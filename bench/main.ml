@@ -217,6 +217,17 @@ let bench_sink_batched =
          Nvsc_memtrace.Trace_log.replay_batch (Lazy.force log_100k) s;
          ignore !total))
 
+(* Satellite: full scavenger run with the trace sanitizer attached vs the
+   bare sink pipeline — the cost of checked batch accessors, redzones and
+   shadow-state maintenance.  The per-run ratio is printed after the
+   table. *)
+let bench_scavenger_sanitized name =
+  Test.make ~name:(Printf.sprintf "pipeline:scavenger-%s-sanitized" name)
+    (Staged.stage (fun () ->
+         ignore
+           (Nvsc_core.Scavenger.run ~scale:0.1 ~iterations:1 ~sanitize:true
+              (Option.get (Nvsc_apps.Apps.find name)))))
+
 let bench_wear_leveling ~name scheme =
   Test.make ~name
     (Staged.stage (fun () ->
@@ -291,6 +302,7 @@ let tests =
       bench_sink_capacity ~name:"ablation:sink-batch-16" ~capacity:16;
       bench_sink_closure;
       bench_sink_batched;
+      bench_scavenger_sanitized "gtc";
       bench_wear_leveling ~name:"ablation:wear-start-gap"
         (Nvsc_nvram.Wear_leveling.Start_gap { gap_move_interval = 100 });
       bench_wear_leveling ~name:"ablation:wear-table"
@@ -360,7 +372,7 @@ let () =
         else None)
       rows
   in
-  match (find "sink-throughput-closure", find "sink-throughput-batched") with
+  (match (find "sink-throughput-closure", find "sink-throughput-batched") with
   | Some c, Some b when b > 0. && c > 0. ->
     let refs = float_of_int throughput_refs in
     Format.printf
@@ -370,4 +382,11 @@ let () =
       (refs /. c *. 1_000.)
       (refs /. b *. 1_000.)
       (c /. b)
+  | _ -> ());
+  (* sanitizer-overhead summary: same app, bare sink vs NVSC-San attached *)
+  match (find "scavenger-gtc", find "scavenger-gtc-sanitized") with
+  | Some bare, Some san when bare > 0. ->
+    Format.printf
+      "sanitizer overhead (gtc): bare %.1fus, sanitized %.1fus (%.2fx)@."
+      (bare /. 1_000.) (san /. 1_000.) (san /. bare)
   | _ -> ()

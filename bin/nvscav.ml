@@ -453,6 +453,45 @@ let tasks_cmd =
         (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
        $ tasks_arg $ imbalance_arg))
 
+(* --- lint ----------------------------------------------------------------- *)
+
+let lint_cmd =
+  let check_init_arg =
+    let doc =
+      "Also track per-byte heap initialisation and report reads of \
+       never-written bytes."
+    in
+    Arg.(value & flag & info [ "check-init" ] ~doc)
+  in
+  let run () name scale iterations check_init =
+    with_app name (fun app ->
+        let module San = Nvsc_sanitizer.Diagnostic in
+        let static = Nvsc_sanitizer.Config_lint.all ~app () in
+        let r =
+          Nvsc_core.Scavenger.run ~scale ~iterations ~sanitize:true
+            ~check_init app
+        in
+        let dynamic = Option.value r.sanitizer ~default:[] in
+        let report = San.merge static dynamic in
+        Format.fprintf fmt "nvscav lint %s (scale %g, %d iterations)@." name
+          scale iterations;
+        San.pp_report fmt report;
+        if not (San.is_clean report) then exit 1)
+  in
+  let info =
+    Cmd.info "lint"
+      ~doc:
+        "NVSC-San: statically lint the simulator configuration, then run \
+         the application under the trace sanitizer (redzones, shadow \
+         state, bounds-checked batches) and report every diagnostic. \
+         Exits non-zero if anything is found."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ check_init_arg))
+
 (* --- checkpoint ---------------------------------------------------------- *)
 
 let checkpoint_cmd =
@@ -500,7 +539,7 @@ let main_cmd =
     [
       list_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd; perf_cmd;
       place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd; traffic_cmd;
-      fine_cmd;
+      fine_cmd; lint_cmd;
       checkpoint_cmd;
     ]
 

@@ -30,6 +30,13 @@ type frame = {
 
 type attributed_sink = Sink.Batch.t -> int array -> first:int -> n:int -> unit
 
+type event =
+  | Alloc of Mem_object.t
+  | Free of Mem_object.t
+  | Frame_push of Mem_object.t * Shadow_stack.frame
+  | Frame_pop of Shadow_stack.frame
+  | Phase_change of Mem_object.phase
+
 type t = {
   rng : Rng.t;
   registry : Object_registry.t;
@@ -38,6 +45,12 @@ type t = {
   mutable sinks : Sink.t array;
   mutable attr_sinks : attributed_sink array;
   mutable instr_sink : (int -> unit) option;
+  (* lifecycle observer (NVSC-San).  When installed, the emission batch is
+     flushed *before* every registry/shadow-stack mutation, so attributed
+     sinks always see a reference under the same object/stack state it was
+     emitted in — making their view independent of batch capacity. *)
+  mutable event_sink : (event -> unit) option;
+  redzone_bytes : int; (* unregistered gap after each allocation *)
   (* the emission batch: references accumulate here and flush to the sinks
      when the batch fills or at a phase boundary (paper §III-D).  The
      parallel [obj_ids] array carries emission-time attribution (-1 =
@@ -89,8 +102,10 @@ type t = {
 
 and sampling = { period : int; sample_length : int; mutable position : int }
 
-let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity) () =
+let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
+    ?(redzone_words = 0) () =
   if batch_capacity <= 0 then invalid_arg "Ctx.create: batch_capacity";
+  if redzone_words < 0 then invalid_arg "Ctx.create: redzone_words";
   let tallies = Array.init 4 (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 }) in
   let batch = Sink.Batch.create batch_capacity in
   (* the context only emits word-sized references: prefill once *)
@@ -103,6 +118,8 @@ let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity) () =
     sinks = [||];
     attr_sinks = [||];
     instr_sink = None;
+    event_sink = None;
+    redzone_bytes = redzone_words * Layout.word;
     batch;
     obj_ids = Array.make batch_capacity (-1);
     instr_before = Array.make batch_capacity 0;
@@ -188,11 +205,26 @@ let add_attributed_sink t f =
 
 let set_instr_sink t sink = t.instr_sink <- Some sink
 
+let set_event_sink t f =
+  flush_refs t;
+  t.event_sink <- Some f
+
+let redzone_bytes t = t.redzone_bytes
+
+(* Flush buffered references before a registry/stack mutation when a
+   lifecycle observer is installed: the buffered refs were emitted under
+   the pre-mutation state and must be delivered under it. *)
+let pre_mutate t =
+  if t.event_sink <> None then flush_batch t ~boundary:true
+
+let notify t ev = match t.event_sink with Some f -> f ev | None -> ()
+
 let clear_sinks t =
   flush_refs t;
   t.sinks <- [||];
   t.attr_sinks <- [||];
-  t.instr_sink <- None
+  t.instr_sink <- None;
+  t.event_sink <- None
 
 let iteration_of_phase = function
   | Mem_object.Pre | Mem_object.Post -> 0
@@ -219,7 +251,8 @@ let set_phase t phase =
   flush_batch t ~boundary:true;
   t.phase <- phase;
   Counters.set_iteration t.counters iter;
-  t.cur_tally <- tally t iter
+  t.cur_tally <- tally t iter;
+  notify t (Phase_change phase)
 
 let phase t = t.phase
 
@@ -237,20 +270,24 @@ let invalidate_obj_memo t =
 
 let alloc_global t ~name ~words =
   if words <= 0 then invalid_arg "Ctx.alloc_global: words";
+  pre_mutate t;
   invalidate_obj_memo t;
   let size = words * Layout.word in
   let base = t.global_brk in
   if base + size > Layout.global_limit then failwith "Ctx: global segment full";
-  t.global_brk <- base + size;
+  t.global_brk <- base + size + t.redzone_bytes;
   let obj =
     Mem_object.make ~id:(fresh_id t) ~name ~kind:Layout.Global ~base ~size
       ~alloc_phase:t.phase ()
   in
-  Object_registry.register t.registry obj
+  let obj = Object_registry.register t.registry obj in
+  notify t (Alloc obj);
+  obj
 
 let alloc_global_overlay t ~name ~over ~offset_words ~words =
   if words <= 0 || offset_words < 0 then
     invalid_arg "Ctx.alloc_global_overlay: bad range";
+  pre_mutate t;
   invalidate_obj_memo t;
   if over.Mem_object.kind <> Layout.Global then
     invalid_arg "Ctx.alloc_global_overlay: base object must be global";
@@ -262,7 +299,9 @@ let alloc_global_overlay t ~name ~over ~offset_words ~words =
     Mem_object.make ~id:(fresh_id t) ~name ~kind:Layout.Global ~base ~size
       ~alloc_phase:t.phase ()
   in
-  Object_registry.register t.registry obj
+  let obj = Object_registry.register t.registry obj in
+  notify t (Alloc obj);
+  obj
 
 let callstack_names t =
   List.rev_map
@@ -271,6 +310,7 @@ let callstack_names t =
 
 let alloc_heap t ~site ~words =
   if words <= 0 then invalid_arg "Ctx.alloc_heap: words";
+  pre_mutate t;
   invalidate_obj_memo t;
   let size = words * Layout.word in
   match Object_registry.find_by_signature t.registry site with
@@ -278,6 +318,7 @@ let alloc_heap t ~site ~words =
     (* Same allocation-site signature, previously freed: the paper treats
        this as the same memory object re-appearing. *)
     Object_registry.revive t.registry obj;
+    notify t (Alloc obj);
     obj
   | Some _ ->
     (* A live object already carries this signature: distinguish the
@@ -291,29 +332,35 @@ let alloc_heap t ~site ~words =
     let signature = Printf.sprintf "%s#%d" site n in
     let base = t.heap_brk in
     if base + size > Layout.heap_limit then failwith "Ctx: heap full";
-    t.heap_brk <- base + size;
+    t.heap_brk <- base + size + t.redzone_bytes;
     let obj =
       Mem_object.make ~id:(fresh_id t) ~name:site ~kind:Layout.Heap ~base
         ~size ~signature ~callstack:(callstack_names t)
         ~alloc_phase:t.phase ()
     in
-    Object_registry.register t.registry obj
+    let obj = Object_registry.register t.registry obj in
+    notify t (Alloc obj);
+    obj
   | None ->
     let base = t.heap_brk in
     if base + size > Layout.heap_limit then failwith "Ctx: heap full";
-    t.heap_brk <- base + size;
+    t.heap_brk <- base + size + t.redzone_bytes;
     let obj =
       Mem_object.make ~id:(fresh_id t) ~name:site ~kind:Layout.Heap ~base
         ~size ~signature:site ~callstack:(callstack_names t)
         ~alloc_phase:t.phase ()
     in
-    Object_registry.register t.registry obj
+    let obj = Object_registry.register t.registry obj in
+    notify t (Alloc obj);
+    obj
 
 let free_heap t obj =
   if obj.Mem_object.kind <> Layout.Heap then
     invalid_arg "Ctx.free_heap: not a heap object";
+  pre_mutate t;
   invalidate_obj_memo t;
-  Object_registry.deallocate t.registry obj
+  Object_registry.deallocate t.registry obj;
+  notify t (Free obj)
 
 (* --- routines --------------------------------------------------------- *)
 
@@ -330,6 +377,7 @@ let call t ~routine ~frame_words f =
   if frame_words < 0 then invalid_arg "Ctx.call: frame_words";
   let addr = routine_addr t routine in
   let frame_size = frame_words * Layout.word in
+  pre_mutate t;
   let shadow_frame =
     Shadow_stack.push t.shadow ~routine ~routine_addr:addr ~frame_size
   in
@@ -345,6 +393,7 @@ let call t ~routine ~frame_words f =
     in
     Hashtbl.add t.routine_objects addr obj
   end;
+  notify t (Frame_push (Hashtbl.find t.routine_objects addr, shadow_frame));
   let frame =
     {
       routine;
@@ -353,7 +402,12 @@ let call t ~routine ~frame_words f =
       limit = shadow_frame.Shadow_stack.base_sp;
     }
   in
-  Fun.protect ~finally:(fun () -> Shadow_stack.pop t.shadow) (fun () -> f frame)
+  Fun.protect
+    ~finally:(fun () ->
+      pre_mutate t;
+      Shadow_stack.pop t.shadow;
+      notify t (Frame_pop shadow_frame))
+    (fun () -> f frame)
 
 let frame_carve _t frame ~words =
   if words <= 0 then invalid_arg "Ctx.frame_carve: words";

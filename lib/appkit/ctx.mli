@@ -17,10 +17,14 @@
 
 type t
 
-val create : ?seed:int -> ?batch_capacity:int -> unit -> t
+val create : ?seed:int -> ?batch_capacity:int -> ?redzone_words:int -> unit -> t
 (** [batch_capacity] sets the emission batch size (default
     {!Nvsc_memtrace.Sink.default_capacity}).  Results are invariant in it;
-    only flush cadence changes. *)
+    only flush cadence changes.  [redzone_words] (default 0) leaves an
+    unregistered gap of that many words after every global and heap
+    allocation, so an out-of-bounds reference lands in no-man's-land
+    instead of silently attributing to the next object — the ASan redzone
+    idea, used by the NVSC-San trace sanitizer. *)
 
 (** {1 Sinks} *)
 
@@ -42,8 +46,32 @@ val set_instr_sink : t -> (int -> unit) -> unit
     Counts are buffered alongside the reference batch and replayed in
     program order at flush time. *)
 
+(** Object/stack lifecycle events, as seen by an {!set_event_sink}
+    observer.  Events are delivered in program order, interleaved with
+    attributed batches: the batch is flushed {e before} the mutation the
+    event describes, so an attributed sink always sees each reference under
+    the registry/stack state it was emitted in — regardless of batch
+    capacity. *)
+type event =
+  | Alloc of Nvsc_memtrace.Mem_object.t
+      (** Registration (or revival) of a global or heap object. *)
+  | Free of Nvsc_memtrace.Mem_object.t
+  | Frame_push of Nvsc_memtrace.Mem_object.t * Nvsc_memtrace.Shadow_stack.frame
+      (** Routine entry: the routine's frame object and the concrete
+          shadow frame pushed for this call. *)
+  | Frame_pop of Nvsc_memtrace.Shadow_stack.frame
+  | Phase_change of Nvsc_memtrace.Mem_object.phase
+
+val set_event_sink : t -> (event -> unit) -> unit
+(** Install the (single) lifecycle observer.  Flushes buffered references
+    first.  While installed, allocation/free/call/phase mutations flush the
+    emission batch before they apply (see {!event}). *)
+
+val redzone_bytes : t -> int
+
 val clear_sinks : t -> unit
-(** Flushes buffered references, then unsubscribes every sink. *)
+(** Flushes buffered references, then unsubscribes every sink (including
+    the event sink). *)
 
 val flush_refs : t -> unit
 (** Deliver any buffered references (and pending instruction counts) to the

@@ -22,11 +22,30 @@ type result = {
   l2_miss_rate : float;
   unattributed : int;
   pipeline : Ctx.pipeline_stats;
+  sanitizer : Nvsc_sanitizer.Diagnostic.report option;
 }
 
+(* Redzone width used when sanitising: wide enough that a word-sized
+   overrun of any object lands inside it, narrow enough not to distort
+   the synthetic layout. *)
+let sanitizer_redzone_words = 8
+
 let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
+    ?batch_capacity ?(sanitize = false) ?(check_init = false)
     (module A : Nvsc_apps.Workload.APP) =
-  let ctx = Ctx.create () in
+  let prev_checks = Sink.checks_enabled () in
+  if sanitize then Sink.set_debug_checks true;
+  Fun.protect ~finally:(fun () -> Sink.set_debug_checks prev_checks)
+  @@ fun () ->
+  let ctx =
+    Ctx.create ?batch_capacity
+      ~redzone_words:(if sanitize then sanitizer_redzone_words else 0)
+      ()
+  in
+  let san =
+    if sanitize then Some (Nvsc_sanitizer.Trace_san.attach ~check_init ctx)
+    else None
+  in
   (match sampling with
   | Some (period, sample_length) -> Ctx.set_sampling ctx ~period ~sample_length
   | None -> ());
@@ -51,6 +70,7 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
   A.run ~scale ctx ~iterations;
   Ctx.flush_refs ctx;
   (match hierarchy with Some h -> Hierarchy.drain h | None -> ());
+  let sanitizer = Option.map Nvsc_sanitizer.Trace_san.finish san in
   let metrics = Object_metrics.collect ctx ~iterations in
   let footprint_bytes =
     List.fold_left (fun acc m -> acc + Object_metrics.size_bytes m) 0 metrics
@@ -79,6 +99,7 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
     l2_miss_rate = miss_rate Hierarchy.l2;
     unattributed = Ctx.unattributed ctx;
     pipeline = Ctx.pipeline_stats ctx;
+    sanitizer;
   }
 
 let kind_metrics kind result =

@@ -29,6 +29,8 @@ type result = {
   pipeline : Nvsc_appkit.Ctx.pipeline_stats;
       (** reference-stream transport counters: batches delivered, flush
           causes, per-sink totals (pipeline self-observability) *)
+  sanitizer : Nvsc_sanitizer.Diagnostic.report option;
+      (** NVSC-San trace-sanitizer report, when [sanitize] was set *)
 }
 
 val run :
@@ -36,12 +38,20 @@ val run :
   ?iterations:int ->
   ?with_trace:bool ->
   ?sampling:int * int ->
+  ?batch_capacity:int ->
+  ?sanitize:bool ->
+  ?check_init:bool ->
   (module Nvsc_apps.Workload.APP) ->
   result
 (** Defaults: [scale = 1.0], [iterations = 10] (the paper collects the
     first 10 iterations of the main loop), [with_trace = false].
     [sampling = (period, sample_length)] enables the §III-D sampled
-    instrumentation the paper rejects (see {!Extensions}). *)
+    instrumentation the paper rejects (see {!Extensions}).
+    [batch_capacity] overrides the emission batch size (results are
+    invariant in it).  [sanitize] tees the NVSC-San trace sanitizer into
+    the pipeline: the context gets allocation redzones, batch accessors run
+    bounds-checked, and the result carries the diagnostic report;
+    [check_init] additionally enables uninitialised-heap-read tracking. *)
 
 val stack_metrics : result -> Object_metrics.t list
 val global_metrics : result -> Object_metrics.t list

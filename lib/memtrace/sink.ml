@@ -1,3 +1,11 @@
+(* Debug-checked mode: when on, the hot-path accessors fall back to
+   bounds-checked reads and slice hand-offs are validated, so a malformed
+   [first]/[n] is caught instead of silently reading stale array tails.
+   Enabled by the test harness and by the NVSC-San lint pipeline. *)
+let debug_checks = ref false
+let set_debug_checks v = debug_checks := v
+let checks_enabled () = !debug_checks
+
 module Batch = struct
   type t = {
     mutable addrs : int array;
@@ -33,25 +41,53 @@ module Batch = struct
       b.ops <- ops
     end
 
+  let check_slice b ~first ~n =
+    let cap = Array.length b.addrs in
+    if first < 0 || n < 0 || first + n > cap then
+      invalid_arg
+        (Printf.sprintf "Sink.Batch: slice first=%d n=%d outside capacity %d"
+           first n cap)
+
   (* Hot-path accessors: callers index within [0, capacity) by
      construction (consumers receive a validated [first]/[n] slice;
-     producers flush before the batch fills), so elide bounds checks. *)
-  let[@inline] addr b i = Array.unsafe_get b.addrs i
-  let[@inline] size b i = Array.unsafe_get b.sizes i
-  let[@inline] is_write b i = Bytes.unsafe_get b.ops i <> '\000'
+     producers flush before the batch fills), so elide bounds checks —
+     unless the debug-checked mode is on. *)
+  let[@inline] addr b i =
+    if !debug_checks then Array.get b.addrs i else Array.unsafe_get b.addrs i
+
+  let[@inline] size b i =
+    if !debug_checks then Array.get b.sizes i else Array.unsafe_get b.sizes i
+
+  let[@inline] is_write b i =
+    (if !debug_checks then Bytes.get b.ops i else Bytes.unsafe_get b.ops i)
+    <> '\000'
+
   let[@inline] op b i = if is_write b i then Access.Write else Access.Read
   let[@inline] op_char = function
     | Access.Read -> '\000'
     | Access.Write -> '\001'
 
   let[@inline] set b i ~addr ~size ~op =
-    Array.unsafe_set b.addrs i addr;
-    Array.unsafe_set b.sizes i size;
-    Bytes.unsafe_set b.ops i (op_char op)
+    if !debug_checks then begin
+      Array.set b.addrs i addr;
+      Array.set b.sizes i size;
+      Bytes.set b.ops i (op_char op)
+    end
+    else begin
+      Array.unsafe_set b.addrs i addr;
+      Array.unsafe_set b.sizes i size;
+      Bytes.unsafe_set b.ops i (op_char op)
+    end
 
   let[@inline] set_addr_op b i ~addr ~op =
-    Array.unsafe_set b.addrs i addr;
-    Bytes.unsafe_set b.ops i (op_char op)
+    if !debug_checks then begin
+      Array.set b.addrs i addr;
+      Bytes.set b.ops i (op_char op)
+    end
+    else begin
+      Array.unsafe_set b.addrs i addr;
+      Bytes.unsafe_set b.ops i (op_char op)
+    end
 
   let fill_sizes b size = Array.fill b.sizes 0 (Array.length b.sizes) size
 
@@ -120,6 +156,7 @@ let push t ~addr ~size ~op =
 let push_access t (a : Access.t) = push t ~addr:a.addr ~size:a.size ~op:a.op
 
 let deliver t batch ~first ~n =
+  if !debug_checks then Batch.check_slice batch ~first ~n;
   if n > 0 then begin
     flush t;
     t.pushed <- t.pushed + n;

@@ -12,6 +12,14 @@
     (capacity flush) or at an explicit boundary ({!flush}, called at
     iteration/phase boundaries so per-iteration statistics stay exact). *)
 
+val set_debug_checks : bool -> unit
+(** Toggle the module-wide debug-checked mode: batch accessors become
+    bounds-checked and {!deliver} validates its slice.  Off by default —
+    the hot path stays unsafe; tests and the NVSC-San lint pipeline turn
+    it on. *)
+
+val checks_enabled : unit -> bool
+
 (** Flat batch of references: parallel [addr]/[size] arrays plus one byte
     per record for the read/write op.  Indices [0 .. n-1] are valid, where
     [n] is carried alongside the batch, not stored in it. *)
@@ -43,6 +51,10 @@ module Batch : sig
       single size and prefill it once with {!fill_sizes}. *)
 
   val fill_sizes : t -> int -> unit
+
+  val check_slice : t -> first:int -> n:int -> unit
+  (** Validate that [first .. first+n-1] lies within the batch capacity;
+      raises [Invalid_argument] (naming the offending slice) otherwise. *)
 
   val access : t -> int -> Access.t
   (** Materialise record [i] (allocates; compatibility path only). *)

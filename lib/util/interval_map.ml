@@ -6,11 +6,17 @@ let build ranges =
   in
   List.iter
     (fun (start, stop, _) ->
-      if start >= stop then invalid_arg "Interval_map.build: empty range")
+      if start >= stop then
+        invalid_arg
+          (Printf.sprintf "Interval_map.build: empty range [%d,%d)" start stop))
     sorted;
   let rec check = function
-    | (_, stop1, _) :: ((start2, _, _) :: _ as rest) ->
-      if stop1 > start2 then invalid_arg "Interval_map.build: overlapping ranges";
+    | (start1, stop1, _) :: ((start2, stop2, _) :: _ as rest) ->
+      if stop1 > start2 then
+        invalid_arg
+          (Printf.sprintf
+             "Interval_map.build: overlapping ranges [%d,%d) and [%d,%d)"
+             start1 stop1 start2 stop2);
       check rest
     | _ -> ()
   in

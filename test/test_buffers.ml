@@ -69,6 +69,28 @@ let test_batch_accessors () =
   Alcotest.(check int) "data preserved" 0x40 (Sink.Batch.addr b 0);
   Alcotest.(check bool) "ops preserved" true (Sink.Batch.is_write b 1)
 
+let test_batch_checked_slices () =
+  (* with debug checks on, malformed slices are caught at the deliver
+     boundary instead of silently reading stale batch tails *)
+  let prev = Sink.checks_enabled () in
+  Sink.set_debug_checks true;
+  Fun.protect ~finally:(fun () -> Sink.set_debug_checks prev) @@ fun () ->
+  let s = Sink.create ~capacity:4 (fun _ ~first:_ ~n:_ -> ()) in
+  let b = Sink.Batch.create 4 in
+  Sink.Batch.set b 0 ~addr:0x40 ~size:64 ~op:Access.Read;
+  Alcotest.check_raises "slice past capacity"
+    (Invalid_argument "Sink.Batch: slice first=2 n=3 outside capacity 4")
+    (fun () -> Sink.deliver s b ~first:2 ~n:3);
+  Alcotest.check_raises "negative first"
+    (Invalid_argument "Sink.Batch: slice first=-1 n=2 outside capacity 4")
+    (fun () -> Sink.deliver s b ~first:(-1) ~n:2);
+  Alcotest.check_raises "checked accessor"
+    (Invalid_argument "index out of bounds")
+    (fun () -> ignore (Sink.Batch.addr b 7));
+  (* a well-formed slice still goes through *)
+  Sink.deliver s b ~first:0 ~n:1;
+  Alcotest.(check int) "valid slice delivered" 1 (Sink.pushed s)
+
 let test_log_roundtrip () =
   let log = Trace_log.create ~initial_capacity:2 () in
   let accesses =
@@ -188,6 +210,8 @@ let suite =
     Alcotest.test_case "sink deliver zero-copy" `Quick
       test_sink_deliver_zero_copy;
     Alcotest.test_case "batch accessors" `Quick test_batch_accessors;
+    Alcotest.test_case "batch checked slices" `Quick
+      test_batch_checked_slices;
     Alcotest.test_case "log roundtrip" `Quick test_log_roundtrip;
     Alcotest.test_case "log replay order" `Quick test_log_replay_order;
     Alcotest.test_case "log replay batch" `Quick test_log_replay_batch;

@@ -19,12 +19,30 @@ let test_empty () =
   Alcotest.(check (option int)) "empty" None (IM.find m 0)
 
 let test_validation () =
+  (* the error names the offending ranges *)
   Alcotest.check_raises "overlap"
-    (Invalid_argument "Interval_map.build: overlapping ranges") (fun () ->
+    (Invalid_argument
+       "Interval_map.build: overlapping ranges [0,10) and [5,15)") (fun () ->
       ignore (IM.build [ (0, 10, ()); (5, 15, ()) ]));
   Alcotest.check_raises "empty range"
-    (Invalid_argument "Interval_map.build: empty range") (fun () ->
+    (Invalid_argument "Interval_map.build: empty range [5,5)") (fun () ->
       ignore (IM.build [ (5, 5, ()) ]))
+
+let test_validation_edge_cases () =
+  (* adjacent ranges do not overlap: [0,10) then [10,20) *)
+  let m = IM.build [ (10, 20, "b"); (0, 10, "a") ] in
+  Alcotest.(check (option string)) "left of seam" (Some "a") (IM.find m 9);
+  Alcotest.(check (option string)) "right of seam" (Some "b") (IM.find m 10);
+  (* duplicate start: reported as an overlap of the two, in sorted order *)
+  Alcotest.check_raises "duplicate start"
+    (Invalid_argument
+       "Interval_map.build: overlapping ranges [3,7) and [3,9)") (fun () ->
+      ignore (IM.build [ (3, 7, ()); (3, 9, ()) ]));
+  (* fully nested range *)
+  Alcotest.check_raises "fully nested"
+    (Invalid_argument
+       "Interval_map.build: overlapping ranges [0,100) and [20,30)")
+    (fun () -> ignore (IM.build [ (0, 100, ()); (20, 30, ()) ]))
 
 let find_equals_linear_prop =
   QCheck.Test.make ~name:"interval find = linear scan" ~count:100
@@ -105,6 +123,8 @@ let suite =
     Alcotest.test_case "interval find" `Quick test_find;
     Alcotest.test_case "interval empty" `Quick test_empty;
     Alcotest.test_case "interval validation" `Quick test_validation;
+    Alcotest.test_case "interval validation edge cases" `Quick
+      test_validation_edge_cases;
     QCheck_alcotest.to_alcotest find_equals_linear_prop;
     Alcotest.test_case "traffic conservation" `Slow test_conservation;
     Alcotest.test_case "traffic sorted, read-only clean" `Slow

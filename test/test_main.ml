@@ -28,6 +28,7 @@ let () =
       ("extra-apps", Test_extra_apps.suite);
       ("core-analysis", Test_core.suite);
       ("pipeline-fuzz", Test_pipeline_fuzz.suite);
+      ("sanitizer", Test_sanitizer.suite);
       ("interval-traffic", Test_interval_traffic.suite);
       ("report-experiment", Test_report_experiment.suite);
       ("paper-shapes", Test_shapes.suite);

@@ -165,6 +165,26 @@ let fuzz_sampling_observes_subset =
       sampled.Nvsc_core.Scavenger.total_main_refs
       <= full.Nvsc_core.Scavenger.total_main_refs)
 
+let fuzz_sanitizer_clean =
+  (* the sanitizer must report nothing on well-behaved random apps — no
+     false positives — and identically so at degenerate, prime and huge
+     batch capacities *)
+  QCheck.Test.make ~name:"fuzz: sanitizer clean at capacities 1/7/65536"
+    ~count:15 arbitrary_spec (fun spec ->
+      let reports =
+        List.map
+          (fun capacity ->
+            let r =
+              Nvsc_core.Scavenger.run ~iterations:spec.iterations
+                ~batch_capacity:capacity ~sanitize:true
+                (app_of_spec spec)
+            in
+            Option.get r.Nvsc_core.Scavenger.sanitizer)
+          [ 1; 7; 65536 ]
+      in
+      List.for_all Nvsc_sanitizer.Diagnostic.is_clean reports
+      && List.for_all (fun r -> r = List.hd reports) reports)
+
 let fuzz_determinism =
   QCheck.Test.make ~name:"fuzz: runs are deterministic" ~count:20
     arbitrary_spec (fun spec ->
@@ -182,5 +202,6 @@ let suite =
       fuzz_counts_match_tallies;
       fuzz_cdf_invariants;
       fuzz_sampling_observes_subset;
+      fuzz_sanitizer_clean;
       fuzz_determinism;
     ]

@@ -1,0 +1,240 @@
+(* NVSC-San: adversarial defect-injection app + sanitizer assertions.
+
+   The defect app seeds one instance of every trace-defect class per main
+   iteration (plus the one-shot teardown defects), and the tests assert
+   the sanitizer reports exactly those classes with exactly those counts —
+   at batch capacities 1, 7 and 65536 — while the six shipped mini-apps
+   and the shipped simulator configs report nothing at all. *)
+
+module Ctx = Nvsc_appkit.Ctx
+module Layout = Nvsc_memtrace.Layout
+module Mem_object = Nvsc_memtrace.Mem_object
+module Object_registry = Nvsc_memtrace.Object_registry
+module Shadow_stack = Nvsc_memtrace.Shadow_stack
+module San = Nvsc_sanitizer.Trace_san
+module Lint = Nvsc_sanitizer.Config_lint
+module D = Nvsc_sanitizer.Diagnostic
+
+(* --- the adversarial app ------------------------------------------------- *)
+
+let words = 16
+
+let defect_app : (module Nvsc_apps.Workload.APP) =
+  (module struct
+    let name = "defect"
+    let description = "seeded trace defects"
+    let input_description = "adversarial"
+    let paper_footprint_mb = 0.
+
+    let run ?scale ctx ~iterations =
+      ignore scale;
+      Ctx.set_phase ctx Mem_object.Pre;
+      let g_grid = Ctx.alloc_global ctx ~name:"g_grid" ~words in
+      let h_data = Ctx.alloc_heap ctx ~site:"h_data" ~words in
+      for k = 0 to words - 1 do
+        Ctx.write_addr ctx ~addr:(g_grid.Mem_object.base + (8 * k));
+        Ctx.write_addr ctx ~addr:(h_data.Mem_object.base + (8 * k))
+      done;
+      let stale_addr = ref 0 in
+      for iter = 1 to iterations do
+        Ctx.set_phase ctx (Mem_object.Main iter);
+        (* legitimate traffic *)
+        for k = 0 to words - 1 do
+          Ctx.read_addr ctx ~addr:(h_data.Mem_object.base + (8 * k));
+          Ctx.write_addr ctx ~addr:(g_grid.Mem_object.base + (8 * k))
+        done;
+        (* out-of-bounds: word read 8 bytes past the end of h_data, into
+           its redzone *)
+        Ctx.read_addr ctx
+          ~addr:(h_data.Mem_object.base + h_data.Mem_object.size + 8);
+        (* straddle: word read starting 4 bytes before the end *)
+        Ctx.read_addr ctx
+          ~addr:(h_data.Mem_object.base + h_data.Mem_object.size - 4);
+        (* use-after-free *)
+        let uaf = Ctx.alloc_heap ctx ~site:"uaf_buf" ~words:4 in
+        for k = 0 to 3 do
+          Ctx.write_addr ctx ~addr:(uaf.Mem_object.base + (8 * k))
+        done;
+        Ctx.free_heap ctx uaf;
+        Ctx.read_addr ctx ~addr:uaf.Mem_object.base;
+        (* stale stack: read a frame-carved address after the pop *)
+        Ctx.call ctx ~routine:"victim" ~frame_words:8 (fun frame ->
+            let a = Ctx.frame_carve ctx frame ~words:4 in
+            for k = 0 to 3 do
+              Ctx.write_addr ctx ~addr:(a + (8 * k))
+            done;
+            stale_addr := a);
+        Ctx.read_addr ctx ~addr:!stale_addr;
+        (* uninitialised read: fresh heap words, read before any write *)
+        let u = Ctx.alloc_heap ctx ~site:"u_buf" ~words:4 in
+        Ctx.read_addr ctx ~addr:u.Mem_object.base;
+        Ctx.free_heap ctx u;
+        if iter = iterations then begin
+          (* leak: allocated in the main loop, never freed *)
+          ignore (Ctx.alloc_heap ctx ~site:"leaky" ~words:4);
+          (* overlap: a rogue registration inside h_data, behind Ctx's back *)
+          let rogue =
+            Mem_object.make ~id:999_983 ~name:"h_overlap" ~kind:Layout.Heap
+              ~base:(h_data.Mem_object.base + 8)
+              ~size:16 ~signature:"h_overlap" ()
+          in
+          ignore (Object_registry.register (Ctx.registry ctx) rogue);
+          (* unbalanced frame: a push that bypasses Ctx.call.  Flush first
+             so buffered references are delivered under the stack state
+             they were emitted in (the raw push bypasses Ctx's
+             pre-mutation flush on purpose). *)
+          Ctx.flush_refs ctx;
+          ignore
+            (Shadow_stack.push (Ctx.shadow ctx) ~routine:"rogue"
+               ~routine_addr:0xdead00 ~frame_size:64)
+        end
+      done;
+      Ctx.set_phase ctx Mem_object.Post
+  end)
+
+let iterations = 3
+
+let run_defect ~capacity ~check_init =
+  let module A = (val defect_app : Nvsc_apps.Workload.APP) in
+  let ctx = Ctx.create ~batch_capacity:capacity ~redzone_words:8 () in
+  let san = San.attach ~check_init ctx in
+  A.run ctx ~iterations;
+  San.finish san
+
+let shape report =
+  List.map (fun (f : D.finding) -> (D.klass_to_string f.klass, f.owner, f.count))
+    report
+
+let shape_t = Alcotest.(triple string string int)
+
+let expected_defects ~check_init =
+  (* in report order: severity, then class rank, then owner *)
+  [
+    ("out-of-bounds", "h_data", iterations);
+    ("straddle", "h_data", iterations);
+    ("use-after-free", "uaf_buf", iterations);
+    ("stale-stack", "victim", iterations);
+  ]
+  @ (if check_init then [ ("uninit-read", "u_buf", iterations) ] else [])
+  @ [
+      ("overlap", "h_data/h_overlap", 1);
+      ("unbalanced-frames", "post", 1);
+      ("leak", "leaky", 1);
+    ]
+
+let test_defect_classes () =
+  let report = run_defect ~capacity:65536 ~check_init:true in
+  Alcotest.(check (list shape_t))
+    "every seeded class, nothing else"
+    (expected_defects ~check_init:true)
+    (shape report);
+  (* no unattributed refs: every seeded defect is classified more
+     precisely than that *)
+  Alcotest.(check bool) "no unattributed" true
+    (List.for_all (fun (f : D.finding) -> f.klass <> D.Unattributed) report)
+
+let test_defect_classes_no_init () =
+  let report = run_defect ~capacity:65536 ~check_init:false in
+  Alcotest.(check (list shape_t))
+    "uninit tracking is opt-in"
+    (expected_defects ~check_init:false)
+    (shape report)
+
+let test_capacity_determinism () =
+  let r1 = run_defect ~capacity:1 ~check_init:true in
+  let r7 = run_defect ~capacity:7 ~check_init:true in
+  let r64k = run_defect ~capacity:65536 ~check_init:true in
+  let render r = Format.asprintf "%a" D.pp_report r in
+  Alcotest.(check string) "capacity 1 = capacity 65536" (render r64k) (render r1);
+  Alcotest.(check string) "capacity 7 = capacity 65536" (render r64k) (render r7)
+
+let test_first_occurrence () =
+  let report = run_defect ~capacity:7 ~check_init:true in
+  List.iter
+    (fun (f : D.finding) ->
+      match f.klass with
+      | D.Overlap | D.Leak | D.Unbalanced_frames ->
+        Alcotest.(check bool)
+          ("teardown finding has no stream position: " ^ f.owner)
+          true (f.first = None)
+      | _ ->
+        (match f.first with
+        | Some { phase = Mem_object.Main 1; index } ->
+          Alcotest.(check bool)
+            ("positive index: " ^ f.owner)
+            true (index > 0)
+        | _ ->
+          Alcotest.failf "%s: first occurrence should be in main[1]" f.owner))
+    report
+
+(* --- shipped apps are clean --------------------------------------------- *)
+
+let test_shipped_apps_clean () =
+  List.iter
+    (fun (module A : Nvsc_apps.Workload.APP) ->
+      let r =
+        Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:2 ~sanitize:true
+          ~check_init:true (module A)
+      in
+      let report = Option.get r.Nvsc_core.Scavenger.sanitizer in
+      Alcotest.(check (list shape_t)) (A.name ^ " is clean") [] (shape report))
+    Nvsc_apps.Apps.extended
+
+(* --- config lint --------------------------------------------------------- *)
+
+let test_config_clean () =
+  List.iter
+    (fun (module A : Nvsc_apps.Workload.APP) ->
+      Alcotest.(check bool)
+        ("shipped configs lint clean for " ^ A.name)
+        true
+        (D.is_clean (Lint.all ~app:(module A) ())))
+    Nvsc_apps.Apps.extended
+
+let owners report = List.map (fun (f : D.finding) -> f.owner) report
+
+let test_config_broken_technology () =
+  let bad =
+    {
+      (Nvsc_nvram.Technology.get Nvsc_nvram.Technology.PCRAM) with
+      write_latency_ns = 5.;
+      needs_refresh = true;
+    }
+  in
+  Alcotest.(check (list string))
+    "write-faster-than-read and refreshing NVRAM are both caught"
+    [ "Technology.PCRAM.needs_refresh"; "Technology.PCRAM.write_latency_ns" ]
+    (List.sort compare (owners (Lint.technology bad)))
+
+let test_config_broken_cache_and_core () =
+  let bad_l1 =
+    { Nvsc_cachesim.Cache_params.paper_l1d with size_bytes = 48 * 1024 }
+  in
+  let caches =
+    Lint.caches ~l1d:bad_l1 ~l1i:Nvsc_cachesim.Cache_params.paper_l1i
+      ~l2:Nvsc_cachesim.Cache_params.paper_l2
+  in
+  Alcotest.(check (list string))
+    "non-power-of-two L1" [ "Cache.L1D.size_bytes" ] (owners caches);
+  let bad_core = { Nvsc_cpusim.Core_params.paper with l2_hit_cycles = 1 } in
+  Alcotest.(check (list string))
+    "inverted latency hierarchy" [ "Core.l2_hit_cycles" ]
+    (owners (Lint.core bad_core))
+
+let suite =
+  [
+    Alcotest.test_case "defect app: all classes detected" `Quick
+      test_defect_classes;
+    Alcotest.test_case "defect app: uninit tracking opt-in" `Quick
+      test_defect_classes_no_init;
+    Alcotest.test_case "report invariant under batch capacity" `Quick
+      test_capacity_determinism;
+    Alcotest.test_case "first occurrences" `Quick test_first_occurrence;
+    Alcotest.test_case "shipped apps sanitize clean" `Slow
+      test_shipped_apps_clean;
+    Alcotest.test_case "shipped configs lint clean" `Quick test_config_clean;
+    Alcotest.test_case "broken technology caught" `Quick
+      test_config_broken_technology;
+    Alcotest.test_case "broken cache/core caught" `Quick
+      test_config_broken_cache_and_core;
+  ]
