@@ -272,6 +272,20 @@ let bench_trace_file =
              Nvsc_memtrace.Trace_file.save log path;
              ignore (Nvsc_memtrace.Trace_file.load path))))
 
+(* Satellite: the full experiments matrix (objects, power and perf cells
+   for every paper app) through the sweep engine at 1, 2 and 4 worker
+   domains; the scaling summary is printed after the table.  Speedup only
+   shows on multicore hosts — on one core the three land together. *)
+let sweep_config = { E.scale = 0.1; iterations = 2; perf_scale = 0.1 }
+
+let sweep_matrix =
+  lazy (Nvsc_sweep.Engine.experiments_matrix ~config:sweep_config)
+
+let bench_sweep jobs =
+  Test.make ~name:(Printf.sprintf "sweep:experiments-matrix-%d" jobs)
+    (Staged.stage (fun () ->
+         ignore (Nvsc_sweep.Engine.run ~jobs (Lazy.force sweep_matrix))))
+
 let tests =
   Test.make_grouped ~name:"nv-scavenger"
     [
@@ -308,6 +322,9 @@ let tests =
       bench_wear_leveling ~name:"ablation:wear-table"
         (Nvsc_nvram.Wear_leveling.Table_based { swap_interval = 100 });
       bench_dram_cache;
+      bench_sweep 1;
+      bench_sweep 2;
+      bench_sweep 4;
       bench_sampler;
       bench_trace_file;
       Test.make ~name:"ablation:scheduler-fr-fcfs-10k"
@@ -384,9 +401,21 @@ let () =
       (c /. b)
   | _ -> ());
   (* sanitizer-overhead summary: same app, bare sink vs NVSC-San attached *)
-  match (find "scavenger-gtc", find "scavenger-gtc-sanitized") with
+  (match (find "scavenger-gtc", find "scavenger-gtc-sanitized") with
   | Some bare, Some san when bare > 0. ->
     Format.printf
       "sanitizer overhead (gtc): bare %.1fus, sanitized %.1fus (%.2fx)@."
       (bare /. 1_000.) (san /. 1_000.) (san /. bare)
+  | _ -> ());
+  (* sweep-scaling summary: the same experiments matrix at 1/2/4 domains *)
+  match
+    ( find "experiments-matrix-1",
+      find "experiments-matrix-2",
+      find "experiments-matrix-4" )
+  with
+  | Some j1, Some j2, Some j4 when j1 > 0. && j2 > 0. && j4 > 0. ->
+    Format.printf
+      "sweep scaling (12-cell matrix): 1 domain %.1fms, 2 domains %.1fms \
+       (%.2fx), 4 domains %.1fms (%.2fx)@."
+      (j1 /. 1e6) (j2 /. 1e6) (j1 /. j2) (j4 /. 1e6) (j1 /. j4)
   | _ -> ()

@@ -492,6 +492,118 @@ let lint_cmd =
         (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
        $ check_init_arg))
 
+(* --- sweep --------------------------------------------------------------- *)
+
+let sweep_cmd =
+  let module Sweep = Nvsc_sweep in
+  let jobs_arg =
+    let doc =
+      "Worker domains (default: the machine's recommended domain count). \
+       The report is byte-identical for every N."
+    in
+    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc =
+      "Directory for the content-addressed result cache; cells whose \
+       digest is already present are not re-executed."
+    in
+    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
+  in
+  let cache_max_arg =
+    let doc = "Bound the cache to N entries (oldest evicted first)." in
+    Arg.(value & opt (some int) None & info [ "cache-max" ] ~docv:"N" ~doc)
+  in
+  let apps_arg =
+    let doc = "Comma-separated applications (default: the paper's four)." in
+    Arg.(
+      value & opt (some (list string)) None & info [ "apps" ] ~docv:"APPS" ~doc)
+  in
+  let kinds_arg =
+    let doc =
+      "Comma-separated analysis kinds: objects, power, perf, place \
+       (default: all four)."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "kinds" ] ~docv:"KINDS" ~doc)
+  in
+  let techs_arg =
+    let doc =
+      "Comma-separated NVRAM technologies for the place cells (default: \
+       sttram)."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "techs" ] ~docv:"TECHS" ~doc)
+  in
+  let override_arg =
+    let doc =
+      "Per-cell override, e.g. $(b,kind=perf,scale=0.5) or \
+       $(b,app=cam,iterations=20).  Keys $(b,app) and $(b,kind) select \
+       cells; $(b,scale) and $(b,iterations) replace their settings.  \
+       Repeatable; later overrides win."
+    in
+    Arg.(
+      value & opt_all string [] & info [ "override" ] ~docv:"KEY=VAL,.." ~doc)
+  in
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+      Result.bind (f x) (fun y ->
+          Result.map (fun ys -> y :: ys) (map_result f rest))
+  in
+  let run () scale iterations jobs cache_dir cache_max apps kinds techs
+      override_specs =
+    let ( let* ) = Result.bind in
+    let matrix =
+      let* kinds =
+        match kinds with
+        | None -> Ok None
+        | Some names ->
+          Result.map Option.some
+            (map_result
+               (fun s ->
+                 match Sweep.Cell.kind_of_string s with
+                 | Some k -> Ok k
+                 | None -> Error (Printf.sprintf "unknown kind %S" s))
+               names)
+      in
+      let* overrides = map_result Sweep.Matrix.parse_override override_specs in
+      Sweep.Matrix.make ?apps ?kinds ?techs ~scale ~iterations ~overrides ()
+    in
+    match matrix with
+    | Error msg -> `Error (false, msg)
+    | Ok matrix ->
+      let cache =
+        Option.map
+          (fun dir -> Sweep.Cache.create ~dir ?max_entries:cache_max ())
+          cache_dir
+      in
+      let outcomes, stats = Sweep.Engine.run ?jobs ?cache matrix in
+      Sweep.Engine.pp_outcomes fmt outcomes;
+      Format.pp_print_flush fmt ();
+      Format.fprintf Format.err_formatter "%a@." Sweep.Engine.pp_stats stats;
+      `Ok ()
+  in
+  let info =
+    Cmd.info "sweep"
+      ~doc:
+        "Run an experiment matrix (applications × analysis kinds × \
+         configuration) on a pool of worker domains, memoizing each cell \
+         in an on-disk content-addressed cache.  The aggregated report is \
+         byte-identical regardless of $(b,--jobs); cache statistics go to \
+         standard error."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ scale_arg $ iterations_arg $ jobs_arg
+       $ cache_arg $ cache_max_arg $ apps_arg $ kinds_arg $ techs_arg
+       $ override_arg))
+
 (* --- checkpoint ---------------------------------------------------------- *)
 
 let checkpoint_cmd =
@@ -540,7 +652,7 @@ let main_cmd =
       list_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd; perf_cmd;
       place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd; traffic_cmd;
       fine_cmd; lint_cmd;
-      checkpoint_cmd;
+      sweep_cmd; checkpoint_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

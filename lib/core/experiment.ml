@@ -95,9 +95,51 @@ let fig12_data ?(config = default_config) ?asymmetric () =
           () ))
     Nvsc_apps.Apps.all
 
+(* --- data-level forms (shared with the sweep engine) -------------------- *)
+
+type table1_row = {
+  app_name : string;
+  input_description : string;
+  description : string;
+  footprint_bytes : int;
+  paper_footprint_mb : float;
+}
+
+let table1_rows bundle =
+  List.map
+    (fun (r : Scavenger.result) ->
+      {
+        app_name = r.app_name;
+        input_description = r.input_description;
+        description = r.description;
+        footprint_bytes = r.footprint_bytes;
+        paper_footprint_mb = r.paper_footprint_mb;
+      })
+    bundle.results
+
+type fig12_cell = {
+  tech : Technology.t;
+  latency_ns : float;
+  normalized_runtime : float;
+}
+
+let fig12_cells points =
+  List.map
+    (fun (app, pts) ->
+      ( app,
+        List.map
+          (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+            {
+              tech = p.tech;
+              latency_ns = p.latency_ns;
+              normalized_runtime = p.normalized_runtime;
+            })
+          pts ))
+    points
+
 (* --- printing forms ---------------------------------------------------- *)
 
-let table1 fmt bundle =
+let pp_table1_rows fmt rows =
   let table =
     Table.create ~title:"Table I: Applications characteristics"
       [
@@ -109,7 +151,7 @@ let table1 fmt bundle =
       ]
   in
   List.iter
-    (fun (r : Scavenger.result) ->
+    (fun r ->
       Table.add_row table
         [
           r.app_name;
@@ -118,8 +160,10 @@ let table1 fmt bundle =
           Table.cell_bytes r.footprint_bytes;
           Printf.sprintf "%.0fMB" r.paper_footprint_mb;
         ])
-    bundle.results;
+    rows;
   Table.pp fmt table
+
+let table1 fmt bundle = pp_table1_rows fmt (table1_rows bundle)
 
 let table2 fmt () =
   let table =
@@ -185,8 +229,7 @@ let fig2 fmt bundle = Stack_analysis.pp_distribution fmt (fig2_data bundle)
 let fig3_6 fmt bundle =
   List.iter (Object_analysis.pp_report fmt) (fig3_6_data bundle)
 
-let fig7 fmt bundle =
-  let data = fig7_data bundle in
+let pp_fig7_data fmt data =
   List.iter
     (fun (app, points) ->
       Format.fprintf fmt
@@ -209,15 +252,19 @@ let fig7 fmt bundle =
        ~title:"Figure 7: cumulative MB vs iterations used"
        ~x_label:"iterations used" ~y_label:"cumulative MB" series)
 
-let fig8_11 fmt bundle =
+let fig7 fmt bundle = pp_fig7_data fmt (fig7_data bundle)
+
+let pp_fig8_11_data fmt data =
   List.iter
     (fun (app, v) ->
       Format.fprintf fmt
         "== Figures 8-11: per-iteration metric variance: %s ==@." app;
       Usage_variance.pp_variance fmt v)
-    (fig8_11_data bundle)
+    data
 
-let table6 fmt bundle =
+let fig8_11 fmt bundle = pp_fig8_11_data fmt (fig8_11_data bundle)
+
+let pp_table6_data fmt data =
   let table =
     Table.create ~title:"Table VI: Normalized average power consumption"
       ([ ("Application", Table.Left) ]
@@ -225,7 +272,6 @@ let table6 fmt bundle =
           (fun (t : Technology.t) -> (t.name, Table.Right))
           Technology.paper_set)
   in
-  let data = table6_data bundle in
   List.iter
     (fun (app, powers) ->
       Table.add_row table
@@ -240,8 +286,9 @@ let table6 fmt bundle =
            (List.map (fun ((t : Technology.t), p) -> (t.name, p)) powers)))
     data
 
-let fig12 fmt ?config () =
-  let data = fig12_data ?config () in
+let table6 fmt bundle = pp_table6_data fmt (table6_data bundle)
+
+let pp_fig12_data fmt data =
   let table =
     Table.create ~title:"Figure 12: Normalized runtime vs memory latency"
       ([ ("Application", Table.Left) ]
@@ -256,19 +303,14 @@ let fig12 fmt ?config () =
       Table.add_row table
         (app
         :: List.map
-             (fun (p : Nvsc_cpusim.Sensitivity.point) ->
-               Table.cell_f ~prec:3 p.normalized_runtime)
+             (fun p -> Table.cell_f ~prec:3 p.normalized_runtime)
              points))
     data;
   Table.pp fmt table;
   let series =
     List.map
       (fun (app, points) ->
-        ( app,
-          List.map
-            (fun (p : Nvsc_cpusim.Sensitivity.point) ->
-              (p.latency_ns, p.normalized_runtime))
-            points ))
+        (app, List.map (fun p -> (p.latency_ns, p.normalized_runtime)) points))
       data
   in
   Format.pp_print_string fmt
@@ -276,16 +318,62 @@ let fig12 fmt ?config () =
        ~title:"Figure 12: normalized runtime vs memory latency"
        ~x_label:"memory latency (ns)" ~y_label:"normalized runtime" series)
 
-let run_all fmt ?(config = default_config) () =
-  let bundle = collect ~config () in
-  table1 fmt bundle;
+let fig12 fmt ?config () = pp_fig12_data fmt (fig12_cells (fig12_data ?config ()))
+
+(* --- bundle-free evaluation data ---------------------------------------- *)
+
+type data = {
+  data_config : config;
+  rows : table1_row list;
+  summaries : Stack_analysis.summary list;
+  cam_distribution : Stack_analysis.distribution option;
+  reports : Object_analysis.report list;
+  cdfs : (string * Usage_variance.cdf_point list) list;
+  untouched : (string * float) list;
+  variances : (string * Usage_variance.variance) list;
+  powers : (string * (Technology.t * float) list) list;
+  perf : (string * fig12_cell list) list;
+  pipelines : (string * Nvsc_appkit.Ctx.pipeline_stats) list;
+}
+
+let data_of_bundle bundle =
+  {
+    data_config = bundle.config;
+    rows = table1_rows bundle;
+    summaries = table5_data bundle;
+    cam_distribution =
+      (if List.exists (fun (r : Scavenger.result) -> r.app_name = "cam")
+            bundle.results
+       then Some (fig2_data bundle)
+       else None);
+    reports = fig3_6_data bundle;
+    cdfs = fig7_data bundle;
+    untouched =
+      List.map
+        (fun (r : Scavenger.result) ->
+          (r.app_name, Usage_variance.untouched_in_main_fraction r))
+        bundle.results;
+    variances = fig8_11_data bundle;
+    powers = table6_data bundle;
+    perf = fig12_cells (fig12_data ~config:bundle.config ());
+    pipelines =
+      List.map
+        (fun (r : Scavenger.result) -> (r.app_name, r.pipeline))
+        bundle.results;
+  }
+
+let run_all_of_data fmt data =
+  pp_table1_rows fmt data.rows;
   table2 fmt ();
   table3 fmt ();
   table4 fmt ();
-  table5 fmt bundle;
-  fig2 fmt bundle;
-  fig3_6 fmt bundle;
-  fig7 fmt bundle;
-  fig8_11 fmt bundle;
-  table6 fmt bundle;
-  fig12 fmt ~config ()
+  Stack_analysis.pp_summary_table fmt data.summaries;
+  Option.iter (Stack_analysis.pp_distribution fmt) data.cam_distribution;
+  List.iter (Object_analysis.pp_report fmt) data.reports;
+  pp_fig7_data fmt data.cdfs;
+  pp_fig8_11_data fmt data.variances;
+  pp_table6_data fmt data.powers;
+  pp_fig12_data fmt data.perf
+
+let run_all fmt ?(config = default_config) () =
+  run_all_of_data fmt (data_of_bundle (collect ~config ()))

@@ -59,7 +59,74 @@ val fig12_data :
     performance model to distinct read/write latencies with posted writes
     (see {!Nvsc_cpusim.Sensitivity.run}). *)
 
+(** {1 Bundle-free data forms}
+
+    The sweep engine recomputes or decodes these per-cell payloads and
+    renders the same tables without ever materialising a [bundle]; the
+    bundle path below delegates to the same printers, so the two paths are
+    byte-identical. *)
+
+type table1_row = {
+  app_name : string;
+  input_description : string;
+  description : string;
+  footprint_bytes : int;
+  paper_footprint_mb : float;
+}
+
+val table1_rows : bundle -> table1_row list
+
+type fig12_cell = {
+  tech : Nvsc_nvram.Technology.t;
+  latency_ns : float;
+  normalized_runtime : float;
+}
+
+val fig12_cells :
+  (string * Nvsc_cpusim.Sensitivity.point list) list ->
+  (string * fig12_cell list) list
+
+(** Everything the evaluation report needs, per app, in presentation
+    order. *)
+type data = {
+  data_config : config;
+  rows : table1_row list;
+  summaries : Stack_analysis.summary list;
+  cam_distribution : Stack_analysis.distribution option;
+  reports : Object_analysis.report list;
+  cdfs : (string * Usage_variance.cdf_point list) list;
+  untouched : (string * float) list;
+  variances : (string * Usage_variance.variance) list;
+  powers : (string * (Nvsc_nvram.Technology.t * float) list) list;
+  perf : (string * fig12_cell list) list;
+  pipelines : (string * Nvsc_appkit.Ctx.pipeline_stats) list;
+}
+
+val data_of_bundle : bundle -> data
+(** Derives every data form from the bundle; figure 12 is re-run at the
+    bundle's configuration (as {!run_all} does). *)
+
 (** {1 Printing forms} *)
+
+val pp_table1_rows : Format.formatter -> table1_row list -> unit
+
+val pp_fig7_data :
+  Format.formatter -> (string * Usage_variance.cdf_point list) list -> unit
+
+val pp_fig8_11_data :
+  Format.formatter -> (string * Usage_variance.variance) list -> unit
+
+val pp_table6_data :
+  Format.formatter ->
+  (string * (Nvsc_nvram.Technology.t * float) list) list ->
+  unit
+
+val pp_fig12_data :
+  Format.formatter -> (string * fig12_cell list) list -> unit
+
+val run_all_of_data : Format.formatter -> data -> unit
+(** Print every table and figure from precomputed data (the sweep-engine
+    path). *)
 
 val table1 : Format.formatter -> bundle -> unit
 val table2 : Format.formatter -> unit -> unit

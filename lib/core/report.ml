@@ -23,15 +23,16 @@ let add_table buf t =
   Buffer.add_string buf (Table.to_markdown t);
   Buffer.add_char buf '\n'
 
-let markdown_of_bundle (bundle : Experiment.bundle) =
+let markdown_of_data (data : Experiment.data) =
   let buf = Buffer.create 8192 in
   Buffer.add_string buf "# NV-Scavenger evaluation report\n\n";
   Buffer.add_string buf
     (Printf.sprintf
        "Configuration: scale %g, %d main-loop iterations, figure-12 scale \
         %g.\n\n"
-       bundle.config.Experiment.scale bundle.config.Experiment.iterations
-       bundle.config.Experiment.perf_scale);
+       data.data_config.Experiment.scale
+       data.data_config.Experiment.iterations
+       data.data_config.Experiment.perf_scale);
 
   section buf "Table I — application characteristics";
   let t =
@@ -44,7 +45,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
       ]
   in
   List.iter
-    (fun (r : Scavenger.result) ->
+    (fun (r : Experiment.table1_row) ->
       Table.add_row t
         [
           r.app_name;
@@ -52,7 +53,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
           Table.cell_bytes r.footprint_bytes;
           Printf.sprintf "%.0fMB" r.paper_footprint_mb;
         ])
-    bundle.results;
+    data.rows;
   add_table buf t;
 
   section buf "Table V — stack data analysis (paper value in brackets)";
@@ -81,7 +82,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
             (Table.cell_pct s.reference_pct)
             (100. *. paper_pct);
         ])
-    (Experiment.table5_data bundle);
+    data.summaries;
   add_table buf t;
 
   section buf "Figures 3–6 — object aggregates";
@@ -107,7 +108,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
           Table.cell_pct r.ratio_gt_1_fraction;
           Table.cell_pct r.nvram_friendly_fraction;
         ])
-    (Experiment.fig3_6_data bundle);
+    data.reports;
   add_table buf t;
 
   section buf "Figure 7 — data untouched by the main loop";
@@ -116,13 +117,9 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
       [ ("Application", Table.Left); ("Untouched fraction", Table.Right) ]
   in
   List.iter
-    (fun (r : Scavenger.result) ->
-      Table.add_row t
-        [
-          r.app_name;
-          Table.cell_pct (Usage_variance.untouched_in_main_fraction r);
-        ])
-    bundle.results;
+    (fun (app, fraction) ->
+      Table.add_row t [ app; Table.cell_pct fraction ])
+    data.untouched;
   add_table buf t;
 
   section buf "Figures 8–11 — per-iteration stability";
@@ -142,7 +139,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
           Table.cell_i v.Usage_variance.objects_considered;
           Table.cell_f (Usage_variance.stable_fraction v);
         ])
-    (Experiment.fig8_11_data bundle);
+    data.variances;
   add_table buf t;
 
   section buf "Table VI — normalized average power (paper value in brackets)";
@@ -168,7 +165,7 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
           powers
       in
       Table.add_row t (app :: cells))
-    (Experiment.table6_data bundle);
+    data.powers;
   add_table buf t;
 
   section buf "Figure 12 — normalized runtime vs memory latency";
@@ -186,10 +183,10 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
       Table.add_row t
         (app
         :: List.map
-             (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+             (fun (p : Experiment.fig12_cell) ->
                Table.cell_f ~prec:3 p.normalized_runtime)
              points))
-    (Experiment.fig12_data ~config:bundle.config ());
+    data.perf;
   add_table buf t;
 
   section buf "Reference-stream transport (pipeline counters)";
@@ -206,11 +203,10 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
       ]
   in
   List.iter
-    (fun (r : Scavenger.result) ->
-      let p = r.Scavenger.pipeline in
+    (fun (app, (p : Nvsc_appkit.Ctx.pipeline_stats)) ->
       Table.add_row t
         [
-          r.Scavenger.app_name;
+          app;
           Table.cell_i p.Nvsc_appkit.Ctx.batch_capacity;
           Table.cell_i p.Nvsc_appkit.Ctx.refs;
           Table.cell_i p.Nvsc_appkit.Ctx.batches;
@@ -223,9 +219,12 @@ let markdown_of_bundle (bundle : Experiment.bundle) =
                    s.Nvsc_memtrace.Sink.pushed s.Nvsc_memtrace.Sink.batches)
                p.Nvsc_appkit.Ctx.sinks);
         ])
-    bundle.results;
+    data.pipelines;
   add_table buf t;
   Buffer.contents buf
+
+let markdown_of_bundle bundle =
+  markdown_of_data (Experiment.data_of_bundle bundle)
 
 let markdown ?config () =
   markdown_of_bundle (Experiment.collect ?config ())

@@ -13,3 +13,8 @@ val markdown : ?config:Experiment.config -> unit -> string
 val markdown_of_bundle : Experiment.bundle -> string
 (** Render from an existing bundle (figure 12 is re-run from the bundle's
     configuration). *)
+
+val markdown_of_data : Experiment.data -> string
+(** Render from precomputed evaluation data — the sweep-engine path: no
+    application is re-run, everything comes from (possibly cached) cell
+    payloads. *)

@@ -1,10 +1,15 @@
 (* Debug-checked mode: when on, the hot-path accessors fall back to
    bounds-checked reads and slice hand-offs are validated, so a malformed
    [first]/[n] is caught instead of silently reading stale array tails.
-   Enabled by the test harness and by the NVSC-San lint pipeline. *)
-let debug_checks = ref false
-let set_debug_checks v = debug_checks := v
-let checks_enabled () = !debug_checks
+   Enabled by the test harness and by the NVSC-San lint pipeline.
+
+   An [Atomic.t], not a [ref]: the sweep engine runs scavenger cells on
+   worker domains, and this is the one top-level mutable flag they all
+   reach.  Toggling it is a process-wide mode switch (a sanitized run may
+   slow concurrent unsanitized cells down, never corrupt them). *)
+let debug_checks = Atomic.make false
+let set_debug_checks v = Atomic.set debug_checks v
+let checks_enabled () = Atomic.get debug_checks
 
 module Batch = struct
   type t = {
@@ -53,13 +58,13 @@ module Batch = struct
      producers flush before the batch fills), so elide bounds checks —
      unless the debug-checked mode is on. *)
   let[@inline] addr b i =
-    if !debug_checks then Array.get b.addrs i else Array.unsafe_get b.addrs i
+    if Atomic.get debug_checks then Array.get b.addrs i else Array.unsafe_get b.addrs i
 
   let[@inline] size b i =
-    if !debug_checks then Array.get b.sizes i else Array.unsafe_get b.sizes i
+    if Atomic.get debug_checks then Array.get b.sizes i else Array.unsafe_get b.sizes i
 
   let[@inline] is_write b i =
-    (if !debug_checks then Bytes.get b.ops i else Bytes.unsafe_get b.ops i)
+    (if Atomic.get debug_checks then Bytes.get b.ops i else Bytes.unsafe_get b.ops i)
     <> '\000'
 
   let[@inline] op b i = if is_write b i then Access.Write else Access.Read
@@ -68,7 +73,7 @@ module Batch = struct
     | Access.Write -> '\001'
 
   let[@inline] set b i ~addr ~size ~op =
-    if !debug_checks then begin
+    if Atomic.get debug_checks then begin
       Array.set b.addrs i addr;
       Array.set b.sizes i size;
       Bytes.set b.ops i (op_char op)
@@ -80,7 +85,7 @@ module Batch = struct
     end
 
   let[@inline] set_addr_op b i ~addr ~op =
-    if !debug_checks then begin
+    if Atomic.get debug_checks then begin
       Array.set b.addrs i addr;
       Bytes.set b.ops i (op_char op)
     end
@@ -156,7 +161,7 @@ let push t ~addr ~size ~op =
 let push_access t (a : Access.t) = push t ~addr:a.addr ~size:a.size ~op:a.op
 
 let deliver t batch ~first ~n =
-  if !debug_checks then Batch.check_slice batch ~first ~n;
+  if Atomic.get debug_checks then Batch.check_slice batch ~first ~n;
   if n > 0 then begin
     flush t;
     t.pushed <- t.pushed + n;

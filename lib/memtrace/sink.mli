@@ -16,7 +16,9 @@ val set_debug_checks : bool -> unit
 (** Toggle the module-wide debug-checked mode: batch accessors become
     bounds-checked and {!deliver} validates its slice.  Off by default —
     the hot path stays unsafe; tests and the NVSC-San lint pipeline turn
-    it on. *)
+    it on.  The flag is an [Atomic.t], safe to read and toggle from sweep
+    worker domains (it is a process-wide mode, so a sanitized cell may
+    temporarily slow concurrent cells, never corrupt them). *)
 
 val checks_enabled : unit -> bool
 

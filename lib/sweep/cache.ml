@@ -1,0 +1,123 @@
+module Json = Nvsc_util.Json
+
+type t = {
+  dir : string;
+  max_entries : int option;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = { hits : int; misses : int; evictions : int }
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+  end
+
+let index_file t = Filename.concat t.dir "cache.index"
+let entry_path t digest = Filename.concat t.dir (digest ^ ".json")
+
+let create ~dir ?max_entries () =
+  mkdir_p dir;
+  { dir; max_entries; hits = 0; misses = 0; evictions = 0 }
+
+let dir t = t.dir
+let stats (t : t) = { hits = t.hits; misses = t.misses; evictions = t.evictions }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path contents =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc contents);
+  Sys.rename tmp path
+
+let remove_if_exists path = if Sys.file_exists path then Sys.remove path
+
+(* --- insertion-order index (for bounded caches) ------------------------- *)
+
+let read_index t =
+  if Sys.file_exists (index_file t) then
+    String.split_on_char '\n' (read_file (index_file t))
+    |> List.filter (fun l -> l <> "")
+  else []
+
+let write_index t digests =
+  write_file (index_file t)
+    (String.concat "" (List.map (fun d -> d ^ "\n") digests))
+
+let append_index t digest =
+  let entries = List.filter (fun d -> d <> digest) (read_index t) in
+  write_index t (entries @ [ digest ])
+
+let evict t =
+  match t.max_entries with
+  | None -> ()
+  | Some max ->
+    let live =
+      List.filter (fun d -> Sys.file_exists (entry_path t d)) (read_index t)
+    in
+    let excess = List.length live - max in
+    if excess > 0 then begin
+      let rec drop k = function
+        | d :: rest when k > 0 ->
+          remove_if_exists (entry_path t d);
+          t.evictions <- t.evictions + 1;
+          drop (k - 1) rest
+        | rest -> rest
+      in
+      let kept = drop excess live in
+      write_index t kept
+    end
+    else if List.length live <> List.length (read_index t) then
+      write_index t live
+
+(* --- lookup / store ----------------------------------------------------- *)
+
+let wrap spec payload =
+  Json.Obj
+    [
+      ("version", Json.Str Cell.code_version);
+      ("spec", Cell.spec_to_json spec);
+      ("payload", Cell.payload_to_json payload);
+    ]
+
+let unwrap spec json =
+  if Json.to_str (Json.member "version" json) <> Cell.code_version then
+    raise (Json.Parse_error "Cache: stale code version");
+  let stored = Cell.spec_of_json (Json.member "spec" json) in
+  if stored <> spec then raise (Json.Parse_error "Cache: spec mismatch");
+  Cell.payload_of_json (Json.member "payload" json)
+
+let find t spec =
+  let path = entry_path t (Cell.digest spec) in
+  if not (Sys.file_exists path) then begin
+    t.misses <- t.misses + 1;
+    None
+  end
+  else
+    match unwrap spec (Json.of_string (read_file path)) with
+    | payload ->
+      t.hits <- t.hits + 1;
+      Some payload
+    | exception (Json.Parse_error _ | Sys_error _) ->
+      (* corrupt, stale or colliding entry: drop it and recompute *)
+      remove_if_exists path;
+      t.misses <- t.misses + 1;
+      None
+
+let store t spec payload =
+  let digest = Cell.digest spec in
+  write_file (entry_path t digest) (Json.to_string (wrap spec payload));
+  append_index t digest;
+  evict t

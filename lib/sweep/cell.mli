@@ -1,0 +1,115 @@
+(** One cell of an experiment matrix: an (application × analysis kind ×
+    configuration) point, its execution, and its serialized form.
+
+    A cell is the sweep engine's unit of scheduling and of caching: every
+    cell runs an isolated {!Nvsc_core.Scavenger} pipeline (no state shared
+    with other cells, so cells may execute on any worker domain in any
+    order), returns a plain-data payload, and owns a content digest that
+    keys the on-disk result cache.  Payload codecs round-trip exactly: a
+    decoded payload renders byte-identically to a fresh one. *)
+
+module Json = Nvsc_util.Json
+
+type kind =
+  | Objects  (** per-object metrics, stack summary, usage variance *)
+  | Power  (** cache-filtered trace replayed through the power simulator *)
+  | Perf  (** figure-12 latency-sensitivity replay *)
+  | Place  (** static hybrid DRAM/NVRAM placement plan *)
+
+val kind_to_string : kind -> string
+val kind_of_string : string -> kind option
+val all_kinds : kind list
+
+type spec = {
+  app : string;
+  kind : kind;
+  scale : float;
+  iterations : int;
+  tech : Nvsc_nvram.Technology.tech option;
+      (** NVRAM technology of a [Place] cell's hybrid; [None] elsewhere *)
+}
+
+val spec_to_json : spec -> Json.t
+val spec_of_json : Json.t -> spec
+
+val code_version : string
+(** Salt folded into every digest; bump when the payload schema or the
+    simulation semantics change so stale cache entries stop matching. *)
+
+val digest : spec -> string
+(** Hex content digest of [code_version] plus every spec field — the
+    cache key.  Any field change changes the digest. *)
+
+(** {1 Payloads} *)
+
+type app_info = {
+  description : string;
+  input_description : string;
+  paper_footprint_mb : float;
+  footprint_bytes : int;
+  total_main_refs : int;
+}
+
+type objects_payload = {
+  info : app_info;
+  summary : Nvsc_core.Stack_analysis.summary;
+  distribution : Nvsc_core.Stack_analysis.distribution;
+  report : Nvsc_core.Object_analysis.report;
+  cdf : Nvsc_core.Usage_variance.cdf_point list;
+  variance : Nvsc_core.Usage_variance.variance;
+  untouched_fraction : float;
+  pipeline : Nvsc_appkit.Ctx.pipeline_stats;
+}
+
+type power_row = {
+  tech_name : string;
+  avg_power_w : float;
+  elapsed_ns : float;
+  row_hit_rate : float;
+  bandwidth_gbs : float;
+  normalized : float;
+}
+
+type power_payload = {
+  p_info : app_info;
+  trace_length : int;
+  trace_reads : int;
+  trace_writes : int;
+  l1_miss_rate : float;
+  l2_miss_rate : float;
+  power_rows : power_row list;
+  p_pipeline : Nvsc_appkit.Ctx.pipeline_stats;
+}
+
+type perf_row = {
+  perf_tech_name : string;
+  latency_ns : float;
+  runtime_ns : float;
+  normalized_runtime : float;
+}
+
+type place_payload = {
+  place_tech_name : string;
+  place_footprint_bytes : int;
+  nvram_items : Nvsc_placement.Item.t list;
+  assessment : Nvsc_placement.Hybrid_memory.assessment;
+}
+
+type payload =
+  | Objects_result of objects_payload
+  | Power_result of power_payload
+  | Perf_result of perf_row list
+  | Place_result of place_payload
+
+val payload_to_json : payload -> Json.t
+val payload_of_json : Json.t -> payload
+(** Raises {!Nvsc_util.Json.Parse_error} on a foreign or stale shape. *)
+
+val execute : spec -> payload
+(** Run the cell.  Re-entrant and domain-safe: builds a fresh context,
+    touches no global mutable state.  Raises [Invalid_argument] on an
+    unknown application name. *)
+
+val render : Format.formatter -> spec -> payload -> unit
+(** The cell's section of the aggregated sweep report (header line plus
+    the same tables the corresponding [nvscav] subcommand prints). *)

@@ -1,0 +1,50 @@
+(** The sweep engine: executes a {!Matrix.t} on a domain pool with an
+    optional content-addressed result cache.
+
+    Execution order never leaks into output: cache lookups and stores run
+    serially on the calling domain, only cell execution fans out, and
+    outcomes are collected in matrix order — so a sweep's rendered report
+    is byte-identical regardless of [jobs] and of which cells were cache
+    hits. *)
+
+type outcome = {
+  spec : Cell.spec;
+  payload : Cell.payload;
+  cached : bool;  (** served from the cache, not re-executed *)
+}
+
+type stats = {
+  cells : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  jobs : int;
+}
+
+val run : ?jobs:int -> ?cache:Cache.t -> Matrix.t -> outcome array * stats
+(** [jobs] defaults to {!Pool.default_jobs}.  Without [cache] every cell
+    executes and [hits]/[misses]/[evictions] stay 0. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line [sweep: cells=.. hits=.. misses=.. evictions=.. jobs=..]. *)
+
+val pp_outcomes : Format.formatter -> outcome array -> unit
+(** Render every cell's report section, in matrix order. *)
+
+(** {1 The experiments pipeline}
+
+    [bin/experiments.exe] regenerates EXPERIMENTS.md through these two
+    functions: the matrix mirrors the legacy serial run (objects, power
+    and perf cells for each paper application, with figure 12 at the
+    config's [perf_scale]), and [experiments_data] reassembles the cell
+    payloads into an {!Nvsc_core.Experiment.data} that renders
+    byte-identically to the bundle path. *)
+
+val experiments_matrix : config:Nvsc_core.Experiment.config -> Matrix.t
+
+val experiments_data :
+  config:Nvsc_core.Experiment.config ->
+  outcome array ->
+  Nvsc_core.Experiment.data
+(** Raises [Invalid_argument] if the outcomes do not cover the
+    experiments matrix (wrong kinds or unknown technology names). *)

@@ -1,0 +1,33 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let n = Array.length items in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    (* Option-boxed result slots: each index is written by exactly one
+       worker, so slots are never contended; the joins below publish them
+       to the collecting domain. *)
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let r = try Ok (f items.(i)) with e -> Error e in
+          results.(i) <- Some r;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end

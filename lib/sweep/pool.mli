@@ -1,0 +1,21 @@
+(** Fixed-size domain pool with a work queue.
+
+    [map ~jobs f items] applies [f] to every element of [items] on a pool
+    of [jobs] OCaml 5 domains (the calling domain is one of them) and
+    returns the results {e in input order} — the deterministic ordered
+    collection the sweep's byte-identical-report contract rests on.
+    Work distribution is a take-a-ticket queue (one atomic counter), so
+    domains pull the next cell as they finish rather than owning a fixed
+    stripe; results land in per-index slots, never shared between
+    workers.
+
+    If any [f] raises, the first exception in {e input order} is
+    re-raised after every worker has drained (later results are
+    discarded). *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [jobs] is clamped to [1 .. Array.length items]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the machine's useful
+    parallelism. *)

@@ -1,0 +1,51 @@
+(** Minimal JSON values: the sweep engine's cell-cache interchange format.
+
+    Self-contained (no external dependency) and deliberately small: the
+    printer is deterministic (object fields keep their given order, floats
+    render with round-trip precision) so that a value printed, parsed and
+    re-printed is byte-identical — the property the content-addressed
+    result cache relies on.
+
+    Non-finite floats, which JSON numbers cannot carry, are printed as the
+    strings ["inf"], ["-inf"] and ["nan"]; {!to_float} converts them
+    back. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact rendering (no insignificant whitespace). *)
+
+val pp : Format.formatter -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Inverse of {!to_string}; accepts any standard JSON text.  Raises
+    {!Parse_error} on malformed input. *)
+
+(** {1 Accessors}
+
+    All raise {!Parse_error} when the value has the wrong shape, so codec
+    failures surface as one exception the cache treats as a miss. *)
+
+val member : string -> t -> t
+val member_opt : string -> t -> t option
+val to_int : t -> int
+val to_float : t -> float
+(** Accepts [Int], [Float], and the [Str] spellings of non-finite
+    floats. *)
+
+val to_str : t -> string
+val to_bool : t -> bool
+val to_list : t -> t list
+val to_obj : t -> (string * t) list
+
+val float : float -> t
+(** [Float f] for finite [f]; the string spelling otherwise. *)

@@ -32,4 +32,5 @@ let () =
       ("interval-traffic", Test_interval_traffic.suite);
       ("report-experiment", Test_report_experiment.suite);
       ("paper-shapes", Test_shapes.suite);
+      ("sweep", Test_sweep.suite);
     ]

@@ -1,0 +1,376 @@
+(* The sweep engine: JSON codec fidelity, matrix expansion, the domain
+   pool's ordering contract, cache-key sensitivity, the on-disk cache's
+   hit/miss/evict accounting, and the two determinism contracts — reports
+   byte-identical across --jobs and across cold/warm cache runs, and the
+   engine path byte-identical to the legacy serial experiments path. *)
+
+module Json = Nvsc_util.Json
+module Cell = Nvsc_sweep.Cell
+module Matrix = Nvsc_sweep.Matrix
+module Pool = Nvsc_sweep.Pool
+module Cache = Nvsc_sweep.Cache
+module Engine = Nvsc_sweep.Engine
+module E = Nvsc_core.Experiment
+module Technology = Nvsc_nvram.Technology
+
+let tiny_config = { E.scale = 0.1; iterations = 2; perf_scale = 0.1 }
+
+let spec ?(app = "cam") ?(kind = Cell.Objects) ?(scale = 0.1)
+    ?(iterations = 2) ?tech () =
+  { Cell.app; kind; scale; iterations; tech }
+
+let with_fmt f =
+  let buf = Buffer.create 4096 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* unique per-call temp dirs: a stale dir from an earlier run must not
+   look like a warm cache, and the repo cwd must stay clean when the test
+   binary is run outside dune's sandbox *)
+let fresh_dir () =
+  let base = Filename.temp_file "nvsc-sweep-cache" "" in
+  Sys.remove base;
+  base ^ ".d"
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let open Json in
+  let j =
+    Obj
+      [
+        ("s", Str "a\"b\\c\nd\te\r \x01 ü");
+        ("i", Int (-42));
+        ("f", Float 0.1);
+        ("big", Float 1.234567890123e17);
+        ("neg", Float (-0.0));
+        ("whole", Float 3.0);
+        ("inf", float infinity);
+        ("ninf", float neg_infinity);
+        ("nan", float nan);
+        ("n", Null);
+        ("b", Bool true);
+        ("l", List [ Int 1; Str "x"; List []; Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip" true (of_string (to_string j) = j);
+  Alcotest.(check bool)
+    "nonfinite floats survive as strings" true
+    (Float.is_nan (to_float (member "nan" (of_string (to_string j))))
+    && to_float (member "inf" (of_string (to_string j))) = infinity);
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (try
+       ignore (of_string "{\"a\": 1} trailing");
+       false
+     with Json.Parse_error _ -> true)
+
+(* --- spec and payload codecs -------------------------------------------- *)
+
+let test_spec_codec () =
+  let specs =
+    [
+      spec ();
+      spec ~app:"gtc" ~kind:Cell.Perf ~scale:0.5 ~iterations:7 ();
+      spec ~kind:Cell.Place ~tech:Technology.PCRAM ();
+    ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "spec roundtrips" true
+        (Cell.spec_of_json (Cell.spec_to_json s) = s))
+    specs
+
+let test_payload_codecs_render_identically () =
+  List.iter
+    (fun kind ->
+      let s =
+        match kind with
+        | Cell.Place -> spec ~kind ~tech:Technology.STTRAM ()
+        | _ -> spec ~kind ()
+      in
+      let payload = Cell.execute s in
+      let decoded = Cell.payload_of_json (Cell.payload_to_json payload) in
+      Alcotest.(check string)
+        (Cell.kind_to_string kind ^ " decoded payload renders identically")
+        (with_fmt (fun fmt -> Cell.render fmt s payload))
+        (with_fmt (fun fmt -> Cell.render fmt s decoded)))
+    Cell.all_kinds
+
+(* --- matrix ------------------------------------------------------------- *)
+
+let test_matrix_expansion () =
+  let m =
+    match
+      Matrix.make ~apps:[ "cam"; "gtc" ]
+        ~kinds:[ Cell.Objects; Cell.Place ]
+        ~techs:[ "sttram"; "pcram" ] ~scale:0.2 ~iterations:3 ()
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let cells = Matrix.cells m in
+  (* per app: one objects cell + one place cell per tech *)
+  Alcotest.(check int) "cell count" 6 (List.length cells);
+  Alcotest.(check (list string))
+    "app-major order"
+    [ "cam"; "cam"; "cam"; "gtc"; "gtc"; "gtc" ]
+    (List.map (fun (c : Cell.spec) -> c.app) cells);
+  Alcotest.(check int) "place cells carry a tech" 4
+    (List.length
+       (List.filter (fun (c : Cell.spec) -> c.tech <> None) cells))
+
+let test_matrix_validation () =
+  let bad = [
+    Matrix.make ~apps:[ "hpl" ] ();
+    Matrix.make ~apps:[] ();
+    Matrix.make ~techs:[ "core-rope" ] ();
+    Matrix.make ~scale:(-1.) ();
+    Matrix.make ~iterations:0 ();
+  ]
+  in
+  List.iter
+    (fun r -> Alcotest.(check bool) "rejected" true (Result.is_error r))
+    bad
+
+let test_overrides () =
+  let ov s =
+    match Matrix.parse_override s with
+    | Ok o -> o
+    | Error e -> Alcotest.fail e
+  in
+  let m =
+    match
+      Matrix.make ~apps:[ "cam"; "gtc" ]
+        ~kinds:[ Cell.Objects; Cell.Perf ]
+        ~scale:1.0 ~iterations:10
+        ~overrides:
+          [
+            ov "kind=perf,scale=0.5";
+            ov "app=gtc,kind=perf,iterations=3";
+            ov "app=cam,scale=2.0";
+          ]
+        ()
+    with
+    | Ok m -> m
+    | Error e -> Alcotest.fail e
+  in
+  let find app kind =
+    List.find
+      (fun (c : Cell.spec) -> c.app = app && c.kind = kind)
+      (Matrix.cells m)
+  in
+  Alcotest.(check (float 0.)) "perf scale overridden" 0.5
+    (find "gtc" Cell.Perf).scale;
+  Alcotest.(check int) "later override wins per field" 3
+    (find "gtc" Cell.Perf).iterations;
+  Alcotest.(check (float 0.)) "app-selective override" 2.0
+    (find "cam" Cell.Objects).scale;
+  Alcotest.(check (float 0.)) "untouched cell keeps defaults" 1.0
+    (find "gtc" Cell.Objects).scale;
+  Alcotest.(check bool) "bad key rejected" true
+    (Result.is_error (Matrix.parse_override "speed=2"));
+  Alcotest.(check bool) "bad value rejected" true
+    (Result.is_error (Matrix.parse_override "scale=fast"))
+
+(* --- pool --------------------------------------------------------------- *)
+
+let test_pool_order () =
+  let items = Array.init 100 Fun.id in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "order preserved at jobs=%d" jobs)
+        (Array.map (fun i -> i * i) items)
+        (Pool.map ~jobs (fun i -> i * i) items))
+    [ 1; 2; 8; 200 ]
+
+let test_pool_empty_and_exn () =
+  Alcotest.(check (array int)) "empty" [||] (Pool.map ~jobs:4 Fun.id [||]);
+  let first_failure =
+    try
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i mod 3 = 1 then failwith (string_of_int i) else i)
+           (Array.init 10 Fun.id));
+      "no exception"
+    with Failure msg -> msg
+  in
+  (* items 1, 4, 7 fail; input order decides which exception surfaces *)
+  Alcotest.(check string) "first failing index wins" "1" first_failure
+
+(* --- digests ------------------------------------------------------------ *)
+
+let test_digest_stability () =
+  let a = spec () and b = spec () in
+  Alcotest.(check string) "equal specs, equal digests" (Cell.digest a)
+    (Cell.digest b);
+  Alcotest.(check int) "digest is 32 hex chars" 32
+    (String.length (Cell.digest a))
+
+let gen_spec =
+  QCheck.Gen.(
+    let* app = oneofl [ "nek5000"; "cam"; "gtc"; "s3d" ] in
+    let* kind = oneofl Cell.all_kinds in
+    let* scale = float_range 0.05 4.0 in
+    let* iterations = int_range 1 30 in
+    let* tech =
+      oneofl
+        [ None; Some Technology.PCRAM; Some Technology.STTRAM;
+          Some Technology.MRAM ]
+    in
+    return { Cell.app; kind; scale; iterations; tech })
+
+let mutate_field i (s : Cell.spec) =
+  match i mod 5 with
+  | 0 -> { s with app = (if s.app = "cam" then "gtc" else "cam") }
+  | 1 ->
+    {
+      s with
+      kind = (if s.kind = Cell.Objects then Cell.Power else Cell.Objects);
+    }
+  | 2 -> { s with scale = s.scale +. 0.125 }
+  | 3 -> { s with iterations = s.iterations + 1 }
+  | _ ->
+    {
+      s with
+      tech =
+        (match s.tech with
+        | Some Technology.PCRAM -> Some Technology.MRAM
+        | _ -> Some Technology.PCRAM);
+    }
+
+let digest_sensitive =
+  QCheck.Test.make ~name:"digest changes when any spec field changes"
+    ~count:200
+    QCheck.(pair (make gen_spec) small_nat)
+    (fun (s, i) ->
+      let s' = mutate_field i s in
+      s' <> s && Cell.digest s' <> Cell.digest s)
+
+(* --- cache -------------------------------------------------------------- *)
+
+let small_payload () = Cell.execute (spec ())
+
+let test_cache_cold_warm () =
+  let c = Cache.create ~dir:(fresh_dir ()) () in
+  let s = spec () in
+  Alcotest.(check bool) "cold lookup misses" true (Cache.find c s = None);
+  let payload = small_payload () in
+  Cache.store c s payload;
+  (match Cache.find c s with
+  | None -> Alcotest.fail "warm lookup missed"
+  | Some p ->
+    Alcotest.(check string) "stored payload renders identically"
+      (with_fmt (fun fmt -> Cell.render fmt s payload))
+      (with_fmt (fun fmt -> Cell.render fmt s p)));
+  let st = Cache.stats c in
+  Alcotest.(check int) "one hit" 1 st.Cache.hits;
+  Alcotest.(check int) "one miss" 1 st.Cache.misses;
+  Alcotest.(check int) "no evictions" 0 st.Cache.evictions
+
+let test_cache_corruption () =
+  let c = Cache.create ~dir:(fresh_dir ()) () in
+  let s = spec () in
+  Cache.store c s (small_payload ());
+  let path = Filename.concat (Cache.dir c) (Cell.digest s ^ ".json") in
+  let oc = open_out path in
+  output_string oc "{ not json";
+  close_out oc;
+  Alcotest.(check bool) "corrupt entry misses" true (Cache.find c s = None);
+  Alcotest.(check bool) "corrupt entry deleted" false (Sys.file_exists path);
+  Alcotest.(check int) "counted as miss" 1 (Cache.stats c).Cache.misses
+
+let test_cache_eviction () =
+  let c = Cache.create ~dir:(fresh_dir ()) ~max_entries:2 () in
+  let payload = small_payload () in
+  let specs =
+    [ spec (); spec ~iterations:3 (); spec ~iterations:4 () ]
+  in
+  List.iter (fun s -> Cache.store c s payload) specs;
+  Alcotest.(check int) "one eviction" 1 (Cache.stats c).Cache.evictions;
+  Alcotest.(check bool) "oldest entry evicted" true
+    (Cache.find c (List.nth specs 0) = None);
+  Alcotest.(check bool) "newest entries kept" true
+    (Cache.find c (List.nth specs 1) <> None
+    && Cache.find c (List.nth specs 2) <> None)
+
+(* --- engine ------------------------------------------------------------- *)
+
+let small_matrix () =
+  match
+    Matrix.make ~apps:[ "cam" ] ~scale:0.1 ~iterations:2 ()
+  with
+  | Ok m -> m
+  | Error e -> Alcotest.fail e
+
+let render_outcomes outcomes =
+  with_fmt (fun fmt -> Engine.pp_outcomes fmt outcomes)
+
+let test_engine_jobs_deterministic () =
+  let m = small_matrix () in
+  let o1, s1 = Engine.run ~jobs:1 m in
+  let o8, s8 = Engine.run ~jobs:8 m in
+  Alcotest.(check int) "all cells ran" 4 s1.Engine.cells;
+  Alcotest.(check int) "jobs clamped to cell count" 4 s8.Engine.jobs;
+  Alcotest.(check string) "byte-identical report at jobs 1 vs 8"
+    (render_outcomes o1) (render_outcomes o8)
+
+let test_engine_cache_cold_then_warm () =
+  let m = small_matrix () in
+  let dir = fresh_dir () in
+  let o1, s1 = Engine.run ~jobs:2 ~cache:(Cache.create ~dir ()) m in
+  Alcotest.(check int) "cold run misses everything" 4 s1.Engine.misses;
+  Alcotest.(check int) "cold run hits nothing" 0 s1.Engine.hits;
+  let o2, s2 = Engine.run ~jobs:2 ~cache:(Cache.create ~dir ()) m in
+  Alcotest.(check int) "warm run hits everything" 4 s2.Engine.hits;
+  Alcotest.(check int) "warm run re-executes nothing" 0 s2.Engine.misses;
+  Alcotest.(check bool) "warm outcomes flagged cached" true
+    (Array.for_all (fun o -> o.Engine.cached) o2);
+  Alcotest.(check string) "byte-identical report cold vs warm"
+    (render_outcomes o1) (render_outcomes o2)
+
+let test_experiments_path_matches_legacy () =
+  let config = tiny_config in
+  let legacy = with_fmt (fun fmt -> E.run_all fmt ~config ()) in
+  let matrix = Engine.experiments_matrix ~config in
+  let dir = fresh_dir () in
+  let engine_run () =
+    let outcomes, _ = Engine.run ~jobs:2 ~cache:(Cache.create ~dir ()) matrix in
+    with_fmt (fun fmt ->
+        E.run_all_of_data fmt (Engine.experiments_data ~config outcomes))
+  in
+  let cold = engine_run () in
+  Alcotest.(check string) "engine path matches the legacy serial path"
+    legacy cold;
+  (* the warm pass renders entirely from decoded cache payloads *)
+  Alcotest.(check string) "warm-cache rerun is byte-identical" cold
+    (engine_run ())
+
+let suite =
+  [
+    Alcotest.test_case "json roundtrip" `Quick test_json_roundtrip;
+    Alcotest.test_case "spec codec" `Quick test_spec_codec;
+    Alcotest.test_case "payload codecs render identically" `Quick
+      test_payload_codecs_render_identically;
+    Alcotest.test_case "matrix expansion" `Quick test_matrix_expansion;
+    Alcotest.test_case "matrix validation" `Quick test_matrix_validation;
+    Alcotest.test_case "overrides" `Quick test_overrides;
+    Alcotest.test_case "pool preserves order" `Quick test_pool_order;
+    Alcotest.test_case "pool empty + exceptions" `Quick
+      test_pool_empty_and_exn;
+    Alcotest.test_case "digest stability" `Quick test_digest_stability;
+    QCheck_alcotest.to_alcotest digest_sensitive;
+    Alcotest.test_case "cache cold/warm" `Quick test_cache_cold_warm;
+    Alcotest.test_case "cache corruption recovery" `Quick
+      test_cache_corruption;
+    Alcotest.test_case "cache eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "engine deterministic across jobs" `Quick
+      test_engine_jobs_deterministic;
+    Alcotest.test_case "engine cache cold then warm" `Quick
+      test_engine_cache_cold_then_warm;
+    Alcotest.test_case "experiments path matches legacy" `Slow
+      test_experiments_path_matches_legacy;
+  ]
