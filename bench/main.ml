@@ -22,12 +22,31 @@ let null_fmt = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 (* --- per-table/figure benches ------------------------------------------ *)
 
+let quick_scavenger_config =
+  Nvsc_core.Scavenger.Config.(
+    default |> with_scale 0.1 |> with_iterations 1)
+
 let bench_scavenger name =
   Test.make ~name:(Printf.sprintf "pipeline:scavenger-%s" name)
     (Staged.stage (fun () ->
          ignore
-           (Nvsc_core.Scavenger.run ~scale:0.1 ~iterations:1
+           (Nvsc_core.Scavenger.run quick_scavenger_config
               (Option.get (Nvsc_apps.Apps.find name)))))
+
+(* Tentpole check: the same run with the span recorder armed.  The obs
+   buffers are dropped between runs so they cannot grow across the
+   measurement; the printed ratio is the armed-vs-disarmed overhead (the
+   disarmed cost itself is the scavenger bench above vs its pre-obs
+   baseline). *)
+let bench_scavenger_armed name =
+  Test.make ~name:(Printf.sprintf "obs:scavenger-%s-armed" name)
+    (Staged.stage (fun () ->
+         ignore
+           (Nvsc_core.Scavenger.run
+              Nvsc_core.Scavenger.Config.(
+                quick_scavenger_config |> with_obs Nvsc_obs.on)
+              (Option.get (Nvsc_apps.Apps.find name)));
+         Nvsc_obs.reset ()))
 
 let bench_table1 =
   Test.make ~name:"table1:app-characteristics"
@@ -225,7 +244,9 @@ let bench_scavenger_sanitized name =
   Test.make ~name:(Printf.sprintf "pipeline:scavenger-%s-sanitized" name)
     (Staged.stage (fun () ->
          ignore
-           (Nvsc_core.Scavenger.run ~scale:0.1 ~iterations:1 ~sanitize:true
+           (Nvsc_core.Scavenger.run
+              Nvsc_core.Scavenger.Config.(
+                quick_scavenger_config |> with_sanitize true)
               (Option.get (Nvsc_apps.Apps.find name)))))
 
 let bench_wear_leveling ~name scheme =
@@ -317,6 +338,7 @@ let tests =
       bench_sink_closure;
       bench_sink_batched;
       bench_scavenger_sanitized "gtc";
+      bench_scavenger_armed "gtc";
       bench_wear_leveling ~name:"ablation:wear-start-gap"
         (Nvsc_nvram.Wear_leveling.Start_gap { gap_move_interval = 100 });
       bench_wear_leveling ~name:"ablation:wear-table"
@@ -406,6 +428,13 @@ let () =
     Format.printf
       "sanitizer overhead (gtc): bare %.1fus, sanitized %.1fus (%.2fx)@."
       (bare /. 1_000.) (san /. 1_000.) (san /. bare)
+  | _ -> ());
+  (* obs-overhead summary: same app, recorder disarmed vs armed *)
+  (match (find "scavenger-gtc", find "scavenger-gtc-armed") with
+  | Some bare, Some armed when bare > 0. ->
+    Format.printf
+      "obs:overhead (gtc): disarmed %.1fus, armed %.1fus (%.2fx)@."
+      (bare /. 1_000.) (armed /. 1_000.) (armed /. bare)
   | _ -> ());
   (* sweep-scaling summary: the same experiments matrix at 1/2/4 domains *)
   match

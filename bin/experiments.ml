@@ -1,54 +1,88 @@
 (* Regenerate every table and figure of the paper's evaluation section.
 
-   Usage: experiments [quick] [no-ext] [markdown] [-j N] [--cache DIR]
-   "quick" runs at reduced scale/iterations (for CI smoke runs); "no-ext"
-   skips the extension studies.
-
    The evaluation cells (objects, power and perf per application) run
-   through the sweep engine on a pool of [-j N] worker domains, memoized
-   in [--cache DIR] when given; the output is byte-identical to the
-   legacy serial run for every N and for warm-cache reruns.  Cache
-   statistics go to standard error. *)
+   through the sweep engine on a pool of [--jobs N] worker domains,
+   memoized in [--cache DIR] when given; the output is byte-identical to
+   the legacy serial run for every N and for warm-cache reruns.  Cache
+   statistics (and the [--profile] summary) go to standard error.
 
-let flag_value name =
-  let value = ref None in
-  Array.iteri
-    (fun i a ->
-      if String.equal a name && i + 1 < Array.length Sys.argv then
-        value := Some Sys.argv.(i + 1))
-    Sys.argv;
-  !value
+   The pre-cmdliner interface took bare words ([experiments quick no-ext
+   markdown]); those are still accepted as positional arguments. *)
 
-let () =
-  let quick = Array.exists (String.equal "quick") Sys.argv in
-  let config =
-    if quick then Nvsc_core.Experiment.quick_config
-    else Nvsc_core.Experiment.default_config
+open Cmdliner
+
+let quick_arg =
+  let doc = "Reduced scale/iterations (for CI smoke runs)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let no_ext_arg =
+  let doc = "Skip the extension studies (the §II/§III-D design alternatives)." in
+  Arg.(value & flag & info [ "no-ext" ] ~doc)
+
+let markdown_arg =
+  let doc = "Emit the report as Markdown instead of the formatted tables." in
+  Arg.(value & flag & info [ "markdown" ] ~doc)
+
+let words_arg =
+  let doc =
+    "Legacy bare-word flags: $(b,quick), $(b,no-ext), $(b,markdown)."
   in
-  let jobs =
-    match (flag_value "-j", flag_value "--jobs") with
-    | Some n, _ | None, Some n -> int_of_string n
-    | None, None -> Nvsc_sweep.Pool.default_jobs ()
-  in
-  let cache =
-    Option.map
-      (fun dir -> Nvsc_sweep.Cache.create ~dir ())
-      (flag_value "--cache")
-  in
-  let matrix = Nvsc_sweep.Engine.experiments_matrix ~config in
-  let outcomes, stats = Nvsc_sweep.Engine.run ~jobs ?cache matrix in
-  let data = Nvsc_sweep.Engine.experiments_data ~config outcomes in
-  Format.fprintf Format.err_formatter "%a@." Nvsc_sweep.Engine.pp_stats stats;
-  if Array.exists (String.equal "markdown") Sys.argv then begin
-    print_string (Nvsc_core.Report.markdown_of_data data);
-    exit 0
-  end;
-  Nvsc_core.Experiment.run_all_of_data Format.std_formatter data;
-  (* extensions: the §II/§III-D design alternatives, unless skipped *)
-  if not (Array.exists (String.equal "no-ext") Sys.argv) then begin
-    let scale = if quick then 0.25 else 0.5 in
-    let iterations = if quick then 3 else 5 in
-    Format.print_newline ();
-    Nvsc_core.Extensions.run_all Format.std_formatter ~scale ~iterations ()
-  end;
-  Format.print_flush ()
+  Arg.(value & pos_all string [] & info [] ~docv:"WORD" ~doc)
+
+let run () quick no_ext markdown jobs cache_dir profile words =
+  let known = [ "quick"; "no-ext"; "markdown" ] in
+  match List.find_opt (fun w -> not (List.mem w known)) words with
+  | Some w -> `Error (false, Nvsc_util.Cli.unknown ~what:"word" ~known w)
+  | None ->
+    let word w = List.mem w words in
+    let quick = quick || word "quick" in
+    let no_ext = no_ext || word "no-ext" in
+    let markdown = markdown || word "markdown" in
+    let config =
+      if quick then Nvsc_core.Experiment.quick_config
+      else Nvsc_core.Experiment.default_config
+    in
+    let jobs =
+      match jobs with Some n -> n | None -> Nvsc_sweep.Pool.default_jobs ()
+    in
+    let cache =
+      Option.map (fun dir -> Nvsc_sweep.Cache.create ~dir ()) cache_dir
+    in
+    Nvsc_obs.with_profiling
+      ?trace_out:(Nvsc_util.Cli.profile_trace_out profile)
+      ~enabled:(Nvsc_util.Cli.profile_enabled profile)
+    @@ fun () ->
+    let matrix = Nvsc_sweep.Engine.experiments_matrix ~config in
+    let outcomes, stats = Nvsc_sweep.Engine.run ~jobs ?cache matrix in
+    let data = Nvsc_sweep.Engine.experiments_data ~config outcomes in
+    Format.fprintf Format.err_formatter "%a@." Nvsc_sweep.Engine.pp_stats
+      stats;
+    if markdown then begin
+      print_string (Nvsc_core.Report.markdown_of_data data);
+      `Ok ()
+    end
+    else begin
+      Nvsc_core.Experiment.run_all_of_data Format.std_formatter data;
+      (* extensions: the §II/§III-D design alternatives, unless skipped *)
+      if not no_ext then begin
+        let scale = if quick then 0.25 else 0.5 in
+        let iterations = if quick then 3 else 5 in
+        Format.print_newline ();
+        Nvsc_core.Extensions.run_all Format.std_formatter ~scale ~iterations
+          ()
+      end;
+      Format.print_flush ();
+      `Ok ()
+    end
+
+let cmd =
+  let doc = "Regenerate the paper's evaluation tables and figures" in
+  let info = Cmd.info "experiments" ~version:"1.0.0" ~doc in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ const () $ quick_arg $ no_ext_arg $ markdown_arg
+       $ Nvsc_util.Cli.jobs $ Nvsc_util.Cli.cache_dir $ Nvsc_util.Cli.profile
+       $ words_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -14,27 +14,27 @@ let setup_logs style_renderer level =
 let logs_term =
   Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
 
+module Cli = Nvsc_util.Cli
+
 let app_arg =
   let doc =
     "Application to analyze: nek5000, cam, gtc, s3d, minife or minimd."
   in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP" ~doc)
 
-let scale_arg =
-  let doc = "Data-size multiplier (default 1.0; use 0.25 for quick runs)." in
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
-
-let iterations_arg =
-  let doc = "Main-loop iterations to instrument (the paper uses 10)." in
-  Arg.(value & opt int 10 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+let scale_arg = Cli.scale
+let iterations_arg = Cli.iterations
 
 let find_app name =
   match Nvsc_apps.Apps.find name with
   | Some app -> Ok app
   | None ->
-    Error
-      (Printf.sprintf "unknown application %S (known: %s)" name
-         (String.concat ", " Nvsc_apps.Apps.names))
+    Error (Cli.unknown ~what:"application" ~known:Nvsc_apps.Apps.names name)
+
+(* Every analysis below starts from the same run configuration. *)
+let scavenger_config ~scale ~iterations =
+  Nvsc_core.Scavenger.Config.(
+    default |> with_scale scale |> with_iterations iterations)
 
 let with_app name f =
   match find_app name with
@@ -67,11 +67,17 @@ let list_cmd =
 (* --- analyze ----------------------------------------------------------- *)
 
 let analyze_cmd =
-  let run () name scale iterations =
+  let run () name scale iterations profile =
     with_app name (fun app ->
         Logs.info (fun m ->
             m "running %s at scale %g for %d iterations" name scale iterations);
-        let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+        Nvsc_obs.with_profiling
+          ?trace_out:(Cli.profile_trace_out profile)
+          ~enabled:(Cli.profile_enabled profile)
+        @@ fun () ->
+        let r =
+          Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app
+        in
         Nvsc_core.Stack_analysis.pp_summary_table fmt
           [ Nvsc_core.Stack_analysis.summarize r ];
         Nvsc_core.Object_analysis.pp_report fmt
@@ -89,14 +95,19 @@ let analyze_cmd =
          stack summary and per-iteration variance."
   in
   Cmd.v info
-    Term.(ret (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg))
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ Cli.profile))
 
 (* --- stack ------------------------------------------------------------- *)
 
 let stack_cmd =
   let run () name scale iterations =
     with_app name (fun app ->
-        let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+        let r =
+          Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app
+        in
         Nvsc_core.Stack_analysis.pp_summary_table fmt
           [ Nvsc_core.Stack_analysis.summarize r ];
         Nvsc_core.Stack_analysis.pp_distribution fmt
@@ -116,7 +127,10 @@ let traffic_cmd =
   let run () name scale iterations =
     with_app name (fun app ->
         let r =
-          Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app
+          Nvsc_core.Scavenger.run
+            Nvsc_core.Scavenger.Config.(
+              scavenger_config ~scale ~iterations |> with_trace true)
+            app
         in
         Nvsc_core.Traffic_attribution.pp_report fmt
           (Nvsc_core.Traffic_attribution.analyze r))
@@ -139,7 +153,12 @@ let trace_cmd =
   in
   let run () name scale iterations out =
     with_app name (fun app ->
-        let r = Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app in
+        let r =
+          Nvsc_core.Scavenger.run
+            Nvsc_core.Scavenger.Config.(
+              scavenger_config ~scale ~iterations |> with_trace true)
+            app
+        in
         let trace = Option.get r.mem_trace in
         Nvsc_memtrace.Trace_file.save trace out;
         Format.fprintf fmt "wrote %d records (%d reads, %d writes) to %s@."
@@ -175,7 +194,10 @@ let power_cmd =
           | Some path -> Nvsc_memtrace.Trace_file.load path
           | None ->
             let r =
-              Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app
+              Nvsc_core.Scavenger.run
+                Nvsc_core.Scavenger.Config.(
+                  scavenger_config ~scale ~iterations |> with_trace true)
+                app
             in
             Option.get r.mem_trace
         in
@@ -253,7 +275,9 @@ let place_cmd =
     | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
     | Some tech ->
       with_app name (fun app ->
-          let r = Nvsc_core.Scavenger.run ~scale ~iterations app in
+          let r =
+            Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app
+          in
           let items =
             List.map
               (fun (m : Nvsc_core.Object_metrics.t) ->
@@ -298,7 +322,12 @@ let place_cmd =
 let endurance_cmd =
   let run () name scale iterations =
     with_app name (fun app ->
-        let r = Nvsc_core.Scavenger.run ~scale ~iterations ~with_trace:true app in
+        let r =
+          Nvsc_core.Scavenger.run
+            Nvsc_core.Scavenger.Config.(
+              scavenger_config ~scale ~iterations |> with_trace true)
+            app
+        in
         let trace = Option.get r.mem_trace in
         let line_bytes = 256 in
         let lines = 1 + (r.footprint_bytes / line_bytes) in
@@ -468,8 +497,11 @@ let lint_cmd =
         let module San = Nvsc_sanitizer.Diagnostic in
         let static = Nvsc_sanitizer.Config_lint.all ~app () in
         let r =
-          Nvsc_core.Scavenger.run ~scale ~iterations ~sanitize:true
-            ~check_init app
+          Nvsc_core.Scavenger.run
+            Nvsc_core.Scavenger.Config.(
+              scavenger_config ~scale ~iterations
+              |> with_sanitize ~check_init true)
+            app
         in
         let dynamic = Option.value r.sanitizer ~default:[] in
         let report = San.merge static dynamic in
@@ -496,59 +528,6 @@ let lint_cmd =
 
 let sweep_cmd =
   let module Sweep = Nvsc_sweep in
-  let jobs_arg =
-    let doc =
-      "Worker domains (default: the machine's recommended domain count). \
-       The report is byte-identical for every N."
-    in
-    Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
-  in
-  let cache_arg =
-    let doc =
-      "Directory for the content-addressed result cache; cells whose \
-       digest is already present are not re-executed."
-    in
-    Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR" ~doc)
-  in
-  let cache_max_arg =
-    let doc = "Bound the cache to N entries (oldest evicted first)." in
-    Arg.(value & opt (some int) None & info [ "cache-max" ] ~docv:"N" ~doc)
-  in
-  let apps_arg =
-    let doc = "Comma-separated applications (default: the paper's four)." in
-    Arg.(
-      value & opt (some (list string)) None & info [ "apps" ] ~docv:"APPS" ~doc)
-  in
-  let kinds_arg =
-    let doc =
-      "Comma-separated analysis kinds: objects, power, perf, place \
-       (default: all four)."
-    in
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "kinds" ] ~docv:"KINDS" ~doc)
-  in
-  let techs_arg =
-    let doc =
-      "Comma-separated NVRAM technologies for the place cells (default: \
-       sttram)."
-    in
-    Arg.(
-      value
-      & opt (some (list string)) None
-      & info [ "techs" ] ~docv:"TECHS" ~doc)
-  in
-  let override_arg =
-    let doc =
-      "Per-cell override, e.g. $(b,kind=perf,scale=0.5) or \
-       $(b,app=cam,iterations=20).  Keys $(b,app) and $(b,kind) select \
-       cells; $(b,scale) and $(b,iterations) replace their settings.  \
-       Repeatable; later overrides win."
-    in
-    Arg.(
-      value & opt_all string [] & info [ "override" ] ~docv:"KEY=VAL,.." ~doc)
-  in
   let rec map_result f = function
     | [] -> Ok []
     | x :: rest ->
@@ -556,7 +535,7 @@ let sweep_cmd =
           Result.map (fun ys -> y :: ys) (map_result f rest))
   in
   let run () scale iterations jobs cache_dir cache_max apps kinds techs
-      override_specs =
+      override_specs profile =
     let ( let* ) = Result.bind in
     let matrix =
       let* kinds =
@@ -568,7 +547,13 @@ let sweep_cmd =
                (fun s ->
                  match Sweep.Cell.kind_of_string s with
                  | Some k -> Ok k
-                 | None -> Error (Printf.sprintf "unknown kind %S" s))
+                 | None ->
+                   Error
+                     (Cli.unknown ~what:"kind"
+                        ~known:
+                          (List.map Sweep.Cell.kind_to_string
+                             Sweep.Cell.all_kinds)
+                        s))
                names)
       in
       let* overrides = map_result Sweep.Matrix.parse_override override_specs in
@@ -582,6 +567,10 @@ let sweep_cmd =
           (fun dir -> Sweep.Cache.create ~dir ?max_entries:cache_max ())
           cache_dir
       in
+      Nvsc_obs.with_profiling
+        ?trace_out:(Cli.profile_trace_out profile)
+        ~enabled:(Cli.profile_enabled profile)
+      @@ fun () ->
       let outcomes, stats = Sweep.Engine.run ?jobs ?cache matrix in
       Sweep.Engine.pp_outcomes fmt outcomes;
       Format.pp_print_flush fmt ();
@@ -600,9 +589,9 @@ let sweep_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ logs_term $ scale_arg $ iterations_arg $ jobs_arg
-       $ cache_arg $ cache_max_arg $ apps_arg $ kinds_arg $ techs_arg
-       $ override_arg))
+        (const run $ logs_term $ scale_arg $ iterations_arg $ Cli.jobs
+       $ Cli.cache_dir $ Cli.cache_max $ Cli.apps $ Cli.kinds $ Cli.techs
+       $ Cli.overrides $ Cli.profile))
 
 (* --- checkpoint ---------------------------------------------------------- *)
 
@@ -644,14 +633,109 @@ let checkpoint_cmd =
   in
   Cmd.v info Term.(ret (const run $ logs_term $ mtbf_arg $ size_arg))
 
+(* --- run ----------------------------------------------------------------- *)
+
+(* The whole pipeline in one command: scavenge with a cache-filtered
+   trace, report the objects, compare memory technologies over the trace
+   and plan a hybrid placement.  Exercises every instrumented layer, so
+   [--profile=FILE] here yields a trace covering scavenger, trace_gen,
+   cachesim, dramsim and placement spans. *)
+let run_cmd =
+  let tech_arg =
+    let doc = "NVRAM technology for the hybrid's NVRAM half." in
+    Arg.(value & opt string "sttram" & info [ "tech" ] ~docv:"TECH" ~doc)
+  in
+  let run () name scale iterations tech_name profile =
+    match Nvsc_nvram.Technology.of_string tech_name with
+    | None ->
+      `Error
+        ( false,
+          Cli.unknown ~what:"technology"
+            ~known:
+              (List.map
+                 (fun (t : Nvsc_nvram.Technology.t) -> t.name)
+                 Nvsc_nvram.Technology.paper_set)
+            tech_name )
+    | Some tech ->
+      with_app name (fun app ->
+          Nvsc_obs.with_profiling
+            ?trace_out:(Cli.profile_trace_out profile)
+            ~enabled:(Cli.profile_enabled profile)
+          @@ fun () ->
+          let r =
+            Nvsc_core.Scavenger.run
+              Nvsc_core.Scavenger.Config.(
+                scavenger_config ~scale ~iterations |> with_trace true)
+              app
+          in
+          Nvsc_core.Stack_analysis.pp_summary_table fmt
+            [ Nvsc_core.Stack_analysis.summarize r ];
+          Nvsc_core.Object_analysis.pp_report fmt
+            (Nvsc_core.Object_analysis.analyze r);
+          let trace = Option.get r.mem_trace in
+          Format.fprintf fmt
+            "main-memory trace: %d accesses (%d reads, %d writes)@."
+            (Nvsc_memtrace.Trace_log.length trace)
+            (Nvsc_memtrace.Trace_log.reads trace)
+            (Nvsc_memtrace.Trace_log.writes trace);
+          let results =
+            Nvsc_dramsim.Memory_system.compare_technologies
+              ~techs:Nvsc_nvram.Technology.paper_set
+              ~replay:(fun sink ->
+                Nvsc_memtrace.Trace_log.replay_batch trace sink)
+              ()
+          in
+          List.iter
+            (fun ((t : Nvsc_nvram.Technology.t), p) ->
+              Format.fprintf fmt "%-8s normalized power %.3f@." t.name p)
+            (Nvsc_dramsim.Memory_system.normalized_power results);
+          let items =
+            List.map
+              (fun (m : Nvsc_core.Object_metrics.t) ->
+                {
+                  Nvsc_placement.Item.id = m.obj.Nvsc_memtrace.Mem_object.id;
+                  name = m.obj.Nvsc_memtrace.Mem_object.name;
+                  size_bytes = Nvsc_core.Object_metrics.size_bytes m;
+                  reads = m.reads;
+                  writes = m.writes;
+                  ref_share = m.ref_share;
+                })
+              (Nvsc_core.Scavenger.global_and_heap_metrics r)
+          in
+          let hybrid =
+            Nvsc_placement.Hybrid_memory.create
+              ~dram_bytes:(2 * r.footprint_bytes)
+              ~nvram_bytes:(2 * r.footprint_bytes)
+              ~tech:(Nvsc_nvram.Technology.get tech.Nvsc_nvram.Technology.tech)
+          in
+          let hybrid = Nvsc_placement.Static_policy.plan ~hybrid items in
+          Nvsc_placement.Hybrid_memory.pp_assessment fmt
+            (Nvsc_placement.Hybrid_memory.assess hybrid);
+          Format.pp_print_newline fmt ())
+  in
+  let info =
+    Cmd.info "run"
+      ~doc:
+        "Run the full pipeline on one application: object analysis, memory \
+         power comparison over the cache-filtered trace, and a hybrid \
+         placement plan.  With $(b,--profile) the per-layer span profile \
+         goes to standard error; $(b,--profile)=$(i,FILE) also writes a \
+         Chrome-trace JSON."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ tech_arg $ Cli.profile))
+
 let main_cmd =
   let doc = "NV-Scavenger: NVRAM opportunity analysis for HPC applications" in
   let info = Cmd.info "nvscav" ~version:"1.0.0" ~doc in
   Cmd.group info
     [
-      list_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd; perf_cmd;
-      place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd; traffic_cmd;
-      fine_cmd; lint_cmd;
+      list_cmd; run_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd;
+      perf_cmd; place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd;
+      traffic_cmd; fine_cmd; lint_cmd;
       sweep_cmd; checkpoint_cmd;
     ]
 

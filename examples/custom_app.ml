@@ -72,7 +72,11 @@ module Poisson_cg : Nvsc_apps.Workload.APP = struct
 end
 
 let () =
-  let result = Nvsc_core.Scavenger.run ~iterations:8 (module Poisson_cg) in
+  let result =
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(default |> with_iterations 8)
+      (module Poisson_cg)
+  in
   Format.printf "analyzed %s (%s)@.@." result.app_name result.description;
   Nvsc_core.Object_analysis.pp_report Format.std_formatter
     (Nvsc_core.Object_analysis.analyze result);

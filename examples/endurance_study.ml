@@ -16,7 +16,9 @@ module Access = Nvsc_memtrace.Access
 
 let () =
   let result =
-    Nvsc_core.Scavenger.run ~scale:0.5 ~iterations:5 ~with_trace:true
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(
+        default |> with_scale 0.5 |> with_iterations 5 |> with_trace true)
       (Option.get (Nvsc_apps.Apps.find "gtc"))
   in
   let trace = Option.get result.mem_trace in

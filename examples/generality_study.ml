@@ -21,7 +21,12 @@ let () =
   List.iter
     (fun name ->
       let app = Option.get (Nvsc_apps.Apps.find name) in
-      let r = Nvsc_core.Scavenger.run ~scale:0.5 ~iterations:8 app in
+      let r =
+        Nvsc_core.Scavenger.run
+          Nvsc_core.Scavenger.Config.(
+            default |> with_scale 0.5 |> with_iterations 8)
+          app
+      in
       Format.printf "== %s ==@." r.app_name;
       Nvsc_core.Stack_analysis.pp_summary_table Format.std_formatter
         [ Nvsc_core.Stack_analysis.summarize r ];
@@ -41,7 +46,9 @@ let () =
 
   (* MiniMD's neighbour list, iteration by iteration: the §VII-C pattern *)
   let r =
-    Nvsc_core.Scavenger.run ~scale:0.5 ~iterations:8
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(
+        default |> with_scale 0.5 |> with_iterations 8)
       (Option.get (Nvsc_apps.Apps.find "minimd"))
   in
   let nl =

@@ -26,7 +26,9 @@ let item_of_metric (m : OM.t) =
 
 let () =
   let result =
-    Nvsc_core.Scavenger.run ~scale:0.5 ~iterations:8
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(
+        default |> with_scale 0.5 |> with_iterations 8)
       (Option.get (Nvsc_apps.Apps.find "nek5000"))
   in
   let metrics = Nvsc_core.Scavenger.global_and_heap_metrics result in

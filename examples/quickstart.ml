@@ -11,7 +11,9 @@ let () =
   (* 1. Run the CAM mini-app through the full pipeline: instrumentation,
      object attribution, and the Table II cache hierarchy. *)
   let result =
-    Scavenger.run ~scale:0.5 ~iterations:5 ~with_trace:true
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale 0.5 |> with_iterations 5 |> with_trace true)
       (Option.get (Nvsc_apps.Apps.find "cam"))
   in
   Format.printf "Profiled %s: %d main-loop references over %d iterations@."

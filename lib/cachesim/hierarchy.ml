@@ -70,7 +70,10 @@ let access_raw t ~addr ~size ~op =
 
 let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
 
+(* One span per delivered batch, not per access: the per-line loop is the
+   hot path and stays untouched. *)
 let consume t batch ~first ~n =
+  Nvsc_obs.Span.with_ "cachesim.filter" @@ fun () ->
   for i = first to first + n - 1 do
     access_raw t ~addr:(Sink.Batch.addr batch i) ~size:(Sink.Batch.size batch i)
       ~op:(Sink.Batch.op batch i)
@@ -88,6 +91,7 @@ let access_classified t (a : Access.t) =
   access_classified_raw t ~addr:a.addr ~size:a.size ~op:a.op
 
 let drain t =
+  Nvsc_obs.Span.with_ "cachesim.drain" @@ fun () ->
   (* L1 dirty lines write into L2; then L2 dirty lines write to memory. *)
   Cache.flush_dirty t.l1d (fun line -> l2_write t line);
   Cache.flush_dirty t.l2 (fun line -> mem_write t line);

@@ -21,8 +21,11 @@ let collect ?(config = default_config) () =
     results =
       List.map
         (fun app ->
-          Scavenger.run ~scale:config.scale ~iterations:config.iterations
-            ~with_trace:true app)
+          Scavenger.run
+            Scavenger.Config.(
+              default |> with_scale config.scale
+              |> with_iterations config.iterations |> with_trace true)
+            app)
         Nvsc_apps.Apps.all;
   }
 

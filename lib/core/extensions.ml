@@ -22,9 +22,14 @@ let verdict_of (m : Object_metrics.t) =
 
 let sampling_ablation ?(scale = 0.5) ?(iterations = 5) ?(period = 10_000)
     ?(sample_length = 100) (module A : Nvsc_apps.Workload.APP) =
-  let full = Scavenger.run ~scale ~iterations (module A) in
+  let cfg =
+    Scavenger.Config.(
+      default |> with_scale scale |> with_iterations iterations)
+  in
+  let full = Scavenger.run cfg (module A) in
   let sampled =
-    Scavenger.run ~scale ~iterations ~sampling:(period, sample_length)
+    Scavenger.run
+      (Scavenger.Config.with_sampling ~period ~sample_length cfg)
       (module A)
   in
   (* objects correspond by name across the two deterministic runs *)
@@ -88,7 +93,13 @@ let items_of_result (r : Scavenger.result) =
 let hybrid_design ?(scale = 0.5) ?(iterations = 5)
     ?(tech = Technology.get Technology.PCRAM) (module A : Nvsc_apps.Workload.APP)
     =
-  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let r =
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations
+        |> with_trace true)
+      (module A)
+  in
   let trace = Option.get r.Scavenger.mem_trace in
   (* hierarchical: a small DRAM page cache (1/4 of the footprint) in front
      of NVRAM *)
@@ -185,7 +196,12 @@ type placement_summary = {
 let placement_summary ?(scale = 0.5) ?(iterations = 5)
     ?(tech = Technology.get Technology.STTRAM)
     (module A : Nvsc_apps.Workload.APP) =
-  let r = Scavenger.run ~scale ~iterations (module A) in
+  let r =
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations)
+      (module A)
+  in
   let metrics = Scavenger.global_and_heap_metrics r in
   let items = items_of_result r in
   let capacity = 2 * r.Scavenger.footprint_bytes in
@@ -255,7 +271,12 @@ let fine_grained_placement ?(scale = 0.5) ?(iterations = 5)
     ?(window_refs = 100_000) ?(tech = Technology.get Technology.STTRAM)
     (module A : Nvsc_apps.Workload.APP) =
   (* profile pass: learn the object population (ids are deterministic) *)
-  let profile = Scavenger.run ~scale ~iterations (module A) in
+  let profile =
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations)
+      (module A)
+  in
   let items = items_of_result profile in
   let total_bytes =
     List.fold_left (fun acc (i : Item.t) -> acc + i.size_bytes) 0 items
@@ -351,7 +372,13 @@ let interval_table hybrid metrics =
 let hybrid_simulation ?(scale = 0.5) ?(iterations = 5)
     ?(tech = Technology.get Technology.STTRAM)
     (module A : Nvsc_apps.Workload.APP) =
-  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let r =
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations
+        |> with_trace true)
+      (module A)
+  in
   let trace = Option.get r.Scavenger.mem_trace in
   let metrics = Scavenger.global_and_heap_metrics r in
   let items = items_of_result r in
@@ -397,7 +424,13 @@ let pp_hybrid_simulation fmt (h : hybrid_simulation) =
 
 let power_sensitivity ?(scale = 0.5) ?(iterations = 5)
     (module A : Nvsc_apps.Workload.APP) =
-  let r = Scavenger.run ~scale ~iterations ~with_trace:true (module A) in
+  let r =
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations
+        |> with_trace true)
+      (module A)
+  in
   let trace = Option.get r.Scavenger.mem_trace in
   let replay sink = Trace_log.replay_batch trace sink in
   let configs =
@@ -512,7 +545,10 @@ let run_all fmt ?(scale = 0.5) ?(iterations = 5) () =
     "@.== Extension: main-memory traffic attribution (cam) ==@.";
   Traffic_attribution.pp_report fmt
     (Traffic_attribution.analyze
-       (Scavenger.run ~scale ~iterations ~with_trace:true
+       (Scavenger.run
+          Scavenger.Config.(
+            default |> with_scale scale |> with_iterations iterations
+            |> with_trace true)
           (Option.get (Nvsc_apps.Apps.find "cam"))));
   Format.fprintf fmt
     "@.== Extension: fine-grained dynamic placement (§VII-C's monitor, \
@@ -554,7 +590,10 @@ let run_all fmt ?(scale = 0.5) ?(iterations = 5) () =
     sym asym;
   Format.fprintf fmt "@.== Extension: row-buffer policy ablation ==@.";
   let r =
-    Scavenger.run ~scale ~iterations ~with_trace:true
+    Scavenger.run
+      Scavenger.Config.(
+        default |> with_scale scale |> with_iterations iterations
+        |> with_trace true)
       (Option.get (Nvsc_apps.Apps.find "s3d"))
   in
   List.iter

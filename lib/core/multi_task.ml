@@ -37,7 +37,12 @@ let run ?(tasks = 4) ?(base_scale = 0.5) ?(iterations = 4) ?(imbalance = 0.2)
           else (2. *. float_of_int task /. float_of_int (tasks - 1)) -. 1.
         in
         let scale = base_scale *. (1. +. (imbalance *. f)) in
-        let r = Scavenger.run ~scale ~iterations (module A) in
+        let r =
+          Scavenger.run
+            Scavenger.Config.(
+              default |> with_scale scale |> with_iterations iterations)
+            (module A)
+        in
         {
           task;
           scale;

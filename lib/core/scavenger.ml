@@ -5,6 +5,8 @@ module Trace_log = Nvsc_memtrace.Trace_log
 module Sink = Nvsc_memtrace.Sink
 module Hierarchy = Nvsc_cachesim.Hierarchy
 module Cache = Nvsc_cachesim.Cache
+module Span = Nvsc_obs.Span
+module Metrics = Nvsc_obs.Metrics
 
 type result = {
   app_name : string;
@@ -25,49 +27,111 @@ type result = {
   sanitizer : Nvsc_sanitizer.Diagnostic.report option;
 }
 
+module Config = struct
+  type t = {
+    scale : float;
+    iterations : int;
+    with_trace : bool;
+    sampling : (int * int) option;
+    batch_capacity : int option;
+    sanitize : bool;
+    check_init : bool;
+    obs : Nvsc_obs.t;
+  }
+
+  let default =
+    {
+      scale = 1.0;
+      iterations = 10;
+      with_trace = false;
+      sampling = None;
+      batch_capacity = None;
+      sanitize = false;
+      check_init = false;
+      obs = Nvsc_obs.off;
+    }
+
+  let with_scale scale t = { t with scale }
+  let with_iterations iterations t = { t with iterations }
+  let with_trace with_trace t = { t with with_trace }
+
+  let with_sampling ~period ~sample_length t =
+    { t with sampling = Some (period, sample_length) }
+
+  let with_batch_capacity capacity t =
+    { t with batch_capacity = Some capacity }
+
+  let with_sanitize ?(check_init = false) sanitize t =
+    { t with sanitize; check_init }
+
+  let with_obs obs t = { t with obs }
+end
+
 (* Redzone width used when sanitising: wide enough that a word-sized
    overrun of any object lands inside it, narrow enough not to distort
    the synthetic layout. *)
 let sanitizer_redzone_words = 8
 
-let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
-    ?batch_capacity ?(sanitize = false) ?(check_init = false)
-    (module A : Nvsc_apps.Workload.APP) =
+(* Registry metrics the run feeds: one deterministic snapshot replaces the
+   counters previously scattered over Ctx.pipeline_stats and the
+   sanitizer report (DESIGN.md "Observability"). *)
+let m_runs = Metrics.counter "scavenger.runs"
+let m_refs = Metrics.counter "scavenger.pipeline.refs"
+let m_batches = Metrics.counter "scavenger.pipeline.batches"
+let m_capacity_flushes = Metrics.counter "scavenger.pipeline.capacity_flushes"
+let m_boundary_flushes = Metrics.counter "scavenger.pipeline.boundary_flushes"
+let m_unattributed = Metrics.counter "scavenger.unattributed"
+let m_sanitizer_findings = Metrics.counter "sanitizer.findings"
+
+let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
+  Nvsc_obs.scoped cfg.obs @@ fun () ->
+  Span.with_ ~arg:A.name "scavenger.run" @@ fun () ->
+  let { Config.scale; iterations; with_trace; sampling; batch_capacity;
+        sanitize; check_init; obs = _ } =
+    cfg
+  in
   let prev_checks = Sink.checks_enabled () in
   if sanitize then Sink.set_debug_checks true;
   Fun.protect ~finally:(fun () -> Sink.set_debug_checks prev_checks)
   @@ fun () ->
-  let ctx =
-    Ctx.create ?batch_capacity
-      ~redzone_words:(if sanitize then sanitizer_redzone_words else 0)
-      ()
+  let ctx, san, trace, hierarchy =
+    Span.with_ "scavenger.setup" @@ fun () ->
+    let ctx =
+      Ctx.create ?batch_capacity
+        ~redzone_words:(if sanitize then sanitizer_redzone_words else 0)
+        ()
+    in
+    let san =
+      if sanitize then Some (Nvsc_sanitizer.Trace_san.attach ~check_init ctx)
+      else None
+    in
+    (match sampling with
+    | Some (period, sample_length) ->
+      Ctx.set_sampling ctx ~period ~sample_length
+    | None -> ());
+    let trace = if with_trace then Some (Trace_log.create ()) else None in
+    let hierarchy =
+      match trace with
+      | None -> None
+      | Some log ->
+        let h =
+          Hierarchy.create ~sink:(Trace_log.sink ~name:"trace-log" log) ()
+        in
+        (* Filter only main-loop batches through the caches: the paper
+           instruments the main computation loop.  Batches are delivered
+           under their emission phase, so the filter is exact. *)
+        Ctx.add_sink ctx
+          (Sink.create ~name:"cache-hierarchy" (fun b ~first ~n ->
+               match Ctx.phase ctx with
+               | Mem_object.Main _ -> Hierarchy.consume h b ~first ~n
+               | Mem_object.Pre | Mem_object.Post -> ()));
+        Some h
+    in
+    (ctx, san, trace, hierarchy)
   in
-  let san =
-    if sanitize then Some (Nvsc_sanitizer.Trace_san.attach ~check_init ctx)
-    else None
-  in
-  (match sampling with
-  | Some (period, sample_length) -> Ctx.set_sampling ctx ~period ~sample_length
-  | None -> ());
-  let trace = if with_trace then Some (Trace_log.create ()) else None in
-  let hierarchy =
-    match trace with
-    | None -> None
-    | Some log ->
-      let h =
-        Hierarchy.create ~sink:(Trace_log.sink ~name:"trace-log" log) ()
-      in
-      (* Filter only main-loop batches through the caches: the paper
-         instruments the main computation loop.  Batches are delivered
-         under their emission phase, so the filter is exact. *)
-      Ctx.add_sink ctx
-        (Sink.create ~name:"cache-hierarchy" (fun b ~first ~n ->
-             match Ctx.phase ctx with
-             | Mem_object.Main _ -> Hierarchy.consume h b ~first ~n
-             | Mem_object.Pre | Mem_object.Post -> ()));
-      Some h
-  in
-  A.run ~scale ctx ~iterations;
+  Span.with_ ~arg:A.name "scavenger.app" (fun () ->
+      A.run ~scale ctx ~iterations);
+  Span.with_ "scavenger.analysis" @@ fun () ->
   Ctx.flush_refs ctx;
   (match hierarchy with Some h -> Hierarchy.drain h | None -> ());
   let sanitizer = Option.map Nvsc_sanitizer.Trace_san.finish san in
@@ -83,6 +147,17 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
     | None -> 0.
     | Some h -> Cache.miss_rate (cache_of h)
   in
+  let pipeline = Ctx.pipeline_stats ctx in
+  Metrics.Counter.incr m_runs;
+  Metrics.Counter.add m_refs pipeline.Ctx.refs;
+  Metrics.Counter.add m_batches pipeline.Ctx.batches;
+  Metrics.Counter.add m_capacity_flushes pipeline.Ctx.capacity_flushes;
+  Metrics.Counter.add m_boundary_flushes pipeline.Ctx.boundary_flushes;
+  Metrics.Counter.add m_unattributed (Ctx.unattributed ctx);
+  (match sanitizer with
+  | Some report ->
+    Metrics.Counter.add m_sanitizer_findings (List.length report)
+  | None -> ());
   {
     app_name = A.name;
     description = A.description;
@@ -98,9 +173,24 @@ let run ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false) ?sampling
     l1_miss_rate = miss_rate Hierarchy.l1d;
     l2_miss_rate = miss_rate Hierarchy.l2;
     unattributed = Ctx.unattributed ctx;
-    pipeline = Ctx.pipeline_stats ctx;
+    pipeline;
     sanitizer;
   }
+
+let run_legacy ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false)
+    ?sampling ?batch_capacity ?(sanitize = false) ?(check_init = false) app =
+  run
+    {
+      Config.scale;
+      iterations;
+      with_trace;
+      sampling;
+      batch_capacity;
+      sanitize;
+      check_init;
+      obs = Nvsc_obs.off;
+    }
+    app
 
 let kind_metrics kind result =
   List.filter

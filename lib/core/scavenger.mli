@@ -5,7 +5,18 @@
     stream is attributed to memory objects on the fly (statistics, no raw
     trace retained), while a copy of the stream is filtered through the
     Table II cache hierarchy to produce the main-memory trace handed to
-    the power simulator. *)
+    the power simulator.
+
+    The run is configured by a first-class {!Config.t} record (no optional
+    -argument sprawl): build one from {!Config.default} with the
+    functional updates, and pass it to {!run}.  The record also carries an
+    {!Nvsc_obs.t} handle, so one run can be profiled without touching the
+    global recorder.  Runs are instrumented with {!Nvsc_obs.Span}s
+    ([scavenger.run] > [scavenger.setup] / [scavenger.app] /
+    [scavenger.analysis]) and feed the {!Nvsc_obs.Metrics} registry
+    ([scavenger.runs], [scavenger.pipeline.*], [scavenger.unattributed],
+    [sanitizer.findings]); both are inert until the recorder is armed
+    (spans) or a snapshot is taken (metrics). *)
 
 type result = {
   app_name : string;
@@ -33,7 +44,49 @@ type result = {
       (** NVSC-San trace-sanitizer report, when [sanitize] was set *)
 }
 
-val run :
+(** Run configuration.  {!Config.default} is the paper's setting: full
+    scale, 10 main-loop iterations, no trace, no sampling, no sanitizer,
+    observability handle {!Nvsc_obs.off}. *)
+module Config : sig
+  type t = {
+    scale : float;  (** data-size multiplier *)
+    iterations : int;  (** main-loop iterations to instrument *)
+    with_trace : bool;  (** retain the cache-filtered main-memory trace *)
+    sampling : (int * int) option;  (** [(period, sample_length)], §III-D *)
+    batch_capacity : int option;
+        (** emission batch size override (results are invariant in it) *)
+    sanitize : bool;  (** attach the NVSC-San trace sanitizer *)
+    check_init : bool;  (** sanitizer: also track uninitialised reads *)
+    obs : Nvsc_obs.t;
+        (** arm span recording for this run ({!Nvsc_obs.on}) or leave the
+            recorder as-is ({!Nvsc_obs.off}) *)
+  }
+
+  val default : t
+
+  (** Functional updates, pipeline-style:
+      [Config.(default |> with_scale 0.5 |> with_trace true)]. *)
+
+  val with_scale : float -> t -> t
+  val with_iterations : int -> t -> t
+  val with_trace : bool -> t -> t
+  val with_sampling : period:int -> sample_length:int -> t -> t
+  val with_batch_capacity : int -> t -> t
+
+  val with_sanitize : ?check_init:bool -> bool -> t -> t
+  (** [check_init] defaults to false and is only meaningful when the
+      sanitizer is being enabled. *)
+
+  val with_obs : Nvsc_obs.t -> t -> t
+end
+
+val run : Config.t -> (module Nvsc_apps.Workload.APP) -> result
+(** Run the application under the given configuration.  [sanitize] tees
+    the NVSC-San trace sanitizer into the pipeline: the context gets
+    allocation redzones, batch accessors run bounds-checked, and the
+    result carries the diagnostic report. *)
+
+val run_legacy :
   ?scale:float ->
   ?iterations:int ->
   ?with_trace:bool ->
@@ -43,15 +96,13 @@ val run :
   ?check_init:bool ->
   (module Nvsc_apps.Workload.APP) ->
   result
-(** Defaults: [scale = 1.0], [iterations = 10] (the paper collects the
-    first 10 iterations of the main loop), [with_trace = false].
-    [sampling = (period, sample_length)] enables the §III-D sampled
-    instrumentation the paper rejects (see {!Extensions}).
-    [batch_capacity] overrides the emission batch size (results are
-    invariant in it).  [sanitize] tees the NVSC-San trace sanitizer into
-    the pipeline: the context gets allocation redzones, batch accessors run
-    bounds-checked, and the result carries the diagnostic report;
-    [check_init] additionally enables uninitialised-heap-read tracking. *)
+[@@alert
+  deprecated
+    "Build a Scavenger.Config.t and call Scavenger.run instead; this \
+     optional-argument shim will be removed next release."]
+(** The pre-{!Config} calling convention, kept for one release as a thin
+    shim over {!run} (defaults match {!Config.default}); behaviour is
+    identical — the equivalence is under test. *)
 
 val stack_metrics : result -> Object_metrics.t list
 val global_metrics : result -> Object_metrics.t list

@@ -13,6 +13,7 @@ let run ?params ?(techs = Technology.paper_set) ?(asymmetric = false) ~replay
   let raw =
     List.map
       (fun (tech : Technology.t) ->
+        Nvsc_obs.Span.with_ ~arg:tech.name "cpusim.sensitivity" @@ fun () ->
         let model =
           if asymmetric then
             Perf_model.create ?params

@@ -27,6 +27,8 @@ let compare_technologies ?org ?scheme ?window ?row_policy ?scheduler ~techs
     ~replay () =
   List.map
     (fun tech ->
+      Nvsc_obs.Span.with_ ~arg:tech.Technology.name "dramsim.simulate"
+      @@ fun () ->
       let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
       let s = sink ~name:tech.Technology.name t in
       replay s;

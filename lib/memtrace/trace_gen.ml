@@ -9,6 +9,7 @@ type t = { next : Sink.t -> bool }
 let next t sink = t.next sink
 
 let into t sink =
+  Nvsc_obs.Span.with_ "trace_gen.into" @@ fun () ->
   let n = ref 0 in
   while t.next sink do
     incr n

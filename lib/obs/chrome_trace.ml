@@ -1,0 +1,57 @@
+module Json = Nvsc_util.Json
+
+let us ns = Json.float (float_of_int ns /. 1_000.)
+
+let to_json () =
+  let events = Span.events () in
+  (* Dense tids in domain-spawn order: raw domain ids are monotonic, so
+     sorting them gives a stable, jobs-independent numbering. *)
+  let tids =
+    List.map (fun (e : Span.event) -> e.tid) events
+    |> List.sort_uniq compare
+  in
+  let tid_index t =
+    let rec find i = function
+      | [] -> 0
+      | x :: _ when x = t -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 tids
+  in
+  let t0 =
+    List.fold_left
+      (fun acc (e : Span.event) -> min acc e.ts_ns)
+      max_int events
+  in
+  let event_json (e : Span.event) =
+    Json.Obj
+      ([
+         ("name", Json.Str e.name);
+         ("cat", Json.Str "nvsc");
+         ("ph", Json.Str "X");
+         ("ts", us (e.ts_ns - t0));
+         ("dur", us e.dur_ns);
+         ("pid", Json.Int 0);
+         ("tid", Json.Int (tid_index e.tid));
+       ]
+      @
+      match e.arg with
+      | None -> []
+      | Some d -> [ ("args", Json.Obj [ ("detail", Json.Str d) ]) ])
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json events));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "nvscMetrics",
+        Json.Obj
+          (List.map
+             (fun (name, v) -> (name, Metrics.value_to_json v))
+             (Metrics.snapshot ())) );
+    ]
+
+let write path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string (to_json ())))

@@ -1,0 +1,18 @@
+(** Chrome-trace (Trace Event Format) exporter.
+
+    Produces a JSON object loadable by [chrome://tracing] and Perfetto
+    ({:https://ui.perfetto.dev}): one complete ([ph = "X"]) event per
+    recorded span, timestamps in microseconds rebased to the earliest
+    span, plus the full metrics snapshot under ["nvscMetrics"].
+
+    Events are merged across sweep-worker domains with a stable order:
+    domain ids are renumbered densely in spawn order (the main domain is
+    tid 0), and events within a domain keep their close order — so two
+    runs of the same workload produce the same event sequence, name for
+    name, whatever [--jobs] was. *)
+
+val to_json : unit -> Nvsc_util.Json.t
+(** Export the current recording ({!Span.events} + {!Metrics.snapshot}). *)
+
+val write : string -> unit
+(** [to_json] rendered compactly to a file. *)

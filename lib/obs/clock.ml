@@ -1,0 +1,1 @@
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

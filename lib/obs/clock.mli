@@ -1,0 +1,11 @@
+(** Wall-clock time source for the observability layer.
+
+    One function, kept in its own module so every span and queue-wait
+    sample reads the same clock (and so tests or future ports can swap it
+    for a monotonic source in one place). *)
+
+val now_ns : unit -> int
+(** Current wall-clock time in integer nanoseconds.  Resolution is that of
+    [Unix.gettimeofday] (about a microsecond); durations are clamped
+    non-negative by the callers, so an NTP step cannot produce negative
+    spans. *)

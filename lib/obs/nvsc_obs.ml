@@ -1,0 +1,59 @@
+(* Nvsc_obs: pipeline-wide observability — nestable timed spans, a typed
+   metrics registry, and exporters (self-time table, Chrome trace).
+
+   The layer is zero-dependency (stdlib + Unix clock) and always compiled
+   in: a disarmed span costs one branch on an [Atomic.t], so every
+   pipeline library ships instrumented and [--profile] merely arms the
+   recorder.  See DESIGN.md "Observability". *)
+
+module Clock = Clock
+module Metrics = Metrics
+module Span = Span
+module Chrome_trace = Chrome_trace
+module Profile = Profile
+
+(* --- the handle --------------------------------------------------------- *)
+
+(* An observability handle, carried by run configs (Scavenger.Config.t).
+   [off] is inert; [on] asks the callee to arm the recorder for the
+   duration of the call (a no-op when a caller higher up already armed
+   it), so a library user can profile one run without touching the global
+   switch. *)
+type t = { armed : bool }
+
+let off = { armed = false }
+let on = { armed = true }
+let is_armed t = t.armed
+
+let enabled = Span.enabled
+
+let reset () =
+  Span.reset ();
+  Metrics.reset ()
+
+let scoped t f =
+  if t.armed && not (Span.enabled ()) then begin
+    Span.enable ();
+    Fun.protect ~finally:Span.disable f
+  end
+  else f ()
+
+(* --- CLI driver --------------------------------------------------------- *)
+
+let with_profiling ?trace_out ?(summary = Format.err_formatter)
+    ~enabled:requested f =
+  if not requested then f ()
+  else begin
+    reset ();
+    Span.enable ();
+    Fun.protect ~finally:Span.disable @@ fun () ->
+    let v = f () in
+    (match trace_out with
+    | Some path -> Chrome_trace.write path
+    | None -> ());
+    Profile.pp_summary summary (Profile.summary ());
+    Format.fprintf summary "metrics:@.";
+    Metrics.pp_snapshot summary (Metrics.snapshot ());
+    Format.pp_print_flush summary ();
+    v
+  end

@@ -1,0 +1,44 @@
+type row = {
+  row_name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+}
+
+let summary () =
+  let by_name = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Span.event) ->
+      let r =
+        match Hashtbl.find_opt by_name e.name with
+        | Some r -> r
+        | None ->
+          { row_name = e.name; count = 0; total_ns = 0; self_ns = 0 }
+      in
+      Hashtbl.replace by_name e.name
+        {
+          r with
+          count = r.count + 1;
+          total_ns = r.total_ns + e.dur_ns;
+          self_ns = r.self_ns + e.self_ns;
+        })
+    (Span.events ());
+  Hashtbl.fold (fun _ r acc -> r :: acc) by_name []
+  |> List.sort (fun a b ->
+         match compare b.self_ns a.self_ns with
+         | 0 -> String.compare a.row_name b.row_name
+         | c -> c)
+
+let pp_summary fmt rows =
+  let width =
+    List.fold_left (fun w r -> max w (String.length r.row_name)) 4 rows
+  in
+  Format.fprintf fmt "profile: span self-times (wall clock)@.";
+  Format.fprintf fmt "  %-*s %8s %12s %12s@." width "span" "count" "total"
+    "self";
+  let cell ns = Format.asprintf "%a" Nvsc_util.Units.pp_ns (float_of_int ns) in
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "  %-*s %8d %12s %12s@." width r.row_name r.count
+        (cell r.total_ns) (cell r.self_ns))
+    rows

@@ -1,0 +1,20 @@
+(** Human-readable self-time profile: where did the run spend its time?
+
+    Aggregates the recorded spans by name — count, total (inclusive) and
+    self (exclusive) wall time — the classic profiler table, for when a
+    Chrome trace is more ceremony than the question deserves. *)
+
+type row = {
+  row_name : string;
+  count : int;
+  total_ns : int;
+  self_ns : int;
+}
+
+val summary : unit -> row list
+(** One row per span name, sorted by descending self time (name as the
+    tie-break). *)
+
+val pp_summary : Format.formatter -> row list -> unit
+(** Aligned [span  count  total  self] table, preceded by a
+    [profile: ...] header line. *)

@@ -1,0 +1,118 @@
+let armed = Atomic.make false
+let enable () = Atomic.set armed true
+let disable () = Atomic.set armed false
+let enabled () = Atomic.get armed
+
+type event = {
+  name : string;
+  arg : string option;
+  tid : int;
+  depth : int;
+  ts_ns : int;
+  dur_ns : int;
+  self_ns : int;
+  seq : int;
+}
+
+type frame = {
+  f_name : string;
+  f_arg : string option;
+  f_start : int;
+  f_depth : int;
+  mutable child_ns : int;
+}
+
+type buf = {
+  tid : int;
+  mutable events : event list;  (* newest first *)
+  mutable nevents : int;
+  mutable stack : frame list;
+}
+
+(* Buffer registry: locked only when a domain records its first span. *)
+let bufs : buf list ref = ref []
+let mu = Mutex.create ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          events = [];
+          nevents = 0;
+          stack = [];
+        }
+      in
+      Mutex.lock mu;
+      bufs := b :: !bufs;
+      Mutex.unlock mu;
+      b)
+
+let close b fr =
+  let dur = max 0 (Clock.now_ns () - fr.f_start) in
+  (* Pop down to (and past) [fr]: tolerates frames orphaned by arming
+     mid-span. *)
+  let rec pop = function
+    | top :: rest when top == fr -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  b.stack <- pop b.stack;
+  (match b.stack with
+  | parent :: _ -> parent.child_ns <- parent.child_ns + dur
+  | [] -> ());
+  b.events <-
+    {
+      name = fr.f_name;
+      arg = fr.f_arg;
+      tid = b.tid;
+      depth = fr.f_depth;
+      ts_ns = fr.f_start;
+      dur_ns = dur;
+      self_ns = max 0 (dur - fr.child_ns);
+      seq = b.nevents;
+    }
+    :: b.events;
+  b.nevents <- b.nevents + 1
+
+let with_ ?arg name f =
+  if not (Atomic.get armed) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    let fr =
+      {
+        f_name = name;
+        f_arg = arg;
+        f_start = Clock.now_ns ();
+        f_depth = List.length b.stack;
+        child_ns = 0;
+      }
+    in
+    b.stack <- fr :: b.stack;
+    match f () with
+    | v ->
+      close b fr;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      close b fr;
+      Printexc.raise_with_backtrace e bt
+  end
+
+let events () =
+  Mutex.lock mu;
+  let bs = !bufs in
+  Mutex.unlock mu;
+  List.sort (fun a b -> compare a.tid b.tid) bs
+  |> List.concat_map (fun b -> List.rev b.events)
+
+let reset () =
+  Mutex.lock mu;
+  let bs = !bufs in
+  Mutex.unlock mu;
+  List.iter
+    (fun b ->
+      b.events <- [];
+      b.nevents <- 0;
+      b.stack <- [])
+    bs

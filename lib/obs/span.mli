@@ -1,0 +1,46 @@
+(** Nestable timed spans, recorded per-domain.
+
+    [with_ "cachesim.filter" f] times [f] and records a completed-span
+    event when recording is armed.  The fast path of a disarmed span is a
+    single branch on an [Atomic.t] — no clock read, no allocation beyond
+    the closure the caller already built — so instrumentation ships
+    always-available and costs nothing until someone passes [--profile].
+
+    Each domain records into its own buffer (registered once, on the
+    domain's first span, under a mutex), so sweep workers never contend on
+    a shared event list.  {!events} merges the buffers with a stable order
+    for the exporters.
+
+    Span names are dot-separated lowercase paths ([scavenger.app]); the
+    optional [arg] carries low-cardinality detail (the application or
+    technology name) and lands in the Chrome-trace event's [args]. *)
+
+val enable : unit -> unit
+(** Arm recording (idempotent). *)
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val with_ : ?arg:string -> string -> (unit -> 'a) -> 'a
+(** Run the callback under a span.  The span is closed — and its event
+    recorded — when the callback returns {e or raises}; exceptions
+    propagate with their backtrace. *)
+
+type event = {
+  name : string;
+  arg : string option;
+  tid : int;  (** recording domain's id *)
+  depth : int;  (** nesting depth within its domain at open time *)
+  ts_ns : int;  (** wall-clock open time *)
+  dur_ns : int;
+  self_ns : int;  (** [dur_ns] minus the duration of direct children *)
+  seq : int;  (** close order within the domain's buffer *)
+}
+
+val events : unit -> event list
+(** Every recorded event, merged across domain buffers: buffers in
+    ascending [tid] (domain-spawn) order, events within a buffer in close
+    ([seq]) order.  The order is stable for a given recording. *)
+
+val reset : unit -> unit
+(** Drop all recorded events (buffers stay registered). *)

@@ -4,6 +4,7 @@ let score (item : Item.t) =
   float_of_int item.size_bytes /. (1. +. (1e6 *. Item.write_share item))
 
 let plan ?(thresholds = Suitability.default_thresholds) ~hybrid items =
+  Nvsc_obs.Span.with_ "placement.plan" @@ fun () ->
   let tech = Hybrid_memory.tech hybrid in
   let wants_nvram item =
     match

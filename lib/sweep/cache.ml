@@ -10,6 +10,26 @@ type t = {
 
 type stats = { hits : int; misses : int; evictions : int }
 
+(* The per-cache record fields above feed the sweep report; the registry
+   counters below are the cross-domain aggregate reported once by the
+   profile summary.  The engine's serial cache pass means both agree, but
+   the registry survives across caches and sweeps in one process. *)
+let m_hits = Nvsc_obs.Metrics.counter "sweep.cache.hits"
+let m_misses = Nvsc_obs.Metrics.counter "sweep.cache.misses"
+let m_evictions = Nvsc_obs.Metrics.counter "sweep.cache.evictions"
+
+let count_hit (t : t) =
+  t.hits <- t.hits + 1;
+  Nvsc_obs.Metrics.Counter.incr m_hits
+
+let count_miss (t : t) =
+  t.misses <- t.misses + 1;
+  Nvsc_obs.Metrics.Counter.incr m_misses
+
+let count_eviction (t : t) =
+  t.evictions <- t.evictions + 1;
+  Nvsc_obs.Metrics.Counter.incr m_evictions
+
 let rec mkdir_p dir =
   if not (Sys.file_exists dir) then begin
     let parent = Filename.dirname dir in
@@ -72,7 +92,7 @@ let evict t =
       let rec drop k = function
         | d :: rest when k > 0 ->
           remove_if_exists (entry_path t d);
-          t.evictions <- t.evictions + 1;
+          count_eviction t;
           drop (k - 1) rest
         | rest -> rest
       in
@@ -102,18 +122,18 @@ let unwrap spec json =
 let find t spec =
   let path = entry_path t (Cell.digest spec) in
   if not (Sys.file_exists path) then begin
-    t.misses <- t.misses + 1;
+    count_miss t;
     None
   end
   else
     match unwrap spec (Json.of_string (read_file path)) with
     | payload ->
-      t.hits <- t.hits + 1;
+      count_hit t;
       Some payload
     | exception (Json.Parse_error _ | Sys_error _) ->
       (* corrupt, stale or colliding entry: drop it and recompute *)
       remove_if_exists path;
-      t.misses <- t.misses + 1;
+      count_miss t;
       None
 
 let store t spec payload =

@@ -327,8 +327,12 @@ let info_of_result (r : Scavenger.result) =
     total_main_refs = r.total_main_refs;
   }
 
+let base_config (spec : spec) =
+  Scavenger.Config.(
+    default |> with_scale spec.scale |> with_iterations spec.iterations)
+
 let execute_objects spec app =
-  let r = Scavenger.run ~scale:spec.scale ~iterations:spec.iterations app in
+  let r = Scavenger.run (base_config spec) app in
   Objects_result
     {
       info = info_of_result r;
@@ -343,8 +347,7 @@ let execute_objects spec app =
 
 let execute_power spec app =
   let r =
-    Scavenger.run ~scale:spec.scale ~iterations:spec.iterations
-      ~with_trace:true app
+    Scavenger.run Scavenger.Config.(base_config spec |> with_trace true) app
   in
   let trace = Option.get r.mem_trace in
   let results =
@@ -402,7 +405,7 @@ let execute_place spec app =
   let tech =
     Technology.get (Option.value spec.tech ~default:Technology.STTRAM)
   in
-  let r = Scavenger.run ~scale:spec.scale ~iterations:spec.iterations app in
+  let r = Scavenger.run (base_config spec) app in
   let items =
     List.map
       (fun (m : Nvsc_core.Object_metrics.t) ->
@@ -431,7 +434,14 @@ let execute_place spec app =
       assessment = Nvsc_placement.Hybrid_memory.assess hybrid;
     }
 
+let m_cells = Nvsc_obs.Metrics.counter "sweep.cells"
+
 let execute spec =
+  Nvsc_obs.Span.with_
+    ~arg:(spec.app ^ "/" ^ kind_to_string spec.kind)
+    "sweep.cell"
+  @@ fun () ->
+  Nvsc_obs.Metrics.Counter.incr m_cells;
   let app = find_app spec.app in
   match spec.kind with
   | Objects -> execute_objects spec app

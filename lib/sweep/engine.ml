@@ -12,6 +12,7 @@ type stats = {
 }
 
 let run ?jobs ?cache matrix =
+  Nvsc_obs.Span.with_ "sweep.run" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let specs = Array.of_list (Matrix.cells matrix) in
   (* Serial cache pass on the calling domain: the cache never sees

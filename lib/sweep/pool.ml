@@ -1,10 +1,17 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+let m_jobs = Nvsc_obs.Metrics.gauge "sweep.pool.jobs"
+let m_queue_wait = Nvsc_obs.Metrics.dist "sweep.pool.queue_wait_ns"
+
 let map ~jobs f items =
   let n = Array.length items in
   if n = 0 then [||]
   else begin
     let jobs = max 1 (min jobs n) in
+    Nvsc_obs.Metrics.Gauge.set m_jobs (float_of_int jobs);
+    (* Queue wait = take-a-ticket time minus pool start; only sampled when
+       the recorder is armed so the disarmed path never reads the clock. *)
+    let t0 = if Nvsc_obs.Span.enabled () then Nvsc_obs.Clock.now_ns () else 0 in
     (* Option-boxed result slots: each index is written by exactly one
        worker, so slots are never contended; the joins below publish them
        to the collecting domain. *)
@@ -14,6 +21,9 @@ let map ~jobs f items =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
+          if Nvsc_obs.Span.enabled () then
+            Nvsc_obs.Metrics.Dist.observe m_queue_wait
+              (Nvsc_obs.Clock.now_ns () - t0);
           let r = try Ok (f items.(i)) with e -> Error e in
           results.(i) <- Some r;
           loop ()

@@ -48,7 +48,11 @@ module Toy_app : Nvsc_apps.Workload.APP = struct
     Farray.set idle 0 9.
 end
 
-let result = lazy (Nvsc_core.Scavenger.run ~iterations:4 (module Toy_app))
+let result =
+  lazy
+    (Nvsc_core.Scavenger.run
+       Nvsc_core.Scavenger.Config.(default |> with_iterations 4)
+       (module Toy_app))
 
 let metric name =
   let r = Lazy.force result in
@@ -159,7 +163,12 @@ let test_scavenger_fields () =
     (s + g + h)
 
 let test_scavenger_trace () =
-  let r = Nvsc_core.Scavenger.run ~iterations:2 ~with_trace:true (module Toy_app) in
+  let r =
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(
+        default |> with_iterations 2 |> with_trace true)
+      (module Toy_app)
+  in
   match r.Nvsc_core.Scavenger.mem_trace with
   | None -> Alcotest.fail "expected trace"
   | Some t ->

@@ -15,7 +15,9 @@ let test_registry_extended () =
     (List.mem "minife" Nvsc_apps.Apps.extended_names)
 
 let run name =
-  Nvsc_core.Scavenger.run ~scale:0.5 ~iterations:6
+  Nvsc_core.Scavenger.run
+    Nvsc_core.Scavenger.Config.(
+      default |> with_scale 0.5 |> with_iterations 6)
     (Option.get (Nvsc_apps.Apps.find name))
 
 let metric result name =

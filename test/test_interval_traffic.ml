@@ -74,7 +74,10 @@ let find_equals_linear_prop =
 let report =
   lazy
     (TA.analyze
-       (Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:3 ~with_trace:true
+       (Nvsc_core.Scavenger.run
+          Nvsc_core.Scavenger.Config.(
+            default |> with_scale 0.25 |> with_iterations 3
+            |> with_trace true)
           (Option.get (Nvsc_apps.Apps.find "cam"))))
 
 let test_conservation () =
@@ -111,7 +114,9 @@ let test_sorted_and_readonly_present () =
 
 let test_requires_trace () =
   let r =
-    Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:1
+    Nvsc_core.Scavenger.run
+      Nvsc_core.Scavenger.Config.(
+        default |> with_scale 0.25 |> with_iterations 1)
       (Option.get (Nvsc_apps.Apps.find "gtc"))
   in
   Alcotest.check_raises "no trace"

@@ -33,4 +33,5 @@ let () =
       ("report-experiment", Test_report_experiment.suite);
       ("paper-shapes", Test_shapes.suite);
       ("sweep", Test_sweep.suite);
+      ("obs", Test_obs.suite);
     ]

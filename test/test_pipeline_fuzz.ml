@@ -103,7 +103,10 @@ let app_of_spec spec : (module Nvsc_apps.Workload.APP) =
   end)
 
 let run_spec spec =
-  Nvsc_core.Scavenger.run ~iterations:spec.iterations (app_of_spec spec)
+  let iterations = spec.iterations in
+  Nvsc_core.Scavenger.run
+    Nvsc_core.Scavenger.Config.(default |> with_iterations iterations)
+    (app_of_spec spec)
 
 let fuzz_attribution_complete =
   QCheck.Test.make ~name:"fuzz: every reference attributed" ~count:40
@@ -159,7 +162,11 @@ let fuzz_sampling_observes_subset =
     arbitrary_spec (fun spec ->
       let full = run_spec spec in
       let sampled =
-        Nvsc_core.Scavenger.run ~iterations:spec.iterations ~sampling:(10, 1)
+        let iterations = spec.iterations in
+        Nvsc_core.Scavenger.run
+          Nvsc_core.Scavenger.Config.(
+            default |> with_iterations iterations
+            |> with_sampling ~period:10 ~sample_length:1)
           (app_of_spec spec)
       in
       sampled.Nvsc_core.Scavenger.total_main_refs
@@ -175,8 +182,11 @@ let fuzz_sanitizer_clean =
         List.map
           (fun capacity ->
             let r =
-              Nvsc_core.Scavenger.run ~iterations:spec.iterations
-                ~batch_capacity:capacity ~sanitize:true
+              let iterations = spec.iterations in
+              Nvsc_core.Scavenger.run
+                Nvsc_core.Scavenger.Config.(
+                  default |> with_iterations iterations
+                  |> with_batch_capacity capacity |> with_sanitize true)
                 (app_of_spec spec)
             in
             Option.get r.Nvsc_core.Scavenger.sanitizer)

@@ -173,8 +173,11 @@ let test_shipped_apps_clean () =
   List.iter
     (fun (module A : Nvsc_apps.Workload.APP) ->
       let r =
-        Nvsc_core.Scavenger.run ~scale:0.25 ~iterations:2 ~sanitize:true
-          ~check_init:true (module A)
+        Nvsc_core.Scavenger.run
+          Nvsc_core.Scavenger.Config.(
+            default |> with_scale 0.25 |> with_iterations 2
+            |> with_sanitize ~check_init:true true)
+          (module A)
       in
       let report = Option.get r.Nvsc_core.Scavenger.sanitizer in
       Alcotest.(check (list shape_t)) (A.name ^ " is clean") [] (shape report))
