@@ -50,17 +50,24 @@ type t = {
      sinks always see a reference under the same object/stack state it was
      emitted in — making their view independent of batch capacity. *)
   mutable event_sink : (event -> unit) option;
+  (* true iff some consumer reads the emission buffers (a reference sink,
+     an attributed sink, or an instruction sink).  When false — the
+     common no-trace configuration — [emit_observed] skips the four
+     per-reference buffer stores and only keeps the flush accounting. *)
+  mutable recording : bool;
   redzone_bytes : int; (* unregistered gap after each allocation *)
   (* the emission batch: references accumulate here and flush to the sinks
      when the batch fills or at a phase boundary (paper §III-D).  The
      parallel [obj_ids] array carries emission-time attribution (-1 =
      unattributed) for attributed sinks; [instr_before.(i)] counts plain
      instructions committed since reference [i-1], so an instruction sink
-     can be interleaved back in program order at flush time. *)
-  batch : Sink.Batch.t;
-  obj_ids : int array;
-  instr_before : int array;
-  batch_capacity : int;
+     can be interleaved back in program order at flush time.  Mutable so
+     [release] can hand the ~2 MB of buffers to the per-domain pool and
+     swap in one-slot stand-ins. *)
+  mutable batch : Sink.Batch.t;
+  mutable obj_ids : int array;
+  mutable instr_before : int array;
+  mutable batch_capacity : int;
   mutable batch_len : int;
   mutable pending_instr : int;
   mutable batches_out : int;
@@ -74,24 +81,40 @@ type t = {
   mutable next_routine_addr : int;
   routine_addrs : (string, int) Hashtbl.t;
   routine_objects : (int, Mem_object.t) Hashtbl.t; (* keyed by routine addr *)
+  (* The emission memos carry object ids (-1 = no object), not [t option]:
+     the hot path only needs the id for [Counters.record] and the
+     [obj_ids] array, and an immediate int spares the option match. *)
   (* one-entry memo for stack attribution: routine objects are registered
      once and never replaced, so the memo can never go stale *)
   mutable memo_routine_addr : int;
-  mutable memo_routine_obj : Mem_object.t option;
-  (* one-entry memo for heap/global attribution: a hit means [addr] falls
-     in [memo_obj_lo, memo_obj_hi], the range of the last attributed
-     object.  Invalidated on every registry mutation (allocation, free,
-     global merge), so a hit can never be stale. *)
-  mutable memo_obj : Mem_object.t option;
-  mutable memo_obj_lo : int;
-  mutable memo_obj_hi : int;
+  mutable memo_routine_id : int;
+  (* one-entry [call] memo, keyed by physical equality of the routine
+     name: call sites pass literal names, so the per-particle/per-cell
+     routine entries skip the string-hash lookup and the object table.
+     The cached pair never goes stale for the same string value. *)
+  mutable memo_call_routine : string;
+  mutable memo_call_addr : int;
+  mutable memo_call_obj : Mem_object.t option;
+  (* four-entry memo for heap/global attribution: slot [k] caches the
+     range and id of a recently attributed object ([lo > hi] = empty).
+     Four slots because inner loops commonly cycle through a handful of
+     arrays (gather / stage / scatter targets), which thrashes a
+     single-entry memo on every reference.  The last-hit slot is probed
+     first; replacement is round-robin.  Invalidated on every registry
+     mutation (allocation, free, global merge), so a hit can never be
+     stale. *)
+  memo_obj_lo : int array;
+  memo_obj_hi : int array;
+  memo_obj_ids : int array;
+  mutable memo_obj_last : int;
+  mutable memo_obj_rr : int;
   (* one-entry memo for the stack-frame walk: valid only while the shadow
      stack's stamp is unchanged (no push/pop), so a hit sees the same live
      frames the walk would. *)
   mutable memo_frame_stamp : int;
   mutable memo_frame_lo : int;
   mutable memo_frame_hi : int; (* exclusive *)
-  mutable memo_frame_obj : Mem_object.t option;
+  mutable memo_frame_id : int;
   heap_instances : (string, int) Hashtbl.t; (* live-collision counters *)
   mutable tallies : mutable_tally array; (* per iteration *)
   mutable total_refs : int;
@@ -102,13 +125,47 @@ type t = {
 
 and sampling = { period : int; sample_length : int; mutable position : int }
 
+(* --- emission-buffer pool ---------------------------------------------- *)
+
+(* A context's emission buffers (batch + obj_ids + instr_before) total
+   ~2 MB at the default capacity: allocating them afresh dominates
+   [create] (major-heap allocation and the GC work it triggers).  Freed
+   buffer sets park on a small per-domain free list instead — per domain
+   (Domain.DLS) because sweep workers create contexts concurrently and a
+   domain-local list needs no locking. *)
+type buffers = {
+  b_batch : Sink.Batch.t;
+  b_obj_ids : int array;
+  b_instr_before : int array;
+}
+
+let pool_max = 4
+
+let pool_key : buffers list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let acquire_buffers capacity =
+  let pool = Domain.DLS.get pool_key in
+  match !pool with
+  | b :: rest when Array.length b.b_obj_ids = capacity ->
+    pool := rest;
+    b
+  | _ ->
+    {
+      b_batch = Sink.Batch.create capacity;
+      b_obj_ids = Array.make capacity (-1);
+      b_instr_before = Array.make capacity 0;
+    }
+
 let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
     ?(redzone_words = 0) () =
   if batch_capacity <= 0 then invalid_arg "Ctx.create: batch_capacity";
   if redzone_words < 0 then invalid_arg "Ctx.create: redzone_words";
   let tallies = Array.init 4 (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 }) in
-  let batch = Sink.Batch.create batch_capacity in
-  (* the context only emits word-sized references: prefill once *)
+  let bufs = acquire_buffers batch_capacity in
+  let batch = bufs.b_batch in
+  (* the context only emits word-sized references: prefill once (a pooled
+     batch may have been resized by a foreign consumer) *)
   Sink.Batch.fill_sizes batch Layout.word;
   {
     rng = Rng.of_int seed;
@@ -119,10 +176,11 @@ let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
     attr_sinks = [||];
     instr_sink = None;
     event_sink = None;
+    recording = false;
     redzone_bytes = redzone_words * Layout.word;
     batch;
-    obj_ids = Array.make batch_capacity (-1);
-    instr_before = Array.make batch_capacity 0;
+    obj_ids = bufs.b_obj_ids;
+    instr_before = bufs.b_instr_before;
     batch_capacity;
     batch_len = 0;
     pending_instr = 0;
@@ -138,14 +196,20 @@ let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
     routine_addrs = Hashtbl.create 64;
     routine_objects = Hashtbl.create 64;
     memo_routine_addr = min_int;
-    memo_routine_obj = None;
-    memo_obj = None;
-    memo_obj_lo = 1;
-    memo_obj_hi = 0;
+    memo_routine_id = -1;
+    (* a fresh string: physically equal to no caller-supplied name *)
+    memo_call_routine = String.init 1 (fun _ -> '\000');
+    memo_call_addr = 0;
+    memo_call_obj = None;
+    memo_obj_lo = Array.make 4 1;
+    memo_obj_hi = Array.make 4 0;
+    memo_obj_ids = Array.make 4 (-1);
+    memo_obj_last = 0;
+    memo_obj_rr = 0;
     memo_frame_stamp = -1;
     memo_frame_lo = 1;
     memo_frame_hi = 0;
-    memo_frame_obj = None;
+    memo_frame_id = -1;
     heap_instances = Hashtbl.create 64;
     tallies;
     total_refs = 0;
@@ -198,12 +262,30 @@ let flush_batch t ~boundary =
 
 let flush_refs t = flush_batch t ~boundary:true
 
-let add_sink t sink = t.sinks <- Array.append t.sinks [| sink |]
+let recompute_recording t =
+  t.recording <-
+    Array.length t.sinks > 0
+    || Array.length t.attr_sinks > 0
+    || t.instr_sink <> None
+
+(* Subscription flushes buffered references first: references emitted
+   before the subscription are delivered to the previously-subscribed
+   consumers only, so the emission loop can skip the buffer stores
+   entirely while nobody is subscribed. *)
+let add_sink t sink =
+  flush_refs t;
+  t.sinks <- Array.append t.sinks [| sink |];
+  recompute_recording t
 
 let add_attributed_sink t f =
-  t.attr_sinks <- Array.append t.attr_sinks [| f |]
+  flush_refs t;
+  t.attr_sinks <- Array.append t.attr_sinks [| f |];
+  recompute_recording t
 
-let set_instr_sink t sink = t.instr_sink <- Some sink
+let set_instr_sink t sink =
+  flush_refs t;
+  t.instr_sink <- Some sink;
+  recompute_recording t
 
 let set_event_sink t f =
   flush_refs t;
@@ -224,7 +306,28 @@ let clear_sinks t =
   t.sinks <- [||];
   t.attr_sinks <- [||];
   t.instr_sink <- None;
-  t.event_sink <- None
+  t.event_sink <- None;
+  t.recording <- false
+
+let release t =
+  flush_refs t;
+  let pool = Domain.DLS.get pool_key in
+  if List.length !pool < pool_max then
+    pool :=
+      {
+        b_batch = t.batch;
+        b_obj_ids = t.obj_ids;
+        b_instr_before = t.instr_before;
+      }
+      :: !pool;
+  (* the context stays usable, just with single-slot buffers (every
+     emission flushes immediately) *)
+  let batch = Sink.Batch.create 1 in
+  Sink.Batch.fill_sizes batch Layout.word;
+  t.batch <- batch;
+  t.obj_ids <- Array.make 1 (-1);
+  t.instr_before <- Array.make 1 0;
+  t.batch_capacity <- 1
 
 let iteration_of_phase = function
   | Mem_object.Pre | Mem_object.Post -> 0
@@ -262,9 +365,11 @@ let fresh_id t =
   id
 
 let invalidate_obj_memo t =
-  t.memo_obj <- None;
-  t.memo_obj_lo <- 1;
-  t.memo_obj_hi <- 0
+  Array.fill t.memo_obj_lo 0 4 1;
+  Array.fill t.memo_obj_hi 0 4 0;
+  Array.fill t.memo_obj_ids 0 4 (-1);
+  t.memo_obj_last <- 0;
+  t.memo_obj_rr <- 0
 
 (* --- allocation ------------------------------------------------------- *)
 
@@ -375,25 +480,45 @@ let routine_addr t routine =
 
 let call t ~routine ~frame_words f =
   if frame_words < 0 then invalid_arg "Ctx.call: frame_words";
-  let addr = routine_addr t routine in
+  let memo_hit = routine == t.memo_call_routine in
+  let addr = if memo_hit then t.memo_call_addr else routine_addr t routine in
   let frame_size = frame_words * Layout.word in
   pre_mutate t;
   let shadow_frame =
     Shadow_stack.push t.shadow ~routine ~routine_addr:addr ~frame_size
   in
-  (* Register the routine's frame object on first entry, keyed by the
-     routine starting address (the paper's routine signature). *)
-  if not (Hashtbl.mem t.routine_objects addr) then begin
-    let base = shadow_frame.Shadow_stack.base_sp - frame_size in
-    let obj =
-      Mem_object.make ~id:(fresh_id t) ~name:routine ~kind:Layout.Stack ~base
-        ~size:(Stdlib.max frame_size Layout.word)
-        ~signature:(Printf.sprintf "stack:%s@0x%x" routine addr)
-        ~alloc_phase:t.phase ()
-    in
-    Hashtbl.add t.routine_objects addr obj
-  end;
-  notify t (Frame_push (Hashtbl.find t.routine_objects addr, shadow_frame));
+  let obj =
+    if memo_hit then t.memo_call_obj
+    else begin
+      (* Register the routine's frame object on first entry, keyed by the
+         routine starting address (the paper's routine signature). *)
+      let obj =
+        match Hashtbl.find_opt t.routine_objects addr with
+        | Some obj -> obj
+        | None ->
+          let base = shadow_frame.Shadow_stack.base_sp - frame_size in
+          let obj =
+            Mem_object.make ~id:(fresh_id t) ~name:routine ~kind:Layout.Stack
+              ~base
+              ~size:(Stdlib.max frame_size Layout.word)
+              ~signature:(Printf.sprintf "stack:%s@0x%x" routine addr)
+              ~alloc_phase:t.phase ()
+          in
+          Hashtbl.add t.routine_objects addr obj;
+          obj
+      in
+      t.memo_call_routine <- routine;
+      t.memo_call_addr <- addr;
+      t.memo_call_obj <- Some obj;
+      Some obj
+    end
+  in
+  (match t.event_sink with
+  | Some _ ->
+    (match obj with
+    | Some obj -> notify t (Frame_push (obj, shadow_frame))
+    | None -> assert false)
+  | None -> ());
   let frame =
     {
       routine;
@@ -402,12 +527,17 @@ let call t ~routine ~frame_words f =
       limit = shadow_frame.Shadow_stack.base_sp;
     }
   in
-  Fun.protect
-    ~finally:(fun () ->
-      pre_mutate t;
-      Shadow_stack.pop t.shadow;
-      notify t (Frame_pop shadow_frame))
-    (fun () -> f frame)
+  match f frame with
+  | r ->
+    pre_mutate t;
+    Shadow_stack.pop t.shadow;
+    if t.event_sink <> None then notify t (Frame_pop shadow_frame);
+    r
+  | exception e ->
+    pre_mutate t;
+    Shadow_stack.pop t.shadow;
+    if t.event_sink <> None then notify t (Frame_pop shadow_frame);
+    raise e
 
 let frame_carve _t frame ~words =
   if words <= 0 then invalid_arg "Ctx.frame_carve: words";
@@ -432,31 +562,36 @@ let attribute t addr =
   | Some (Layout.Heap | Layout.Global) -> Object_registry.lookup t.registry addr
   | None -> None
 
-let attribute_stack t addr =
+(* Stack attribution as an object id (-1 = none). *)
+let attribute_stack_id t addr =
   if
     t.memo_frame_stamp = Shadow_stack.stamp t.shadow
     && addr >= t.memo_frame_lo
     && addr < t.memo_frame_hi
-  then t.memo_frame_obj
+  then t.memo_frame_id
   else
     match Shadow_stack.attribute t.shadow addr with
     | Some frame ->
       let ra = frame.Shadow_stack.routine_addr in
-      let obj =
-        if ra = t.memo_routine_addr then t.memo_routine_obj
+      let id =
+        if ra = t.memo_routine_addr then t.memo_routine_id
         else begin
-          let obj = Hashtbl.find_opt t.routine_objects ra in
+          let id =
+            match Hashtbl.find_opt t.routine_objects ra with
+            | Some o -> o.Mem_object.id
+            | None -> -1
+          in
           t.memo_routine_addr <- ra;
-          t.memo_routine_obj <- obj;
-          obj
+          t.memo_routine_id <- id;
+          id
         end
       in
       t.memo_frame_stamp <- Shadow_stack.stamp t.shadow;
       t.memo_frame_lo <- frame.Shadow_stack.base_sp - frame.Shadow_stack.frame_size;
       t.memo_frame_hi <- frame.Shadow_stack.base_sp;
-      t.memo_frame_obj <- obj;
-      obj
-    | None -> None
+      t.memo_frame_id <- id;
+      id
+    | None -> -1
 
 (* With sampling enabled, a reference outside the sample window is
    invisible to the whole analysis (attribution, tallies and sinks) — as
@@ -470,59 +605,95 @@ let sampling_drops t =
     if drop then t.sampled_out <- t.sampled_out + 1;
     drop
 
+(* Heap/global attribution through the four-entry memo: last-hit slot
+   first, then the remaining three, then the registry (installing the
+   answer round-robin).  All indices are in [0, 4) by construction. *)
+(* Toplevel recursion (arguments, not captures): a local [let rec] would
+   allocate a closure per memo miss on the non-flambda compiler. *)
+let rec probe_obj_memo t addr k =
+  if k >= 4 then begin
+    match Object_registry.lookup t.registry addr with
+    | Some o ->
+      let id = o.Mem_object.id in
+      let slot = t.memo_obj_rr in
+      t.memo_obj_rr <- (slot + 1) land 3;
+      t.memo_obj_last <- slot;
+      Array.unsafe_set t.memo_obj_lo slot o.Mem_object.base;
+      Array.unsafe_set t.memo_obj_hi slot (Mem_object.last_byte o);
+      Array.unsafe_set t.memo_obj_ids slot id;
+      id
+    | None -> -1
+  end
+  else if
+    k <> t.memo_obj_last
+    && addr >= Array.unsafe_get t.memo_obj_lo k
+    && addr <= Array.unsafe_get t.memo_obj_hi k
+  then begin
+    t.memo_obj_last <- k;
+    Array.unsafe_get t.memo_obj_ids k
+  end
+  else probe_obj_memo t addr (k + 1)
+
+let[@inline] attribute_obj_id t addr =
+  let l = t.memo_obj_last in
+  if
+    addr >= Array.unsafe_get t.memo_obj_lo l
+    && addr <= Array.unsafe_get t.memo_obj_hi l
+  then Array.unsafe_get t.memo_obj_ids l
+  else probe_obj_memo t addr 0
+
 let emit_observed t addr op =
   t.total_refs <- t.total_refs + 1;
   let tal = t.cur_tally in
-  let obj =
-    match Layout.classify addr with
-    | Some Layout.Stack ->
+  (* Region test inlined as two range checks instead of [Layout.classify]:
+     global [global_base, global_limit) and heap [heap_base, heap_limit)
+     are contiguous and emission treats them identically, so one compare
+     pair covers both. *)
+  let obj_id =
+    if addr >= Layout.global_base && addr < Layout.heap_limit then begin
+      (match op with
+      | Access.Read -> tal.or_ <- tal.or_ + 1
+      | Access.Write -> tal.ow <- tal.ow + 1);
+      attribute_obj_id t addr
+    end
+    else if addr > Layout.stack_limit && addr <= Layout.stack_top then begin
       (match op with
       | Access.Read -> tal.sr <- tal.sr + 1
       | Access.Write -> tal.sw <- tal.sw + 1);
-      attribute_stack t addr
-    | Some (Layout.Heap | Layout.Global) ->
+      attribute_stack_id t addr
+    end
+    else begin
       (match op with
       | Access.Read -> tal.or_ <- tal.or_ + 1
       | Access.Write -> tal.ow <- tal.ow + 1);
-      if addr >= t.memo_obj_lo && addr <= t.memo_obj_hi then t.memo_obj
-      else begin
-        let found = Object_registry.lookup t.registry addr in
-        (match found with
-        | Some o ->
-          t.memo_obj <- found;
-          t.memo_obj_lo <- o.Mem_object.base;
-          t.memo_obj_hi <- Mem_object.last_byte o
-        | None -> ());
-        found
-      end
-    | None ->
-      (match op with
-      | Access.Read -> tal.or_ <- tal.or_ + 1
-      | Access.Write -> tal.ow <- tal.ow + 1);
-      None
-  in
-  let obj_id =
-    match obj with
-    | Some o ->
-      Counters.record t.counters ~obj_id:o.Mem_object.id ~op;
-      o.Mem_object.id
-    | None ->
-      t.unattributed <- t.unattributed + 1;
       -1
+    end
   in
-  let i = t.batch_len in
-  (* i < batch_capacity = length of all three arrays, by construction *)
-  Sink.Batch.set_addr_op t.batch i ~addr ~op;
-  Array.unsafe_set t.obj_ids i obj_id;
-  Array.unsafe_set t.instr_before i t.pending_instr;
-  t.pending_instr <- 0;
-  t.batch_len <- i + 1;
-  if t.batch_len = t.batch_capacity then flush_batch t ~boundary:false
+  if obj_id >= 0 then Counters.record t.counters ~obj_id ~op
+  else t.unattributed <- t.unattributed + 1;
+  if t.recording then begin
+    let i = t.batch_len in
+    (* i < batch_capacity = length of all three arrays, by construction *)
+    Sink.Batch.set_addr_op t.batch i ~addr ~op;
+    Array.unsafe_set t.obj_ids i obj_id;
+    Array.unsafe_set t.instr_before i t.pending_instr;
+    t.pending_instr <- 0;
+    t.batch_len <- i + 1;
+    if t.batch_len = t.batch_capacity then flush_batch t ~boundary:false
+  end
+  else begin
+    (* nobody reads the buffers: keep only the flush accounting, so the
+       pipeline stats are independent of whether consumers are attached *)
+    let len = t.batch_len + 1 in
+    t.batch_len <- len;
+    if len = t.batch_capacity then flush_batch t ~boundary:false
+  end
 
-let emit t addr op = if sampling_drops t then () else emit_observed t addr op
+let[@inline] emit t addr op =
+  if sampling_drops t then () else emit_observed t addr op
 
-let read_addr t ~addr = emit t addr Access.Read
-let write_addr t ~addr = emit t addr Access.Write
+let[@inline] read_addr t ~addr = emit t addr Access.Read
+let[@inline] write_addr t ~addr = emit t addr Access.Write
 
 let flops t n =
   if n < 0 then invalid_arg "Ctx.flops: negative";

@@ -73,6 +73,13 @@ val clear_sinks : t -> unit
 (** Flushes buffered references, then unsubscribes every sink (including
     the event sink). *)
 
+val release : t -> unit
+(** Flush, then return the ~2 MB emission buffers to a per-domain pool for
+    the next {!create} (buffer allocation dominates context setup).  Call
+    once when done with the context — {!Nvsc_core.Scavenger.run} does.
+    The context remains usable afterwards, but with single-slot buffers:
+    every emission flushes, so read {!pipeline_stats} before releasing. *)
+
 val flush_refs : t -> unit
 (** Deliver any buffered references (and pending instruction counts) to the
     sinks now.  Called implicitly at phase boundaries; call it before

@@ -44,13 +44,15 @@ let length t = Array.length t.data
 let obj t = t.obj
 let base t = t.base
 
-let addr_of t i = t.base + (i * Layout.word)
+let[@inline] addr_of t i = t.base + (i * Layout.word)
 
-let get t i =
+(* Inlined so the float result/argument flows unboxed at the call site
+   (a non-inlined float return boxes on every instrumented access). *)
+let[@inline] get t i =
   Ctx.read_addr t.ctx ~addr:(addr_of t i);
   t.data.(i)
 
-let set t i v =
+let[@inline] set t i v =
   Ctx.write_addr t.ctx ~addr:(addr_of t i);
   t.data.(i) <- v
 
@@ -77,5 +79,5 @@ let copy_into _ctx ~src ~dst =
     set dst i (get src i)
   done
 
-let peek t i = t.data.(i)
-let poke t i v = t.data.(i) <- v
+let[@inline] peek t i = t.data.(i)
+let[@inline] poke t i v = t.data.(i) <- v

@@ -1,16 +1,47 @@
-type effect_ = {
-  hit : bool;
-  fill : int option;
-  writeback : int option;
-  forward_write : int option;
-}
+(* Allocation-free lookup kernels: the effect of an access is an encoded
+   immediate int (no record, no options), set indexing is mask/shift for
+   power-of-two set counts (with a guarded div/mod path otherwise), the way
+   search probes the per-set MRU way first, victim selection is a single
+   scan, and a one-entry resident-line memo short-circuits repeated sweeps
+   over the same line.  Differential tests against test/oracle/ pin the
+   behaviour to the original straightforward implementation. *)
+
+module Effect = struct
+  (* bit 0: hit; bit 1: fill (of the accessed line); bit 2: forwarded
+     write (of the accessed line); bit 3: dirty victim write-back, with
+     the victim line number in bits 4+.  Line numbers are addr / 64 at
+     minimum, so the 4-bit header never overflows a 63-bit int for any
+     reachable address space. *)
+  type t = int
+
+  let hit e = e land 1 <> 0
+  let fills e = e land 2 <> 0
+  let forwards_write e = e land 4 <> 0
+  let has_writeback e = e land 8 <> 0
+  let writeback_line e = e lsr 4
+end
+
+let e_hit = 1
+let e_fill = 2
+let e_forward = 4
+let[@inline] e_fill_wb victim = 2 lor 8 lor (victim lsl 4)
 
 type t = {
   p : Cache_params.t;
   nsets : int;
+  assoc : int;
+  set_mask : int; (* nsets - 1 when nsets is a power of two, else -1 *)
+  tag_shift : int; (* log2 nsets when the mask path is active *)
+  write_allocate : bool;
   tags : int array; (* -1 = invalid; indexed set*assoc + way *)
   dirty : bool array;
   age : int array; (* LRU timestamps *)
+  mru : int array; (* per set: absolute index of the last-touched way *)
+  (* one-entry memo: [memo_line] is resident at [memo_idx] (min_int =
+     none).  Maintained on every hit and allocation, so a repeated access
+     to the same line skips indexing and the way search entirely. *)
+  mutable memo_line : int;
+  mutable memo_idx : int;
   mutable clock : int;
   mutable read_hits : int;
   mutable read_misses : int;
@@ -20,15 +51,28 @@ type t = {
   mutable dirty_evictions : int;
 }
 
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
 let create p =
   let nsets = Cache_params.sets p in
-  let n = nsets * p.associativity in
+  let assoc = p.Cache_params.associativity in
+  let n = nsets * assoc in
+  let pow2 = nsets land (nsets - 1) = 0 in
   {
     p;
     nsets;
+    assoc;
+    set_mask = (if pow2 then nsets - 1 else -1);
+    tag_shift = (if pow2 then log2 nsets else 0);
+    write_allocate = (p.Cache_params.write_miss = Cache_params.Write_allocate);
     tags = Array.make n (-1);
     dirty = Array.make n false;
     age = Array.make n 0;
+    mru = Array.init nsets (fun s -> s * assoc);
+    memo_line = min_int;
+    memo_idx = 0;
     clock = 0;
     read_hits = 0;
     read_misses = 0;
@@ -40,100 +84,186 @@ let create p =
 
 let params t = t.p
 
-let set_of t line = line mod t.nsets
-let tag_of t line = line / t.nsets
-let line_of t set tag = (tag * t.nsets) + set
+let[@inline] set_of t line =
+  if t.set_mask >= 0 then line land t.set_mask else line mod t.nsets
 
-let find_way t set tag =
-  let base = set * t.p.associativity in
-  let rec go w =
-    if w >= t.p.associativity then None
-    else if t.tags.(base + w) = tag then Some (base + w)
-    else go (w + 1)
-  in
-  go 0
+let[@inline] tag_of t line =
+  if t.set_mask >= 0 then line lsr t.tag_shift else line / t.nsets
 
-(* Victim selection: first invalid way, otherwise least-recently-used. *)
-let victim_way t set =
-  let base = set * t.p.associativity in
-  let rec find_invalid w =
-    if w >= t.p.associativity then None
-    else if t.tags.(base + w) = -1 then Some (base + w)
-    else find_invalid (w + 1)
-  in
-  match find_invalid 0 with
-  | Some idx -> idx
-  | None ->
-    let best = ref base in
-    for w = 1 to t.p.associativity - 1 do
-      if t.age.(base + w) < t.age.(!best) then best := base + w
-    done;
-    !best
+let[@inline] line_of t set tag =
+  if t.set_mask >= 0 then (tag lsl t.tag_shift) lor set else (tag * t.nsets) + set
 
-let touch t idx =
-  t.clock <- t.clock + 1;
-  t.age.(idx) <- t.clock
+(* The scans are toplevel functions taking their environment as arguments:
+   a local [let rec] capturing variables compiles to a heap-allocated
+   closure without flambda, which would put an allocation on the miss
+   path.  As toplevel tail-recursive functions they run closure-free. *)
+(* The explicit [int array]/[int] annotations matter: without them these
+   generalize to polymorphic functions whose [=]/[<] compile to C calls
+   ([caml_equal]/[caml_lessthan]) with generic array accesses — an order
+   of magnitude slower than immediate compares. *)
+let rec scan_way (tags : int array) (tag : int) last i =
+  if i > last then -1
+  else if Array.unsafe_get tags i = tag then i
+  else scan_way tags tag last (i + 1)
 
-let no_effect = { hit = true; fill = None; writeback = None; forward_write = None }
+(* Way search: probe the set's MRU way first (sweeps and stack churn hit
+   it), then scan the remaining ways.  Returns an absolute index, -1 when
+   absent.  All indices are in [set*assoc, (set+1)*assoc) by construction,
+   so the loads are unchecked. *)
+let[@inline] find_way t set tag =
+  let tags = t.tags in
+  let m = Array.unsafe_get t.mru set in
+  if Array.unsafe_get tags m = tag then m
+  else begin
+    let base = set * t.assoc in
+    scan_way tags tag (base + t.assoc - 1) base
+  end
 
-let allocate t set tag ~make_dirty =
-  let idx = victim_way t set in
-  let writeback =
-    if t.tags.(idx) <> -1 then begin
+(* Way search and victim selection in one call, with the victim computed
+   lazily: the first pass reads tags only (noting the first invalid way),
+   so the hit path never touches the age array; the age scan runs only on
+   a miss in a fully valid set.  Returns [2*idx+1] when [tag] is resident
+   at [idx], else [2*victim] with [victim] the first invalid way or,
+   failing that, the lowest-timestamp way (earliest index on ties) —
+   exactly [find_way]/[victim_way]'s separate answers. *)
+let rec scan_tags (tags : int array) (tag : int) last i inv =
+  if i > last then if inv >= 0 then inv lsl 1 else -1
+  else
+    let tg = Array.unsafe_get tags i in
+    if tg = tag then (i lsl 1) lor 1
+    else if tg = -1 && inv < 0 then scan_tags tags tag last (i + 1) i
+    else scan_tags tags tag last (i + 1) inv
+
+let rec scan_min_age (age : int array) last i best =
+  if i > last then best lsl 1
+  else if Array.unsafe_get age i < Array.unsafe_get age best then
+    scan_min_age age last (i + 1) i
+  else scan_min_age age last (i + 1) best
+
+let[@inline] find_or_victim t set tag =
+  let tags = t.tags in
+  let m = Array.unsafe_get t.mru set in
+  if Array.unsafe_get tags m = tag then (m lsl 1) lor 1
+  else begin
+    let base = set * t.assoc in
+    let last = base + t.assoc - 1 in
+    let r = scan_tags tags tag last base (-1) in
+    if r >= 0 then r else scan_min_age t.age last (base + 1) base
+  end
+
+let[@inline] touch t idx =
+  let c = t.clock + 1 in
+  t.clock <- c;
+  Array.unsafe_set t.age idx c
+
+(* Install [line] at [idx] (the fused scan's victim). *)
+let[@inline] allocate_at t idx set tag ~line ~make_dirty =
+  let victim_tag = Array.unsafe_get t.tags idx in
+  let e =
+    if victim_tag <> -1 then begin
       t.evictions <- t.evictions + 1;
-      if t.dirty.(idx) then begin
+      if Array.unsafe_get t.dirty idx then begin
         t.dirty_evictions <- t.dirty_evictions + 1;
-        Some (line_of t set t.tags.(idx))
+        e_fill_wb (line_of t set victim_tag)
       end
-      else None
+      else e_fill
     end
-    else None
+    else e_fill
   in
-  t.tags.(idx) <- tag;
-  t.dirty.(idx) <- make_dirty;
+  Array.unsafe_set t.tags idx tag;
+  Array.unsafe_set t.dirty idx make_dirty;
   touch t idx;
-  writeback
+  Array.unsafe_set t.mru set idx;
+  t.memo_line <- line;
+  t.memo_idx <- idx;
+  e
 
 let read t ~line =
-  let set = set_of t line and tag = tag_of t line in
-  match find_way t set tag with
-  | Some idx ->
+  if line < 0 then invalid_arg "Cache.read: negative line";
+  if line = t.memo_line then begin
+    (* resident at memo_idx: hit, refresh LRU *)
     t.read_hits <- t.read_hits + 1;
-    touch t idx;
-    no_effect
-  | None ->
-    t.read_misses <- t.read_misses + 1;
-    let writeback = allocate t set tag ~make_dirty:false in
-    { hit = false; fill = Some line; writeback; forward_write = None }
+    touch t t.memo_idx;
+    e_hit
+  end
+  else begin
+    let set = set_of t line in
+    let tag = tag_of t line in
+    let r = find_or_victim t set tag in
+    let idx = r lsr 1 in
+    if r land 1 <> 0 then begin
+      t.read_hits <- t.read_hits + 1;
+      touch t idx;
+      Array.unsafe_set t.mru set idx;
+      t.memo_line <- line;
+      t.memo_idx <- idx;
+      e_hit
+    end
+    else begin
+      t.read_misses <- t.read_misses + 1;
+      allocate_at t idx set tag ~line ~make_dirty:false
+    end
+  end
 
 let write t ~line =
-  let set = set_of t line and tag = tag_of t line in
-  match find_way t set tag with
-  | Some idx ->
+  if line < 0 then invalid_arg "Cache.write: negative line";
+  if line = t.memo_line then begin
     t.write_hits <- t.write_hits + 1;
-    t.dirty.(idx) <- true;
-    touch t idx;
-    no_effect
-  | None ->
-    t.write_misses <- t.write_misses + 1;
-    (match t.p.write_miss with
-    | Cache_params.Write_allocate ->
-      let writeback = allocate t set tag ~make_dirty:true in
-      { hit = false; fill = Some line; writeback; forward_write = None }
-    | Cache_params.No_write_allocate ->
-      { hit = false; fill = None; writeback = None; forward_write = Some line })
+    Array.unsafe_set t.dirty t.memo_idx true;
+    touch t t.memo_idx;
+    e_hit
+  end
+  else begin
+    let set = set_of t line in
+    let tag = tag_of t line in
+    let r = find_or_victim t set tag in
+    let idx = r lsr 1 in
+    if r land 1 <> 0 then begin
+      t.write_hits <- t.write_hits + 1;
+      Array.unsafe_set t.dirty idx true;
+      touch t idx;
+      Array.unsafe_set t.mru set idx;
+      t.memo_line <- line;
+      t.memo_idx <- idx;
+      e_hit
+    end
+    else begin
+      t.write_misses <- t.write_misses + 1;
+      if t.write_allocate then allocate_at t idx set tag ~line ~make_dirty:true
+      else
+        (* no-write-allocate: the line stays absent, the memo untouched *)
+        e_forward
+    end
+  end
 
-let probe t ~line = find_way t (set_of t line) (tag_of t line) <> None
+(* Repeated-hit paths for [Hierarchy]'s one-entry L1 memo: count a hit on
+   the memoized resident line without re-running the lookup.  The LRU
+   refresh is skipped deliberately: eviction only compares recency *within
+   a set*, and a repeat touch can never reorder two lines' last touches
+   unless some other line was accessed in between — which would have
+   retargeted the memo and sent that access down the full path.  The
+   differential suite pins stats, evictions and sink output against the
+   oracle, which does refresh on every hit. *)
+let[@inline] repeat_read_hit t = t.read_hits <- t.read_hits + 1
+
+let[@inline] repeat_write_hit t =
+  t.write_hits <- t.write_hits + 1;
+  Array.unsafe_set t.dirty t.memo_idx true
+
+let probe t ~line =
+  line >= 0 && find_way t (set_of t line) (tag_of t line) >= 0
 
 let is_dirty t ~line =
-  match find_way t (set_of t line) (tag_of t line) with
-  | Some idx -> t.dirty.(idx)
-  | None -> false
+  if line < 0 then false
+  else begin
+    let idx = find_way t (set_of t line) (tag_of t line) in
+    idx >= 0 && Array.unsafe_get t.dirty idx
+  end
 
 let flush_dirty t f =
   for set = 0 to t.nsets - 1 do
-    let base = set * t.p.associativity in
-    for w = 0 to t.p.associativity - 1 do
+    let base = set * t.assoc in
+    for w = 0 to t.assoc - 1 do
       let idx = base + w in
       if t.tags.(idx) <> -1 && t.dirty.(idx) then begin
         f (line_of t set t.tags.(idx));
@@ -145,7 +275,11 @@ let flush_dirty t f =
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
-  Array.fill t.age 0 (Array.length t.age) 0
+  Array.fill t.age 0 (Array.length t.age) 0;
+  for s = 0 to t.nsets - 1 do
+    t.mru.(s) <- s * t.assoc
+  done;
+  t.memo_line <- min_int
 
 let resident_lines t =
   Array.fold_left (fun acc tag -> if tag <> -1 then acc + 1 else acc) 0 t.tags

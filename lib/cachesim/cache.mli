@@ -4,33 +4,60 @@
     The cache operates on line addresses ([byte address / line size]); the
     hierarchy is responsible for splitting byte accesses into line
     accesses.  A lookup returns what traffic the access induces towards the
-    next level: a line fill, a dirty write-back of an evicted line, a
-    forwarded write (no-write-allocate write miss), or nothing. *)
+    next level — a line fill, a dirty write-back of an evicted line, a
+    forwarded write (no-write-allocate write miss), or nothing — encoded in
+    an immediate {!Effect.t} so the hit and miss paths perform zero heap
+    allocations (DESIGN.md "Kernel fast paths"). *)
 
 type t
 
-(** Traffic the access generates toward the next memory level. *)
-type effect_ = {
-  hit : bool;
-  fill : int option;  (** line to fetch from below (read request) *)
-  writeback : int option;  (** dirty victim line to write below *)
-  forward_write : int option;
-      (** write sent below without allocating (no-write-allocate policy) *)
-}
+(** Traffic the access generates toward the next memory level, packed into
+    one immediate int.  The filled / forwarded line is always the accessed
+    line itself, so only the write-back victim carries a line number. *)
+module Effect : sig
+  type t = private int
+
+  val hit : t -> bool
+
+  val fills : t -> bool
+  (** The accessed line is fetched from below (read request). *)
+
+  val forwards_write : t -> bool
+  (** The write is sent below without allocating (no-write-allocate). *)
+
+  val has_writeback : t -> bool
+  (** A dirty victim must be written below. *)
+
+  val writeback_line : t -> int
+  (** The victim line; meaningful only when {!has_writeback}. *)
+end
 
 val create : Cache_params.t -> t
 
 val params : t -> Cache_params.t
 
-val read : t -> line:int -> effect_
+val read : t -> line:int -> Effect.t
 (** Read lookup.  On a miss the line is allocated clean; a dirty victim is
-    reported in [writeback]. *)
+    reported via {!Effect.has_writeback}.  Allocation-free on both the hit
+    and miss path. *)
 
-val write : t -> line:int -> effect_
+val write : t -> line:int -> Effect.t
 (** Write lookup.  On a hit the line is dirtied.  On a miss:
-    [Write_allocate] fetches the line ([fill]) and dirties it;
-    [No_write_allocate] leaves the cache unchanged and reports the write in
-    [forward_write]. *)
+    [Write_allocate] fetches the line ({!Effect.fills}) and dirties it;
+    [No_write_allocate] leaves the cache unchanged and reports the write
+    via {!Effect.forwards_write}. *)
+
+val repeat_read_hit : t -> unit
+(** Count a read hit on the line the cache's internal one-entry memo holds,
+    without re-running the lookup or refreshing LRU.  Only sound when the
+    caller knows that line was the most recently touched line in this cache
+    (see {!Hierarchy}'s repeated-line fast path): refreshing the most
+    recent line's timestamp cannot change any within-set recency
+    comparison, so replacement decisions are unaffected. *)
+
+val repeat_write_hit : t -> unit
+(** As {!repeat_read_hit} for a write: counts the hit and re-dirties the
+    memoized line. *)
 
 val probe : t -> line:int -> bool
 (** Non-intrusive presence test (does not touch LRU state). *)

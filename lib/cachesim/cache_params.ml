@@ -10,13 +10,32 @@ type t = {
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
+(* Every rejection names the offending field and its value: geometry
+   mistakes usually come from sweep configs, and "associativity" alone
+   does not say which of four numbers to fix. *)
 let make ~name ~size_bytes ~associativity ?(line_bytes = 64) ~write_miss () =
   if not (is_pow2 line_bytes) then
-    invalid_arg "Cache_params.make: line size must be a power of two";
-  if associativity <= 0 then invalid_arg "Cache_params.make: associativity";
-  if size_bytes mod (line_bytes * associativity) <> 0
-     || size_bytes / (line_bytes * associativity) < 1
-  then invalid_arg "Cache_params.make: size not divisible into sets";
+    invalid_arg
+      (Printf.sprintf
+         "Cache_params.make: line_bytes = %d is not a power of two" line_bytes);
+  if associativity <= 0 then
+    invalid_arg
+      (Printf.sprintf "Cache_params.make: associativity = %d is not positive"
+         associativity);
+  let way_bytes = line_bytes * associativity in
+  if size_bytes mod way_bytes <> 0 || size_bytes / way_bytes < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Cache_params.make: size_bytes = %d is not divisible into sets of \
+          line_bytes * associativity = %d bytes"
+         size_bytes way_bytes);
+  let sets = size_bytes / way_bytes in
+  if not (is_pow2 sets) then
+    invalid_arg
+      (Printf.sprintf
+         "Cache_params.make: size_bytes = %d gives %d sets (associativity = \
+          %d, line_bytes = %d), which is not a power of two"
+         size_bytes sets associativity line_bytes);
   { name; size_bytes; associativity; line_bytes; write_miss }
 
 let sets t = t.size_bytes / (t.line_bytes * t.associativity)

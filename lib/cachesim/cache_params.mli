@@ -22,8 +22,14 @@ val make :
   write_miss:write_miss_policy ->
   unit ->
   t
-(** [line_bytes] defaults to 64.  Validates that the geometry is coherent
-    (power-of-two line size, at least one set). *)
+(** [line_bytes] defaults to 64.  Validates the geometry and raises
+    [Invalid_argument] naming the offending field and value otherwise:
+    [line_bytes] and the resulting set count must be powers of two (so
+    {!Cache} indexes sets by mask/shift), [associativity] positive, and
+    [size_bytes] divisible into whole sets.  Code that deliberately needs
+    a non-power-of-two set count (e.g. a DRAM page cache sized from an
+    application footprint) can build the record directly — {!Cache} keeps
+    a guarded div/mod path for such geometries. *)
 
 val sets : t -> int
 (** Number of sets, [size / (line * associativity)]. *)

@@ -5,21 +5,40 @@ type t = {
   l1d : Cache.t;
   l2 : Cache.t;
   line_bytes : int;
+  line_shift : int; (* log2 line_bytes, or -1 forcing the div path *)
   sink : Sink.t;
+  (* One-entry (line) L1 memo: [l1_repeat_line] is the most recently
+     touched L1 line (min_int = none).  Repeated sweeps over the same line
+     — word-granular app streams issue ~line_bytes/word consecutive
+     accesses per line — short-circuit to a bare hit-counter bump.  The
+     LRU refresh is skipped: the memo line already holds the newest
+     timestamp, so refreshing it cannot reorder any within-set recency
+     comparison.  Any access that touches a different line (hit or fill)
+     retargets the memo; a no-write-allocate forwarded write touches
+     nothing and leaves it valid. *)
+  mutable l1_repeat_line : int;
   mutable accesses : int;
   mutable memory_reads : int;
   mutable memory_writes : int;
 }
 
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
 let create ?(l1d = Cache_params.paper_l1d) ?(l2 = Cache_params.paper_l2) ~sink
     () =
   if l1d.Cache_params.line_bytes <> l2.Cache_params.line_bytes then
     invalid_arg "Hierarchy.create: levels must share a line size";
+  let line_bytes = l1d.Cache_params.line_bytes in
   {
     l1d = Cache.create l1d;
     l2 = Cache.create l2;
-    line_bytes = l1d.Cache_params.line_bytes;
+    line_bytes;
+    line_shift =
+      (if line_bytes land (line_bytes - 1) = 0 then log2 line_bytes else -1);
     sink;
+    l1_repeat_line = min_int;
     accesses = 0;
     memory_reads = 0;
     memory_writes = 0;
@@ -36,48 +55,106 @@ let mem_write t line =
     ~op:Access.Write
 
 (* L2 is the last level: its fills come from memory and its dirty victims
-   and forwarded writes go to memory. *)
+   and forwarded writes go to memory.  A filled/forwarded line is always
+   the accessed line itself (see [Cache.Effect]), so only the write-back
+   victim is decoded out of the effect. *)
 let l2_read t line =
   let e = Cache.read t.l2 ~line in
-  (match e.Cache.fill with Some l -> mem_read t l | None -> ());
-  match e.Cache.writeback with Some l -> mem_write t l | None -> ()
+  if not (Cache.Effect.hit e) then begin
+    if Cache.Effect.fills e then mem_read t line;
+    if Cache.Effect.has_writeback e then
+      mem_write t (Cache.Effect.writeback_line e)
+  end
 
 let l2_write t line =
   let e = Cache.write t.l2 ~line in
-  (match e.Cache.fill with Some l -> mem_read t l | None -> ());
-  (match e.Cache.writeback with Some l -> mem_write t l | None -> ());
-  match e.Cache.forward_write with Some l -> mem_write t l | None -> ()
+  if not (Cache.Effect.hit e) then begin
+    if Cache.Effect.fills e then mem_read t line;
+    if Cache.Effect.has_writeback e then
+      mem_write t (Cache.Effect.writeback_line e);
+    if Cache.Effect.forwards_write e then mem_write t line
+  end
 
-let access_line t line op =
+let[@inline] access_line t line op =
   t.accesses <- t.accesses + 1;
-  match op with
-  | Access.Read ->
-    let e = Cache.read t.l1d ~line in
-    (match e.Cache.fill with Some l -> l2_read t l | None -> ());
-    (match e.Cache.writeback with Some l -> l2_write t l | None -> ())
-  | Access.Write ->
-    let e = Cache.write t.l1d ~line in
-    (match e.Cache.fill with Some l -> l2_read t l | None -> ());
-    (match e.Cache.writeback with Some l -> l2_write t l | None -> ());
-    (match e.Cache.forward_write with Some l -> l2_write t l | None -> ())
+  if line = t.l1_repeat_line then begin
+    match op with
+    | Access.Read -> Cache.repeat_read_hit t.l1d
+    | Access.Write -> Cache.repeat_write_hit t.l1d
+  end
+  else
+    match op with
+    | Access.Read ->
+      let e = Cache.read t.l1d ~line in
+      (* hit or fill: the line is now resident and most recently touched *)
+      t.l1_repeat_line <- line;
+      if not (Cache.Effect.hit e) then begin
+        if Cache.Effect.fills e then l2_read t line;
+        if Cache.Effect.has_writeback e then
+          l2_write t (Cache.Effect.writeback_line e)
+      end
+    | Access.Write ->
+      let e = Cache.write t.l1d ~line in
+      if Cache.Effect.hit e then t.l1_repeat_line <- line
+      else begin
+        if Cache.Effect.forwards_write e then
+          (* no-write-allocate: nothing touched in L1, memo still valid *)
+          l2_write t line
+        else begin
+          t.l1_repeat_line <- line;
+          if Cache.Effect.fills e then l2_read t line;
+          if Cache.Effect.has_writeback e then
+            l2_write t (Cache.Effect.writeback_line e)
+        end
+      end
 
-let access_raw t ~addr ~size ~op =
-  let first = addr / t.line_bytes in
-  let last = (addr + size - 1) / t.line_bytes in
-  for line = first to last do
-    access_line t line op
-  done
+(* Most references fit in one line: compute both endpoints with a shift
+   and skip the loop when they coincide.  Negative addresses (never
+   produced by the layout, but representable) keep the original
+   round-toward-zero division semantics. *)
+let[@inline] access_raw t ~addr ~size ~op =
+  if t.line_shift >= 0 && addr >= 0 then begin
+    let first = addr lsr t.line_shift in
+    let last = (addr + size - 1) lsr t.line_shift in
+    if first = last then access_line t first op
+    else
+      for line = first to last do
+        access_line t line op
+      done
+  end
+  else begin
+    let first = addr / t.line_bytes in
+    let last = (addr + size - 1) / t.line_bytes in
+    for line = first to last do
+      access_line t line op
+    done
+  end
 
 let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
 
-(* One span per delivered batch, not per access: the per-line loop is the
-   hot path and stays untouched. *)
+(* One span per delivered batch, not per access.  The unchecked branch
+   reads the batch's component arrays directly: the per-element accessors
+   each consult the [debug_checks] atomic, which this hoists out of the
+   loop (the slice is within capacity by the sink-consumer contract). *)
 let consume t batch ~first ~n =
   Nvsc_obs.Span.with_ "cachesim.filter" @@ fun () ->
-  for i = first to first + n - 1 do
-    access_raw t ~addr:(Sink.Batch.addr batch i) ~size:(Sink.Batch.size batch i)
-      ~op:(Sink.Batch.op batch i)
-  done
+  if Sink.checks_enabled () then
+    for i = first to first + n - 1 do
+      access_raw t ~addr:(Sink.Batch.addr batch i)
+        ~size:(Sink.Batch.size batch i) ~op:(Sink.Batch.op batch i)
+    done
+  else begin
+    let addrs = batch.Sink.Batch.addrs
+    and sizes = batch.Sink.Batch.sizes
+    and ops = batch.Sink.Batch.ops in
+    for i = first to first + n - 1 do
+      let op =
+        if Bytes.unsafe_get ops i <> '\000' then Access.Write else Access.Read
+      in
+      access_raw t ~addr:(Array.unsafe_get addrs i)
+        ~size:(Array.unsafe_get sizes i) ~op
+    done
+  end
 
 let access_classified_raw t ~addr ~size ~op =
   let l1_misses_before = Cache.misses t.l1d in
@@ -100,6 +177,7 @@ let drain t =
 let reset t =
   Cache.invalidate_all t.l1d;
   Cache.invalidate_all t.l2;
+  t.l1_repeat_line <- min_int;
   Cache.reset_stats t.l1d;
   Cache.reset_stats t.l2;
   t.accesses <- 0;

@@ -158,6 +158,9 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
   | Some report ->
     Metrics.Counter.add m_sanitizer_findings (List.length report)
   | None -> ());
+  (* the context never escapes [run]: pool its emission buffers for the
+     next run's [Ctx.create] (everything read below is already copied) *)
+  Ctx.release ctx;
   {
     app_name = A.name;
     description = A.description;

@@ -32,6 +32,38 @@ let decode scheme org addr =
     let row = rest / lines_per_row in
     { rank; bank; row; col }
 
+(* Allocation-free decode for the controller's FCFS hot path: the same
+   rank/bank/row as [decode], packed as row * total_banks + flat_bank
+   (flat_bank = rank * banks + bank).  The column never influences timing
+   at line granularity, so it is dropped rather than packed. *)
+let decode_packed scheme org addr =
+  let line = addr / org.Org.line_bytes in
+  let lines_per_row = Org.lines_per_row org in
+  let line = line mod (org.ranks * org.banks * org.rows * lines_per_row) in
+  let nbanks = org.ranks * org.banks in
+  match scheme with
+  | Row_bank_rank_col ->
+    let rest = line / lines_per_row in
+    let rank = rest mod org.ranks in
+    let rest = rest / org.ranks in
+    let bank = rest mod org.banks in
+    let row = rest / org.banks in
+    (row * nbanks) + (rank * org.banks) + bank
+  | Row_rank_bank_col ->
+    let rest = line / lines_per_row in
+    let bank = rest mod org.banks in
+    let rest = rest / org.banks in
+    let rank = rest mod org.ranks in
+    let row = rest / org.ranks in
+    (row * nbanks) + (rank * org.banks) + bank
+  | Line_interleave ->
+    let rank = line mod org.ranks in
+    let rest = line / org.ranks in
+    let bank = rest mod org.banks in
+    let rest = rest / org.banks in
+    let row = rest / lines_per_row in
+    (row * nbanks) + (rank * org.banks) + bank
+
 let scheme_name = function
   | Row_bank_rank_col -> "row:bank:rank:col"
   | Row_rank_bank_col -> "row:rank:bank:col"

@@ -27,6 +27,12 @@ val decode : scheme -> Org.t -> int -> coords
     capacity) to device coordinates.  The column is the line-granularity
     column index (column of the first beat of the line burst). *)
 
+val decode_packed : scheme -> Org.t -> int -> int
+(** Like {!decode} but allocation-free: returns
+    [row * total_banks + rank * banks + bank] as one immediate int (the
+    column, which never influences line-granularity timing, is dropped).
+    Agrees with {!decode} on rank, bank and row for every address. *)
+
 val scheme_name : scheme -> string
 
 val all_schemes : scheme list

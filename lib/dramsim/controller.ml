@@ -7,6 +7,19 @@ type scheduler = Fcfs | Fr_fcfs of int
 
 type pending = { op : Access.op; coords : Address_mapping.coords }
 
+(* All-float sub-record: OCaml stores an all-float record flat, so the
+   per-access accumulations below mutate in place.  As mutable [float]
+   fields of the mixed record [t] each assignment would box a fresh
+   float — six allocations per access on the hot path. *)
+type floats = {
+  mutable bus_free : float;
+  mutable now : float;
+  mutable burst_energy_nj : float;
+  mutable act_pre_energy_nj : float;
+  mutable refresh_energy_nj : float;
+  mutable latency_sum : float;
+}
+
 type t = {
   org : Org.t;
   scheme : Address_mapping.scheme;
@@ -14,16 +27,16 @@ type t = {
   timing : Timing.t;
   power : Power_params.t;
   window : int;
+  nbanks : int; (* ranks * banks *)
   row_policy : row_policy;
   scheduler : scheduler;
   mutable reorder : pending list; (* oldest first *)
   bank_ready : float array; (* ns; indexed rank * banks + bank *)
   open_row : int array; (* -1 = closed *)
-  mutable bus_free : float;
   inflight : float array; (* completion times of outstanding transactions *)
   mutable inflight_n : int;
-  mutable now : float;
   next_refresh : float array; (* per rank; infinity for NVRAM *)
+  fl : floats;
   mutable accesses : int;
   mutable reads : int;
   mutable writes : int;
@@ -31,10 +44,6 @@ type t = {
   mutable row_misses : int;
   mutable activations : int;
   mutable refreshes : int;
-  mutable burst_energy_nj : float;
-  mutable act_pre_energy_nj : float;
-  mutable refresh_energy_nj : float;
-  mutable latency_sum : float;
   mutable latencies : float array; (* per-access, for percentiles *)
   mutable latencies_n : int;
 }
@@ -57,17 +66,25 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
     window;
     row_policy;
     scheduler;
+    nbanks;
     reorder = [];
     bank_ready = Array.make nbanks 0.;
     open_row = Array.make nbanks (-1);
-    bus_free = 0.;
     inflight = Array.make window 0.;
     inflight_n = 0;
-    now = 0.;
     next_refresh =
       Array.make org.Org.ranks
         (if tech.Technology.needs_refresh then timing.Timing.t_refi_ns
          else infinity);
+    fl =
+      {
+        bus_free = 0.;
+        now = 0.;
+        burst_energy_nj = 0.;
+        act_pre_energy_nj = 0.;
+        refresh_energy_nj = 0.;
+        latency_sum = 0.;
+      };
     accesses = 0;
     reads = 0;
     writes = 0;
@@ -75,32 +92,39 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
     row_misses = 0;
     activations = 0;
     refreshes = 0;
-    burst_energy_nj = 0.;
-    act_pre_energy_nj = 0.;
-    refresh_energy_nj = 0.;
-    latency_sum = 0.;
     latencies = Array.make 1024 0.;
     latencies_n = 0;
   }
 
-(* Admission: wait for the earliest completion when the window is full. *)
+(* Admission: wait for the earliest completion when the window is full.
+   Recursions instead of [ref] loop indices: no cell allocations on a path
+   taken once the window warms up (i.e. nearly every access). *)
 let admit t =
   if t.inflight_n = t.window then begin
-    let min_i = ref 0 in
-    for i = 1 to t.inflight_n - 1 do
-      if t.inflight.(i) < t.inflight.(!min_i) then min_i := i
-    done;
-    let min_c = t.inflight.(!min_i) in
-    if min_c > t.now then t.now <- min_c;
+    let inflight = t.inflight in
+    let n = t.inflight_n in
+    let rec min_from i m =
+      if i >= n then m
+      else
+        let c = Array.unsafe_get inflight i in
+        min_from (i + 1) (if c < m then c else m)
+    in
+    let min_c = min_from 1 (Array.unsafe_get inflight 0) in
+    if min_c > t.fl.now then t.fl.now <- min_c;
     (* Drop every transaction completed by [now]. *)
-    let j = ref 0 in
-    for i = 0 to t.inflight_n - 1 do
-      if t.inflight.(i) > t.now then begin
-        t.inflight.(!j) <- t.inflight.(i);
-        incr j
+    let now = t.fl.now in
+    let rec compact i j =
+      if i >= n then j
+      else begin
+        let c = Array.unsafe_get inflight i in
+        if c > now then begin
+          Array.unsafe_set inflight j c;
+          compact (i + 1) (j + 1)
+        end
+        else compact (i + 1) j
       end
-    done;
-    t.inflight_n <- !j
+    in
+    t.inflight_n <- compact 0 0
   end
 
 (* Catch up pending refresh operations on a rank: each one blocks every
@@ -114,30 +138,35 @@ let refresh_rank t rank upto =
       if t.bank_ready.(b) < finish then t.bank_ready.(b) <- finish
     done;
     t.refreshes <- t.refreshes + 1;
-    t.refresh_energy_nj <- t.refresh_energy_nj +. t.power.Power_params.e_refresh_nj;
+    t.fl.refresh_energy_nj <-
+      t.fl.refresh_energy_nj +. t.power.Power_params.e_refresh_nj;
     t.next_refresh.(rank) <- start +. t.timing.Timing.t_refi_ns
   done
 
-let issue t (op : Access.op) (c : Address_mapping.coords) =
+(* The access kernel, on flat coordinates ([bank] = rank * banks + bank):
+   the FCFS path reaches it via [Address_mapping.decode_packed] without
+   materialising a [coords] record. *)
+let issue_flat t (op : Access.op) ~bank ~row =
   admit t;
-  let arrival = t.now in
-  refresh_rank t c.rank arrival;
-  let bank = (c.rank * t.org.Org.banks) + c.bank in
-  let start = Float.max arrival t.bank_ready.(bank) in
+  let fl = t.fl in
+  let arrival = fl.now in
+  refresh_rank t (bank / t.org.Org.banks) arrival;
+  let start = Float.max arrival (Array.unsafe_get t.bank_ready bank) in
   let row_ready =
-    if t.open_row.(bank) = c.row then begin
+    if Array.unsafe_get t.open_row bank = row then begin
       t.row_hits <- t.row_hits + 1;
       start
     end
     else begin
       t.row_misses <- t.row_misses + 1;
       t.activations <- t.activations + 1;
-      t.act_pre_energy_nj <-
-        t.act_pre_energy_nj +. t.power.Power_params.e_act_pre_nj;
+      fl.act_pre_energy_nj <-
+        fl.act_pre_energy_nj +. t.power.Power_params.e_act_pre_nj;
       let penalty =
-        Timing.row_miss_penalty_ns t.timing ~had_open_row:(t.open_row.(bank) >= 0)
+        Timing.row_miss_penalty_ns t.timing
+          ~had_open_row:(Array.unsafe_get t.open_row bank >= 0)
       in
-      t.open_row.(bank) <- c.row;
+      Array.unsafe_set t.open_row bank row;
       start +. penalty
     end
   in
@@ -145,39 +174,42 @@ let issue t (op : Access.op) (c : Address_mapping.coords) =
      column access: the next access always re-activates but never pays
      tRP (the precharge overlaps idle time) *)
   (match t.row_policy with
-  | Closed_page -> t.open_row.(bank) <- -1
+  | Closed_page -> Array.unsafe_set t.open_row bank (-1)
   | Open_page -> ());
   let cas_done = row_ready +. t.timing.Timing.t_cas_ns in
-  let bus_start = Float.max cas_done t.bus_free in
+  let bus_start = Float.max cas_done fl.bus_free in
   let bus_end = bus_start +. t.timing.Timing.t_burst_ns in
-  t.bus_free <- bus_end;
+  fl.bus_free <- bus_end;
   t.accesses <- t.accesses + 1;
   (match op with
   | Access.Read ->
     t.reads <- t.reads + 1;
-    t.burst_energy_nj <-
-      t.burst_energy_nj
+    fl.burst_energy_nj <-
+      fl.burst_energy_nj
       +. Power_params.burst_read_energy_nj t.power
            ~t_burst_ns:t.timing.Timing.t_burst_ns;
-    t.bank_ready.(bank) <- bus_end
+    Array.unsafe_set t.bank_ready bank bus_end
   | Access.Write ->
     t.writes <- t.writes + 1;
-    t.burst_energy_nj <-
-      t.burst_energy_nj
+    fl.burst_energy_nj <-
+      fl.burst_energy_nj
       +. Power_params.burst_write_energy_nj t.power
            ~t_burst_ns:t.timing.Timing.t_burst_ns;
     (* Write recovery: the cells absorb the data after the burst. *)
-    t.bank_ready.(bank) <- bus_end +. t.timing.Timing.t_wr_ns);
-  t.latency_sum <- t.latency_sum +. (bus_end -. arrival);
+    Array.unsafe_set t.bank_ready bank (bus_end +. t.timing.Timing.t_wr_ns));
+  fl.latency_sum <- fl.latency_sum +. (bus_end -. arrival);
   if t.latencies_n = Array.length t.latencies then begin
     let bigger = Array.make (2 * t.latencies_n) 0. in
     Array.blit t.latencies 0 bigger 0 t.latencies_n;
     t.latencies <- bigger
   end;
-  t.latencies.(t.latencies_n) <- bus_end -. arrival;
+  Array.unsafe_set t.latencies t.latencies_n (bus_end -. arrival);
   t.latencies_n <- t.latencies_n + 1;
-  t.inflight.(t.inflight_n) <- bus_end;
+  Array.unsafe_set t.inflight t.inflight_n bus_end;
   t.inflight_n <- t.inflight_n + 1
+
+let issue t op (c : Address_mapping.coords) =
+  issue_flat t op ~bank:((c.rank * t.org.Org.banks) + c.bank) ~row:c.row
 
 (* FR-FCFS selection: among the buffered transactions, prefer one whose
    bank has its row open (a row hit); ties break to the oldest. *)
@@ -202,20 +234,35 @@ let schedule_one t =
   issue t p.op p.coords
 
 let submit_ref t ~addr ~(op : Access.op) =
-  let coords = Address_mapping.decode t.scheme t.org addr in
   match t.scheduler with
-  | Fcfs -> issue t op coords
+  | Fcfs ->
+    let packed = Address_mapping.decode_packed t.scheme t.org addr in
+    issue_flat t op ~bank:(packed mod t.nbanks) ~row:(packed / t.nbanks)
   | Fr_fcfs depth ->
+    let coords = Address_mapping.decode t.scheme t.org addr in
     t.reorder <- t.reorder @ [ { op; coords } ];
     if List.length t.reorder >= depth then schedule_one t
 
 let submit t (a : Access.t) = submit_ref t ~addr:a.addr ~op:a.op
 
+(* Same accessor hoisting as [Hierarchy.consume]: outside the
+   debug-checked mode, read the batch arrays directly so the per-element
+   [debug_checks] atomic load stays out of the loop. *)
 let consume t batch ~first ~n =
-  let module Batch = Nvsc_memtrace.Sink.Batch in
-  for i = first to first + n - 1 do
-    submit_ref t ~addr:(Batch.addr batch i) ~op:(Batch.op batch i)
-  done
+  let module Sink = Nvsc_memtrace.Sink in
+  if Sink.checks_enabled () then
+    for i = first to first + n - 1 do
+      submit_ref t ~addr:(Sink.Batch.addr batch i) ~op:(Sink.Batch.op batch i)
+    done
+  else begin
+    let addrs = batch.Sink.Batch.addrs and ops = batch.Sink.Batch.ops in
+    for i = first to first + n - 1 do
+      let op =
+        if Bytes.unsafe_get ops i <> '\000' then Access.Write else Access.Read
+      in
+      submit_ref t ~addr:(Array.unsafe_get addrs i) ~op
+    done
+  end
 
 let sink ?name t = Nvsc_memtrace.Sink.create ?name (consume t)
 
@@ -226,7 +273,7 @@ let flush t =
 
 let elapsed_ns t =
   flush t;
-  let m = ref t.bus_free in
+  let m = ref t.fl.bus_free in
   for i = 0 to t.inflight_n - 1 do
     if t.inflight.(i) > !m then m := t.inflight.(i)
   done;
@@ -280,7 +327,7 @@ let stats t =
   let p50, p95, p99 = latency_percentiles t in
   let background_energy_nj = t.power.Power_params.p_background_w *. elapsed in
   let total =
-    t.burst_energy_nj +. t.act_pre_energy_nj +. t.refresh_energy_nj
+    t.fl.burst_energy_nj +. t.fl.act_pre_energy_nj +. t.fl.refresh_energy_nj
     +. background_energy_nj
   in
   let avg_power_w = if elapsed > 0. then total /. elapsed else 0. in
@@ -294,14 +341,15 @@ let stats t =
     activations = t.activations;
     refreshes = t.refreshes;
     elapsed_ns = elapsed;
-    burst_energy_nj = t.burst_energy_nj;
-    act_pre_energy_nj = t.act_pre_energy_nj;
-    refresh_energy_nj = t.refresh_energy_nj;
+    burst_energy_nj = t.fl.burst_energy_nj;
+    act_pre_energy_nj = t.fl.act_pre_energy_nj;
+    refresh_energy_nj = t.fl.refresh_energy_nj;
     background_energy_nj;
     total_energy_nj = total;
     avg_power_w;
     avg_latency_ns =
-      (if t.accesses = 0 then 0. else t.latency_sum /. float_of_int t.accesses);
+      (if t.accesses = 0 then 0.
+       else t.fl.latency_sum /. float_of_int t.accesses);
     p50_latency_ns = p50;
     p95_latency_ns = p95;
     p99_latency_ns = p99;

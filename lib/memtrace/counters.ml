@@ -5,15 +5,16 @@ type per_object = {
   mutable total_writes : int;
 }
 
+(* Object ids are small dense ints (allocation order), so the table is a
+   flat array indexed by id: the per-reference path is a load and a match,
+   with no hashing and no option allocation — a hash lookup here cost more
+   than the rest of the record path combined when successive references
+   alternate between objects (array sweeps with a stack temporary). *)
 type t = {
-  objects : (int, per_object) Hashtbl.t;
+  mutable slots : per_object option array; (* indexed by object id *)
   mutable iter : int;
   mutable max_iter : int;
   mutable grand_total : int;
-  (* one-entry memo: successive references to the same object (array
-     sweeps) skip the hash lookup and its option allocation *)
-  mutable memo_id : int;
-  mutable memo_po : per_object;
 }
 
 let fresh_po () =
@@ -21,14 +22,7 @@ let fresh_po () =
     total_reads = 0; total_writes = 0 }
 
 let create () =
-  {
-    objects = Hashtbl.create 256;
-    iter = 0;
-    max_iter = 0;
-    grand_total = 0;
-    memo_id = min_int;
-    memo_po = fresh_po ();
-  }
+  { slots = Array.make 64 None; iter = 0; max_iter = 0; grand_total = 0 }
 
 let set_iteration t i =
   if i < 0 then invalid_arg "Counters.set_iteration: negative iteration";
@@ -50,79 +44,125 @@ let ensure_capacity po iter =
     po.writes <- grow po.writes
   end
 
+(* Slow path: negative-id rejection, table growth and slot creation. *)
 let get_or_create t obj_id =
-  if obj_id = t.memo_id then t.memo_po
-  else begin
-    let po =
-      match Hashtbl.find_opt t.objects obj_id with
-      | Some po -> po
-      | None ->
-        let po = fresh_po () in
-        Hashtbl.add t.objects obj_id po;
-        po
-    in
-    t.memo_id <- obj_id;
-    t.memo_po <- po;
+  if obj_id < 0 then invalid_arg "Counters: negative object id";
+  let cap = Array.length t.slots in
+  if obj_id >= cap then begin
+    let cap' = ref (2 * cap) in
+    while obj_id >= !cap' do
+      cap' := 2 * !cap'
+    done;
+    let slots = Array.make !cap' None in
+    Array.blit t.slots 0 slots 0 cap;
+    t.slots <- slots
+  end;
+  match Array.unsafe_get t.slots obj_id with
+  | Some po -> po
+  | None ->
+    let po = fresh_po () in
+    Array.unsafe_set t.slots obj_id (Some po);
     po
-  end
+
+let[@inline] find t obj_id =
+  if obj_id >= 0 && obj_id < Array.length t.slots then
+    Array.unsafe_get t.slots obj_id
+  else None
 
 let record_n t ~obj_id ~op ~n =
   if n < 0 then invalid_arg "Counters.record_n: negative count";
   if n > 0 then begin
     let po = get_or_create t obj_id in
-    ensure_capacity po t.iter;
+    let iter = t.iter in
+    ensure_capacity po iter;
     (match op with
     | Access.Read ->
-      po.reads.(t.iter) <- po.reads.(t.iter) + n;
+      let r = po.reads in
+      Array.unsafe_set r iter (Array.unsafe_get r iter + n);
       po.total_reads <- po.total_reads + n
     | Access.Write ->
-      po.writes.(t.iter) <- po.writes.(t.iter) + n;
+      let w = po.writes in
+      Array.unsafe_set w iter (Array.unsafe_get w iter + n);
       po.total_writes <- po.total_writes + n);
     t.grand_total <- t.grand_total + n
   end
 
-let record t ~obj_id ~op = record_n t ~obj_id ~op ~n:1
+(* The per-reference hot path (one call per emitted access): resident ids
+   resolve with one load, and after [ensure_capacity] the iteration index
+   is within both arrays, so the accumulations are unchecked. *)
+let[@inline] record t ~obj_id ~op =
+  let po =
+    if obj_id >= 0 && obj_id < Array.length t.slots then
+      match Array.unsafe_get t.slots obj_id with
+      | Some po -> po
+      | None -> get_or_create t obj_id
+    else get_or_create t obj_id
+  in
+  let iter = t.iter in
+  if iter >= Array.length po.reads then ensure_capacity po iter;
+  (match op with
+  | Access.Read ->
+    let r = po.reads in
+    Array.unsafe_set r iter (Array.unsafe_get r iter + 1);
+    po.total_reads <- po.total_reads + 1
+  | Access.Write ->
+    let w = po.writes in
+    Array.unsafe_set w iter (Array.unsafe_get w iter + 1);
+    po.total_writes <- po.total_writes + 1);
+  t.grand_total <- t.grand_total + 1
 
 let count_at a iter = if iter < Array.length a then a.(iter) else 0
 
 let reads t ~obj_id ~iter =
-  match Hashtbl.find_opt t.objects obj_id with
+  match find t obj_id with
   | None -> 0
   | Some po -> count_at po.reads iter
 
 let writes t ~obj_id ~iter =
-  match Hashtbl.find_opt t.objects obj_id with
+  match find t obj_id with
   | None -> 0
   | Some po -> count_at po.writes iter
 
 let total_reads t ~obj_id =
-  match Hashtbl.find_opt t.objects obj_id with
-  | None -> 0
-  | Some po -> po.total_reads
+  match find t obj_id with None -> 0 | Some po -> po.total_reads
 
 let total_writes t ~obj_id =
-  match Hashtbl.find_opt t.objects obj_id with
-  | None -> 0
-  | Some po -> po.total_writes
+  match find t obj_id with None -> 0 | Some po -> po.total_writes
 
 let grand_total t = t.grand_total
 
 let iterations_touched t ~obj_id =
-  match Hashtbl.find_opt t.objects obj_id with
+  match find t obj_id with
   | None -> []
   | Some po ->
-    let acc = ref [] in
-    for i = Array.length po.reads - 1 downto 0 do
-      if count_at po.reads i > 0 || count_at po.writes i > 0 then
-        acc := i :: !acc
-    done;
-    !acc
+    (* descending scan builds the ascending list directly: the only
+       allocations are the list cells themselves *)
+    let rec build i acc =
+      if i < 0 then acc
+      else
+        build (i - 1)
+          (if po.reads.(i) > 0 || po.writes.(i) > 0 then i :: acc else acc)
+    in
+    build (Array.length po.reads - 1) []
 
 let touched_in_main_loop t ~obj_id =
-  List.exists (fun i -> i >= 1) (iterations_touched t ~obj_id)
+  match find t obj_id with
+  | None -> false
+  | Some po ->
+    let n = Array.length po.reads in
+    let rec scan i =
+      i < n && (po.reads.(i) > 0 || po.writes.(i) > 0 || scan (i + 1))
+    in
+    scan 1
 
 let max_iteration t = t.max_iter
 
 let tracked_objects t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.objects []
-  |> List.sort compare
+  (* slot order is already ascending; the [Int.compare] sort keeps the
+     contract explicit and representation-independent (monomorphic, no
+     generic-compare dispatch) *)
+  let acc = ref [] in
+  for id = Array.length t.slots - 1 downto 0 do
+    match t.slots.(id) with Some _ -> acc := id :: !acc | None -> ()
+  done;
+  List.sort Int.compare !acc

@@ -42,7 +42,7 @@ let pop t =
     t.depth <- t.depth - 1;
     t.stamp <- t.stamp + 1
 
-let stamp t = t.stamp
+let[@inline] stamp t = t.stamp
 
 let current t = match t.frames with [] -> None | f :: _ -> Some f
 

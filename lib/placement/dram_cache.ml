@@ -15,7 +15,10 @@ type t = {
   mutable misses : int;
   mutable fills : int;
   mutable dirty_writebacks : int;
-  mutable latency_sum : float;
+  (* one-element float array: an unboxed accumulator.  A mutable [float]
+     field in this mixed record would box a fresh float on every
+     accumulation (the access hot path). *)
+  latency_sum : float array;
   mutable dram_traffic_bytes : int;
   mutable nvram_traffic_bytes : int;
   mutable nvram_line_writes : int;
@@ -26,14 +29,23 @@ let create ?(page_bytes = 4096) ?(dram_pages = 2048) ?(associativity = 8)
   if not (Technology.is_nvram tech) then
     invalid_arg "Dram_cache.create: backing store must be NVRAM";
   if dram_pages <= 0 then invalid_arg "Dram_cache.create: dram_pages";
+  if associativity <= 0 then invalid_arg "Dram_cache.create: associativity";
   (* round the capacity up to a whole number of sets *)
   let dram_pages =
     (dram_pages + associativity - 1) / associativity * associativity
   in
+  (* Built directly rather than through [Cache_params.make]: the DRAM
+     budget comes from application footprints, so the set count is
+     generally not a power of two ([make] rejects that; [Cache] keeps a
+     guarded div/mod path for exactly this case). *)
   let params =
-    Cache_params.make ~name:"dram-page-cache"
-      ~size_bytes:(page_bytes * dram_pages) ~associativity
-      ~line_bytes:page_bytes ~write_miss:Cache_params.Write_allocate ()
+    {
+      Cache_params.name = "dram-page-cache";
+      size_bytes = page_bytes * dram_pages;
+      associativity;
+      line_bytes = page_bytes;
+      write_miss = Cache_params.Write_allocate;
+    }
   in
   {
     page_bytes;
@@ -47,7 +59,7 @@ let create ?(page_bytes = 4096) ?(dram_pages = 2048) ?(associativity = 8)
     misses = 0;
     fills = 0;
     dirty_writebacks = 0;
-    latency_sum = 0.;
+    latency_sum = [| 0. |];
     dram_traffic_bytes = 0;
     nvram_traffic_bytes = 0;
     nvram_line_writes = 0;
@@ -70,9 +82,9 @@ let access_raw t ~addr ~size ~op =
     | Access.Write -> Cache.write t.cache ~line:page
   in
   t.dram_traffic_bytes <- t.dram_traffic_bytes + size;
-  if e.Cache.hit then begin
+  if Cache.Effect.hit e then begin
     t.hits <- t.hits + 1;
-    t.latency_sum <- t.latency_sum +. t.dram.Technology.read_latency_ns
+    t.latency_sum.(0) <- t.latency_sum.(0) +. t.dram.Technology.read_latency_ns
   end
   else begin
     t.misses <- t.misses + 1;
@@ -83,10 +95,8 @@ let access_raw t ~addr ~size ~op =
     let miss_latency =
       t.tech.Technology.read_latency_ns +. page_fill_ns t
     in
-    t.latency_sum <- t.latency_sum +. miss_latency;
-    match e.Cache.writeback with
-    | Some _ -> writeback_page t
-    | None -> ()
+    t.latency_sum.(0) <- t.latency_sum.(0) +. miss_latency;
+    if Cache.Effect.has_writeback e then writeback_page t
   end
 
 let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
@@ -127,7 +137,7 @@ let stats (t : t) =
     dirty_writebacks = t.dirty_writebacks;
     avg_latency_ns =
       (if t.accesses = 0 then 0.
-       else t.latency_sum /. float_of_int t.accesses);
+       else t.latency_sum.(0) /. float_of_int t.accesses);
     dram_traffic_bytes = t.dram_traffic_bytes;
     nvram_traffic_bytes = t.nvram_traffic_bytes;
     nvram_line_writes = t.nvram_line_writes;

@@ -1,0 +1,179 @@
+(* Reference implementation: the straightforward set-associative cache the
+   optimized [Nvsc_cachesim.Cache] replaced (div/mod set indexing, an
+   allocated effect record, two-scan victim selection).  Kept verbatim as
+   the oracle for the differential qcheck properties — do not optimize. *)
+
+type effect_ = {
+  hit : bool;
+  fill : int option;
+  writeback : int option;
+  forward_write : int option;
+}
+
+module Cache_params = Nvsc_cachesim.Cache_params
+
+type t = {
+  p : Cache_params.t;
+  nsets : int;
+  tags : int array; (* -1 = invalid; indexed set*assoc + way *)
+  dirty : bool array;
+  age : int array; (* LRU timestamps *)
+  mutable clock : int;
+  mutable read_hits : int;
+  mutable read_misses : int;
+  mutable write_hits : int;
+  mutable write_misses : int;
+  mutable evictions : int;
+  mutable dirty_evictions : int;
+}
+
+let create p =
+  let nsets = Cache_params.sets p in
+  let n = nsets * p.Cache_params.associativity in
+  {
+    p;
+    nsets;
+    tags = Array.make n (-1);
+    dirty = Array.make n false;
+    age = Array.make n 0;
+    clock = 0;
+    read_hits = 0;
+    read_misses = 0;
+    write_hits = 0;
+    write_misses = 0;
+    evictions = 0;
+    dirty_evictions = 0;
+  }
+
+let params t = t.p
+
+let set_of t line = line mod t.nsets
+let tag_of t line = line / t.nsets
+let line_of t set tag = (tag * t.nsets) + set
+
+let find_way t set tag =
+  let base = set * t.p.Cache_params.associativity in
+  let rec go w =
+    if w >= t.p.Cache_params.associativity then None
+    else if t.tags.(base + w) = tag then Some (base + w)
+    else go (w + 1)
+  in
+  go 0
+
+(* Victim selection: first invalid way, otherwise least-recently-used. *)
+let victim_way t set =
+  let base = set * t.p.Cache_params.associativity in
+  let rec find_invalid w =
+    if w >= t.p.Cache_params.associativity then None
+    else if t.tags.(base + w) = -1 then Some (base + w)
+    else find_invalid (w + 1)
+  in
+  match find_invalid 0 with
+  | Some idx -> idx
+  | None ->
+    let best = ref base in
+    for w = 1 to t.p.Cache_params.associativity - 1 do
+      if t.age.(base + w) < t.age.(!best) then best := base + w
+    done;
+    !best
+
+let touch t idx =
+  t.clock <- t.clock + 1;
+  t.age.(idx) <- t.clock
+
+let no_effect = { hit = true; fill = None; writeback = None; forward_write = None }
+
+let allocate t set tag ~make_dirty =
+  let idx = victim_way t set in
+  let writeback =
+    if t.tags.(idx) <> -1 then begin
+      t.evictions <- t.evictions + 1;
+      if t.dirty.(idx) then begin
+        t.dirty_evictions <- t.dirty_evictions + 1;
+        Some (line_of t set t.tags.(idx))
+      end
+      else None
+    end
+    else None
+  in
+  t.tags.(idx) <- tag;
+  t.dirty.(idx) <- make_dirty;
+  touch t idx;
+  writeback
+
+let read t ~line =
+  let set = set_of t line and tag = tag_of t line in
+  match find_way t set tag with
+  | Some idx ->
+    t.read_hits <- t.read_hits + 1;
+    touch t idx;
+    no_effect
+  | None ->
+    t.read_misses <- t.read_misses + 1;
+    let writeback = allocate t set tag ~make_dirty:false in
+    { hit = false; fill = Some line; writeback; forward_write = None }
+
+let write t ~line =
+  let set = set_of t line and tag = tag_of t line in
+  match find_way t set tag with
+  | Some idx ->
+    t.write_hits <- t.write_hits + 1;
+    t.dirty.(idx) <- true;
+    touch t idx;
+    no_effect
+  | None ->
+    t.write_misses <- t.write_misses + 1;
+    (match t.p.Cache_params.write_miss with
+    | Cache_params.Write_allocate ->
+      let writeback = allocate t set tag ~make_dirty:true in
+      { hit = false; fill = Some line; writeback; forward_write = None }
+    | Cache_params.No_write_allocate ->
+      { hit = false; fill = None; writeback = None; forward_write = Some line })
+
+let probe t ~line = find_way t (set_of t line) (tag_of t line) <> None
+
+let is_dirty t ~line =
+  match find_way t (set_of t line) (tag_of t line) with
+  | Some idx -> t.dirty.(idx)
+  | None -> false
+
+let flush_dirty t f =
+  for set = 0 to t.nsets - 1 do
+    let base = set * t.p.Cache_params.associativity in
+    for w = 0 to t.p.Cache_params.associativity - 1 do
+      let idx = base + w in
+      if t.tags.(idx) <> -1 && t.dirty.(idx) then begin
+        f (line_of t set t.tags.(idx));
+        t.dirty.(idx) <- false
+      end
+    done
+  done
+
+let invalidate_all t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  Array.fill t.age 0 (Array.length t.age) 0
+
+let resident_lines t =
+  Array.fold_left (fun acc tag -> if tag <> -1 then acc + 1 else acc) 0 t.tags
+
+let hits t = t.read_hits + t.write_hits
+let misses t = t.read_misses + t.write_misses
+let read_hits t = t.read_hits
+let read_misses t = t.read_misses
+let write_hits t = t.write_hits
+let write_misses t = t.write_misses
+let evictions t = t.evictions
+let dirty_evictions t = t.dirty_evictions
+
+let miss_rate t =
+  let total = hits t + misses t in
+  if total = 0 then 0. else float_of_int (misses t) /. float_of_int total
+
+let reset_stats t =
+  t.read_hits <- 0;
+  t.read_misses <- 0;
+  t.write_hits <- 0;
+  t.write_misses <- 0;
+  t.evictions <- 0;
+  t.dirty_evictions <- 0

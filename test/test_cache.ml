@@ -5,12 +5,33 @@ let tiny ?(write_miss = P.Write_allocate) ?(assoc = 2) ?(sets = 4) () =
   P.make ~name:"tiny" ~size_bytes:(64 * assoc * sets) ~associativity:assoc
     ~write_miss ()
 
+(* Rejections must name the offending field and its value. *)
 let test_params_validation () =
-  Alcotest.check_raises "bad line"
-    (Invalid_argument "Cache_params.make: line size must be a power of two")
-    (fun () ->
+  Alcotest.check_raises "non-pow2 line"
+    (Invalid_argument
+       "Cache_params.make: line_bytes = 48 is not a power of two") (fun () ->
       ignore
         (P.make ~name:"x" ~size_bytes:1024 ~associativity:2 ~line_bytes:48
+           ~write_miss:P.Write_allocate ()));
+  Alcotest.check_raises "non-positive associativity"
+    (Invalid_argument "Cache_params.make: associativity = 0 is not positive")
+    (fun () ->
+      ignore
+        (P.make ~name:"x" ~size_bytes:1024 ~associativity:0
+           ~write_miss:P.Write_allocate ()));
+  Alcotest.check_raises "indivisible size"
+    (Invalid_argument
+       "Cache_params.make: size_bytes = 1000 is not divisible into sets of \
+        line_bytes * associativity = 128 bytes") (fun () ->
+      ignore
+        (P.make ~name:"x" ~size_bytes:1000 ~associativity:2
+           ~write_miss:P.Write_allocate ()));
+  Alcotest.check_raises "non-pow2 sets"
+    (Invalid_argument
+       "Cache_params.make: size_bytes = 384 gives 3 sets (associativity = 2, \
+        line_bytes = 64), which is not a power of two") (fun () ->
+      ignore
+        (P.make ~name:"x" ~size_bytes:384 ~associativity:2
            ~write_miss:P.Write_allocate ()));
   Alcotest.(check int) "paper L1 sets" 128 (P.sets P.paper_l1d);
   Alcotest.(check int) "paper L2 sets" 1024 (P.sets P.paper_l2)
@@ -18,10 +39,11 @@ let test_params_validation () =
 let test_cold_miss_then_hit () =
   let c = Cache.create (tiny ()) in
   let e = Cache.read c ~line:0 in
-  Alcotest.(check bool) "cold miss" false e.Cache.hit;
-  Alcotest.(check bool) "fills" true (e.Cache.fill = Some 0);
+  Alcotest.(check bool) "cold miss" false (Cache.Effect.hit e);
+  Alcotest.(check bool) "fills" true (Cache.Effect.fills e);
+  Alcotest.(check bool) "no writeback" false (Cache.Effect.has_writeback e);
   let e = Cache.read c ~line:0 in
-  Alcotest.(check bool) "hit" true e.Cache.hit;
+  Alcotest.(check bool) "hit" true (Cache.Effect.hit e);
   Alcotest.(check int) "stats" 1 (Cache.read_hits c);
   Alcotest.(check int) "misses" 1 (Cache.read_misses c)
 
@@ -43,32 +65,32 @@ let test_dirty_eviction_writeback () =
   Alcotest.(check bool) "dirty" true (Cache.is_dirty c ~line:0);
   let e = Cache.read c ~line:1 in
   Alcotest.(check bool) "writeback of dirty victim" true
-    (e.Cache.writeback = Some 0);
+    (Cache.Effect.has_writeback e && Cache.Effect.writeback_line e = 0);
   Alcotest.(check int) "dirty evictions" 1 (Cache.dirty_evictions c)
 
 let test_clean_eviction_no_writeback () =
   let c = Cache.create (tiny ~assoc:1 ~sets:1 ()) in
   ignore (Cache.read c ~line:0);
   let e = Cache.read c ~line:1 in
-  Alcotest.(check bool) "no writeback" true (e.Cache.writeback = None)
+  Alcotest.(check bool) "no writeback" false (Cache.Effect.has_writeback e)
 
 let test_no_write_allocate () =
   let c = Cache.create (tiny ~write_miss:P.No_write_allocate ()) in
   let e = Cache.write c ~line:5 in
-  Alcotest.(check bool) "miss" false e.Cache.hit;
-  Alcotest.(check bool) "forwarded" true (e.Cache.forward_write = Some 5);
-  Alcotest.(check bool) "no fill" true (e.Cache.fill = None);
+  Alcotest.(check bool) "miss" false (Cache.Effect.hit e);
+  Alcotest.(check bool) "forwarded" true (Cache.Effect.forwards_write e);
+  Alcotest.(check bool) "no fill" false (Cache.Effect.fills e);
   Alcotest.(check bool) "not resident" false (Cache.probe c ~line:5);
   (* write hit still dirties *)
   ignore (Cache.read c ~line:5);
   let e = Cache.write c ~line:5 in
-  Alcotest.(check bool) "write hit" true e.Cache.hit;
+  Alcotest.(check bool) "write hit" true (Cache.Effect.hit e);
   Alcotest.(check bool) "dirty now" true (Cache.is_dirty c ~line:5)
 
 let test_write_allocate_dirties () =
   let c = Cache.create (tiny ()) in
   let e = Cache.write c ~line:3 in
-  Alcotest.(check bool) "fill on write miss" true (e.Cache.fill = Some 3);
+  Alcotest.(check bool) "fill on write miss" true (Cache.Effect.fills e);
   Alcotest.(check bool) "dirty after allocate" true (Cache.is_dirty c ~line:3)
 
 let test_flush_dirty () =
@@ -118,7 +140,7 @@ let test_hit_after_miss_prop =
         (fun l ->
           ignore (Cache.read c ~line:l);
           let e = Cache.read c ~line:l in
-          e.Cache.hit)
+          Cache.Effect.hit e)
         lines)
 
 let test_miss_rate () =

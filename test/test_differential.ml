@@ -1,0 +1,293 @@
+(* Differential tests pinning the optimized cachesim kernels to the
+   straightforward reference implementations in test/oracle/.  The
+   optimizations (mask/shift indexing, encoded-int effects, fused
+   find-or-victim scan, resident-line memos, the hierarchy's repeated-line
+   fast path) must be observationally invisible: identical statistics,
+   identical evictions and identical sink output on identical streams,
+   across geometries including direct-mapped, non-power-of-two set counts
+   (built by direct record construction — [Cache_params.make] rejects
+   them) and line-straddling accesses. *)
+
+module Access = Nvsc_memtrace.Access
+module Sink = Nvsc_memtrace.Sink
+module Cache_params = Nvsc_cachesim.Cache_params
+module Cache = Nvsc_cachesim.Cache
+module Hierarchy = Nvsc_cachesim.Hierarchy
+module OC = Nvsc_oracle.Oracle_cache
+module OH = Nvsc_oracle.Oracle_hierarchy
+
+(* --- geometries ------------------------------------------------------- *)
+
+let tiny_l1 =
+  Cache_params.make ~name:"tiny-l1" ~size_bytes:(16 * 64 * 2) ~associativity:2
+    ~write_miss:Cache_params.No_write_allocate ()
+
+let tiny_l2 =
+  Cache_params.make ~name:"tiny-l2" ~size_bytes:(64 * 64 * 4) ~associativity:4
+    ~write_miss:Cache_params.Write_allocate ()
+
+let direct_mapped_l1 =
+  Cache_params.make ~name:"dm-l1" ~size_bytes:(32 * 64) ~associativity:1
+    ~write_miss:Cache_params.Write_allocate ()
+
+let direct_mapped_l2 =
+  Cache_params.make ~name:"dm-l2" ~size_bytes:(128 * 64) ~associativity:1
+    ~write_miss:Cache_params.Write_allocate ()
+
+(* Non-power-of-two set counts: 3 and 6 sets.  Built directly because
+   [Cache_params.make] rejects them; [Cache] must fall back to its guarded
+   div/mod indexing path. *)
+let odd_l1 =
+  {
+    Cache_params.name = "np2-l1";
+    size_bytes = 3 * 64 * 2;
+    associativity = 2;
+    line_bytes = 64;
+    write_miss = Cache_params.No_write_allocate;
+  }
+
+let odd_l2 =
+  {
+    Cache_params.name = "np2-l2";
+    size_bytes = 6 * 64 * 4;
+    associativity = 4;
+    line_bytes = 64;
+    write_miss = Cache_params.Write_allocate;
+  }
+
+let geometries =
+  [
+    ("paper", Cache_params.paper_l1d, Cache_params.paper_l2);
+    ("tiny", tiny_l1, tiny_l2);
+    ("direct-mapped", direct_mapped_l1, direct_mapped_l2);
+    ("non-pow2-sets", odd_l1, odd_l2);
+  ]
+
+(* --- harness ---------------------------------------------------------- *)
+
+let collecting_sink () =
+  let acc = ref [] in
+  let sink =
+    Sink.create ~capacity:13 (fun b ~first ~n ->
+        for i = first to first + n - 1 do
+          acc :=
+            (Sink.Batch.addr b i, Sink.Batch.size b i, Sink.Batch.is_write b i)
+            :: !acc
+        done)
+  in
+  (sink, acc)
+
+let cache_stats_equal (c : Cache.t) (o : OC.t) =
+  Cache.read_hits c = OC.read_hits o
+  && Cache.read_misses c = OC.read_misses o
+  && Cache.write_hits c = OC.write_hits o
+  && Cache.write_misses c = OC.write_misses o
+  && Cache.evictions c = OC.evictions o
+  && Cache.dirty_evictions c = OC.dirty_evictions o
+  && Cache.resident_lines c = OC.resident_lines o
+
+(* Run one stream through both hierarchies (interleaved, so any divergence
+   is caught at the first differing reference) and compare everything
+   observable: per-level stats, traffic counters and the exact memory
+   trace each pushed into its sink. *)
+let check_stream ~l1d ~l2 stream =
+  let sink_h, out_h = collecting_sink () in
+  let sink_o, out_o = collecting_sink () in
+  let h = Hierarchy.create ~l1d ~l2 ~sink:sink_h () in
+  let o = OH.create ~l1d ~l2 ~sink:sink_o () in
+  List.iter
+    (fun (addr, size, op) ->
+      Hierarchy.access_raw h ~addr ~size ~op;
+      OH.access_raw o ~addr ~size ~op)
+    stream;
+  Hierarchy.drain h;
+  OH.drain o;
+  Hierarchy.accesses h = OH.accesses o
+  && Hierarchy.memory_reads h = OH.memory_reads o
+  && Hierarchy.memory_writes h = OH.memory_writes o
+  && cache_stats_equal (Hierarchy.l1d h) (OH.l1d o)
+  && cache_stats_equal (Hierarchy.l2 h) (OH.l2 o)
+  && !out_h = !out_o
+
+(* --- property: random streams, all geometries ------------------------- *)
+
+let gen_ref =
+  QCheck.Gen.(
+    let* addr = int_range 0 ((1 lsl 20) - 1) in
+    (* sizes up to 3 lines: plenty of straddling accesses *)
+    let* size = oneofl [ 1; 2; 4; 8; 16; 64; 100; 192 ] in
+    let* w = bool in
+    return (addr, size, if w then Access.Write else Access.Read))
+
+let arbitrary_stream =
+  QCheck.make QCheck.Gen.(list_size (int_range 200 600) gen_ref)
+
+let hierarchy_differential_tests =
+  List.map
+    (fun (name, l1d, l2) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "hierarchy matches oracle (%s)" name)
+        ~count:30 arbitrary_stream
+        (fun stream -> check_stream ~l1d ~l2 stream))
+    geometries
+
+(* Boundary-hugging addresses: every access starts within a word of a line
+   edge, so the straddling split path is exercised constantly. *)
+let straddle_stream =
+  QCheck.Gen.(
+    let* n = int_range 300 800 in
+    list_size (return n)
+      (let* line = int_range 0 4095 in
+       let* off = int_range 56 63 in
+       let* size = int_range 2 140 in
+       let* w = bool in
+       return ((line * 64) + off, size, if w then Access.Write else Access.Read)))
+
+let straddle_differential =
+  QCheck.Test.make ~name:"hierarchy matches oracle (line-straddling)"
+    ~count:30
+    (QCheck.make straddle_stream)
+    (fun stream -> check_stream ~l1d:tiny_l1 ~l2:tiny_l2 stream)
+
+(* --- property: single cache level, per-access effect equality ---------- *)
+
+let effect_equal line (e : Cache.Effect.t) (r : OC.effect_) =
+  Cache.Effect.hit e = r.OC.hit
+  && Cache.Effect.fills e = (r.OC.fill = Some line)
+  && Cache.Effect.forwards_write e = (r.OC.forward_write = Some line)
+  && (match r.OC.writeback with
+     | Some l ->
+       Cache.Effect.has_writeback e && Cache.Effect.writeback_line e = l
+     | None -> not (Cache.Effect.has_writeback e))
+
+let cache_params_pool =
+  [ Cache_params.paper_l1d; Cache_params.paper_l2; tiny_l1; tiny_l2;
+    direct_mapped_l1; odd_l1; odd_l2 ]
+
+let cache_differential =
+  QCheck.Test.make ~name:"cache effects match oracle per access" ~count:60
+    QCheck.(
+      make
+        Gen.(
+          let* p = oneofl cache_params_pool in
+          let* ops =
+            list_size (int_range 200 500)
+              (pair (int_range 0 1023) bool)
+          in
+          return (p, ops)))
+    (fun (p, ops) ->
+      let c = Cache.create p and o = OC.create p in
+      List.for_all
+        (fun (line, is_write) ->
+          let e, r =
+            if is_write then (Cache.write c ~line, OC.write o ~line)
+            else (Cache.read c ~line, OC.read o ~line)
+          in
+          effect_equal line e r
+          && Cache.probe c ~line = OC.probe o ~line
+          && Cache.is_dirty c ~line = OC.is_dirty o ~line)
+        ops
+      && cache_stats_equal c o)
+
+(* --- deterministic long streams: >=10k refs per geometry --------------- *)
+
+(* A fixed LCG keeps the big runs reproducible and independent of qcheck's
+   shrinking; 20_000 references per geometry, batch-consumed through
+   [Hierarchy.consume] so the unchecked batch branch is the one under
+   test. *)
+let lcg_stream n =
+  let state = ref 0x5DEECE66D in
+  let next () =
+    state := ((!state * 25214903917) + 11) land 0xFFFFFFFFFFFF;
+    !state lsr 16
+  in
+  List.init n (fun _ ->
+      let addr = next () land ((1 lsl 22) - 1) in
+      let size = 1 + (next () mod 160) in
+      let op = if next () land 1 = 0 then Access.Write else Access.Read in
+      (addr, size, op))
+
+let test_long_streams () =
+  let stream = lcg_stream 20_000 in
+  List.iter
+    (fun (name, l1d, l2) ->
+      let sink_h, out_h = collecting_sink () in
+      let sink_o, out_o = collecting_sink () in
+      let h = Hierarchy.create ~l1d ~l2 ~sink:sink_h () in
+      let o = OH.create ~l1d ~l2 ~sink:sink_o () in
+      (* feed the optimized side through its batch consumer *)
+      let feed =
+        Sink.create ~capacity:4096 (fun b ~first ~n ->
+            Hierarchy.consume h b ~first ~n)
+      in
+      List.iter
+        (fun (addr, size, op) ->
+          Sink.push feed ~addr ~size ~op;
+          OH.access_raw o ~addr ~size ~op)
+        stream;
+      Sink.flush feed;
+      Hierarchy.drain h;
+      OH.drain o;
+      Alcotest.(check int)
+        (name ^ ": accesses") (OH.accesses o) (Hierarchy.accesses h);
+      Alcotest.(check int)
+        (name ^ ": memory reads") (OH.memory_reads o)
+        (Hierarchy.memory_reads h);
+      Alcotest.(check int)
+        (name ^ ": memory writes") (OH.memory_writes o)
+        (Hierarchy.memory_writes h);
+      Alcotest.(check bool)
+        (name ^ ": L1 stats") true
+        (cache_stats_equal (Hierarchy.l1d h) (OH.l1d o));
+      Alcotest.(check bool)
+        (name ^ ": L2 stats") true
+        (cache_stats_equal (Hierarchy.l2 h) (OH.l2 o));
+      Alcotest.(check bool) (name ^ ": memory trace") true (!out_h = !out_o))
+    geometries
+
+(* --- zero-allocation hit paths ----------------------------------------- *)
+
+(* 10_000 alternating read/write hits on a resident line: any per-access
+   heap allocation would show up as >=20_000 minor words.  The small slack
+   absorbs the boxed floats [Gc.minor_words] itself returns. *)
+let test_hit_path_allocation_free () =
+  let c = Cache.create Cache_params.paper_l1d in
+  ignore (Cache.write c ~line:7);
+  ignore (Cache.read c ~line:7);
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    ignore (Cache.read c ~line:7);
+    ignore (Cache.write c ~line:7)
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 16. then
+    Alcotest.failf "cache hit path allocated: %.0f minor words / 20k accesses"
+      dw
+
+let test_miss_path_allocation_free () =
+  let c = Cache.create tiny_l1 in
+  ignore (Cache.read c ~line:0);
+  let w0 = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    (* distinct lines: every access misses, evicts and (on writes) walks
+       the write-back path *)
+    ignore (Cache.write c ~line:(i * 17));
+    ignore (Cache.read c ~line:(i * 31))
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  if dw > 16. then
+    Alcotest.failf "cache miss path allocated: %.0f minor words / 20k accesses"
+      dw
+
+let suite =
+  [
+    Alcotest.test_case "long LCG streams, all geometries (4x20k refs)" `Quick
+      test_long_streams;
+    Alcotest.test_case "cache hit path is allocation-free" `Quick
+      test_hit_path_allocation_free;
+    Alcotest.test_case "cache miss path is allocation-free" `Quick
+      test_miss_path_allocation_free;
+  ]
+  @ List.map QCheck_alcotest.to_alcotest
+      (hierarchy_differential_tests
+      @ [ straddle_differential; cache_differential ])

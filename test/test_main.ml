@@ -14,6 +14,7 @@ let () =
       ("trace-gen", Test_trace_gen.suite);
       ("cache", Test_cache.suite);
       ("hierarchy", Test_hierarchy.suite);
+      ("kernel-differential", Test_differential.suite);
       ("org-mapping", Test_org_mapping.suite);
       ("dramsim", Test_dramsim.suite);
       ("scheduler", Test_scheduler.suite);
