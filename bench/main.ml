@@ -293,6 +293,44 @@ let bench_trace_file =
              Nvsc_memtrace.Trace_file.save log path;
              ignore (Nvsc_memtrace.Trace_file.load path))))
 
+(* Satellite: NVT record/replay vs regenerating the same analysis live.
+   The fixture trace is recorded once outside the measured region; the
+   Mref/s and bytes/ref summary is printed after the table. *)
+let nvt_fixture =
+  lazy
+    (let path = Filename.temp_file "nvsc_bench" ".nvt" in
+     let summary =
+       Nvsc_core.Trace_run.record ~scale:0.1 ~iterations:1 ~path
+         (Option.get (Nvsc_apps.Apps.find "gtc"))
+     in
+     (path, summary))
+
+let bench_trace_record =
+  Test.make ~name:"trace:record-gtc"
+    (Staged.stage (fun () ->
+         let path = Filename.temp_file "nvsc_bench_rec" ".nvt" in
+         Fun.protect
+           ~finally:(fun () -> Sys.remove path)
+           (fun () ->
+             ignore
+               (Nvsc_core.Trace_run.record ~scale:0.1 ~iterations:1 ~path
+                  (Option.get (Nvsc_apps.Apps.find "gtc"))))))
+
+let bench_trace_replay =
+  Test.make ~name:"trace:replay-gtc"
+    (Staged.stage (fun () ->
+         ignore (Nvsc_core.Trace_run.replay (fst (Lazy.force nvt_fixture)))))
+
+(* the live pipeline producing the result a replay reproduces *)
+let bench_trace_livegen =
+  Test.make ~name:"trace:livegen-gtc"
+    (Staged.stage (fun () ->
+         ignore
+           (Nvsc_core.Scavenger.run
+              Nvsc_core.Scavenger.Config.(
+                quick_scavenger_config |> with_trace true)
+              (Option.get (Nvsc_apps.Apps.find "gtc")))))
+
 (* Satellite: the full experiments matrix (objects, power and perf cells
    for every paper app) through the sweep engine at 1, 2 and 4 worker
    domains; the scaling summary is printed after the table.  Speedup only
@@ -344,6 +382,9 @@ let tests =
       bench_wear_leveling ~name:"ablation:wear-table"
         (Nvsc_nvram.Wear_leveling.Table_based { swap_interval = 100 });
       bench_dram_cache;
+      bench_trace_record;
+      bench_trace_replay;
+      bench_trace_livegen;
       bench_sweep 1;
       bench_sweep 2;
       bench_sweep 4;
@@ -366,6 +407,7 @@ let () =
   ignore (Lazy.force trace_10k);
   ignore (Lazy.force log_100k);
   ignore (Lazy.force lookup_pattern);
+  ignore (Lazy.force nvt_fixture);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -435,6 +477,30 @@ let () =
     Format.printf
       "obs:overhead (gtc): disarmed %.1fus, armed %.1fus (%.2fx)@."
       (bare /. 1_000.) (armed /. 1_000.) (armed /. bare)
+  | _ -> ());
+  (* NVT summary: record/replay throughput and density vs regenerating the
+     same analysis live *)
+  (match
+     ( find "trace:record-gtc",
+       find "trace:replay-gtc",
+       find "trace:livegen-gtc" )
+   with
+  | Some rec_ns, Some rep_ns, Some live_ns
+    when rec_ns > 0. && rep_ns > 0. && live_ns > 0. ->
+    let path, (s : Nvsc_memtrace.Trace_codec.summary) =
+      Lazy.force nvt_fixture
+    in
+    let refs = float_of_int s.refs in
+    Format.printf
+      "nvt trace (gtc, %d refs, %.2f bytes/ref): record %.1f Mref/s, replay \
+       %.1f Mref/s, live generation %.1f Mref/s (replay %.2fx live)@."
+      s.refs
+      (float_of_int s.bytes /. refs)
+      (refs /. rec_ns *. 1_000.)
+      (refs /. rep_ns *. 1_000.)
+      (refs /. live_ns *. 1_000.)
+      (live_ns /. rep_ns);
+    Sys.remove path
   | _ -> ());
   (* sweep-scaling summary: the same experiments matrix at 1/2/4 domains *)
   match

@@ -41,7 +41,109 @@ let with_app name f =
   | Ok app -> (f app : unit); `Ok ()
   | Error msg -> `Error (false, msg)
 
+(* Trace I/O failures (damaged .nvt files, unwritable paths) are user
+   errors, not crashes. *)
+let with_trace_errors f =
+  try f () with
+  | Nvsc_memtrace.Trace_codec.Error msg -> `Error (false, msg)
+  | Sys_error msg -> `Error (false, msg)
+
 let fmt = Format.std_formatter
+
+(* --- shared report printers --------------------------------------------- *)
+
+(* One printer per report section, shared between the live commands
+   ([run]/[analyze]/[power]/[place]) and [replay]: both paths render a
+   [Scavenger.result], so a replayed trace produces byte-identical
+   output to the live pipeline by construction. *)
+
+let pp_summary_and_objects fmt r =
+  Nvsc_core.Stack_analysis.pp_summary_table fmt
+    [ Nvsc_core.Stack_analysis.summarize r ];
+  Nvsc_core.Object_analysis.pp_report fmt (Nvsc_core.Object_analysis.analyze r)
+
+let pp_analyze_report fmt r =
+  pp_summary_and_objects fmt r;
+  Format.fprintf fmt "untouched in main loop: %s of long-term data@."
+    (Nvsc_util.Table.cell_pct
+       (Nvsc_core.Usage_variance.untouched_in_main_fraction r));
+  Nvsc_core.Usage_variance.pp_variance fmt
+    (Nvsc_core.Usage_variance.variance r)
+
+let pp_trace_line fmt trace =
+  Format.fprintf fmt "main-memory trace: %d accesses (%d reads, %d writes)@."
+    (Nvsc_memtrace.Trace_log.length trace)
+    (Nvsc_memtrace.Trace_log.reads trace)
+    (Nvsc_memtrace.Trace_log.writes trace)
+
+let power_results trace =
+  Nvsc_dramsim.Memory_system.compare_technologies
+    ~techs:Nvsc_nvram.Technology.paper_set
+    ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
+    ()
+
+let pp_normalized_power fmt results =
+  List.iter
+    (fun ((t : Nvsc_nvram.Technology.t), p) ->
+      Format.fprintf fmt "%-8s normalized power %.3f@." t.name p)
+    (Nvsc_dramsim.Memory_system.normalized_power results)
+
+let pp_power_report fmt trace =
+  pp_trace_line fmt trace;
+  let results = power_results trace in
+  List.iter
+    (fun ((t : Nvsc_nvram.Technology.t), (s : Nvsc_dramsim.Controller.stats)) ->
+      Format.fprintf fmt
+        "%-8s avg power %a  elapsed %a  row-hit %.2f  bandwidth %.2fGB/s@."
+        t.name Nvsc_util.Units.pp_watts s.avg_power_w Nvsc_util.Units.pp_ns
+        s.elapsed_ns s.row_hit_rate s.bandwidth_gbs)
+    results;
+  pp_normalized_power fmt results
+
+let items_of_result (r : Nvsc_core.Scavenger.result) =
+  List.map
+    (fun (m : Nvsc_core.Object_metrics.t) ->
+      {
+        Nvsc_placement.Item.id = m.obj.Nvsc_memtrace.Mem_object.id;
+        name = m.obj.Nvsc_memtrace.Mem_object.name;
+        size_bytes = Nvsc_core.Object_metrics.size_bytes m;
+        reads = m.reads;
+        writes = m.writes;
+        ref_share = m.ref_share;
+      })
+    (Nvsc_core.Scavenger.global_and_heap_metrics r)
+
+let planned_hybrid ~tech (r : Nvsc_core.Scavenger.result) =
+  let hybrid =
+    Nvsc_placement.Hybrid_memory.create
+      ~dram_bytes:(2 * r.footprint_bytes)
+      ~nvram_bytes:(2 * r.footprint_bytes)
+      ~tech
+  in
+  Nvsc_placement.Static_policy.plan ~hybrid (items_of_result r)
+
+let pp_place_report fmt ~tech r =
+  let hybrid = planned_hybrid ~tech r in
+  List.iter
+    (fun (item : Nvsc_placement.Item.t) ->
+      Format.fprintf fmt "NVRAM <- %a@." Nvsc_placement.Item.pp item)
+    (Nvsc_placement.Hybrid_memory.items_in hybrid
+       Nvsc_placement.Hybrid_memory.Nvram);
+  Nvsc_placement.Hybrid_memory.pp_assessment fmt
+    (Nvsc_placement.Hybrid_memory.assess hybrid);
+  Format.pp_print_newline fmt ()
+
+let pp_run_report fmt ~(tech : Nvsc_nvram.Technology.t) r =
+  pp_summary_and_objects fmt r;
+  let trace = Option.get r.Nvsc_core.Scavenger.mem_trace in
+  pp_trace_line fmt trace;
+  pp_normalized_power fmt (power_results trace);
+  let hybrid =
+    planned_hybrid ~tech:(Nvsc_nvram.Technology.get tech.tech) r
+  in
+  Nvsc_placement.Hybrid_memory.pp_assessment fmt
+    (Nvsc_placement.Hybrid_memory.assess hybrid);
+  Format.pp_print_newline fmt ()
 
 (* --- list -------------------------------------------------------------- *)
 
@@ -75,18 +177,8 @@ let analyze_cmd =
           ?trace_out:(Cli.profile_trace_out profile)
           ~enabled:(Cli.profile_enabled profile)
         @@ fun () ->
-        let r =
-          Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app
-        in
-        Nvsc_core.Stack_analysis.pp_summary_table fmt
-          [ Nvsc_core.Stack_analysis.summarize r ];
-        Nvsc_core.Object_analysis.pp_report fmt
-          (Nvsc_core.Object_analysis.analyze r);
-        Format.fprintf fmt "untouched in main loop: %s of long-term data@."
-          (Nvsc_util.Table.cell_pct
-             (Nvsc_core.Usage_variance.untouched_in_main_fraction r));
-        Nvsc_core.Usage_variance.pp_variance fmt
-          (Nvsc_core.Usage_variance.variance r))
+        pp_analyze_report fmt
+          (Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app))
   in
   let info =
     Cmd.info "analyze"
@@ -201,29 +293,7 @@ let power_cmd =
             in
             Option.get r.mem_trace
         in
-        Format.fprintf fmt
-          "main-memory trace: %d accesses (%d reads, %d writes)@."
-          (Nvsc_memtrace.Trace_log.length trace)
-          (Nvsc_memtrace.Trace_log.reads trace)
-          (Nvsc_memtrace.Trace_log.writes trace);
-        let results =
-          Nvsc_dramsim.Memory_system.compare_technologies
-            ~techs:Nvsc_nvram.Technology.paper_set
-            ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
-            ()
-        in
-        List.iter
-          (fun ((t : Nvsc_nvram.Technology.t), (s : Nvsc_dramsim.Controller.stats)) ->
-            Format.fprintf fmt
-              "%-8s avg power %a  elapsed %a  row-hit %.2f  bandwidth \
-               %.2fGB/s@."
-              t.name Nvsc_util.Units.pp_watts s.avg_power_w
-              Nvsc_util.Units.pp_ns s.elapsed_ns s.row_hit_rate s.bandwidth_gbs)
-          results;
-        List.iter
-          (fun ((t : Nvsc_nvram.Technology.t), p) ->
-            Format.fprintf fmt "%-8s normalized power %.3f@." t.name p)
-          (Nvsc_dramsim.Memory_system.normalized_power results))
+        pp_power_report fmt trace)
   in
   let info =
     Cmd.info "power"
@@ -275,36 +345,8 @@ let place_cmd =
     | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
     | Some tech ->
       with_app name (fun app ->
-          let r =
-            Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app
-          in
-          let items =
-            List.map
-              (fun (m : Nvsc_core.Object_metrics.t) ->
-                {
-                  Nvsc_placement.Item.id = m.obj.Nvsc_memtrace.Mem_object.id;
-                  name = m.obj.Nvsc_memtrace.Mem_object.name;
-                  size_bytes = Nvsc_core.Object_metrics.size_bytes m;
-                  reads = m.reads;
-                  writes = m.writes;
-                  ref_share = m.ref_share;
-                })
-              (Nvsc_core.Scavenger.global_and_heap_metrics r)
-          in
-          let hybrid =
-            Nvsc_placement.Hybrid_memory.create
-              ~dram_bytes:(2 * r.footprint_bytes)
-              ~nvram_bytes:(2 * r.footprint_bytes) ~tech
-          in
-          let hybrid = Nvsc_placement.Static_policy.plan ~hybrid items in
-          List.iter
-            (fun (item : Nvsc_placement.Item.t) ->
-              Format.fprintf fmt "NVRAM <- %a@." Nvsc_placement.Item.pp item)
-            (Nvsc_placement.Hybrid_memory.items_in hybrid
-               Nvsc_placement.Hybrid_memory.Nvram);
-          Nvsc_placement.Hybrid_memory.pp_assessment fmt
-            (Nvsc_placement.Hybrid_memory.assess hybrid);
-          Format.pp_print_newline fmt ())
+          pp_place_report fmt ~tech
+            (Nvsc_core.Scavenger.run (scavenger_config ~scale ~iterations) app))
   in
   let info =
     Cmd.info "place"
@@ -534,10 +576,35 @@ let sweep_cmd =
       Result.bind (f x) (fun y ->
           Result.map (fun ys -> y :: ys) (map_result f rest))
   in
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded $(b,.nvt) trace instead of running the \
+             applications; the matrix is pinned to the trace's application, \
+             scale and iterations, and the cache keys on the trace's \
+             content digest.")
+  in
   let run () scale iterations jobs cache_dir cache_max apps kinds techs
-      override_specs profile =
+      override_specs from_trace profile =
     let ( let* ) = Result.bind in
+    let forced =
+      match from_trace with
+      | None -> Ok (apps, scale, iterations)
+      | Some path -> (
+        (* Pin the matrix to what the trace actually recorded. *)
+        try
+          let meta, _digest = Nvsc_core.Trace_run.info path in
+          Ok
+            ( Some [ meta.Nvsc_memtrace.Trace_codec.app ],
+              meta.scale, meta.iterations )
+        with
+        | Nvsc_memtrace.Trace_codec.Error msg | Sys_error msg -> Error msg)
+    in
     let matrix =
+      let* apps, scale, iterations = forced in
       let* kinds =
         match kinds with
         | None -> Ok None
@@ -571,7 +638,9 @@ let sweep_cmd =
         ?trace_out:(Cli.profile_trace_out profile)
         ~enabled:(Cli.profile_enabled profile)
       @@ fun () ->
-      let outcomes, stats = Sweep.Engine.run ?jobs ?cache matrix in
+      let outcomes, stats =
+        Sweep.Engine.run ?jobs ?cache ?trace:from_trace matrix
+      in
       Sweep.Engine.pp_outcomes fmt outcomes;
       Format.pp_print_flush fmt ();
       Format.fprintf Format.err_formatter "%a@." Sweep.Engine.pp_stats stats;
@@ -591,7 +660,7 @@ let sweep_cmd =
       ret
         (const run $ logs_term $ scale_arg $ iterations_arg $ Cli.jobs
        $ Cli.cache_dir $ Cli.cache_max $ Cli.apps $ Cli.kinds $ Cli.techs
-       $ Cli.overrides $ Cli.profile))
+       $ Cli.overrides $ from_trace_arg $ Cli.profile))
 
 (* --- checkpoint ---------------------------------------------------------- *)
 
@@ -662,56 +731,11 @@ let run_cmd =
             ?trace_out:(Cli.profile_trace_out profile)
             ~enabled:(Cli.profile_enabled profile)
           @@ fun () ->
-          let r =
-            Nvsc_core.Scavenger.run
-              Nvsc_core.Scavenger.Config.(
-                scavenger_config ~scale ~iterations |> with_trace true)
-              app
-          in
-          Nvsc_core.Stack_analysis.pp_summary_table fmt
-            [ Nvsc_core.Stack_analysis.summarize r ];
-          Nvsc_core.Object_analysis.pp_report fmt
-            (Nvsc_core.Object_analysis.analyze r);
-          let trace = Option.get r.mem_trace in
-          Format.fprintf fmt
-            "main-memory trace: %d accesses (%d reads, %d writes)@."
-            (Nvsc_memtrace.Trace_log.length trace)
-            (Nvsc_memtrace.Trace_log.reads trace)
-            (Nvsc_memtrace.Trace_log.writes trace);
-          let results =
-            Nvsc_dramsim.Memory_system.compare_technologies
-              ~techs:Nvsc_nvram.Technology.paper_set
-              ~replay:(fun sink ->
-                Nvsc_memtrace.Trace_log.replay_batch trace sink)
-              ()
-          in
-          List.iter
-            (fun ((t : Nvsc_nvram.Technology.t), p) ->
-              Format.fprintf fmt "%-8s normalized power %.3f@." t.name p)
-            (Nvsc_dramsim.Memory_system.normalized_power results);
-          let items =
-            List.map
-              (fun (m : Nvsc_core.Object_metrics.t) ->
-                {
-                  Nvsc_placement.Item.id = m.obj.Nvsc_memtrace.Mem_object.id;
-                  name = m.obj.Nvsc_memtrace.Mem_object.name;
-                  size_bytes = Nvsc_core.Object_metrics.size_bytes m;
-                  reads = m.reads;
-                  writes = m.writes;
-                  ref_share = m.ref_share;
-                })
-              (Nvsc_core.Scavenger.global_and_heap_metrics r)
-          in
-          let hybrid =
-            Nvsc_placement.Hybrid_memory.create
-              ~dram_bytes:(2 * r.footprint_bytes)
-              ~nvram_bytes:(2 * r.footprint_bytes)
-              ~tech:(Nvsc_nvram.Technology.get tech.Nvsc_nvram.Technology.tech)
-          in
-          let hybrid = Nvsc_placement.Static_policy.plan ~hybrid items in
-          Nvsc_placement.Hybrid_memory.pp_assessment fmt
-            (Nvsc_placement.Hybrid_memory.assess hybrid);
-          Format.pp_print_newline fmt ())
+          pp_run_report fmt ~tech
+            (Nvsc_core.Scavenger.run
+               Nvsc_core.Scavenger.Config.(
+                 scavenger_config ~scale ~iterations |> with_trace true)
+               app))
   in
   let info =
     Cmd.info "run"
@@ -728,6 +752,126 @@ let run_cmd =
         (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
        $ tech_arg $ Cli.profile))
 
+(* --- record -------------------------------------------------------------- *)
+
+let record_cmd =
+  let out_arg =
+    let doc = "Output trace file (NVT binary format)." in
+    Arg.(
+      required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
+  in
+  let chunk_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "chunk-capacity" ] ~docv:"REFS"
+          ~doc:"References per chunk (default 65536).")
+  in
+  let run () name scale iterations out chunk_capacity profile =
+    with_trace_errors @@ fun () ->
+    with_app name (fun app ->
+        Nvsc_obs.with_profiling
+          ?trace_out:(Cli.profile_trace_out profile)
+          ~enabled:(Cli.profile_enabled profile)
+        @@ fun () ->
+        let s =
+          Nvsc_core.Trace_run.record ?chunk_capacity ~scale ~iterations
+            ~path:out app
+        in
+        Format.fprintf fmt
+          "recorded %d references (%d reads, %d writes) in %d chunks to %s@."
+          s.Nvsc_memtrace.Trace_codec.refs s.reads s.writes s.chunks out;
+        Format.fprintf fmt "%a on disk (%.2f bytes/ref), digest %s@."
+          Nvsc_util.Units.pp_bytes s.bytes
+          (float_of_int s.bytes /. float_of_int (max 1 s.refs))
+          s.digest)
+  in
+  let info =
+    Cmd.info "record"
+      ~doc:
+        "Run an application once and record its raw emission stream — every \
+         reference with emission-time object attribution, instruction counts \
+         and phase markers — to a chunked binary $(b,.nvt) trace.  Any \
+         $(b,nvscav replay) analysis (and $(b,sweep --from-trace)) then \
+         reproduces the live pipeline's reports byte-for-byte without \
+         re-running the application."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
+       $ out_arg $ chunk_arg $ Cli.profile))
+
+(* --- replay -------------------------------------------------------------- *)
+
+let replay_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Recorded $(b,.nvt) trace file.")
+  in
+  let kind_arg =
+    let kinds =
+      [
+        ("run", `Run); ("objects", `Objects); ("power", `Power);
+        ("perf", `Perf); ("place", `Place);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum kinds) `Run
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:
+            "Analysis to replay: $(b,run) (default), $(b,objects), \
+             $(b,power), $(b,perf) or $(b,place).")
+  in
+  let tech_arg =
+    Arg.(
+      value & opt string "sttram"
+      & info [ "tech" ] ~docv:"TECH"
+          ~doc:"NVRAM technology for $(b,run)/$(b,place) replays.")
+  in
+  let run () path kind tech_name profile =
+    match Nvsc_nvram.Technology.of_string tech_name with
+    | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
+    | Some tech ->
+      with_trace_errors @@ fun () ->
+      Nvsc_obs.with_profiling
+        ?trace_out:(Cli.profile_trace_out profile)
+        ~enabled:(Cli.profile_enabled profile)
+      @@ fun () ->
+      (match kind with
+      | `Run -> pp_run_report fmt ~tech (Nvsc_core.Trace_run.replay path)
+      | `Objects -> pp_analyze_report fmt (Nvsc_core.Trace_run.replay path)
+      | `Power ->
+        let r = Nvsc_core.Trace_run.replay path in
+        pp_power_report fmt (Option.get r.Nvsc_core.Scavenger.mem_trace)
+      | `Perf ->
+        Nvsc_cpusim.Sensitivity.pp_points fmt
+          (Nvsc_cpusim.Sensitivity.run
+             ~replay:(Nvsc_core.Trace_run.perf_replay path)
+             ())
+      | `Place -> pp_place_report fmt ~tech (Nvsc_core.Trace_run.replay path));
+      `Ok ()
+  in
+  let info =
+    Cmd.info "replay"
+      ~doc:
+        "Stream a recorded $(b,.nvt) trace through an analysis without \
+         re-running the application.  Replayed reports are byte-identical \
+         to their live counterparts: $(b,--kind run) matches $(b,nvscav \
+         run), $(b,objects) matches $(b,analyze), $(b,power)/$(b,place) \
+         match $(b,power)/$(b,place); $(b,perf) matches $(b,perf) for a \
+         trace recorded with its scale at 1 iteration.  Memory use is \
+         bounded by the trace's chunk capacity, not its length."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ trace_arg $ kind_arg $ tech_arg
+       $ Cli.profile))
+
 let main_cmd =
   let doc = "NV-Scavenger: NVRAM opportunity analysis for HPC applications" in
   let info = Cmd.info "nvscav" ~version:"1.0.0" ~doc in
@@ -736,7 +880,7 @@ let main_cmd =
       list_cmd; run_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd;
       perf_cmd; place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd;
       traffic_cmd; fine_cmd; lint_cmd;
-      sweep_cmd; checkpoint_cmd;
+      sweep_cmd; checkpoint_cmd; record_cmd; replay_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

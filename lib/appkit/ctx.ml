@@ -30,6 +30,15 @@ type frame = {
 
 type attributed_sink = Sink.Batch.t -> int array -> first:int -> n:int -> unit
 
+type record_sink =
+  Sink.Batch.t ->
+  obj_ids:int array ->
+  instr_before:int array ->
+  instr_tail:int ->
+  first:int ->
+  n:int ->
+  unit
+
 type event =
   | Alloc of Mem_object.t
   | Free of Mem_object.t
@@ -50,6 +59,11 @@ type t = {
      sinks always see a reference under the same object/stack state it was
      emitted in — making their view independent of batch capacity. *)
   mutable event_sink : (event -> unit) option;
+  (* raw-emission observer (trace recording): sees every buffered slice
+     with its emission-time attribution and instruction interleave intact,
+     including the boundary instruction tail — the lossless program-order
+     stream the NVT writer serializes. *)
+  mutable record_sink : record_sink option;
   (* true iff some consumer reads the emission buffers (a reference sink,
      an attributed sink, or an instruction sink).  When false — the
      common no-trace configuration — [emit_observed] skips the four
@@ -176,6 +190,7 @@ let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
     attr_sinks = [||];
     instr_sink = None;
     event_sink = None;
+    record_sink = None;
     recording = false;
     redzone_bytes = redzone_words * Layout.word;
     batch;
@@ -233,6 +248,9 @@ let deliver_segment t first n =
 
 let flush_batch t ~boundary =
   let n = t.batch_len in
+  (* a boundary flush also delivers the instruction tail committed after
+     the last buffered reference *)
+  let instr_tail = if boundary then t.pending_instr else 0 in
   if n > 0 then begin
     t.batch_len <- 0;
     t.batches_out <- t.batches_out + 1;
@@ -255,10 +273,15 @@ let flush_batch t ~boundary =
       deliver_segment t !seg (n - !seg));
     Array.iter (fun f -> f t.batch t.obj_ids ~first:0 ~n) t.attr_sinks
   end;
-  if boundary && t.pending_instr > 0 then begin
-    (match t.instr_sink with Some isink -> isink t.pending_instr | None -> ());
+  if instr_tail > 0 then begin
+    (match t.instr_sink with Some isink -> isink instr_tail | None -> ());
     t.pending_instr <- 0
-  end
+  end;
+  match t.record_sink with
+  | Some rs when n > 0 || instr_tail > 0 ->
+    rs t.batch ~obj_ids:t.obj_ids ~instr_before:t.instr_before ~instr_tail
+      ~first:0 ~n
+  | _ -> ()
 
 let flush_refs t = flush_batch t ~boundary:true
 
@@ -267,6 +290,7 @@ let recompute_recording t =
     Array.length t.sinks > 0
     || Array.length t.attr_sinks > 0
     || t.instr_sink <> None
+    || t.record_sink <> None
 
 (* Subscription flushes buffered references first: references emitted
    before the subscription are delivered to the previously-subscribed
@@ -291,6 +315,11 @@ let set_event_sink t f =
   flush_refs t;
   t.event_sink <- Some f
 
+let set_record_sink t f =
+  flush_refs t;
+  t.record_sink <- Some f;
+  recompute_recording t
+
 let redzone_bytes t = t.redzone_bytes
 
 (* Flush buffered references before a registry/stack mutation when a
@@ -307,6 +336,7 @@ let clear_sinks t =
   t.attr_sinks <- [||];
   t.instr_sink <- None;
   t.event_sink <- None;
+  t.record_sink <- None;
   t.recording <- false
 
 let release t =
@@ -697,9 +727,8 @@ let[@inline] write_addr t ~addr = emit t addr Access.Write
 
 let flops t n =
   if n < 0 then invalid_arg "Ctx.flops: negative";
-  match t.instr_sink with
-  | Some _ -> t.pending_instr <- t.pending_instr + n
-  | None -> ()
+  if t.instr_sink <> None || t.record_sink <> None then
+    t.pending_instr <- t.pending_instr + n
 
 (* --- analysis accessors ------------------------------------------------ *)
 

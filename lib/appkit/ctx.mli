@@ -46,6 +46,28 @@ val set_instr_sink : t -> (int -> unit) -> unit
     Counts are buffered alongside the reference batch and replayed in
     program order at flush time. *)
 
+type record_sink =
+  Nvsc_memtrace.Sink.Batch.t ->
+  obj_ids:int array ->
+  instr_before:int array ->
+  instr_tail:int ->
+  first:int ->
+  n:int ->
+  unit
+(** The raw emission stream, losslessly: each flushed slice with its
+    emission-time attribution ([obj_ids.(i)], [-1] = unattributed), the
+    committed plain instructions preceding each reference
+    ([instr_before.(i)], counted since reference [i-1]), and — on a
+    boundary flush — the instruction tail committed after the last
+    buffered reference.  [n] may be [0] when only a tail is delivered.
+    This is what [nvscav record] serializes: replaying it token by token
+    reproduces every analysis exactly, independent of batch capacity. *)
+
+val set_record_sink : t -> record_sink -> unit
+(** Install the (single) raw-stream recorder.  Flushes buffered
+    references first.  Installing a recorder makes {!flops} counts
+    accumulate even without an instruction sink. *)
+
 (** Object/stack lifecycle events, as seen by an {!set_event_sink}
     observer.  Events are delivered in program order, interleaved with
     attributed batches: the batch is flushed {e before} the mutation the

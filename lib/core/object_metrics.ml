@@ -38,8 +38,7 @@ let suitability_metrics t =
     ref_rate = t.ref_share;
   }
 
-let total_main_refs ctx ~iterations =
-  let counters = Ctx.counters ctx in
+let total_main_refs_of counters ~iterations =
   List.fold_left
     (fun acc obj_id ->
       let per_obj = ref 0 in
@@ -53,8 +52,10 @@ let total_main_refs ctx ~iterations =
     0
     (Counters.tracked_objects counters)
 
-let of_object ctx ~iterations ~total_refs obj =
-  let counters = Ctx.counters ctx in
+let total_main_refs ctx ~iterations =
+  total_main_refs_of (Ctx.counters ctx) ~iterations
+
+let of_object counters ~iterations ~total_refs obj =
   let obj_id = obj.Mem_object.id in
   let per_iter_reads =
     Array.init iterations (fun i -> Counters.reads counters ~obj_id ~iter:(i + 1))
@@ -90,9 +91,14 @@ let of_object ctx ~iterations ~total_refs obj =
     touched_outside_main;
   }
 
-let collect ctx ~iterations =
+let collect_of ~counters ~objects ~iterations =
   if iterations < 1 then invalid_arg "Object_metrics.collect: iterations";
-  let total_refs = total_main_refs ctx ~iterations in
+  let total_refs = total_main_refs_of counters ~iterations in
+  List.map (of_object counters ~iterations ~total_refs) objects
+
+let collect ctx ~iterations =
   let globals_and_heap = Object_registry.objects (Ctx.registry ctx) in
   let stack = Ctx.stack_objects ctx in
-  List.map (of_object ctx ~iterations ~total_refs) (globals_and_heap @ stack)
+  collect_of ~counters:(Ctx.counters ctx)
+    ~objects:(globals_and_heap @ stack)
+    ~iterations

@@ -41,4 +41,15 @@ val collect : Nvsc_appkit.Ctx.t -> iterations:int -> t list
     routine stack frames — after an application run of [iterations]
     main-loop iterations. *)
 
+val collect_of :
+  counters:Nvsc_memtrace.Counters.t ->
+  objects:Nvsc_memtrace.Mem_object.t list ->
+  iterations:int ->
+  t list
+(** {!collect} decoupled from a live context: metrics from standalone
+    per-object counters and an explicit object list — how trace replay
+    rebuilds the report without re-running the application. *)
+
 val total_main_refs : Nvsc_appkit.Ctx.t -> iterations:int -> int
+
+val total_main_refs_of : Nvsc_memtrace.Counters.t -> iterations:int -> int

@@ -1,0 +1,193 @@
+module Ctx = Nvsc_appkit.Ctx
+module Layout = Nvsc_memtrace.Layout
+module Mem_object = Nvsc_memtrace.Mem_object
+module Object_registry = Nvsc_memtrace.Object_registry
+module Counters = Nvsc_memtrace.Counters
+module Sink = Nvsc_memtrace.Sink
+module Trace_codec = Nvsc_memtrace.Trace_codec
+module Trace_log = Nvsc_memtrace.Trace_log
+module Hierarchy = Nvsc_cachesim.Hierarchy
+module Cache = Nvsc_cachesim.Cache
+module Access = Nvsc_memtrace.Access
+module Span = Nvsc_obs.Span
+
+let record ?batch_capacity ?chunk_capacity ~scale ~iterations ~path
+    (module A : Nvsc_apps.Workload.APP) =
+  Span.with_ ~arg:A.name "trace.record" @@ fun () ->
+  let ctx = Ctx.create ?batch_capacity () in
+  let meta =
+    {
+      Trace_codec.app = A.name;
+      description = A.description;
+      input_description = A.input_description;
+      paper_footprint_mb = A.paper_footprint_mb;
+      scale;
+      iterations;
+      batch_capacity =
+        (match batch_capacity with
+        | Some c -> c
+        | None -> Sink.default_capacity);
+    }
+  in
+  (* descriptors by id, filled from lifecycle events, so the writer can
+     snapshot an object into the chunk that first references it *)
+  let objs : (int, Mem_object.t) Hashtbl.t = Hashtbl.create 256 in
+  let w =
+    Trace_codec.Writer.create ?chunk_capacity
+      ~resolve:(fun id -> Hashtbl.find_opt objs id)
+      ~path ~meta ()
+  in
+  match
+    Ctx.set_event_sink ctx (function
+      | Ctx.Alloc o | Ctx.Frame_push (o, _) ->
+        Hashtbl.replace objs o.Mem_object.id o
+      | Ctx.Free _ | Ctx.Frame_pop _ -> ()
+      | Ctx.Phase_change p -> Trace_codec.Writer.add_phase w p);
+    Ctx.set_record_sink ctx
+      (fun batch ~obj_ids ~instr_before ~instr_tail ~first ~n ->
+        for i = first to first + n - 1 do
+          let k = instr_before.(i) in
+          if k > 0 then Trace_codec.Writer.add_instr w k;
+          Trace_codec.Writer.add_ref w ~addr:(Sink.Batch.addr batch i)
+            ~size:(Sink.Batch.size batch i)
+            ~op:(Sink.Batch.op batch i)
+            ~obj_id:obj_ids.(i)
+        done;
+        if instr_tail > 0 then Trace_codec.Writer.add_instr w instr_tail);
+    A.run ~scale ctx ~iterations;
+    Ctx.flush_refs ctx
+  with
+  | () ->
+    let objects = Object_registry.objects (Ctx.registry ctx) in
+    let stack_objects = Ctx.stack_objects ctx in
+    Ctx.release ctx;
+    Trace_codec.Writer.finish w ~objects ~stack_objects ()
+  | exception e ->
+    Trace_codec.Writer.abort w;
+    raise e
+
+(* --- replay ------------------------------------------------------------- *)
+
+type tally = {
+  mutable sr : int;
+  mutable sw : int;
+  mutable or_ : int;
+  mutable ow : int;
+}
+
+let iteration_of_phase = function
+  | Mem_object.Pre | Mem_object.Post -> 0
+  | Mem_object.Main i -> i
+
+let replay path =
+  Span.with_ ~arg:path "trace.replay" @@ fun () ->
+  let r = Trace_codec.Reader.open_ path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  let meta = Trace_codec.Reader.meta r in
+  let iterations = meta.Trace_codec.iterations in
+  let counters = Counters.create () in
+  let tallies =
+    Array.init (iterations + 1) (fun _ -> { sr = 0; sw = 0; or_ = 0; ow = 0 })
+  in
+  let cur_tally = ref tallies.(0) in
+  let in_main = ref false in
+  let unattributed = ref 0 in
+  let batches = ref 0 in
+  let trace = Trace_log.create () in
+  let hierarchy =
+    Hierarchy.create ~sink:(Trace_log.sink ~name:"trace-log" trace) ()
+  in
+  Trace_codec.stream r
+    ~on_phase:(fun p ->
+      let iter = iteration_of_phase p in
+      Counters.set_iteration counters iter;
+      if iter >= 0 && iter <= iterations then cur_tally := tallies.(iter);
+      in_main := match p with Mem_object.Main _ -> true | _ -> false)
+    ~on_refs:(fun batch ~obj_ids ~first ~n ->
+      incr batches;
+      let tal = !cur_tally in
+      for i = first to first + n - 1 do
+        let addr = Sink.Batch.addr batch i in
+        let op = Sink.Batch.op batch i in
+        (* same classification as live emission: globals and heap are
+           contiguous, everything outside the stack window tallies as
+           "other" *)
+        if addr > Layout.stack_limit && addr <= Layout.stack_top then
+          match op with
+          | Access.Read -> tal.sr <- tal.sr + 1
+          | Access.Write -> tal.sw <- tal.sw + 1
+        else begin
+          match op with
+          | Access.Read -> tal.or_ <- tal.or_ + 1
+          | Access.Write -> tal.ow <- tal.ow + 1
+        end;
+        let obj_id = obj_ids.(i) in
+        if obj_id >= 0 then Counters.record counters ~obj_id ~op
+        else incr unattributed
+      done;
+      if !in_main then Hierarchy.consume hierarchy batch ~first ~n)
+    ();
+  Hierarchy.drain hierarchy;
+  let objects =
+    Trace_codec.Reader.objects r @ Trace_codec.Reader.stack_objects r
+  in
+  let metrics = Object_metrics.collect_of ~counters ~objects ~iterations in
+  let footprint_bytes =
+    List.fold_left (fun acc m -> acc + Object_metrics.size_bytes m) 0 metrics
+  in
+  {
+    Scavenger.app_name = meta.Trace_codec.app;
+    description = meta.Trace_codec.description;
+    input_description = meta.Trace_codec.input_description;
+    paper_footprint_mb = meta.Trace_codec.paper_footprint_mb;
+    iterations;
+    scale = meta.Trace_codec.scale;
+    footprint_bytes;
+    total_main_refs = Object_metrics.total_main_refs_of counters ~iterations;
+    metrics;
+    fast_tallies =
+      Array.map
+        (fun t ->
+          {
+            Ctx.stack_reads = t.sr;
+            stack_writes = t.sw;
+            other_reads = t.or_;
+            other_writes = t.ow;
+          })
+        tallies;
+    mem_trace = Some trace;
+    l1_miss_rate = Cache.miss_rate (Hierarchy.l1d hierarchy);
+    l2_miss_rate = Cache.miss_rate (Hierarchy.l2 hierarchy);
+    unattributed = !unattributed;
+    pipeline =
+      (* replay has no emission batch: one "batch" per delivered slice,
+         all boundary flushes *)
+      {
+        Ctx.batch_capacity = meta.Trace_codec.batch_capacity;
+        refs = Trace_codec.Reader.refs r;
+        batches = !batches;
+        capacity_flushes = 0;
+        boundary_flushes = !batches;
+        sinks = [];
+      };
+    sanitizer = None;
+  }
+
+let perf_replay path model =
+  Span.with_ ~arg:path "trace.perf_replay" @@ fun () ->
+  let r = Trace_codec.Reader.open_ path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  let in_main = ref false in
+  Trace_codec.stream r
+    ~on_phase:(fun p ->
+      in_main := match p with Mem_object.Main _ -> true | _ -> false)
+    ~on_instr:(fun n ->
+      if !in_main then Nvsc_cpusim.Perf_model.instructions model n)
+    ~on_refs:(fun batch ~obj_ids:_ ~first ~n ->
+      if !in_main then Nvsc_cpusim.Perf_model.consume model batch ~first ~n)
+    ()
+
+let info path =
+  let r = Trace_codec.Reader.open_ path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  (Trace_codec.Reader.meta r, Trace_codec.Reader.digest r)

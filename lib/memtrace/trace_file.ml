@@ -13,7 +13,7 @@ let save log path =
           append_record oc ~index:!i a;
           incr i))
 
-let parse_record line =
+let parse_record ?(size = 64) line =
   let line = String.trim line in
   if line = "" || line.[0] = '#' then None
   else
@@ -29,7 +29,7 @@ let parse_record line =
         | "P_MEM_WR" | "WRITE" -> Access.Write
         | _ -> failwith ("Trace_file: bad operation " ^ op)
       in
-      Some { Access.addr; size = 64; op }
+      Some { Access.addr; size; op }
     | _ -> failwith ("Trace_file: malformed record: " ^ line)
 
 let load ?(size = 64) path =
@@ -44,11 +44,11 @@ let load ?(size = 64) path =
            incr lineno;
            let line = input_line ic in
            match
-             try parse_record line
+             try parse_record ~size line
              with Failure msg ->
-               failwith (Printf.sprintf "%s (line %d)" msg !lineno)
+               failwith (Printf.sprintf "%s: %s (line %d)" path msg !lineno)
            with
-           | Some a -> Trace_log.record log { a with Access.size }
+           | Some a -> Trace_log.record log a
            | None -> ()
          done
        with End_of_file -> ());

@@ -17,11 +17,13 @@ val save : Trace_log.t -> string -> unit
 val load : ?size:int -> string -> Trace_log.t
 (** [load path] parses a trace file; [size] (default 64) is the byte size
     assigned to each access (the format does not carry one).  Raises
-    [Failure] with the offending line number on a malformed record. *)
+    [Failure] naming the file path and the offending line number on a
+    malformed record. *)
 
 val append_record : out_channel -> index:int -> Access.t -> unit
 (** Write one record (exposed for streaming writers). *)
 
-val parse_record : string -> Access.t option
+val parse_record : ?size:int -> string -> Access.t option
 (** Parse one line; [None] for comments and blank lines.  Raises [Failure]
-    on malformed input.  The parsed access has size 64. *)
+    on malformed input.  The parsed access gets byte size [size]
+    (default 64 — the format carries no size column). *)

@@ -34,6 +34,7 @@ type spec = {
   scale : float;
   iterations : int;
   tech : Technology.tech option;
+  trace_digest : string option;
 }
 
 let tech_name t = (Technology.get t).Technology.name
@@ -47,6 +48,8 @@ let spec_to_json s =
       ("iterations", Int s.iterations);
       ( "tech",
         match s.tech with None -> Null | Some t -> Str (tech_name t) );
+      ( "trace",
+        match s.trace_digest with None -> Null | Some d -> Str d );
     ]
 
 let spec_of_json j =
@@ -72,9 +75,13 @@ let spec_of_json j =
     scale = to_float (member "scale" j);
     iterations = to_int (member "iterations" j);
     tech;
+    trace_digest =
+      (match member_opt "trace" j with
+      | None | Some Null -> None
+      | Some d -> Some (to_str d));
   }
 
-let code_version = "nvsc-sweep-v1"
+let code_version = "nvsc-sweep-v2"
 
 let digest spec =
   Digest.to_hex
@@ -331,24 +338,22 @@ let base_config (spec : spec) =
   Scavenger.Config.(
     default |> with_scale spec.scale |> with_iterations spec.iterations)
 
-let execute_objects spec app =
-  let r = Scavenger.run (base_config spec) app in
-  Objects_result
-    {
-      info = info_of_result r;
-      summary = Stack_analysis.summarize r;
-      distribution = Stack_analysis.distribution r;
-      report = Object_analysis.analyze r;
-      cdf = Usage_variance.usage_cdf r;
-      variance = Usage_variance.variance r;
-      untouched_fraction = Usage_variance.untouched_in_main_fraction r;
-      pipeline = r.pipeline;
-    }
+let objects_payload_of_result (r : Scavenger.result) =
+  {
+    info = info_of_result r;
+    summary = Stack_analysis.summarize r;
+    distribution = Stack_analysis.distribution r;
+    report = Object_analysis.analyze r;
+    cdf = Usage_variance.usage_cdf r;
+    variance = Usage_variance.variance r;
+    untouched_fraction = Usage_variance.untouched_in_main_fraction r;
+    pipeline = r.pipeline;
+  }
 
-let execute_power spec app =
-  let r =
-    Scavenger.run Scavenger.Config.(base_config spec |> with_trace true) app
-  in
+let execute_objects spec app =
+  Objects_result (objects_payload_of_result (Scavenger.run (base_config spec) app))
+
+let power_payload_of_result (r : Scavenger.result) =
   let trace = Option.get r.mem_trace in
   let results =
     Nvsc_dramsim.Memory_system.compare_technologies
@@ -372,17 +377,34 @@ let execute_power spec app =
         })
       results normalized
   in
+  {
+    p_info = info_of_result r;
+    trace_length = Trace_log.length trace;
+    trace_reads = Trace_log.reads trace;
+    trace_writes = Trace_log.writes trace;
+    l1_miss_rate = r.l1_miss_rate;
+    l2_miss_rate = r.l2_miss_rate;
+    power_rows;
+    p_pipeline = r.pipeline;
+  }
+
+let execute_power spec app =
   Power_result
-    {
-      p_info = info_of_result r;
-      trace_length = Trace_log.length trace;
-      trace_reads = Trace_log.reads trace;
-      trace_writes = Trace_log.writes trace;
-      l1_miss_rate = r.l1_miss_rate;
-      l2_miss_rate = r.l2_miss_rate;
-      power_rows;
-      p_pipeline = r.pipeline;
-    }
+    (power_payload_of_result
+       (Scavenger.run
+          Scavenger.Config.(base_config spec |> with_trace true)
+          app))
+
+let perf_rows_of_points points =
+  List.map
+    (fun (p : Nvsc_cpusim.Sensitivity.point) ->
+      {
+        perf_tech_name = p.tech.Technology.name;
+        latency_ns = p.latency_ns;
+        runtime_ns = p.runtime_ns;
+        normalized_runtime = p.normalized_runtime;
+      })
+    points
 
 let execute_perf spec app =
   let points =
@@ -390,22 +412,12 @@ let execute_perf spec app =
       ~replay:(Nvsc_core.Experiment.perf_replay ~scale:spec.scale app)
       ()
   in
-  Perf_result
-    (List.map
-       (fun (p : Nvsc_cpusim.Sensitivity.point) ->
-         {
-           perf_tech_name = p.tech.Technology.name;
-           latency_ns = p.latency_ns;
-           runtime_ns = p.runtime_ns;
-           normalized_runtime = p.normalized_runtime;
-         })
-       points)
+  Perf_result (perf_rows_of_points points)
 
-let execute_place spec app =
+let place_payload_of_result spec (r : Scavenger.result) =
   let tech =
     Technology.get (Option.value spec.tech ~default:Technology.STTRAM)
   in
-  let r = Scavenger.run (base_config spec) app in
   let items =
     List.map
       (fun (m : Nvsc_core.Object_metrics.t) ->
@@ -424,30 +436,68 @@ let execute_place spec app =
       ~nvram_bytes:(2 * r.footprint_bytes) ~tech
   in
   let hybrid = Nvsc_placement.Static_policy.plan ~hybrid items in
+  {
+    place_tech_name = tech.name;
+    place_footprint_bytes = r.footprint_bytes;
+    nvram_items =
+      Nvsc_placement.Hybrid_memory.items_in hybrid
+        Nvsc_placement.Hybrid_memory.Nvram;
+    assessment = Nvsc_placement.Hybrid_memory.assess hybrid;
+  }
+
+let execute_place spec app =
   Place_result
-    {
-      place_tech_name = tech.name;
-      place_footprint_bytes = r.footprint_bytes;
-      nvram_items =
-        Nvsc_placement.Hybrid_memory.items_in hybrid
-          Nvsc_placement.Hybrid_memory.Nvram;
-      assessment = Nvsc_placement.Hybrid_memory.assess hybrid;
-    }
+    (place_payload_of_result spec (Scavenger.run (base_config spec) app))
 
 let m_cells = Nvsc_obs.Metrics.counter "sweep.cells"
 
-let execute spec =
+(* A trace-fed cell never re-runs the application: every kind is rebuilt
+   by streaming the recorded reference stream.  The spec's pinned digest
+   is re-verified against the file, so a cached payload can only ever be
+   served for the exact trace content it was computed from. *)
+let execute_from_trace spec path =
+  (match spec.trace_digest with
+  | None -> ()
+  | Some pinned ->
+    let _, digest = Nvsc_core.Trace_run.info path in
+    if digest <> pinned then
+      invalid_arg
+        (Printf.sprintf
+           "Cell.execute: trace %s has digest %s but the spec pins %s" path
+           digest pinned));
+  match spec.kind with
+  | Objects ->
+    Objects_result (objects_payload_of_result (Nvsc_core.Trace_run.replay path))
+  | Power ->
+    Power_result (power_payload_of_result (Nvsc_core.Trace_run.replay path))
+  | Perf ->
+    Perf_result
+      (perf_rows_of_points
+         (Nvsc_cpusim.Sensitivity.run
+            ~replay:(Nvsc_core.Trace_run.perf_replay path)
+            ()))
+  | Place ->
+    Place_result
+      (place_payload_of_result spec (Nvsc_core.Trace_run.replay path))
+
+let execute ?trace spec =
   Nvsc_obs.Span.with_
     ~arg:(spec.app ^ "/" ^ kind_to_string spec.kind)
     "sweep.cell"
   @@ fun () ->
   Nvsc_obs.Metrics.Counter.incr m_cells;
-  let app = find_app spec.app in
-  match spec.kind with
-  | Objects -> execute_objects spec app
-  | Power -> execute_power spec app
-  | Perf -> execute_perf spec app
-  | Place -> execute_place spec app
+  match trace with
+  | Some path -> execute_from_trace spec path
+  | None ->
+    if spec.trace_digest <> None then
+      invalid_arg
+        "Cell.execute: spec pins a trace digest but no trace file was given";
+    let app = find_app spec.app in
+    (match spec.kind with
+    | Objects -> execute_objects spec app
+    | Power -> execute_power spec app
+    | Perf -> execute_perf spec app
+    | Place -> execute_place spec app)
 
 (* --- rendering ---------------------------------------------------------- *)
 

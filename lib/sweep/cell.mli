@@ -27,6 +27,11 @@ type spec = {
   iterations : int;
   tech : Nvsc_nvram.Technology.tech option;
       (** NVRAM technology of a [Place] cell's hybrid; [None] elsewhere *)
+  trace_digest : string option;
+      (** content digest of the NVT trace this cell replays instead of
+          re-running the application; [None] for a live cell.  Folded into
+          {!digest}, so trace-fed and live results never share a cache
+          entry and different trace contents never collide. *)
 }
 
 val spec_to_json : spec -> Json.t
@@ -105,10 +110,17 @@ val payload_to_json : payload -> Json.t
 val payload_of_json : Json.t -> payload
 (** Raises {!Nvsc_util.Json.Parse_error} on a foreign or stale shape. *)
 
-val execute : spec -> payload
+val execute : ?trace:string -> spec -> payload
 (** Run the cell.  Re-entrant and domain-safe: builds a fresh context,
     touches no global mutable state.  Raises [Invalid_argument] on an
-    unknown application name. *)
+    unknown application name.
+
+    With [trace] (a path to an [.nvt] file, see
+    {!Nvsc_memtrace.Trace_codec}), the cell streams the recorded
+    reference stream instead of re-running the application — one recorded
+    trace feeds every analysis kind.  If the spec pins a [trace_digest],
+    the file's digest must match ([Invalid_argument] otherwise); a spec
+    that pins a digest cannot execute without a trace. *)
 
 val render : Format.formatter -> spec -> payload -> unit
 (** The cell's section of the aggregated sweep report (header line plus

@@ -11,10 +11,20 @@ type stats = {
   jobs : int;
 }
 
-let run ?jobs ?cache matrix =
+let run ?jobs ?cache ?trace matrix =
   Nvsc_obs.Span.with_ "sweep.run" @@ fun () ->
   let jobs = match jobs with Some j -> j | None -> Pool.default_jobs () in
   let specs = Array.of_list (Matrix.cells matrix) in
+  (* Trace-fed sweep: read the trace digest once and stamp it into every
+     spec, so the cache keys on the trace *content* — re-analyzing the
+     same recorded trace hits, a re-recorded (different) trace misses. *)
+  let specs =
+    match trace with
+    | None -> specs
+    | Some path ->
+      let _, digest = Nvsc_core.Trace_run.info path in
+      Array.map (fun s -> { s with Cell.trace_digest = Some digest }) specs
+  in
   (* Serial cache pass on the calling domain: the cache never sees
      concurrent access, and hit/miss order is deterministic. *)
   let looked_up =
@@ -33,7 +43,9 @@ let run ?jobs ?cache matrix =
     |> Array.of_list
   in
   let computed =
-    Pool.map ~jobs (fun i -> Cell.execute (fst looked_up.(i))) miss_indices
+    Pool.map ~jobs
+      (fun i -> Cell.execute ?trace (fst looked_up.(i)))
+      miss_indices
   in
   let by_index = Hashtbl.create (Array.length miss_indices) in
   Array.iteri (fun k i -> Hashtbl.add by_index i computed.(k)) miss_indices;

@@ -21,9 +21,14 @@ type stats = {
   jobs : int;
 }
 
-val run : ?jobs:int -> ?cache:Cache.t -> Matrix.t -> outcome array * stats
+val run :
+  ?jobs:int -> ?cache:Cache.t -> ?trace:string -> Matrix.t -> outcome array * stats
 (** [jobs] defaults to {!Pool.default_jobs}.  Without [cache] every cell
-    executes and [hits]/[misses]/[evictions] stay 0. *)
+    executes and [hits]/[misses]/[evictions] stay 0.  With [trace] (an
+    [.nvt] file) every cell replays the recorded stream instead of
+    re-running its application, and the trace's content digest is stamped
+    into each spec before lookup — so the cache keys on trace content and
+    a warm re-analysis of the same trace reports [misses=0]. *)
 
 val pp_stats : Format.formatter -> stats -> unit
 (** One-line [sweep: cells=.. hits=.. misses=.. evictions=.. jobs=..]. *)

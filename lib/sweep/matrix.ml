@@ -127,6 +127,7 @@ let cells t =
               scale = t.scale;
               iterations = t.iterations;
               tech = None;
+              trace_digest = None;
             }
           in
           match kind with

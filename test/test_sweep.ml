@@ -16,8 +16,8 @@ module Technology = Nvsc_nvram.Technology
 let tiny_config = { E.scale = 0.1; iterations = 2; perf_scale = 0.1 }
 
 let spec ?(app = "cam") ?(kind = Cell.Objects) ?(scale = 0.1)
-    ?(iterations = 2) ?tech () =
-  { Cell.app; kind; scale; iterations; tech }
+    ?(iterations = 2) ?tech ?trace_digest () =
+  { Cell.app; kind; scale; iterations; tech; trace_digest }
 
 let with_fmt f =
   let buf = Buffer.create 4096 in
@@ -75,6 +75,7 @@ let test_spec_codec () =
       spec ();
       spec ~app:"gtc" ~kind:Cell.Perf ~scale:0.5 ~iterations:7 ();
       spec ~kind:Cell.Place ~tech:Technology.PCRAM ();
+      spec ~trace_digest:(String.make 32 'a') ();
     ]
   in
   List.iter
@@ -221,10 +222,11 @@ let gen_spec =
         [ None; Some Technology.PCRAM; Some Technology.STTRAM;
           Some Technology.MRAM ]
     in
-    return { Cell.app; kind; scale; iterations; tech })
+    let* trace_digest = oneofl [ None; Some (String.make 32 'b') ] in
+    return { Cell.app; kind; scale; iterations; tech; trace_digest })
 
 let mutate_field i (s : Cell.spec) =
-  match i mod 5 with
+  match i mod 6 with
   | 0 -> { s with app = (if s.app = "cam" then "gtc" else "cam") }
   | 1 ->
     {
@@ -233,13 +235,21 @@ let mutate_field i (s : Cell.spec) =
     }
   | 2 -> { s with scale = s.scale +. 0.125 }
   | 3 -> { s with iterations = s.iterations + 1 }
-  | _ ->
+  | 4 ->
     {
       s with
       tech =
         (match s.tech with
         | Some Technology.PCRAM -> Some Technology.MRAM
         | _ -> Some Technology.PCRAM);
+    }
+  | _ ->
+    {
+      s with
+      trace_digest =
+        (match s.trace_digest with
+        | None -> Some (String.make 32 'c')
+        | Some _ -> None);
     }
 
 let digest_sensitive =
