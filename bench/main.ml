@@ -249,6 +249,23 @@ let bench_scavenger_sanitized name =
                 quick_scavenger_config |> with_sanitize true)
               (Option.get (Nvsc_apps.Apps.find name)))))
 
+(* Satellite: the `lint --persist` pipeline — the sanitized run with the
+   NVSC-Persist crash-consistency checker also attached.  The apps are
+   epoch-annotated, so this is the armed-but-clean cost over plain lint:
+   per-write persist-set membership tests plus the per-line state machine
+   at every flush/fence/commit (the transport and shadow-state cost is
+   already paid by the sanitizer).  The per-run ratio is printed after
+   the table. *)
+let bench_scavenger_persist name =
+  Test.make ~name:(Printf.sprintf "persist:check-%s" name)
+    (Staged.stage (fun () ->
+         ignore
+           (Nvsc_core.Scavenger.run
+              Nvsc_core.Scavenger.Config.(
+                quick_scavenger_config |> with_sanitize true
+                |> with_persist true)
+              (Option.get (Nvsc_apps.Apps.find name)))))
+
 let bench_wear_leveling ~name scheme =
   Test.make ~name
     (Staged.stage (fun () ->
@@ -377,6 +394,7 @@ let tests =
       bench_sink_batched;
       bench_scavenger_sanitized "gtc";
       bench_scavenger_armed "gtc";
+      bench_scavenger_persist "gtc";
       bench_wear_leveling ~name:"ablation:wear-start-gap"
         (Nvsc_nvram.Wear_leveling.Start_gap { gap_move_interval = 100 });
       bench_wear_leveling ~name:"ablation:wear-table"
@@ -470,6 +488,15 @@ let () =
     Format.printf
       "sanitizer overhead (gtc): bare %.1fus, sanitized %.1fus (%.2fx)@."
       (bare /. 1_000.) (san /. 1_000.) (san /. bare)
+  | _ -> ());
+  (* persist-overhead summary: the lint pipeline with and without the
+     crash-consistency checker over a clean epoch-annotated run *)
+  (match (find "scavenger-gtc-sanitized", find "persist:check-gtc") with
+  | Some lint, Some chk when lint > 0. ->
+    Format.printf
+      "persist overhead (gtc, armed-but-clean): lint %.1fus, lint --persist \
+       %.1fus (%.2fx)@."
+      (lint /. 1_000.) (chk /. 1_000.) (chk /. lint)
   | _ -> ());
   (* obs-overhead summary: same app, recorder disarmed vs armed *)
   (match (find "scavenger-gtc", find "scavenger-gtc-armed") with

@@ -534,22 +534,56 @@ let lint_cmd =
     in
     Arg.(value & flag & info [ "check-init" ] ~doc)
   in
-  let run () name scale iterations check_init =
+  let persist_arg =
+    let doc =
+      "Also run NVSC-Persist: the static persist lint (epoch balance, \
+       placement of the persist set, write intensity) and the dynamic \
+       crash-consistency checker over the run, with the flush/fence \
+       durability cost per memory technology."
+    in
+    Arg.(value & flag & info [ "persist" ] ~doc)
+  in
+  let run () name scale iterations check_init persist =
     with_app name (fun app ->
         let module San = Nvsc_sanitizer.Diagnostic in
         let static = Nvsc_sanitizer.Config_lint.all ~app () in
+        let static =
+          if persist then
+            San.merge static
+              (Nvsc_sanitizer.Config_lint.persist ~scale ~iterations app)
+          else static
+        in
         let r =
           Nvsc_core.Scavenger.run
             Nvsc_core.Scavenger.Config.(
               scavenger_config ~scale ~iterations
-              |> with_sanitize ~check_init true)
+              |> with_sanitize ~check_init true
+              |> with_persist persist)
             app
         in
         let dynamic = Option.value r.sanitizer ~default:[] in
+        let dynamic =
+          San.merge dynamic (Option.value r.persist_report ~default:[])
+        in
         let report = San.merge static dynamic in
         Format.fprintf fmt "nvscav lint %s (scale %g, %d iterations)@." name
           scale iterations;
         San.pp_report fmt report;
+        (match r.persist_stats with
+        | Some s ->
+          Format.fprintf fmt
+            "persist: %d epoch(s), %d flush(es) covering %d line(s), %d \
+             fence(s) over %d checked store(s)@."
+            s.Nvsc_sanitizer.Persist_check.epochs s.flushes s.flushed_lines
+            s.fences s.stores_checked;
+          List.iter
+            (fun (tech : Nvsc_nvram.Technology.t) ->
+              if Nvsc_nvram.Technology.is_nvram tech then
+                Format.fprintf fmt "persist cost: %a@." Nvsc_nvram.Persist_cost.pp
+                  (Nvsc_nvram.Persist_cost.charge ~tech
+                     ~flushed_lines:s.flushed_lines ~fences:s.fences))
+            Nvsc_nvram.Technology.paper_set
+        | None -> ());
         if not (San.is_clean report) then exit 1)
   in
   let info =
@@ -558,13 +592,16 @@ let lint_cmd =
         "NVSC-San: statically lint the simulator configuration, then run \
          the application under the trace sanitizer (redzones, shadow \
          state, bounds-checked batches) and report every diagnostic. \
-         Exits non-zero if anything is found."
+         With $(b,--persist), additionally run the NVSC-Persist static \
+         lint and dynamic crash-consistency checker over the app's \
+         epoch/flush/fence annotations. Exits non-zero if anything is \
+         found."
   in
   Cmd.v info
     Term.(
       ret
         (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
-       $ check_init_arg))
+       $ check_init_arg $ persist_arg))
 
 (* --- sweep --------------------------------------------------------------- *)
 
@@ -872,6 +909,53 @@ let replay_cmd =
         (const run $ logs_term $ trace_arg $ kind_arg $ tech_arg
        $ Cli.profile))
 
+(* --- crashsim ------------------------------------------------------------- *)
+
+let crashsim_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE" ~doc:"Recorded v2 $(b,.nvt) trace file.")
+  in
+  let run () path =
+    with_trace_errors @@ fun () ->
+    let module PC = Nvsc_sanitizer.Persist_check in
+    let module San = Nvsc_sanitizer.Diagnostic in
+    let boundaries = PC.count_boundaries path in
+    let whole, _ = PC.replay path in
+    Format.fprintf fmt "nvscav crashsim %s: %d epoch boundarie(s)@." path
+      boundaries;
+    Format.fprintf fmt "whole trace: ";
+    San.pp_report fmt whole;
+    let inconsistent = ref (if San.errors whole > 0 then 1 else 0) in
+    for k = 0 to boundaries - 1 do
+      let report, _ = PC.replay ~crash_at:k path in
+      let errs = San.errors report in
+      if errs > 0 then begin
+        incr inconsistent;
+        Format.fprintf fmt "crash at boundary %d: %d error(s)@." k errs;
+        San.pp_report fmt report
+      end
+    done;
+    Format.fprintf fmt
+      "crashsim: %d crash point(s) replayed, %d inconsistent@." boundaries
+      !inconsistent;
+    if !inconsistent > 0 then exit 1;
+    `Ok ()
+  in
+  let info =
+    Cmd.info "crashsim"
+      ~doc:
+        "Crash-injection sweep over a recorded $(b,.nvt) trace: replay the \
+         whole trace through the NVSC-Persist checker, then once per epoch \
+         boundary with the stream logically truncated there — a simulated \
+         crash at that point.  An application whose checkpoints are \
+         correctly flushed and fenced is consistent at every crash point. \
+         Exits non-zero otherwise."
+  in
+  Cmd.v info Term.(ret (const run $ logs_term $ trace_arg))
+
 let main_cmd =
   let doc = "NV-Scavenger: NVRAM opportunity analysis for HPC applications" in
   let info = Cmd.info "nvscav" ~version:"1.0.0" ~doc in
@@ -880,7 +964,7 @@ let main_cmd =
       list_cmd; run_cmd; analyze_cmd; stack_cmd; trace_cmd; power_cmd;
       perf_cmd; place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd;
       traffic_cmd; fine_cmd; lint_cmd;
-      sweep_cmd; checkpoint_cmd; record_cmd; replay_cmd;
+      sweep_cmd; checkpoint_cmd; record_cmd; replay_cmd; crashsim_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -5,6 +5,7 @@ module Object_registry = Nvsc_memtrace.Object_registry
 module Shadow_stack = Nvsc_memtrace.Shadow_stack
 module Counters = Nvsc_memtrace.Counters
 module Sink = Nvsc_memtrace.Sink
+module Persist_ev = Nvsc_memtrace.Persist
 module Rng = Nvsc_util.Rng
 
 type fast_tally = {
@@ -45,6 +46,7 @@ type event =
   | Frame_push of Mem_object.t * Shadow_stack.frame
   | Frame_pop of Shadow_stack.frame
   | Phase_change of Mem_object.phase
+  | Persist of Persist_ev.t
 
 type t = {
   rng : Rng.t;
@@ -54,11 +56,12 @@ type t = {
   mutable sinks : Sink.t array;
   mutable attr_sinks : attributed_sink array;
   mutable instr_sink : (int -> unit) option;
-  (* lifecycle observer (NVSC-San).  When installed, the emission batch is
-     flushed *before* every registry/shadow-stack mutation, so attributed
-     sinks always see a reference under the same object/stack state it was
+  (* lifecycle observers (NVSC-San, NVSC-Persist, trace recording).  When
+     any is installed, the emission batch is flushed *before* every
+     registry/shadow-stack mutation and persist event, so attributed sinks
+     always see a reference under the same object/stack state it was
      emitted in — making their view independent of batch capacity. *)
-  mutable event_sink : (event -> unit) option;
+  mutable event_sinks : (event -> unit) array;
   (* raw-emission observer (trace recording): sees every buffered slice
      with its emission-time attribution and instruction interleave intact,
      including the boundary instruction tail — the lossless program-order
@@ -189,7 +192,7 @@ let create ?(seed = 42) ?(batch_capacity = Sink.default_capacity)
     sinks = [||];
     attr_sinks = [||];
     instr_sink = None;
-    event_sink = None;
+    event_sinks = [||];
     record_sink = None;
     recording = false;
     redzone_bytes = redzone_words * Layout.word;
@@ -311,9 +314,9 @@ let set_instr_sink t sink =
   t.instr_sink <- Some sink;
   recompute_recording t
 
-let set_event_sink t f =
+let add_event_sink t f =
   flush_refs t;
-  t.event_sink <- Some f
+  t.event_sinks <- Array.append t.event_sinks [| f |]
 
 let set_record_sink t f =
   flush_refs t;
@@ -326,16 +329,20 @@ let redzone_bytes t = t.redzone_bytes
    lifecycle observer is installed: the buffered refs were emitted under
    the pre-mutation state and must be delivered under it. *)
 let pre_mutate t =
-  if t.event_sink <> None then flush_batch t ~boundary:true
+  if Array.length t.event_sinks > 0 then flush_batch t ~boundary:true
 
-let notify t ev = match t.event_sink with Some f -> f ev | None -> ()
+let notify t ev =
+  let sinks = t.event_sinks in
+  for i = 0 to Array.length sinks - 1 do
+    (Array.unsafe_get sinks i) ev
+  done
 
 let clear_sinks t =
   flush_refs t;
   t.sinks <- [||];
   t.attr_sinks <- [||];
   t.instr_sink <- None;
-  t.event_sink <- None;
+  t.event_sinks <- [||];
   t.record_sink <- None;
   t.recording <- false
 
@@ -543,12 +550,10 @@ let call t ~routine ~frame_words f =
       Some obj
     end
   in
-  (match t.event_sink with
-  | Some _ ->
-    (match obj with
-    | Some obj -> notify t (Frame_push (obj, shadow_frame))
-    | None -> assert false)
-  | None -> ());
+  (if Array.length t.event_sinks > 0 then
+     match obj with
+     | Some obj -> notify t (Frame_push (obj, shadow_frame))
+     | None -> assert false);
   let frame =
     {
       routine;
@@ -561,12 +566,12 @@ let call t ~routine ~frame_words f =
   | r ->
     pre_mutate t;
     Shadow_stack.pop t.shadow;
-    if t.event_sink <> None then notify t (Frame_pop shadow_frame);
+    if Array.length t.event_sinks > 0 then notify t (Frame_pop shadow_frame);
     r
   | exception e ->
     pre_mutate t;
     Shadow_stack.pop t.shadow;
-    if t.event_sink <> None then notify t (Frame_pop shadow_frame);
+    if Array.length t.event_sinks > 0 then notify t (Frame_pop shadow_frame);
     raise e
 
 let frame_carve _t frame ~words =
@@ -729,6 +734,43 @@ let flops t n =
   if n < 0 then invalid_arg "Ctx.flops: negative";
   if t.instr_sink <> None || t.record_sink <> None then
     t.pending_instr <- t.pending_instr + n
+
+(* --- persistence (NVSC-Persist) ---------------------------------------- *)
+
+(* Persist primitives are events, not memory references: they never enter
+   the emission batch, so annotating an application changes no analysis
+   built on the reference stream.  Each one flushes buffered references
+   first (pre_mutate), giving observers a strict happens-before order
+   between stores and the flush/fence/epoch actions that persist them. *)
+
+let persist_event t ev =
+  pre_mutate t;
+  notify t (Persist ev)
+
+let persist t obj =
+  persist_event t (Persist_ev.Declare { obj_id = obj.Mem_object.id })
+
+let epoch_begin ?(checkpoint = false) t ~label =
+  persist_event t (Persist_ev.Epoch_begin { label; checkpoint })
+
+let epoch_commit ?(checkpoint = false) t ~label =
+  persist_event t (Persist_ev.Epoch_commit { label; checkpoint })
+
+let persist_epoch ?(checkpoint = false) t ~label f =
+  epoch_begin ~checkpoint t ~label;
+  (* no commit on exception: the epoch stays open, which is exactly what a
+     crash inside it looks like to the checker *)
+  let r = f () in
+  epoch_commit ~checkpoint t ~label;
+  r
+
+let flush t obj ~off ~len =
+  if off < 0 || len <= 0 || off + len > obj.Mem_object.size then
+    invalid_arg "Ctx.flush: byte range outside the object";
+  persist_event t (Persist_ev.Flush { obj_id = obj.Mem_object.id; off; len })
+
+let flush_all t obj = flush t obj ~off:0 ~len:obj.Mem_object.size
+let fence t = persist_event t Persist_ev.Fence
 
 (* --- analysis accessors ------------------------------------------------ *)
 

@@ -68,7 +68,7 @@ val set_record_sink : t -> record_sink -> unit
     references first.  Installing a recorder makes {!flops} counts
     accumulate even without an instruction sink. *)
 
-(** Object/stack lifecycle events, as seen by an {!set_event_sink}
+(** Object/stack lifecycle events, as seen by an {!add_event_sink}
     observer.  Events are delivered in program order, interleaved with
     attributed batches: the batch is flushed {e before} the mutation the
     event describes, so an attributed sink always sees each reference under
@@ -83,11 +83,14 @@ type event =
           shadow frame pushed for this call. *)
   | Frame_pop of Nvsc_memtrace.Shadow_stack.frame
   | Phase_change of Nvsc_memtrace.Mem_object.phase
+  | Persist of Nvsc_memtrace.Persist.t
+      (** A crash-consistency action (see {!section-persist}). *)
 
-val set_event_sink : t -> (event -> unit) -> unit
-(** Install the (single) lifecycle observer.  Flushes buffered references
-    first.  While installed, allocation/free/call/phase mutations flush the
-    emission batch before they apply (see {!event}). *)
+val add_event_sink : t -> (event -> unit) -> unit
+(** Subscribe a lifecycle observer (several may coexist; events are
+    delivered in subscription order).  Flushes buffered references first.
+    While any observer is installed, allocation/free/call/phase/persist
+    mutations flush the emission batch before they apply (see {!event}). *)
 
 val redzone_bytes : t -> int
 
@@ -181,6 +184,55 @@ val write_addr : t -> addr:int -> unit
 
 val flops : t -> int -> unit
 (** Account [n] committed non-memory instructions (arithmetic). *)
+
+(** {1:persist Persistence (NVSC-Persist)}
+
+    Crash-consistency annotations for applications whose state is meant to
+    live in byte-addressable NVM.  The primitives are {e events}, not
+    memory references: they ride the event-sink path (and the NVT trace as
+    v2 records), so annotating an application changes no reference-stream
+    analysis.  Each primitive flushes buffered references first, giving
+    observers a strict happens-before order between the stores and the
+    flush/fence/epoch actions that persist them.
+
+    Typical checkpoint annotation ([obj] the state object, declared once
+    at setup, the epoch once per main-loop iteration):
+    {[
+      Ctx.persist ctx obj;
+      ...
+      Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+          Ctx.flush_all ctx obj;
+          Ctx.fence ctx)
+    ]} *)
+
+val persist : t -> Nvsc_memtrace.Mem_object.t -> unit
+(** Declare the object persistent: the crash-consistency checker tracks
+    its cache-line durability state and the placement lint requires the
+    plan to keep it in NVRAM. *)
+
+val epoch_begin : ?checkpoint:bool -> t -> label:string -> unit
+val epoch_commit : ?checkpoint:bool -> t -> label:string -> unit
+(** Raw epoch delimiters ([checkpoint] defaults to [false]); prefer
+    {!persist_epoch}, which cannot unbalance. *)
+
+val persist_epoch : ?checkpoint:bool -> t -> label:string -> (unit -> 'a) -> 'a
+(** Run the callback inside a persist epoch: all writes to declared
+    objects made since the previous commit must be flushed and fenced by
+    the time the epoch commits.  [checkpoint] marks the epoch
+    failure-atomic (torn-checkpoint analysis applies).  If the callback
+    raises, the epoch is left open — deliberately: to the checker the
+    exception is a crash inside the epoch. *)
+
+val flush : t -> Nvsc_memtrace.Mem_object.t -> off:int -> len:int -> unit
+(** Write back the cache lines covering bytes [[off, off+len)] of the
+    object (clwb-style: asynchronous until the next {!fence}).  Raises
+    [Invalid_argument] if the range exceeds the object. *)
+
+val flush_all : t -> Nvsc_memtrace.Mem_object.t -> unit
+(** [flush] of the whole object. *)
+
+val fence : t -> unit
+(** Drain all in-flight flushes (sfence-style ordering point). *)
 
 (** {1 Analysis state} *)
 

@@ -81,3 +81,21 @@ let copy_into _ctx ~src ~dst =
 
 let[@inline] peek t i = t.data.(i)
 let[@inline] poke t i v = t.data.(i) <- v
+
+(* --- persistence ------------------------------------------------------- *)
+
+let obj_exn ~what t =
+  match t.obj with
+  | Some o -> o
+  | None -> invalid_arg (what ^ ": stack arrays cannot be persistent")
+
+let persist ctx t = Ctx.persist ctx (obj_exn ~what:"Farray.persist" t)
+
+let flush ctx t ~lo ~len =
+  if lo < 0 || len <= 0 || lo + len > length t then
+    invalid_arg "Farray.flush: element range outside the array";
+  Ctx.flush ctx
+    (obj_exn ~what:"Farray.flush" t)
+    ~off:(lo * Layout.word) ~len:(len * Layout.word)
+
+let flush_all ctx t = Ctx.flush_all ctx (obj_exn ~what:"Farray.flush_all" t)

@@ -56,6 +56,19 @@ val copy_into : Ctx.t -> src:t -> dst:t -> unit
 (** Element-wise copy (reads of [src], writes of [dst]); lengths must
     match. *)
 
+(** {1 Persistence} — typed face of the {!Ctx} persist primitives *)
+
+val persist : Ctx.t -> t -> unit
+(** Declare the array's memory object persistent (see {!Ctx.persist}).
+    Raises [Invalid_argument] on a stack array. *)
+
+val flush : Ctx.t -> t -> lo:int -> len:int -> unit
+(** Flush the cache lines covering elements [[lo, lo+len)] (see
+    {!Ctx.flush}; the element range converts to bytes). *)
+
+val flush_all : Ctx.t -> t -> unit
+(** Flush the whole array. *)
+
 (** {1 Uninstrumented escape hatch} *)
 
 val peek : t -> int -> float

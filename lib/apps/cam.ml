@@ -132,6 +132,10 @@ let setup ctx ~scale =
   Farray.fill ctx s.spec_coef 0.;
   Farray.fill ctx s.div_vort 0.;
   Farray.fill ctx s.phys_state 0.;
+  (* the checkpoint set: the prognostic temperature field and surface
+     pressure are what a CAM restart carries forward *)
+  Farray.persist ctx s.temp;
+  Farray.persist ctx s.ps;
   s
 
 (* One physics routine applied to one column: stage coefficients on the
@@ -231,7 +235,12 @@ let iterate ctx s ~iter =
   Farray.set s.ozone_mix (iter mod Farray.length s.ozone_mix) 1e-6;
   for _pass = 1 to 4 do
     W.read_every s.ozone_mix ~stride:16
-  done
+  done;
+  (* failure-atomic checkpoint of the restart state *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.temp;
+      Farray.flush_all ctx s.ps;
+      Ctx.fence ctx)
 
 let post ctx s =
   for i = 0 to Farray.length s.history_buf - 1 do

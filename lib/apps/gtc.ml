@@ -57,6 +57,10 @@ let setup ctx ~scale =
   Farray.fill ctx s.efield 0.;
   Farray.init ctx s.radial_interp (fun i -> float_of_int i *. 1e-4);
   Farray.fill ctx s.diagnostics 0.;
+  (* the checkpoint set: particle phase space and the diagnostics are what
+     a GTC restart file holds; the scatter/field arrays are recomputed *)
+  Farray.persist ctx s.zion;
+  Farray.persist ctx s.diagnostics;
   s
 
 (* Gather-push-scatter for one particle: field gather through the radial
@@ -140,7 +144,12 @@ let iterate ctx s ~iter =
   Farray.free ctx shift;
   (* light diagnostics *)
   W.rmw s.diagnostics 0 (fun v -> v +. 1.);
-  W.read_every s.diagnostics ~stride:32
+  W.read_every s.diagnostics ~stride:32;
+  (* failure-atomic checkpoint of the restart state *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.zion;
+      Farray.flush_all ctx s.diagnostics;
+      Ctx.fence ctx)
 
 let post ctx s =
   ignore (Farray.sum ctx s.chargeden);

@@ -82,6 +82,10 @@ let setup ctx ~scale =
   Farray.copy_into ctx ~src:s.b ~dst:s.r;
   Farray.copy_into ctx ~src:s.b ~dst:s.p;
   Farray.fill ctx s.ap 0.;
+  (* the checkpoint set: solution and residual restart the CG iteration;
+     the Krylov direction vectors are rebuilt *)
+  Farray.persist ctx s.x;
+  Farray.persist ctx s.r;
   s
 
 (* SpMV with the row staged on the routine's frame: the CSR arrays are
@@ -124,7 +128,12 @@ let iterate ctx s ~iter =
   for i = 0 to s.rows - 1 do
     Farray.set s.p i (Farray.get s.r i +. (beta *. Farray.get s.p i))
   done;
-  Ctx.flops ctx (2 * s.rows)
+  Ctx.flops ctx (2 * s.rows);
+  (* failure-atomic checkpoint of the CG restart state *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.x;
+      Farray.flush_all ctx s.r;
+      Ctx.fence ctx)
 
 let post ctx s = ignore (W.dot ctx s.x s.b)
 

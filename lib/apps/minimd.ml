@@ -55,6 +55,10 @@ let setup ctx ~scale =
   Farray.fill ctx s.neighbor_count 0.;
   Farray.init ctx s.lj_table (fun i -> 1.0 /. float_of_int (i + 1));
   Farray.fill ctx s.diagnostics 0.;
+  (* the checkpoint set: positions and velocities are the restart state;
+     forces and neighbour lists are recomputed *)
+  Farray.persist ctx s.pos;
+  Farray.persist ctx s.vel;
   s
 
 (* Rebuild the neighbour list through a cell-binning scratch buffer (the
@@ -117,7 +121,12 @@ let iterate ctx s ~iter =
   compute_forces ctx s;
   integrate ctx s;
   W.rmw s.diagnostics 0 (fun v -> v +. 1.);
-  W.read_every s.diagnostics ~stride:64
+  W.read_every s.diagnostics ~stride:64;
+  (* failure-atomic checkpoint of the particle state *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.pos;
+      Farray.flush_all ctx s.vel;
+      Ctx.fence ctx)
 
 let post ctx s = ignore (W.dot ctx s.vel s.vel)
 

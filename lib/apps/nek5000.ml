@@ -125,6 +125,10 @@ let setup ctx ~scale =
   Farray.fill ctx s.temp 300.;
   Farray.fill ctx s.vtrans 1.;
   Array.iter (fun k -> Farray.fill ctx k 0.) s.krylov;
+  (* the checkpoint set: the lagged velocity history is the restart state
+     (the live fields are mid-solve at any crash point) *)
+  Farray.persist ctx s.vxlag;
+  Farray.persist ctx s.vylag;
   s
 
 (* The element stiffness kernel: the paper's archetype of a stack-heavy
@@ -248,7 +252,12 @@ let iterate ctx s ~iter =
   done;
   W.read_every s.scrns ~stride:8;
   W.read_every s.glo_num ~stride:2;
-  Farray.free ctx scratch
+  Farray.free ctx scratch;
+  (* failure-atomic checkpoint of the lagged restart state *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.vxlag;
+      Farray.flush_all ctx s.vylag;
+      Ctx.fence ctx)
 
 let post _ctx s =
   (* aggregate results into the post buffer (its only use) *)

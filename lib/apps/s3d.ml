@@ -55,6 +55,9 @@ let setup ctx ~scale =
   Farray.init ctx s.chem_tables (fun i -> float_of_int (i mod 101) /. 101.);
   Farray.fill ctx s.transport_coef 0.3;
   Farray.fill ctx s.grid_metric 1.0;
+  (* the checkpoint set: the conserved-variable solution is the restart
+     state; the stage arrays are recomputed *)
+  Farray.persist ctx s.q;
   s
 
 (* Right-hand side at one grid point: stage the 7-point stencil of the
@@ -120,7 +123,11 @@ let iterate ctx s ~iter =
   while !j < nv do
     W.rmw s.q !j (fun v -> v +. (1e-3 *. Farray.peek s.qhalf !j));
     j := !j + 2
-  done
+  done;
+  (* failure-atomic checkpoint of the solution *)
+  Ctx.persist_epoch ctx ~label:"checkpoint" ~checkpoint:true (fun () ->
+      Farray.flush_all ctx s.q;
+      Ctx.fence ctx)
 
 let post _ctx s =
   for i = 0 to Farray.length s.io_buf - 1 do

@@ -25,6 +25,8 @@ type result = {
   unattributed : int;
   pipeline : Ctx.pipeline_stats;
   sanitizer : Nvsc_sanitizer.Diagnostic.report option;
+  persist_report : Nvsc_sanitizer.Diagnostic.report option;
+  persist_stats : Nvsc_sanitizer.Persist_check.stats option;
 }
 
 module Config = struct
@@ -36,6 +38,7 @@ module Config = struct
     batch_capacity : int option;
     sanitize : bool;
     check_init : bool;
+    persist : bool;
     obs : Nvsc_obs.t;
   }
 
@@ -48,6 +51,7 @@ module Config = struct
       batch_capacity = None;
       sanitize = false;
       check_init = false;
+      persist = false;
       obs = Nvsc_obs.off;
     }
 
@@ -63,6 +67,8 @@ module Config = struct
 
   let with_sanitize ?(check_init = false) sanitize t =
     { t with sanitize; check_init }
+
+  let with_persist persist t = { t with persist }
 
   let with_obs obs t = { t with obs }
 end
@@ -87,14 +93,14 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
   Nvsc_obs.scoped cfg.obs @@ fun () ->
   Span.with_ ~arg:A.name "scavenger.run" @@ fun () ->
   let { Config.scale; iterations; with_trace; sampling; batch_capacity;
-        sanitize; check_init; obs = _ } =
+        sanitize; check_init; persist; obs = _ } =
     cfg
   in
   let prev_checks = Sink.checks_enabled () in
   if sanitize then Sink.set_debug_checks true;
   Fun.protect ~finally:(fun () -> Sink.set_debug_checks prev_checks)
   @@ fun () ->
-  let ctx, san, trace, hierarchy =
+  let ctx, san, pchk, trace, hierarchy =
     Span.with_ "scavenger.setup" @@ fun () ->
     let ctx =
       Ctx.create ?batch_capacity
@@ -103,6 +109,10 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
     in
     let san =
       if sanitize then Some (Nvsc_sanitizer.Trace_san.attach ~check_init ctx)
+      else None
+    in
+    let pchk =
+      if persist then Some (Nvsc_sanitizer.Persist_check.attach ctx)
       else None
     in
     (match sampling with
@@ -127,7 +137,7 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
                | Mem_object.Pre | Mem_object.Post -> ()));
         Some h
     in
-    (ctx, san, trace, hierarchy)
+    (ctx, san, pchk, trace, hierarchy)
   in
   Span.with_ ~arg:A.name "scavenger.app" (fun () ->
       A.run ~scale ctx ~iterations);
@@ -135,6 +145,9 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
   Ctx.flush_refs ctx;
   (match hierarchy with Some h -> Hierarchy.drain h | None -> ());
   let sanitizer = Option.map Nvsc_sanitizer.Trace_san.finish san in
+  let persist_report =
+    Option.map (fun p -> Nvsc_sanitizer.Persist_check.finish p) pchk
+  in
   let metrics = Object_metrics.collect ctx ~iterations in
   let footprint_bytes =
     List.fold_left (fun acc m -> acc + Object_metrics.size_bytes m) 0 metrics
@@ -178,6 +191,8 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
     unattributed = Ctx.unattributed ctx;
     pipeline;
     sanitizer;
+    persist_report;
+    persist_stats = Option.map Nvsc_sanitizer.Persist_check.stats pchk;
   }
 
 let run_legacy ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false)
@@ -191,6 +206,7 @@ let run_legacy ?(scale = 1.0) ?(iterations = 10) ?(with_trace = false)
       batch_capacity;
       sanitize;
       check_init;
+      persist = false;
       obs = Nvsc_obs.off;
     }
     app

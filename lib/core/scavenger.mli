@@ -42,6 +42,11 @@ type result = {
           causes, per-sink totals (pipeline self-observability) *)
   sanitizer : Nvsc_sanitizer.Diagnostic.report option;
       (** NVSC-San trace-sanitizer report, when [sanitize] was set *)
+  persist_report : Nvsc_sanitizer.Diagnostic.report option;
+      (** NVSC-Persist crash-consistency report, when [persist] was set *)
+  persist_stats : Nvsc_sanitizer.Persist_check.stats option;
+      (** the checker's flush/fence work counters — what
+          {!Nvsc_nvram.Persist_cost} prices per technology *)
 }
 
 (** Run configuration.  {!Config.default} is the paper's setting: full
@@ -57,6 +62,7 @@ module Config : sig
         (** emission batch size override (results are invariant in it) *)
     sanitize : bool;  (** attach the NVSC-San trace sanitizer *)
     check_init : bool;  (** sanitizer: also track uninitialised reads *)
+    persist : bool;  (** attach the NVSC-Persist crash-consistency checker *)
     obs : Nvsc_obs.t;
         (** arm span recording for this run ({!Nvsc_obs.on}) or leave the
             recorder as-is ({!Nvsc_obs.off}) *)
@@ -76,6 +82,11 @@ module Config : sig
   val with_sanitize : ?check_init:bool -> bool -> t -> t
   (** [check_init] defaults to false and is only meaningful when the
       sanitizer is being enabled. *)
+
+  val with_persist : bool -> t -> t
+  (** Attach {!Nvsc_sanitizer.Persist_check} to the run: the result's
+      [persist_report] carries its verdict on the app's epoch/flush/fence
+      annotations.  Independent of [sanitize]. *)
 
   val with_obs : Nvsc_obs.t -> t -> t
 end

@@ -38,11 +38,12 @@ let record ?batch_capacity ?chunk_capacity ~scale ~iterations ~path
       ~path ~meta ()
   in
   match
-    Ctx.set_event_sink ctx (function
+    Ctx.add_event_sink ctx (function
       | Ctx.Alloc o | Ctx.Frame_push (o, _) ->
         Hashtbl.replace objs o.Mem_object.id o
       | Ctx.Free _ | Ctx.Frame_pop _ -> ()
-      | Ctx.Phase_change p -> Trace_codec.Writer.add_phase w p);
+      | Ctx.Phase_change p -> Trace_codec.Writer.add_phase w p
+      | Ctx.Persist p -> Trace_codec.Writer.add_persist w p);
     Ctx.set_record_sink ctx
       (fun batch ~obj_ids ~instr_before ~instr_tail ~first ~n ->
         for i = first to first + n - 1 do
@@ -171,6 +172,8 @@ let replay path =
         sinks = [];
       };
     sanitizer = None;
+    persist_report = None;
+    persist_stats = None;
   }
 
 let perf_replay path model =

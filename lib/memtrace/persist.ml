@@ -1,0 +1,20 @@
+type t =
+  | Epoch_begin of { label : string; checkpoint : bool }
+  | Epoch_commit of { label : string; checkpoint : bool }
+  | Flush of { obj_id : int; off : int; len : int }
+  | Fence
+  | Declare of { obj_id : int }
+
+let pp ppf = function
+  | Epoch_begin { label; checkpoint } ->
+    Format.fprintf ppf "epoch_begin %s%s" label
+      (if checkpoint then " (checkpoint)" else "")
+  | Epoch_commit { label; checkpoint } ->
+    Format.fprintf ppf "epoch_commit %s%s" label
+      (if checkpoint then " (checkpoint)" else "")
+  | Flush { obj_id; off; len } ->
+    Format.fprintf ppf "flush obj %d [%d,%d)" obj_id off (off + len)
+  | Fence -> Format.pp_print_string ppf "fence"
+  | Declare { obj_id } -> Format.fprintf ppf "declare obj %d" obj_id
+
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,31 @@
+(** Persistence events (NVSC-Persist).
+
+    The vocabulary of crash-consistency actions an application can emit
+    alongside its reference stream: epoch boundaries delimiting
+    failure-atomic regions, cache-line flushes and ordering fences for
+    NVM-placed objects, and declarations marking which objects are meant
+    to be persistent at all.  The type lives here (below [appkit]) so the
+    NVT codec can serialize the events and the sanitizer can replay them
+    without depending on the emission layer.
+
+    Offsets and lengths are in {e bytes} relative to the object's base.
+    [obj_id] is the {!Mem_object.t} id of the target object. *)
+
+type t =
+  | Epoch_begin of { label : string; checkpoint : bool }
+      (** Open a persist epoch.  [checkpoint] marks the epoch as a
+          failure-atomic checkpoint: its writes must be fully durable at
+          commit or not visible at all. *)
+  | Epoch_commit of { label : string; checkpoint : bool }
+      (** Commit the innermost open epoch ([label]/[checkpoint] echo the
+          matching {!Epoch_begin} for self-describing traces). *)
+  | Flush of { obj_id : int; off : int; len : int }
+      (** Write back the cache lines covering [off, off+len) of object
+          [obj_id] (clwb-style: asynchronous until the next {!Fence}). *)
+  | Fence  (** Drain all in-flight flushes (sfence-style ordering point). *)
+  | Declare of { obj_id : int }
+      (** Mark object [obj_id] as persistent: the checker tracks its
+          cache-line state and placement must keep it in NVRAM. *)
+
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool

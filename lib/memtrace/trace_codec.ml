@@ -5,7 +5,8 @@ let err path fmt =
 
 let magic = "NVSCAVT1"
 let eof_magic = "NVSCAVTE"
-let version = 1
+let version = 2
+let min_version = 1
 
 type meta = {
   app : string;
@@ -210,6 +211,14 @@ let u32le_bytes n =
 let tag_phase = 0
 let tag_instr = 1
 let tag_refs = 2
+let tag_persist = 3 (* v2+ only *)
+
+(* persist sub-codes (the byte after a [tag_persist]) *)
+let psub_epoch_begin = 0
+let psub_epoch_commit = 1
+let psub_flush = 2
+let psub_fence = 3
+let psub_declare = 4
 
 (* --- writer ------------------------------------------------------------- *)
 
@@ -217,6 +226,7 @@ module Writer = struct
   type t = {
     w_path : string;
     oc : out_channel;
+    w_version : int;
     chunk_capacity : int;
     resolve : int -> Mem_object.t option;
     seen : (int, unit) Hashtbl.t;  (* ids already tabled in some chunk *)
@@ -236,10 +246,12 @@ module Writer = struct
     mutable closed : bool;
   }
 
-  let create ?(chunk_capacity = Sink.default_capacity)
+  let create ?(version = version) ?(chunk_capacity = Sink.default_capacity)
       ?(resolve = fun _ -> None) ~path ~meta () =
     if chunk_capacity <= 0 then
       invalid_arg "Trace_codec.Writer.create: chunk_capacity";
+    if version < min_version || version > 2 then
+      invalid_arg "Trace_codec.Writer.create: version";
     let oc = open_out_bin path in
     let hdr = Buffer.create 256 in
     put_meta hdr meta ~chunk_capacity;
@@ -251,6 +263,7 @@ module Writer = struct
     {
       w_path = path;
       oc;
+      w_version = version;
       chunk_capacity;
       resolve;
       seen = Hashtbl.create 256;
@@ -344,6 +357,32 @@ module Writer = struct
     Buffer.add_char w.tok_buf (Char.chr tag_phase);
     put_varint w.tok_buf (phase_code p)
 
+  let add_persist w (p : Persist.t) =
+    if w.w_version < 2 then
+      err w.w_path "persist events need NVT version >= 2 (writer is v%d)"
+        w.w_version;
+    flush_run w;
+    Buffer.add_char w.tok_buf (Char.chr tag_persist);
+    let epoch sub label checkpoint =
+      Buffer.add_char w.tok_buf (Char.chr sub);
+      Buffer.add_char w.tok_buf (if checkpoint then '\001' else '\000');
+      put_str w.tok_buf label
+    in
+    match p with
+    | Persist.Epoch_begin { label; checkpoint } ->
+      epoch psub_epoch_begin label checkpoint
+    | Persist.Epoch_commit { label; checkpoint } ->
+      epoch psub_epoch_commit label checkpoint
+    | Persist.Flush { obj_id; off; len } ->
+      Buffer.add_char w.tok_buf (Char.chr psub_flush);
+      put_varint w.tok_buf obj_id;
+      put_varint w.tok_buf off;
+      put_varint w.tok_buf len
+    | Persist.Fence -> Buffer.add_char w.tok_buf (Char.chr psub_fence)
+    | Persist.Declare { obj_id } ->
+      Buffer.add_char w.tok_buf (Char.chr psub_declare);
+      put_varint w.tok_buf obj_id
+
   let finish w ?(objects = []) ?(stack_objects = []) () =
     seal_chunk w;
     let index = List.rev w.index_rev in
@@ -402,6 +441,7 @@ module Reader = struct
   type t = {
     r_path : string;
     ic : in_channel;
+    r_version : int;
     r_meta : meta;
     r_chunk_capacity : int;
     r_refs : int;
@@ -423,7 +463,8 @@ module Reader = struct
       let m = really_read ic path (String.length magic) in
       if m <> magic then err path "bad magic (not an NVT trace)";
       let v = read_u16le ic path in
-      if v <> version then err path "unsupported NVT version %d" v;
+      if v < min_version || v > version then
+        err path "unsupported NVT version %d" v;
       let hlen = read_u32le ic path in
       if 14 + hlen + 16 > len then err path "truncated file";
       let header_payload = really_read ic path hlen in
@@ -493,6 +534,7 @@ module Reader = struct
       {
         r_path = path;
         ic;
+        r_version = v;
         r_meta;
         r_chunk_capacity;
         r_refs;
@@ -512,6 +554,7 @@ module Reader = struct
       raise e
 
   let meta r = r.r_meta
+  let version r = r.r_version
   let chunk_capacity r = r.r_chunk_capacity
   let refs r = r.r_refs
   let reads r = r.r_reads
@@ -524,7 +567,8 @@ module Reader = struct
 end
 
 let stream (r : Reader.t) ?(on_objects = fun _ -> ()) ?(on_phase = fun _ -> ())
-    ?(on_instr = fun _ -> ()) ~on_refs () =
+    ?(on_instr = fun _ -> ()) ?(on_persist = fun _ -> ())
+    ?(on_chunk = fun _ -> ()) ~on_refs () =
   let path = r.Reader.r_path in
   let ic = r.Reader.ic in
   let cap =
@@ -552,6 +596,7 @@ let stream (r : Reader.t) ?(on_objects = fun _ -> ()) ?(on_phase = fun _ -> ())
       let payload = really_read ic path clen in
       if Digest.string payload <> stored then
         err path "corrupt chunk %d (digest mismatch)" k;
+      on_chunk k;
       let d = dec payload ~path ~what:(Printf.sprintf "chunk %d" k) in
       let nrefs = get_varint d in
       if nrefs <> info.c_refs then
@@ -584,6 +629,28 @@ let stream (r : Reader.t) ?(on_objects = fun _ -> ()) ?(on_phase = fun _ -> ())
             len := i + 1
           done;
           decoded := !decoded + n
+        | t when t = tag_persist ->
+          if r.Reader.r_version < 2 then
+            err path "corrupt chunk %d (persist token in a v1 trace)" k;
+          deliver ();
+          let ev =
+            match get_byte d with
+            | s when s = psub_epoch_begin || s = psub_epoch_commit ->
+              let checkpoint = get_byte d <> 0 in
+              let label = get_str d in
+              if s = psub_epoch_begin then
+                Persist.Epoch_begin { label; checkpoint }
+              else Persist.Epoch_commit { label; checkpoint }
+            | s when s = psub_flush ->
+              let obj_id = get_varint d in
+              let off = get_varint d in
+              let len = get_varint d in
+              Persist.Flush { obj_id; off; len }
+            | s when s = psub_fence -> Persist.Fence
+            | s when s = psub_declare -> Persist.Declare { obj_id = get_varint d }
+            | s -> err path "corrupt chunk %d (unknown persist event %d)" k s
+          in
+          on_persist ev
         | t -> err path "corrupt chunk %d (unknown token %d)" k t
       done;
       if !decoded <> nrefs then

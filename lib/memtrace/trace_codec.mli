@@ -11,7 +11,7 @@
 
     {v
     file    := header chunk* trailer eof
-    header  := "NVSCAVT1" | u16 version=1 | u32 len | meta
+    header  := "NVSCAVT1" | u16 version=2 | u32 len | meta
     meta    := str app | str description | str input_description
              | f64 paper_footprint_mb | f64 scale | varint iterations
              | varint batch_capacity | varint chunk_capacity
@@ -20,9 +20,15 @@
     token   := 0 phase                      (phase change)
              | 1 varint n                   (n committed plain instructions)
              | 2 varint k record*k          (k references)
+             | 3 persist                    (v2+: crash-consistency event)
     record  := varint (size<<1 | is_write)
              | zigzag varint (addr  - prev_addr)
              | zigzag varint (obj_id - prev_obj_id)   (-1 = unattributed)
+    persist := 0 u8 checkpoint str label    (epoch begin)
+             | 1 u8 checkpoint str label    (epoch commit)
+             | 2 varint obj_id off len      (flush lines of [off,off+len))
+             | 3                            (fence)
+             | 4 varint obj_id              (declare object persistent)
     objdesc := varint id | str name | u8 kind | varint base | varint size
              | str signature | varint n str*n | phase | u8 live
     phase   := varint (0 = Pre, 1 = Post, 1+i = Main i)
@@ -45,9 +51,15 @@
 
     Versioning: the 8-byte magic names major format revisions (a reader
     rejects a foreign magic outright); the u16 version counts compatible
-    extensions within a magic — a reader rejects versions above its own.
-    New trailing meta/trailer fields may be appended under a version bump;
-    chunk token tags are frozen (a new tag requires a new magic).
+    extensions within a magic — a reader accepts every version from 1 up
+    to its own and rejects newer ones.  A version bump may append trailing
+    meta/trailer fields or introduce new chunk token tags; a new tag is
+    only legal in files whose header already declares the version that
+    defined it (a v1 file containing tag 3 is corrupt, not forward-
+    compatible).  v1 traces (no persist events) remain fully readable:
+    every v1 byte sequence decodes identically under a v2 reader.
+    Re-defining the meaning of an existing tag or field requires a new
+    magic.
 
     All decode errors raise {!Error} naming the file and the failure
     (truncation, digest mismatch, bad magic, unsupported version). *)
@@ -85,13 +97,17 @@ module Writer : sig
   type t
 
   val create :
+    ?version:int ->
     ?chunk_capacity:int ->
     ?resolve:(int -> Mem_object.t option) ->
     path:string ->
     meta:meta ->
     unit ->
     t
-  (** [chunk_capacity] (default {!Sink.default_capacity}) is the maximum
+  (** [version] (default: the current format version, 2) selects the
+      declared wire version; pass [1] to write a v1 trace for
+      compatibility testing ({!add_persist} then raises).
+      [chunk_capacity] (default {!Sink.default_capacity}) is the maximum
       references per chunk.  [resolve] maps an object id to its descriptor
       for the per-chunk attribution tables (default: none resolve, tables
       stay empty — the trailer tables passed to {!finish} still apply). *)
@@ -109,6 +125,10 @@ module Writer : sig
   (** Append a committed plain-instruction count (positive). *)
 
   val add_phase : t -> Mem_object.phase -> unit
+
+  val add_persist : t -> Persist.t -> unit
+  (** Append a crash-consistency event (v2+; raises {!Error} on a writer
+      created with [~version:1]). *)
 
   val finish :
     t ->
@@ -138,6 +158,10 @@ module Reader : sig
   (** Raises {!Error} on a foreign or damaged file. *)
 
   val meta : t -> meta
+
+  val version : t -> int
+  (** The wire version declared in the file header (1 or 2). *)
+
   val chunk_capacity : t -> int
   val refs : t -> int
   val reads : t -> int
@@ -161,14 +185,19 @@ val stream :
   ?on_objects:(Mem_object.t list -> unit) ->
   ?on_phase:(Mem_object.phase -> unit) ->
   ?on_instr:(int -> unit) ->
+  ?on_persist:(Persist.t -> unit) ->
+  ?on_chunk:(int -> unit) ->
   on_refs:(Sink.Batch.t -> obj_ids:int array -> first:int -> n:int -> unit) ->
   unit ->
   unit
 (** Decode the trace in program order, one chunk at a time, verifying each
     chunk's digest.  References are decoded into one reusable
     {!Sink.Batch.t} (plus a parallel attribution array) delivered in slices
-    that never span a phase/instruction token — so peak live memory is
-    bounded by the chunk capacity, not the trace length.  Consumers must
-    not retain the batch across callbacks.  May be called repeatedly on
-    one reader; each call re-streams from the first chunk.  Raises
-    {!Error} on a truncated or corrupted chunk. *)
+    that never span a phase/instruction/persist token — so peak live memory
+    is bounded by the chunk capacity, not the trace length.  Consumers must
+    not retain the batch across callbacks.  [on_persist] receives v2
+    crash-consistency events in stream order (never fires on a v1 trace);
+    [on_chunk] fires with the chunk index before each chunk's records, so
+    consumers can stamp findings with a seekable location.  May be called
+    repeatedly on one reader; each call re-streams from the first chunk.
+    Raises {!Error} on a truncated or corrupted chunk. *)

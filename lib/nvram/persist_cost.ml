@@ -1,0 +1,21 @@
+let line_bytes = 64
+let fence_drain_ns = 100.
+
+type t = {
+  tech : Technology.t;
+  flush_ns : float;
+  fence_ns : float;
+  total_ns : float;
+}
+
+let charge ~tech ~flushed_lines ~fences =
+  let flush_ns =
+    float_of_int flushed_lines *. tech.Technology.write_latency_ns
+  in
+  let fence_ns = float_of_int fences *. fence_drain_ns in
+  { tech; flush_ns; fence_ns; total_ns = flush_ns +. fence_ns }
+
+let pp fmt t =
+  Format.fprintf fmt "%-6s flush %.1f us + fence %.1f us = %.1f us"
+    t.tech.Technology.name (t.flush_ns /. 1e3) (t.fence_ns /. 1e3)
+    (t.total_ns /. 1e3)

@@ -13,8 +13,17 @@ type klass =
   | Unbalanced_frames
   | Leak
   | Config
+  | Unflushed_commit
+  | Flush_race
+  | Torn_checkpoint
+  | Epoch_unbalanced
+  | Redundant_flush
+  | Useless_fence
+  | Persist_placement
+  | Persist_write_heavy
 
 type occurrence = { phase : Mem_object.phase; index : int }
+type source = { file : string; chunk : int; record : int }
 
 type finding = {
   severity : severity;
@@ -23,6 +32,7 @@ type finding = {
   detail : string;
   count : int;
   first : occurrence option;
+  source : source option;
 }
 
 type report = finding list
@@ -38,6 +48,14 @@ let klass_to_string = function
   | Unbalanced_frames -> "unbalanced-frames"
   | Leak -> "leak"
   | Config -> "config"
+  | Unflushed_commit -> "unflushed-at-commit"
+  | Flush_race -> "store-during-flush"
+  | Torn_checkpoint -> "torn-checkpoint"
+  | Epoch_unbalanced -> "epoch-unbalanced"
+  | Redundant_flush -> "redundant-flush"
+  | Useless_fence -> "useless-fence"
+  | Persist_placement -> "persist-placement"
+  | Persist_write_heavy -> "persist-write-heavy"
 
 (* rank used only to order the report deterministically *)
 let klass_rank = function
@@ -51,10 +69,20 @@ let klass_rank = function
   | Overlap -> 7
   | Unbalanced_frames -> 8
   | Leak -> 9
+  | Unflushed_commit -> 10
+  | Flush_race -> 11
+  | Torn_checkpoint -> 12
+  | Epoch_unbalanced -> 13
+  | Redundant_flush -> 14
+  | Useless_fence -> 15
+  | Persist_placement -> 16
+  | Persist_write_heavy -> 17
 
 let severity_rank = function Error -> 0 | Warning -> 1
 
-let default_severity = function Leak -> Warning | _ -> Error
+let default_severity = function
+  | Leak | Redundant_flush | Useless_fence | Persist_write_heavy -> Warning
+  | _ -> Error
 
 let compare_findings a b =
   let c = compare (severity_rank a.severity) (severity_rank b.severity) in
@@ -88,10 +116,15 @@ let pp_finding fmt f =
     (match f.severity with Error -> "error  " | Warning -> "warning")
     (klass_to_string f.klass)
     f.owner f.count f.detail;
-  match f.first with
+  (match f.first with
   | None -> ()
   | Some { phase; index } ->
-    Format.fprintf fmt " (first: %a ref %d)" pp_phase phase index
+    Format.fprintf fmt " (first: %a ref %d)" pp_phase phase index);
+  match f.source with
+  | None -> ()
+  | Some { file; chunk; record } ->
+    (* grep-able file:chunk:record, like a source location *)
+    Format.fprintf fmt " [%s:%d:%d]" file chunk record
 
 let pp_report fmt r =
   if is_clean r then Format.fprintf fmt "clean: no diagnostics@."
@@ -115,7 +148,7 @@ module Collector = struct
 
   let create () = { tbl = Hashtbl.create 32 }
 
-  let add t ?severity ?occurrence klass ~owner ~detail =
+  let add t ?severity ?occurrence ?source klass ~owner ~detail =
     let key = klass_to_string klass ^ "\x00" ^ owner in
     match Hashtbl.find_opt t.tbl key with
     | Some e -> e.count <- e.count + 1
@@ -127,7 +160,15 @@ module Collector = struct
         {
           count = 1;
           finding =
-            { severity; klass; owner; detail; count = 1; first = occurrence };
+            {
+              severity;
+              klass;
+              owner;
+              detail;
+              count = 1;
+              first = occurrence;
+              source;
+            };
         }
 
   let report t =

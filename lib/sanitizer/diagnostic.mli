@@ -20,11 +20,34 @@ type klass =
   | Unbalanced_frames  (** push/pop imbalance at a phase boundary *)
   | Leak  (** heap object allocated in the main loop, live at teardown *)
   | Config  (** physically inconsistent simulator configuration *)
+  | Unflushed_commit
+      (** dirty cache line of a persistent object at epoch commit *)
+  | Flush_race  (** store to a line while its flush is still in flight *)
+  | Torn_checkpoint
+      (** checkpoint epoch whose durability is order-dependent: flushed
+          but unfenced lines at commit, or inconsistent state at an
+          injected crash point *)
+  | Epoch_unbalanced  (** commit without begin, nesting, or epoch left open *)
+  | Redundant_flush  (** flush covering no dirty line (perf, not error) *)
+  | Useless_fence  (** fence with no flush in flight (perf, not error) *)
+  | Persist_placement
+      (** persistent object the placement plan left in DRAM *)
+  | Persist_write_heavy
+      (** persist region whose write intensity makes NVM wear/latency
+          costs dominate (paper's model) *)
 
 type occurrence = {
   phase : Nvsc_memtrace.Mem_object.phase;
   index : int;  (** 0-based position in the delivered reference stream *)
 }
+
+type source = {
+  file : string;  (** the replayed [.nvt] trace *)
+  chunk : int;  (** chunk index within the trace *)
+  record : int;  (** reference-record ordinal at the finding *)
+}
+(** Where a replayed-trace finding came from, printed [file:chunk:record]
+    so lint output is grep-able back to a seekable trace position. *)
 
 type finding = {
   severity : severity;
@@ -33,6 +56,7 @@ type finding = {
   detail : string;  (** from the first occurrence *)
   count : int;
   first : occurrence option;  (** [None] for static (config) findings *)
+  source : source option;  (** [None] unless replayed from an [.nvt] *)
 }
 
 type report = finding list
@@ -60,12 +84,13 @@ module Collector : sig
     t ->
     ?severity:severity ->
     ?occurrence:occurrence ->
+    ?source:source ->
     klass ->
     owner:string ->
     detail:string ->
     unit
-  (** [severity] defaults to {!default_severity}; [occurrence] and
-      [detail] are kept only for the first report of a (class, owner)
+  (** [severity] defaults to {!default_severity}; [occurrence], [source]
+      and [detail] are kept only for the first report of a (class, owner)
       pair. *)
 
   val report : t -> report

@@ -1,0 +1,69 @@
+(** NVSC-Persist: the dynamic crash-consistency checker.
+
+    A happens-before pass over the attributed reference stream plus the
+    persist events ({!Nvsc_appkit.Ctx.persist} and friends).  For every
+    object declared persistent it tracks the durability state of each
+    cache line — clean, dirty, or flushing (written back but not yet
+    fenced) — and checks the epoch contract: by the time an epoch
+    commits, every line of the persist set must be durable.
+
+    Defect classes reported (see {!Diagnostic.klass}):
+    - {e unflushed-at-commit}: dirty lines at epoch commit;
+    - {e store-during-flush}: a store overtakes an unfenced write-back;
+    - {e torn-checkpoint}: flushed-but-unfenced lines at commit;
+    - {e epoch-unbalanced}: commit without begin, nesting, label
+      mismatch, or an epoch left open at the end of the run;
+    - {e redundant-flush} / {e useless-fence} (warnings): flush covering
+      no dirty line, fence with nothing in flight.
+
+    The checker runs identically live (attached to a {!Nvsc_appkit.Ctx})
+    and over a recorded v2 [.nvt] trace; because persist events flush the
+    emission batch before they apply, verdicts are invariant in the batch
+    capacity and identical between the two modes.  Replayed findings are
+    additionally stamped with a {!Diagnostic.source} trace position. *)
+
+type t
+
+val default_line_bytes : int
+(** 64, the cache-line granularity of flush tracking. *)
+
+(** Work-done counters, the input to {!Nvsc_nvram.Persist_cost}. *)
+type stats = {
+  mutable stores_checked : int;  (** stores that hit the persist set *)
+  mutable flushes : int;  (** flush events *)
+  mutable flushed_lines : int;  (** cache lines those flushes covered *)
+  mutable fences : int;
+  mutable epochs : int;  (** epochs begun *)
+}
+
+val attach : ?line_bytes:int -> Nvsc_appkit.Ctx.t -> t
+(** Subscribe the checker to the context (event sink + attributed sink).
+    Attach before running the application; call {!finish} after.
+    [line_bytes] must be a positive power of two. *)
+
+val finish : ?crashed:bool -> t -> Diagnostic.report
+(** Close the analysis and return the report (idempotent).  End-of-run
+    checks (epochs left open) are skipped when [crashed] is set — an open
+    epoch at an injected crash point is the crash, not a defect. *)
+
+val stats : t -> stats
+
+val refs_checked : t -> int
+(** References scanned (all of them, not just persist-set stores). *)
+
+val epoch_boundaries : t -> int
+(** Epoch begin/commit events processed so far. *)
+
+val replay :
+  ?line_bytes:int -> ?crash_at:int -> string -> Diagnostic.report * t
+(** Run the checker over a recorded [.nvt] trace.  [crash_at k] injects a
+    crash by logical truncation: the stream stops the moment the [k]-th
+    epoch boundary (begin or commit, 0-based, in stream order) has been
+    processed, and end-of-run checks are skipped — the returned report
+    holds exactly the defects observable in the surviving prefix.  On a
+    v1 trace there are no persist events: the report is clean and zero
+    epochs are seen. *)
+
+val count_boundaries : string -> int
+(** Number of epoch boundaries in a trace — the crash-injection points
+    [nvscav crashsim] sweeps ([crash_at] 0 to [n-1]). *)

@@ -261,6 +261,7 @@ let on_event t (ev : Ctx.event) =
         frame.Shadow_stack.base_sp - frame.Shadow_stack.frame_size,
         frame.Shadow_stack.base_sp )
   | Ctx.Phase_change phase -> check_balance t phase
+  | Ctx.Persist _ -> () (* Persist_check's concern *)
 
 (* --- teardown checks ---------------------------------------------------- *)
 
@@ -326,7 +327,7 @@ let attach ?(check_init = false) ctx =
       finished = false;
     }
   in
-  Ctx.set_event_sink ctx (on_event t);
+  Ctx.add_event_sink ctx (on_event t);
   Ctx.add_attributed_sink ctx (fun batch ids ~first ~n ->
       on_batch t batch ids ~first ~n);
   refresh t;

@@ -3,6 +3,7 @@
 
 module Trace_codec = Nvsc_memtrace.Trace_codec
 module Access = Nvsc_memtrace.Access
+module Persist = Nvsc_memtrace.Persist
 module Mem_object = Nvsc_memtrace.Mem_object
 module Sink = Nvsc_memtrace.Sink
 module Trace_log = Nvsc_memtrace.Trace_log
@@ -149,9 +150,27 @@ type event =
   | Ref of int * int * Access.op * int
   | Instr of int
   | Phase of Mem_object.phase
+  | P of Persist.t
 
 let gen_events =
   QCheck.Gen.(
+    let gen_persist =
+      oneof
+        [
+          map (fun obj_id -> Persist.Declare { obj_id }) (int_bound 40);
+          ( let* obj_id = int_bound 40 in
+            let* off = int_bound 4096 in
+            let* len = int_range 1 4096 in
+            return (Persist.Flush { obj_id; off; len }) );
+          return Persist.Fence;
+          ( let* checkpoint = bool in
+            let* label = oneofl [ "ckpt"; "epoch \xe2\x9c\x93"; "" ] in
+            let* b = bool in
+            return
+              (if b then Persist.Epoch_begin { label; checkpoint }
+               else Persist.Epoch_commit { label; checkpoint }) );
+        ]
+    in
     let gen_event =
       frequency
         [
@@ -170,6 +189,7 @@ let gen_events =
               (oneofl
                  [ Mem_object.Pre; Mem_object.Post; Mem_object.Main 1;
                    Mem_object.Main 7 ]) );
+          (1, map (fun p -> P p) gen_persist);
         ]
     in
     list_size (int_bound 400) gen_event)
@@ -182,7 +202,8 @@ let roundtrip_ok ~chunk_capacity events =
       | Ref (addr, size, op, obj_id) ->
         Trace_codec.Writer.add_ref w ~addr ~size ~op ~obj_id
       | Instr n -> Trace_codec.Writer.add_instr w n
-      | Phase p -> Trace_codec.Writer.add_phase w p)
+      | Phase p -> Trace_codec.Writer.add_phase w p
+      | P p -> Trace_codec.Writer.add_persist w p)
     events;
   let s = Trace_codec.Writer.finish w () in
   let refs =
@@ -199,6 +220,7 @@ let roundtrip_ok ~chunk_capacity events =
   Trace_codec.stream r
     ~on_phase:(fun p -> got := Phase p :: !got)
     ~on_instr:(fun n -> got := Instr n :: !got)
+    ~on_persist:(fun p -> got := P p :: !got)
     ~on_refs:(fun batch ~obj_ids ~first ~n ->
       for i = first to first + n - 1 do
         got :=
@@ -346,6 +368,61 @@ let test_rejects_damage () =
         ~on_refs:(fun _ ~obj_ids:_ ~first:_ ~n:_ -> ())
         ())
 
+(* --- version compatibility ------------------------------------------------ *)
+
+let test_v1_writer_reader_compat () =
+  with_tmp @@ fun path ->
+  let w =
+    Trace_codec.Writer.create ~version:1 ~chunk_capacity:8 ~path
+      ~meta:(meta ()) ()
+  in
+  for i = 0 to 31 do
+    Trace_codec.Writer.add_ref w ~addr:(i * 64) ~size:8
+      ~op:(if i land 1 = 0 then Access.Read else Access.Write)
+      ~obj_id:(i mod 3)
+  done;
+  (* a v1 writer has no wire representation for persist events: refusing
+     is the version policy, not silent omission *)
+  expect_error ~substr:"persist events need NVT version >= 2" (fun () ->
+      Trace_codec.Writer.add_persist w Persist.Fence);
+  let s = Trace_codec.Writer.finish w () in
+  Alcotest.(check int) "refs recorded" 32 s.Trace_codec.refs;
+  let r = Trace_codec.Reader.open_ path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  Alcotest.(check int) "declared version" 1 (Trace_codec.Reader.version r);
+  let seen = ref 0 in
+  let persist_fired = ref false in
+  Trace_codec.stream r
+    ~on_persist:(fun _ -> persist_fired := true)
+    ~on_refs:(fun _ ~obj_ids:_ ~first:_ ~n -> seen := !seen + n)
+    ();
+  Alcotest.(check int) "v1 trace still streams" 32 !seen;
+  Alcotest.(check bool) "no persist events in a v1 trace" false !persist_fired
+
+let test_persist_token_needs_v2 () =
+  with_tmp @@ fun path ->
+  let w =
+    Trace_codec.Writer.create ~chunk_capacity:8 ~path ~meta:(meta ()) ()
+  in
+  Trace_codec.Writer.add_ref w ~addr:0 ~size:8 ~op:Access.Read ~obj_id:0;
+  Trace_codec.Writer.add_persist w Persist.Fence;
+  ignore (Trace_codec.Writer.finish w ());
+  let good = read_file path in
+  with_tmp @@ fun bad ->
+  (* rewrite the declared version to 1 (the u16 after the magic is not
+     digest-covered): the persist token inside is now illegal *)
+  let b = Bytes.of_string good in
+  Bytes.set b 8 '\001';
+  write_file bad (Bytes.to_string b);
+  let r = Trace_codec.Reader.open_ bad in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  Alcotest.(check int) "downgraded header" 1 (Trace_codec.Reader.version r);
+  expect_error ~substr:"persist token in a v1 trace" (fun () ->
+      Trace_codec.stream r
+        ~on_persist:(fun _ -> ())
+        ~on_refs:(fun _ ~obj_ids:_ ~first:_ ~n:_ -> ())
+        ())
+
 (* --- sweep-from-trace ----------------------------------------------------- *)
 
 let fresh_dir () =
@@ -449,6 +526,10 @@ let suite =
       test_streaming_constant_memory;
     Alcotest.test_case "damaged files are rejected by name" `Quick
       test_rejects_damage;
+    Alcotest.test_case "v1 traces write and read back" `Quick
+      test_v1_writer_reader_compat;
+    Alcotest.test_case "persist token in a v1 trace is corrupt" `Quick
+      test_persist_token_needs_v2;
     Alcotest.test_case "sweep from trace: warm cache has zero misses" `Quick
       test_sweep_from_trace_cache;
     Alcotest.test_case "sweep from trace: pinned digest must match" `Quick
