@@ -348,6 +348,70 @@ let bench_trace_livegen =
                 quick_scavenger_config |> with_trace true)
               (Option.get (Nvsc_apps.Apps.find "gtc")))))
 
+(* Satellite: a resident daemon with a warm cache vs paying process
+   startup and a cold analysis for every request.  The fixture starts an
+   in-process server on a temp socket and issues one analyze to warm the
+   cache; the measured region is then a full client round-trip (request,
+   streamed output, done frame) that hits the cache on every cell.  The
+   cold-spawn bench runs the same analysis by exec'ing the real binary,
+   which is what `nvscav serve` exists to amortise; the req/s summary is
+   printed after the table. *)
+module Serve = Nvsc_serve
+
+let serve_req =
+  Serve.Protocol.Analyze { app = "gtc"; scale = 0.1; iterations = 1 }
+
+let serve_fixture =
+  lazy
+    (let dir = Filename.temp_file "nvsc_bench_serve" "" in
+     Sys.remove dir;
+     Unix.mkdir dir 0o700;
+     let sock = Filename.concat dir "nvscav.sock" in
+     let t =
+       Serve.Server.start
+         { Serve.Server.default with socket = Some sock; jobs = Some 2 }
+     in
+     let c =
+       match Serve.Client.connect ~socket:sock () with
+       | Ok c -> c
+       | Error msg -> failwith msg
+     in
+     (* warm the cache so the measured round-trips miss nothing *)
+     (match Serve.Client.request ~on_output:ignore c serve_req with
+     | Ok _ -> ()
+     | Error msg -> failwith msg);
+     (t, c, dir))
+
+let bench_serve_warm =
+  Test.make ~name:"serve:analyze-gtc-warm"
+    (Staged.stage (fun () ->
+         let _, c, _ = Lazy.force serve_fixture in
+         match Serve.Client.request ~on_output:ignore c serve_req with
+         | Ok _ -> ()
+         | Error msg -> failwith msg))
+
+(* the daemon's baseline: exec the binary and run the same analysis cold *)
+let nvscav_exe =
+  lazy
+    (let candidate =
+       Filename.concat
+         (Filename.dirname Sys.executable_name)
+         (Filename.concat ".." (Filename.concat "bin" "nvscav.exe"))
+     in
+     if Sys.file_exists candidate then Some candidate else None)
+
+let bench_serve_cold exe =
+  Test.make ~name:"serve:analyze-gtc-coldspawn"
+    (Staged.stage (fun () ->
+         let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+         let pid =
+           Unix.create_process exe
+             [| exe; "analyze"; "gtc"; "--scale"; "0.1"; "--iterations"; "1" |]
+             null null null
+         in
+         Unix.close null;
+         ignore (Unix.waitpid [] pid)))
+
 (* Satellite: the full experiments matrix (objects, power and perf cells
    for every paper app) through the sweep engine at 1, 2 and 4 worker
    domains; the scaling summary is printed after the table.  Speedup only
@@ -364,7 +428,11 @@ let bench_sweep jobs =
 
 let tests =
   Test.make_grouped ~name:"nv-scavenger"
-    [
+    ((* the cold-spawn baseline needs the built binary next to this bench *)
+     (match Lazy.force nvscav_exe with
+     | Some exe -> [ bench_serve_cold exe ]
+     | None -> [])
+    @ [
       bench_scavenger "nek5000";
       bench_scavenger "cam";
       bench_scavenger "gtc";
@@ -406,6 +474,7 @@ let tests =
       bench_sweep 1;
       bench_sweep 2;
       bench_sweep 4;
+      bench_serve_warm;
       bench_sampler;
       bench_trace_file;
       Test.make ~name:"ablation:scheduler-fr-fcfs-10k"
@@ -417,7 +486,7 @@ let tests =
              in
              Array.iter (Nvsc_dramsim.Controller.submit c) (Lazy.force trace_10k);
              ignore (Nvsc_dramsim.Controller.stats c)));
-    ]
+      ])
 
 let () =
   (* force shared fixtures outside the measured region *)
@@ -426,6 +495,7 @@ let () =
   ignore (Lazy.force log_100k);
   ignore (Lazy.force lookup_pattern);
   ignore (Lazy.force nvt_fixture);
+  ignore (Lazy.force serve_fixture);
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -529,15 +599,36 @@ let () =
       (live_ns /. rep_ns);
     Sys.remove path
   | _ -> ());
+  (* serve summary: warm daemon round-trips vs paying process startup and
+     a cold analysis per request *)
+  (match find "serve:analyze-gtc-warm" with
+  | Some warm when warm > 0. -> (
+    let req_s = 1e9 /. warm in
+    match find "serve:analyze-gtc-coldspawn" with
+    | Some cold when cold > 0. ->
+      Format.printf
+        "serve (gtc analyze, warm cache): round-trip %.1fus (%.0f req/s), \
+         cold process %.1fms per request (%.0fx)@."
+        (warm /. 1e3) req_s (cold /. 1e6) (cold /. warm)
+    | _ ->
+      Format.printf
+        "serve (gtc analyze, warm cache): round-trip %.1fus (%.0f req/s)@."
+        (warm /. 1e3) req_s)
+  | _ -> ());
   (* sweep-scaling summary: the same experiments matrix at 1/2/4 domains *)
-  match
-    ( find "experiments-matrix-1",
-      find "experiments-matrix-2",
-      find "experiments-matrix-4" )
-  with
+  (match
+     ( find "experiments-matrix-1",
+       find "experiments-matrix-2",
+       find "experiments-matrix-4" )
+   with
   | Some j1, Some j2, Some j4 when j1 > 0. && j2 > 0. && j4 > 0. ->
     Format.printf
       "sweep scaling (12-cell matrix): 1 domain %.1fms, 2 domains %.1fms \
        (%.2fx), 4 domains %.1fms (%.2fx)@."
       (j1 /. 1e6) (j2 /. 1e6) (j1 /. j2) (j4 /. 1e6) (j1 /. j4)
-  | _ -> ()
+  | _ -> ());
+  (* the daemon fixture owns a socket and a temp cache: shut it down *)
+  let t, c, dir = Lazy.force serve_fixture in
+  Serve.Client.close c;
+  Serve.Server.stop t;
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()

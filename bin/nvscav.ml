@@ -244,6 +244,7 @@ let trace_cmd =
     Arg.(required & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE" ~doc)
   in
   let run () name scale iterations out =
+    with_trace_errors @@ fun () ->
     with_app name (fun app ->
         let r =
           Nvsc_core.Scavenger.run
@@ -280,6 +281,7 @@ let power_cmd =
     Arg.(value & opt (some string) None & info [ "from-file" ] ~docv:"FILE" ~doc)
   in
   let run () name scale iterations from_file =
+    with_trace_errors @@ fun () ->
     with_app name (fun app ->
         let trace =
           match from_file with
@@ -956,6 +958,274 @@ let crashsim_cmd =
   in
   Cmd.v info Term.(ret (const run $ logs_term $ trace_arg))
 
+(* --- serve ---------------------------------------------------------------- *)
+
+module Serve = Nvsc_serve
+
+let socket_arg =
+  let doc =
+    "Unix-domain socket path (default $(b,nvscav.sock)); for $(b,serve), \
+     where to listen, for $(b,client), where the daemon is."
+  in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "Loopback TCP port (instead of, or in addition to, the socket)." in
+  Arg.(
+    value
+    & opt (some (Cli.min_int_conv ~what:"port" ~min:1)) None
+    & info [ "port" ] ~docv:"PORT" ~doc)
+
+let serve_cmd =
+  let max_queue_arg =
+    Arg.(
+      value
+      & opt (Cli.min_int_conv ~what:"max-queue" ~min:1) 64
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:"Bound on concurrently admitted analysis requests.")
+  in
+  let run () socket port jobs cache_dir cache_max max_queue profile =
+    (* With only --port given, listen on TCP alone; otherwise a Unix
+       socket is always bound (the client's default rendezvous). *)
+    let socket =
+      match (socket, port) with
+      | None, Some _ -> None
+      | s, _ -> Some (Option.value s ~default:Serve.Client.default_socket)
+    in
+    let cfg =
+      {
+        Serve.Server.socket;
+        port;
+        jobs;
+        cache_dir;
+        cache_max;
+        max_queue;
+        max_frame = Nvsc_util.Json.Lines.default_max_frame;
+      }
+    in
+    match Serve.Server.start cfg with
+    | exception Failure msg -> `Error (false, msg)
+    | t ->
+      List.iter
+        (fun s ->
+          Sys.set_signal s
+            (Sys.Signal_handle (fun _ -> Serve.Server.request_stop t)))
+        [ Sys.sigint; Sys.sigterm ];
+      Format.eprintf "nvscav serve: listening on %s@."
+        (String.concat ", " (Serve.Server.endpoints t));
+      Nvsc_obs.with_profiling
+        ?trace_out:(Cli.profile_trace_out profile)
+        ~enabled:(Cli.profile_enabled profile)
+        (fun () -> Serve.Server.await t);
+      Format.eprintf "nvscav serve: stopped@.";
+      `Ok ()
+  in
+  let info =
+    Cmd.info "serve"
+      ~doc:
+        "Run the resident analysis daemon: a shared pool of worker domains \
+         and a shared warm result cache behind a newline-delimited-JSON \
+         socket protocol.  Clients ($(b,nvscav client ...)) stream report \
+         chunks as cells complete; repeated requests are served from \
+         cache.  SIGINT/SIGTERM drain in-flight requests and remove the \
+         socket file."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ socket_arg $ port_arg $ Cli.jobs
+       $ Cli.cache_dir $ Cli.cache_max $ max_queue_arg $ Cli.profile))
+
+(* --- client --------------------------------------------------------------- *)
+
+let with_client ~socket ~port f =
+  match Serve.Client.connect ?socket ?port () with
+  | Error msg -> `Error (false, msg)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) (fun () -> f c)
+
+(* Progress chunks go to stdout verbatim — concatenated they are
+   byte-identical to the local subcommand's report — and the cache
+   accounting goes to stderr, mirroring [sweep]'s stats line. *)
+let client_request c req =
+  match Serve.Client.request ~on_output:print_string c req with
+  | Error msg -> `Error (false, msg)
+  | Ok (reply : Serve.Client.reply) ->
+    flush stdout;
+    Format.eprintf "serve: cells=%d hits=%d misses=%d@." reply.cells
+      reply.hits reply.misses;
+    `Ok ()
+
+let client_analyze_cmd =
+  let run () socket port name scale iterations =
+    with_client ~socket ~port @@ fun c ->
+    client_request c (Serve.Protocol.Analyze { app = name; scale; iterations })
+  in
+  let info =
+    Cmd.info "analyze"
+      ~doc:
+        "Remote $(b,nvscav analyze): same report, byte-identical, served \
+         from the daemon's warm cache when possible."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ socket_arg $ port_arg $ app_arg $ scale_arg
+       $ iterations_arg))
+
+let client_run_cmd =
+  let tech_arg =
+    Arg.(
+      value & opt string "sttram"
+      & info [ "tech" ] ~docv:"TECH"
+          ~doc:"NVRAM technology for the hybrid's NVRAM half.")
+  in
+  let run () socket port name scale iterations tech =
+    with_client ~socket ~port @@ fun c ->
+    client_request c (Serve.Protocol.Run { app = name; scale; iterations; tech })
+  in
+  let info = Cmd.info "run" ~doc:"Remote $(b,nvscav run), byte-identical." in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ socket_arg $ port_arg $ app_arg $ scale_arg
+       $ iterations_arg $ tech_arg))
+
+let client_replay_cmd =
+  let trace_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Recorded $(b,.nvt) trace file, resolved on the $(i,server)'s \
+             filesystem.")
+  in
+  let kind_arg =
+    Arg.(
+      value & opt string "run"
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"Analysis to replay: run, objects, power, perf or place.")
+  in
+  let tech_arg =
+    Arg.(
+      value & opt string "sttram"
+      & info [ "tech" ] ~docv:"TECH"
+          ~doc:"NVRAM technology for run/place replays.")
+  in
+  let run () socket port path kind tech =
+    with_client ~socket ~port @@ fun c ->
+    client_request c (Serve.Protocol.Replay { path; kind; tech })
+  in
+  let info =
+    Cmd.info "replay" ~doc:"Remote $(b,nvscav replay), byte-identical."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ socket_arg $ port_arg $ trace_arg $ kind_arg
+       $ tech_arg))
+
+let client_sweep_cmd =
+  let from_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-trace" ] ~docv:"FILE"
+          ~doc:
+            "Replay a recorded $(b,.nvt) trace (server-side path) instead \
+             of running the applications.")
+  in
+  let run () socket port scale iterations apps kinds techs overrides
+      from_trace =
+    with_client ~socket ~port @@ fun c ->
+    client_request c
+      (Serve.Protocol.Sweep
+         { apps; kinds; techs; scale; iterations; overrides; from_trace })
+  in
+  let info =
+    Cmd.info "sweep"
+      ~doc:
+        "Remote $(b,nvscav sweep): the matrix runs on the daemon's shared \
+         pool and cache, so concurrent clients never recompute each \
+         other's cells."
+  in
+  Cmd.v info
+    Term.(
+      ret
+        (const run $ logs_term $ socket_arg $ port_arg $ scale_arg
+       $ iterations_arg $ Cli.apps $ Cli.kinds $ Cli.techs $ Cli.overrides
+       $ from_trace_arg))
+
+let client_stats_cmd =
+  let strip_time_arg =
+    Arg.(
+      value & flag
+      & info [ "strip-time" ]
+          ~doc:
+            "Drop wall-clock ($(b,_ns)) readings from the metrics snapshot \
+             for reproducible output.")
+  in
+  let run () socket port strip_time =
+    with_client ~socket ~port @@ fun c ->
+    match
+      Serve.Client.request c (Serve.Protocol.Stats { strip_time })
+    with
+    | Error msg -> `Error (false, msg)
+    | Ok reply ->
+      (match reply.Serve.Client.result with
+      | Some json -> print_endline (Nvsc_util.Json.to_string json)
+      | None -> ());
+      `Ok ()
+  in
+  let info =
+    Cmd.info "stats"
+      ~doc:
+        "The daemon's state and metrics registry as one JSON object: \
+         connections, in-flight requests, cache hit/miss/eviction \
+         counters, pool depth."
+  in
+  Cmd.v info
+    Term.(ret (const run $ logs_term $ socket_arg $ port_arg $ strip_time_arg))
+
+let client_ping_cmd =
+  let run () socket port =
+    with_client ~socket ~port @@ fun c ->
+    match Serve.Client.request c Serve.Protocol.Ping with
+    | Error msg -> `Error (false, msg)
+    | Ok _ -> print_endline "pong"; `Ok ()
+  in
+  let info = Cmd.info "ping" ~doc:"Liveness probe." in
+  Cmd.v info Term.(ret (const run $ logs_term $ socket_arg $ port_arg))
+
+let client_shutdown_cmd =
+  let run () socket port =
+    with_client ~socket ~port @@ fun c ->
+    match Serve.Client.request c Serve.Protocol.Shutdown with
+    | Error msg -> `Error (false, msg)
+    | Ok _ ->
+      Format.eprintf "serve: shutdown requested@.";
+      `Ok ()
+  in
+  let info =
+    Cmd.info "shutdown"
+      ~doc:"Ask the daemon to drain in-flight requests and exit."
+  in
+  Cmd.v info Term.(ret (const run $ logs_term $ socket_arg $ port_arg))
+
+let client_cmd =
+  let doc =
+    "Talk to a running $(b,nvscav serve) daemon.  Reports stream to \
+     standard output and are byte-identical to the corresponding local \
+     subcommand; cache accounting ($(b,serve: cells=... hits=... \
+     misses=...)) goes to standard error."
+  in
+  Cmd.group (Cmd.info "client" ~doc)
+    [
+      client_analyze_cmd; client_run_cmd; client_replay_cmd; client_sweep_cmd;
+      client_stats_cmd; client_ping_cmd; client_shutdown_cmd;
+    ]
+
 let main_cmd =
   let doc = "NV-Scavenger: NVRAM opportunity analysis for HPC applications" in
   let info = Cmd.info "nvscav" ~version:"1.0.0" ~doc in
@@ -965,6 +1235,16 @@ let main_cmd =
       perf_cmd; place_cmd; hybrid_cmd; endurance_cmd; sample_cmd; tasks_cmd;
       traffic_cmd; fine_cmd; lint_cmd;
       sweep_cmd; checkpoint_cmd; record_cmd; replay_cmd; crashsim_cmd;
+      serve_cmd; client_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+(* Exit codes, uniformly: 0 success, 2 usage error (bad flags, unknown
+   names, unreadable inputs — message on stderr), 125 unexpected
+   exception.  Cmdliner's defaults (124/125) leak parse errors as 124
+   and let domain validation escape as uncaught exceptions; mapping
+   [eval_value] ourselves pins the contract down. *)
+let () =
+  match Cmd.eval_value main_cmd with
+  | Ok (`Ok ()) | Ok `Help | Ok `Version -> exit 0
+  | Error (`Parse | `Term) -> exit 2
+  | Error `Exn -> exit 125

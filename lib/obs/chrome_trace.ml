@@ -43,11 +43,7 @@ let to_json () =
     [
       ("traceEvents", Json.List (List.map event_json events));
       ("displayTimeUnit", Json.Str "ms");
-      ( "nvscMetrics",
-        Json.Obj
-          (List.map
-             (fun (name, v) -> (name, Metrics.value_to_json v))
-             (Metrics.snapshot ())) );
+      ("nvscMetrics", Metrics.snapshot_json ());
     ]
 
 let write path =

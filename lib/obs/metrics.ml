@@ -135,6 +135,21 @@ let value_to_json = function
         ("max", Json.Int d.max);
       ]
 
+(* A wall-clock metric is one whose name ends in "_ns": the only values
+   that vary between byte-identical runs.  [strip_time] drops them (and a
+   dist's irreproducible fields would go with the whole entry) so two
+   snapshots of the same workload compare equal. *)
+let is_wall_clock name =
+  let suffix = "_ns" in
+  let n = String.length name and k = String.length suffix in
+  n >= k && String.sub name (n - k) k = suffix
+
+let snapshot_json ?(strip_time = false) () =
+  Json.Obj
+    (snapshot ()
+    |> List.filter (fun (name, _) -> not (strip_time && is_wall_clock name))
+    |> List.map (fun (name, v) -> (name, value_to_json v)))
+
 let pp_value fmt = function
   | Counter n -> Format.fprintf fmt "%d" n
   | Gauge v -> Format.fprintf fmt "%g" v

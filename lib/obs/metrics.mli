@@ -62,5 +62,14 @@ val reset : unit -> unit
 (** Zero every metric (registrations survive). *)
 
 val value_to_json : value -> Nvsc_util.Json.t
+
+val snapshot_json : ?strip_time:bool -> unit -> Nvsc_util.Json.t
+(** The registry snapshot as one JSON object, keys in sorted (hence
+    deterministic) order — the payload of [nvscav client stats] and the
+    [nvscMetrics] sidecar of the Chrome-trace export.  With
+    [~strip_time:true], metrics whose names end in [_ns] (wall-clock
+    values, the only ones that vary between byte-identical runs) are
+    omitted, so CI can [cmp] two snapshots of the same workload. *)
+
 val pp_snapshot : Format.formatter -> (string * value) list -> unit
 (** One aligned [metric value] line per entry. *)

@@ -1,0 +1,105 @@
+module Json = Nvsc_util.Json
+
+let default_socket = "nvscav.sock"
+
+type t = {
+  fd : Unix.file_descr;
+  reader : Json.Lines.reader;
+  mutable next_id : int;
+}
+
+type reply = {
+  cells : int;
+  hits : int;
+  misses : int;
+  result : Json.t option;
+}
+
+let fd t = t.fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let rec write_all fd s pos len =
+  if len > 0 then
+    match Unix.write_substring fd s pos len with
+    | n -> write_all fd s (pos + n) (len - n)
+    | exception Unix.Unix_error (EINTR, _, _) -> write_all fd s pos len
+
+let read_frame t =
+  match Json.Lines.read t.reader with
+  | None -> Error "connection closed by server"
+  | Some (Error fe) -> Error fe.Json.Lines.message
+  | Some (Ok json) -> Protocol.frame_of_json json
+
+let addr_to_string = function
+  | Unix.ADDR_UNIX path -> path
+  | Unix.ADDR_INET (host, port) ->
+    Printf.sprintf "%s:%d" (Unix.string_of_inet_addr host) port
+
+let connect ?socket ?port () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let addr =
+    match (socket, port) with
+    | _, Some p -> Unix.ADDR_INET (Unix.inet_addr_loopback, p)
+    | Some path, None -> Unix.ADDR_UNIX path
+    | None, None -> Unix.ADDR_UNIX default_socket
+  in
+  let domain = Unix.domain_of_sockaddr addr in
+  match
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    fd
+  with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Printf.sprintf
+         "cannot connect to %s: %s (is the daemon running? start it with \
+          `nvscav serve`)"
+         (addr_to_string addr) (Unix.error_message e))
+  | fd -> (
+    let reader =
+      Json.Lines.reader (fun buf pos len ->
+          try Unix.read fd buf pos len
+          with Unix.Unix_error ((ECONNRESET | EPIPE), _, _) -> 0)
+    in
+    let t = { fd; reader; next_id = 1 } in
+    match read_frame t with
+    | Ok (Protocol.Hello h) when h.protocol = Protocol.version -> Ok t
+    | Ok (Protocol.Hello h) ->
+      close t;
+      Error
+        (Printf.sprintf
+           "protocol mismatch: server %s speaks version %d, this client \
+            speaks %d"
+           h.server h.protocol Protocol.version)
+    | Ok _ ->
+      close t;
+      Error "server did not open with a hello frame"
+    | Error msg ->
+      close t;
+      Error ("bad hello frame: " ^ msg))
+
+let request ?(on_output = fun _ -> ()) t req =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let line = Json.Lines.encode (Protocol.request_to_json ~id req) in
+  match write_all t.fd line 0 (String.length line) with
+  | exception Unix.Unix_error _ -> Error "connection lost while sending request"
+  | () ->
+    let rec loop () =
+      match read_frame t with
+      | Error msg -> Error msg
+      | Ok (Protocol.Progress p) when p.id = id ->
+        on_output p.out;
+        loop ()
+      | Ok (Protocol.Done_frame d) when d.id = id ->
+        Ok { cells = d.cells; hits = d.hits; misses = d.misses;
+             result = d.result }
+      | Ok (Protocol.Error_frame e) when e.err_id = Some id || e.err_id = None
+        -> Error (Protocol.error_to_string e)
+      | Ok _ -> loop ()
+    in
+    loop ()

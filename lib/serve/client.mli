@@ -1,0 +1,36 @@
+(** Thin blocking client for the [nvscav serve] daemon.
+
+    One connection, one request at a time: {!request} sends a frame,
+    invokes [on_output] on every streamed [progress] chunk (in order —
+    writing the chunks verbatim to stdout reproduces the local
+    subcommand's output byte-for-byte) and returns the final [done]
+    frame's counters. *)
+
+module Json = Nvsc_util.Json
+
+val default_socket : string
+(** ["nvscav.sock"] — the server's default too. *)
+
+type t
+
+type reply = {
+  cells : int;  (** cells the request decomposed into *)
+  hits : int;  (** cells served from the shared warm cache *)
+  misses : int;  (** cells computed on the pool *)
+  result : Json.t option;  (** [ping]/[stats] payload *)
+}
+
+val connect : ?socket:string -> ?port:int -> unit -> (t, string) result
+(** Connect (TCP to loopback when [port] is given, else the Unix socket,
+    default {!default_socket}) and validate the server's hello
+    handshake. *)
+
+val request :
+  ?on_output:(string -> unit) -> t -> Protocol.request -> (reply, string) result
+(** Errors render the server's structured error frame
+    ({!Protocol.error_to_string}), or describe the transport failure. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The raw connection, exposed so tests can sever it mid-request. *)

@@ -1,0 +1,251 @@
+module Cell = Nvsc_sweep.Cell
+module Matrix = Nvsc_sweep.Matrix
+module Technology = Nvsc_nvram.Technology
+
+type t = {
+  specs : Cell.spec array;
+  trace : string option;
+  sections : (Format.formatter -> Cell.payload -> unit) array;
+}
+
+let chunk plan i payload =
+  let buf = Buffer.create 1024 in
+  let fmt = Format.formatter_of_buffer buf in
+  plan.sections.(i) fmt payload;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+(* --- validation --------------------------------------------------------- *)
+
+let bad ?field message =
+  Error { Protocol.err_id = None; code = "bad-request"; field; message }
+
+let ( let* ) = Result.bind
+
+let check_app app =
+  match Nvsc_apps.Apps.find app with
+  | Some _ -> Ok ()
+  | None ->
+    bad ~field:"app"
+      (Nvsc_util.Cli.unknown ~what:"application" ~known:Nvsc_apps.Apps.names
+         app)
+
+let check_tech tech =
+  match Technology.of_string tech with
+  | Some t -> Ok t
+  | None ->
+    bad ~field:"tech"
+      (Nvsc_util.Cli.unknown ~what:"technology"
+         ~known:
+           (List.map (fun (t : Technology.t) -> t.name) Technology.paper_set)
+         tech)
+
+let check_config ~scale ~iterations =
+  if not (Float.is_finite scale && scale > 0.) then
+    bad ~field:"scale" "scale must be a positive number"
+  else if iterations < 1 then
+    bad ~field:"iterations" "iterations must be at least 1"
+  else Ok ()
+
+(* --- payload projections ------------------------------------------------ *)
+
+(* A section printer receiving the wrong payload constructor would be a
+   scheduling bug, not a client error, hence the assertions. *)
+
+let objects = function
+  | Cell.Objects_result o -> o
+  | _ -> invalid_arg "Plan: objects payload expected"
+
+let power = function
+  | Cell.Power_result p -> p
+  | _ -> invalid_arg "Plan: power payload expected"
+
+let perf = function
+  | Cell.Perf_result rows -> rows
+  | _ -> invalid_arg "Plan: perf payload expected"
+
+let place = function
+  | Cell.Place_result p -> p
+  | _ -> invalid_arg "Plan: place payload expected"
+
+(* Composed exactly as the local subcommands compose their reports, from
+   the same payload section printers, so the streamed chunks concatenate
+   to byte-identical output. *)
+
+let analyze_section fmt p =
+  let o = objects p in
+  Cell.pp_objects_summary fmt o;
+  Cell.pp_objects_usage fmt o
+
+let run_sections =
+  [|
+    (fun fmt p -> Cell.pp_objects_summary fmt (objects p));
+    (fun fmt p ->
+      let pw = power p in
+      Cell.pp_power_trace_line fmt pw;
+      Cell.pp_power_normalized fmt pw);
+    (fun fmt p -> Cell.pp_place_assessment fmt (place p));
+  |]
+
+let power_section fmt p =
+  let pw = power p in
+  Cell.pp_power_trace_line fmt pw;
+  Cell.pp_power_stats fmt pw;
+  Cell.pp_power_normalized fmt pw
+
+let perf_section fmt p = Cell.pp_perf_points fmt (perf p)
+
+let place_section fmt p =
+  let pl = place p in
+  Cell.pp_place_items fmt pl;
+  Cell.pp_place_assessment fmt pl
+
+(* --- spec builders ------------------------------------------------------ *)
+
+let spec ?tech ?digest ~app ~scale ~iterations kind =
+  {
+    Cell.app;
+    kind;
+    scale;
+    iterations;
+    tech = Option.map (fun (t : Technology.t) -> t.tech) tech;
+    trace_digest = digest;
+  }
+
+let analyze ~app ~scale ~iterations =
+  let* () = check_app app in
+  let* () = check_config ~scale ~iterations in
+  Ok
+    {
+      specs = [| spec ~app ~scale ~iterations Cell.Objects |];
+      trace = None;
+      sections = [| analyze_section |];
+    }
+
+let run_specs ?digest ~app ~scale ~iterations tech =
+  [|
+    spec ?digest ~app ~scale ~iterations Cell.Objects;
+    spec ?digest ~app ~scale ~iterations Cell.Power;
+    spec ~tech ?digest ~app ~scale ~iterations Cell.Place;
+  |]
+
+let run ~app ~scale ~iterations ~tech =
+  let* () = check_app app in
+  let* tech = check_tech tech in
+  let* () = check_config ~scale ~iterations in
+  Ok
+    {
+      specs = run_specs ~app ~scale ~iterations tech;
+      trace = None;
+      sections = run_sections;
+    }
+
+let trace_info path =
+  try Ok (Nvsc_core.Trace_run.info path) with
+  | Nvsc_memtrace.Trace_codec.Error msg | Sys_error msg ->
+    bad ~field:"path" msg
+
+let replay ~path ~kind ~tech =
+  let* tech = check_tech tech in
+  let* meta, digest = trace_info path in
+  let app = meta.Nvsc_memtrace.Trace_codec.app in
+  let scale = meta.scale and iterations = meta.iterations in
+  let cell k = spec ~digest ~app ~scale ~iterations k in
+  let* specs, sections =
+    match kind with
+    | "run" ->
+      Ok (run_specs ~digest ~app ~scale ~iterations tech, run_sections)
+    | "objects" -> Ok ([| cell Cell.Objects |], [| analyze_section |])
+    | "power" -> Ok ([| cell Cell.Power |], [| power_section |])
+    | "perf" -> Ok ([| cell Cell.Perf |], [| perf_section |])
+    | "place" ->
+      Ok
+        ( [| spec ~tech ~digest ~app ~scale ~iterations Cell.Place |],
+          [| place_section |] )
+    | kind ->
+      bad ~field:"kind"
+        (Nvsc_util.Cli.unknown ~what:"kind"
+           ~known:[ "run"; "objects"; "power"; "perf"; "place" ]
+           kind)
+  in
+  Ok { specs; trace = Some path; sections }
+
+let map_result f l =
+  List.fold_right
+    (fun x acc ->
+      let* y = f x in
+      let* ys = acc in
+      Ok (y :: ys))
+    l (Ok [])
+
+let sweep ~apps ~kinds ~techs ~scale ~iterations ~overrides ~from_trace =
+  (* Mirrors the local [nvscav sweep] matrix construction, including the
+     trace pinning: a trace-fed sweep is forced onto the trace's
+     application, scale and iteration count, and every cell's cache key
+     carries the trace's content digest. *)
+  let* forced =
+    match from_trace with
+    | None -> Ok (apps, scale, iterations, None)
+    | Some path ->
+      let* meta, digest = trace_info path in
+      Ok
+        ( Some [ meta.Nvsc_memtrace.Trace_codec.app ],
+          meta.scale,
+          meta.iterations,
+          Some digest )
+  in
+  let apps, scale, iterations, digest = forced in
+  let* () = check_config ~scale ~iterations in
+  let* kinds =
+    match kinds with
+    | None -> Ok None
+    | Some names ->
+      Result.map Option.some
+        (map_result
+           (fun s ->
+             match Cell.kind_of_string s with
+             | Some k -> Ok k
+             | None ->
+               bad ~field:"kinds"
+                 (Nvsc_util.Cli.unknown ~what:"kind"
+                    ~known:(List.map Cell.kind_to_string Cell.all_kinds)
+                    s))
+           names)
+  in
+  let* overrides =
+    map_result
+      (fun s ->
+        match Matrix.parse_override s with
+        | Ok o -> Ok o
+        | Error msg -> bad ~field:"overrides" msg)
+      overrides
+  in
+  let* matrix =
+    match Matrix.make ?apps ?kinds ?techs ~scale ~iterations ~overrides () with
+    | Ok m -> Ok m
+    | Error msg -> bad msg
+  in
+  let specs = Array.of_list (Matrix.cells matrix) in
+  let specs =
+    match digest with
+    | None -> specs
+    | Some d -> Array.map (fun s -> { s with Cell.trace_digest = Some d }) specs
+  in
+  Ok
+    {
+      specs;
+      trace = from_trace;
+      sections =
+        Array.map (fun s fmt payload -> Cell.render fmt s payload) specs;
+    }
+
+let of_request = function
+  | Protocol.Analyze { app; scale; iterations } -> analyze ~app ~scale ~iterations
+  | Protocol.Run { app; scale; iterations; tech } ->
+    run ~app ~scale ~iterations ~tech
+  | Protocol.Replay { path; kind; tech } -> replay ~path ~kind ~tech
+  | Protocol.Sweep { apps; kinds; techs; scale; iterations; overrides;
+                     from_trace } ->
+    sweep ~apps ~kinds ~techs ~scale ~iterations ~overrides ~from_trace
+  | Protocol.Ping | Protocol.Stats _ | Protocol.Shutdown ->
+    invalid_arg "Plan.of_request: not an analysis request"

@@ -1,0 +1,330 @@
+module Json = Nvsc_util.Json
+
+let version = 1
+let server_name = "nvscav serve 1.0.0"
+
+(* --- requests ----------------------------------------------------------- *)
+
+type request =
+  | Ping
+  | Stats of { strip_time : bool }
+  | Shutdown
+  | Analyze of { app : string; scale : float; iterations : int }
+  | Run of { app : string; scale : float; iterations : int; tech : string }
+  | Replay of { path : string; kind : string; tech : string }
+  | Sweep of {
+      apps : string list option;
+      kinds : string list option;
+      techs : string list option;
+      scale : float;
+      iterations : int;
+      overrides : string list;
+      from_trace : string option;
+    }
+
+type error = {
+  err_id : int option;
+  code : string;
+  field : string option;
+  message : string;
+}
+
+type frame =
+  | Hello of { protocol : int; server : string }
+  | Progress of { id : int; seq : int; out : string }
+  | Done_frame of {
+      id : int;
+      cells : int;
+      hits : int;
+      misses : int;
+      result : Json.t option;
+    }
+  | Error_frame of error
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let opt_field name to_json = function
+  | None -> []
+  | Some v -> [ (name, to_json v) ]
+
+let str_list l = Json.List (List.map (fun s -> Json.Str s) l)
+
+let request_to_json ~id req =
+  let op name args =
+    Json.Obj
+      ([ ("nvsc", Json.Int version); ("id", Json.Int id);
+         ("op", Json.Str name) ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  match req with
+  | Ping -> op "ping" []
+  | Stats { strip_time } -> op "stats" [ ("strip_time", Json.Bool strip_time) ]
+  | Shutdown -> op "shutdown" []
+  | Analyze { app; scale; iterations } ->
+    op "analyze"
+      [ ("app", Json.Str app); ("scale", Json.float scale);
+        ("iterations", Json.Int iterations) ]
+  | Run { app; scale; iterations; tech } ->
+    op "run"
+      [ ("app", Json.Str app); ("scale", Json.float scale);
+        ("iterations", Json.Int iterations); ("tech", Json.Str tech) ]
+  | Replay { path; kind; tech } ->
+    op "replay"
+      [ ("path", Json.Str path); ("kind", Json.Str kind);
+        ("tech", Json.Str tech) ]
+  | Sweep { apps; kinds; techs; scale; iterations; overrides; from_trace } ->
+    op "sweep"
+      (opt_field "apps" str_list apps
+      @ opt_field "kinds" str_list kinds
+      @ opt_field "techs" str_list techs
+      @ [ ("scale", Json.float scale); ("iterations", Json.Int iterations);
+          ("overrides", str_list overrides) ]
+      @ opt_field "from_trace" (fun s -> Json.Str s) from_trace)
+
+let frame_to_json = function
+  | Hello h ->
+    Json.Obj
+      [ ("frame", Json.Str "hello"); ("nvsc", Json.Int h.protocol);
+        ("server", Json.Str h.server) ]
+  | Progress p ->
+    Json.Obj
+      [ ("frame", Json.Str "progress"); ("id", Json.Int p.id);
+        ("seq", Json.Int p.seq); ("out", Json.Str p.out) ]
+  | Done_frame d ->
+    Json.Obj
+      ([ ("frame", Json.Str "done"); ("id", Json.Int d.id);
+         ("cells", Json.Int d.cells); ("hits", Json.Int d.hits);
+         ("misses", Json.Int d.misses) ]
+      @ opt_field "result" Fun.id d.result)
+  | Error_frame e ->
+    Json.Obj
+      ([ ("frame", Json.Str "error") ]
+      @ opt_field "id" (fun i -> Json.Int i) e.err_id
+      @ [ ("code", Json.Str e.code) ]
+      @ opt_field "field" (fun f -> Json.Str f) e.field
+      @ [ ("message", Json.Str e.message) ])
+
+(* --- request decoding --------------------------------------------------- *)
+
+(* Decoders return a structured [error] naming the offending field, so the
+   server can answer a malformed frame without tearing the connection
+   down.  The request id is extracted first (when present and
+   well-formed) so even errors can be correlated by the client. *)
+
+let ( let* ) = Result.bind
+
+let find args name = Json.member_opt name (Json.Obj args)
+
+let get_str ~err args name =
+  match find args name with
+  | Some (Json.Str s) -> Ok s
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be a string" name))
+  | None ->
+    Error (err ~field:name (Printf.sprintf "missing required field %S" name))
+
+let get_str_default ~err args name default =
+  match find args name with
+  | None -> Ok default
+  | Some (Json.Str s) -> Ok s
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be a string" name))
+
+let get_float_default ~err args name default =
+  match find args name with
+  | None -> Ok default
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be a number" name))
+
+let get_int_default ~err args name default =
+  match find args name with
+  | None -> Ok default
+  | Some (Json.Int i) -> Ok i
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be an integer" name))
+
+let get_bool_default ~err args name default =
+  match find args name with
+  | None -> Ok default
+  | Some (Json.Bool b) -> Ok b
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be a boolean" name))
+
+let get_str_list_opt ~err args name =
+  match find args name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.List items) ->
+    let rec strings acc = function
+      | [] -> Ok (Some (List.rev acc))
+      | Json.Str s :: rest -> strings (s :: acc) rest
+      | _ ->
+        Error
+          (err ~field:name
+             (Printf.sprintf "field %S must be a list of strings" name))
+    in
+    strings [] items
+  | Some _ ->
+    Error
+      (err ~field:name
+         (Printf.sprintf "field %S must be a list of strings" name))
+
+let get_str_opt ~err args name =
+  match find args name with
+  | None | Some Json.Null -> Ok None
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some _ ->
+    Error (err ~field:name (Printf.sprintf "field %S must be a string" name))
+
+let decode_op ~err op args =
+  match op with
+  | "ping" -> Ok Ping
+  | "stats" ->
+    let* strip_time = get_bool_default ~err args "strip_time" false in
+    Ok (Stats { strip_time })
+  | "shutdown" -> Ok Shutdown
+  | "analyze" ->
+    let* app = get_str ~err args "app" in
+    let* scale = get_float_default ~err args "scale" 1.0 in
+    let* iterations = get_int_default ~err args "iterations" 10 in
+    Ok (Analyze { app; scale; iterations })
+  | "run" ->
+    let* app = get_str ~err args "app" in
+    let* scale = get_float_default ~err args "scale" 1.0 in
+    let* iterations = get_int_default ~err args "iterations" 10 in
+    let* tech = get_str_default ~err args "tech" "sttram" in
+    Ok (Run { app; scale; iterations; tech })
+  | "replay" ->
+    let* path = get_str ~err args "path" in
+    let* kind = get_str_default ~err args "kind" "run" in
+    let* tech = get_str_default ~err args "tech" "sttram" in
+    Ok (Replay { path; kind; tech })
+  | "sweep" ->
+    let* apps = get_str_list_opt ~err args "apps" in
+    let* kinds = get_str_list_opt ~err args "kinds" in
+    let* techs = get_str_list_opt ~err args "techs" in
+    let* scale = get_float_default ~err args "scale" 1.0 in
+    let* iterations = get_int_default ~err args "iterations" 10 in
+    let* overrides =
+      Result.map
+        (Option.value ~default:[])
+        (get_str_list_opt ~err args "overrides")
+    in
+    let* from_trace = get_str_opt ~err args "from_trace" in
+    Ok (Sweep { apps; kinds; techs; scale; iterations; overrides; from_trace })
+  | op -> Error (err ~field:"op" (Printf.sprintf "unknown operation %S" op))
+
+let decode_request json =
+  match json with
+  | Json.Obj _ ->
+    let id =
+      match Json.member_opt "id" json with
+      | Some (Json.Int i) -> Some i
+      | _ -> None
+    in
+    let err ~field message =
+      { err_id = id; code = "bad-request"; field = Some field; message }
+    in
+    let* () =
+      match Json.member_opt "nvsc" json with
+      | Some (Json.Int v) when v = version -> Ok ()
+      | Some (Json.Int v) ->
+        Error
+          {
+            err_id = id;
+            code = "version-mismatch";
+            field = Some "nvsc";
+            message =
+              Printf.sprintf
+                "request speaks protocol version %d, this server speaks %d" v
+                version;
+          }
+      | Some _ ->
+        Error (err ~field:"nvsc" "field \"nvsc\" must be an integer")
+      | None ->
+        Error (err ~field:"nvsc" "missing protocol version field \"nvsc\"")
+    in
+    let* id =
+      match id with
+      | Some i -> Ok i
+      | None -> Error (err ~field:"id" "missing or non-integer request id")
+    in
+    let err ~field message =
+      { err_id = Some id; code = "bad-request"; field = Some field; message }
+    in
+    let* op =
+      match Json.member_opt "op" json with
+      | Some (Json.Str op) -> Ok op
+      | Some _ -> Error (err ~field:"op" "field \"op\" must be a string")
+      | None -> Error (err ~field:"op" "missing field \"op\"")
+    in
+    let args =
+      match Json.member_opt "args" json with
+      | Some (Json.Obj a) -> a
+      | _ -> []
+    in
+    let* req = decode_op ~err op args in
+    Ok (id, req)
+  | _ ->
+    Error
+      {
+        err_id = None;
+        code = "bad-request";
+        field = None;
+        message = "request frame must be a JSON object";
+      }
+
+(* --- frame decoding (client side) --------------------------------------- *)
+
+let frame_of_json json =
+  let str name =
+    match Json.member_opt name json with
+    | Some (Json.Str s) -> Ok s
+    | _ -> Error (Printf.sprintf "frame is missing string field %S" name)
+  in
+  let int name =
+    match Json.member_opt name json with
+    | Some (Json.Int i) -> Ok i
+    | _ -> Error (Printf.sprintf "frame is missing integer field %S" name)
+  in
+  let* kind = str "frame" in
+  match kind with
+  | "hello" ->
+    let* protocol = int "nvsc" in
+    let* server = str "server" in
+    Ok (Hello { protocol; server })
+  | "progress" ->
+    let* id = int "id" in
+    let* seq = int "seq" in
+    let* out = str "out" in
+    Ok (Progress { id; seq; out })
+  | "done" ->
+    let* id = int "id" in
+    let* cells = int "cells" in
+    let* hits = int "hits" in
+    let* misses = int "misses" in
+    Ok (Done_frame { id; cells; hits; misses;
+                     result = Json.member_opt "result" json })
+  | "error" ->
+    let err_id =
+      match Json.member_opt "id" json with
+      | Some (Json.Int i) -> Some i
+      | _ -> None
+    in
+    let* code = str "code" in
+    let field =
+      match Json.member_opt "field" json with
+      | Some (Json.Str f) -> Some f
+      | _ -> None
+    in
+    let* message = str "message" in
+    Ok (Error_frame { err_id; code; field; message })
+  | kind -> Error (Printf.sprintf "unknown frame kind %S" kind)
+
+let pp_error fmt (e : error) =
+  match e.field with
+  | Some f -> Format.fprintf fmt "%s (field %s): %s" e.code f e.message
+  | None -> Format.fprintf fmt "%s: %s" e.code e.message
+
+let error_to_string e = Format.asprintf "%a" pp_error e

@@ -501,49 +501,80 @@ let execute ?trace spec =
 
 (* --- rendering ---------------------------------------------------------- *)
 
-let render fmt spec payload =
-  (match spec.tech with
+(* Report sections, exposed individually so that the serve daemon can
+   stream exactly the sections the corresponding nvscav subcommand prints
+   (analyze = summary + usage; run = summary, trace line, normalized
+   power, assessment; ...) from decoded payloads, byte-identical to the
+   local printers over a fresh result. *)
+
+let pp_header fmt spec =
+  match spec.tech with
   | None ->
     Format.fprintf fmt "== %s · %s (scale %g, %d iterations) ==@." spec.app
       (kind_to_string spec.kind) spec.scale spec.iterations
   | Some t ->
     Format.fprintf fmt "== %s · %s · %s (scale %g, %d iterations) ==@."
       spec.app (kind_to_string spec.kind) (tech_name t) spec.scale
-      spec.iterations);
+      spec.iterations
+
+let pp_objects_summary fmt (o : objects_payload) =
+  Stack_analysis.pp_summary_table fmt [ o.summary ];
+  Object_analysis.pp_report fmt o.report
+
+let pp_objects_usage fmt (o : objects_payload) =
+  Format.fprintf fmt "untouched in main loop: %s of long-term data@."
+    (Table.cell_pct o.untouched_fraction);
+  Usage_variance.pp_variance fmt o.variance
+
+let pp_power_trace_line fmt (p : power_payload) =
+  Format.fprintf fmt "main-memory trace: %d accesses (%d reads, %d writes)@."
+    p.trace_length p.trace_reads p.trace_writes
+
+let pp_power_stats fmt (p : power_payload) =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt
+        "%-8s avg power %a  elapsed %a  row-hit %.2f  bandwidth %.2fGB/s@."
+        r.tech_name Units.pp_watts r.avg_power_w Units.pp_ns r.elapsed_ns
+        r.row_hit_rate r.bandwidth_gbs)
+    p.power_rows
+
+let pp_power_normalized fmt (p : power_payload) =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-8s normalized power %.3f@." r.tech_name
+        r.normalized)
+    p.power_rows
+
+let pp_perf_points fmt rows =
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-8s %6.0fns  runtime %a  normalized %.3f@."
+        r.perf_tech_name r.latency_ns Units.pp_ns r.runtime_ns
+        r.normalized_runtime)
+    rows
+
+let pp_place_items fmt (p : place_payload) =
+  List.iter
+    (fun (item : Nvsc_placement.Item.t) ->
+      Format.fprintf fmt "NVRAM <- %a@." Nvsc_placement.Item.pp item)
+    p.nvram_items
+
+let pp_place_assessment fmt (p : place_payload) =
+  Nvsc_placement.Hybrid_memory.pp_assessment fmt p.assessment;
+  Format.pp_print_newline fmt ()
+
+let render fmt spec payload =
+  pp_header fmt spec;
   match payload with
   | Objects_result o ->
-    Stack_analysis.pp_summary_table fmt [ o.summary ];
-    Object_analysis.pp_report fmt o.report;
-    Format.fprintf fmt "untouched in main loop: %s of long-term data@."
-      (Table.cell_pct o.untouched_fraction);
-    Usage_variance.pp_variance fmt o.variance
+    pp_objects_summary fmt o;
+    pp_objects_usage fmt o
   | Power_result p ->
-    Format.fprintf fmt
-      "main-memory trace: %d accesses (%d reads, %d writes)@." p.trace_length
-      p.trace_reads p.trace_writes;
-    List.iter
-      (fun r ->
-        Format.fprintf fmt
-          "%-8s avg power %a  elapsed %a  row-hit %.2f  bandwidth %.2fGB/s@."
-          r.tech_name Units.pp_watts r.avg_power_w Units.pp_ns r.elapsed_ns
-          r.row_hit_rate r.bandwidth_gbs)
-      p.power_rows;
-    List.iter
-      (fun r ->
-        Format.fprintf fmt "%-8s normalized power %.3f@." r.tech_name
-          r.normalized)
-      p.power_rows
-  | Perf_result rows ->
-    List.iter
-      (fun r ->
-        Format.fprintf fmt "%-8s %6.0fns  runtime %a  normalized %.3f@."
-          r.perf_tech_name r.latency_ns Units.pp_ns r.runtime_ns
-          r.normalized_runtime)
-      rows
+    pp_power_trace_line fmt p;
+    pp_power_stats fmt p;
+    pp_power_normalized fmt p
+  | Perf_result rows -> pp_perf_points fmt rows
   | Place_result p ->
-    List.iter
-      (fun (item : Nvsc_placement.Item.t) ->
-        Format.fprintf fmt "NVRAM <- %a@." Nvsc_placement.Item.pp item)
-      p.nvram_items;
-    Nvsc_placement.Hybrid_memory.pp_assessment fmt p.assessment;
-    Format.pp_print_newline fmt ()
+    pp_place_items fmt p;
+    pp_place_assessment fmt p

@@ -125,3 +125,23 @@ val execute : ?trace:string -> spec -> payload
 val render : Format.formatter -> spec -> payload -> unit
 (** The cell's section of the aggregated sweep report (header line plus
     the same tables the corresponding [nvscav] subcommand prints). *)
+
+(** {1 Report sections}
+
+    {!render}'s constituents, exposed individually so the serve daemon
+    can compose exactly the sections each [nvscav] subcommand prints
+    ([analyze] = summary + usage; [run] = summary, trace line, normalized
+    power, assessment; [power]/[perf]/[place] likewise) from decoded
+    payloads.  Each section starts at column 0 and ends with a newline,
+    so concatenated sections are byte-identical to one continuous
+    render. *)
+
+val pp_header : Format.formatter -> spec -> unit
+val pp_objects_summary : Format.formatter -> objects_payload -> unit
+val pp_objects_usage : Format.formatter -> objects_payload -> unit
+val pp_power_trace_line : Format.formatter -> power_payload -> unit
+val pp_power_stats : Format.formatter -> power_payload -> unit
+val pp_power_normalized : Format.formatter -> power_payload -> unit
+val pp_perf_points : Format.formatter -> perf_row list -> unit
+val pp_place_items : Format.formatter -> place_payload -> unit
+val pp_place_assessment : Format.formatter -> place_payload -> unit

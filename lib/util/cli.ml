@@ -6,22 +6,56 @@ let unknown ~what ~known name =
   Printf.sprintf "unknown %s %S (known: %s)" what name
     (String.concat ", " known)
 
+(* --- validated converters ------------------------------------------------ *)
+
+(* Out-of-range knobs must be rejected at parse time (a usage error, exit
+   code 2) — never silently clamped into a successful run, and never left
+   to crash a pipeline stage as an uncaught exception. *)
+
+let positive_float ~what =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f && f > 0. -> Ok f
+    | Some _ | None ->
+      Error
+        (`Msg (Printf.sprintf "%s must be a positive number, got %S" what s))
+  in
+  Arg.conv ~docv:"FLOAT" (parse, Format.pp_print_float)
+
+let min_int_conv ~what ~min =
+  let parse s =
+    match int_of_string_opt s with
+    | Some i when i >= min -> Ok i
+    | Some _ | None ->
+      Error (`Msg (Printf.sprintf "%s must be an integer >= %d, got %S" what min s))
+  in
+  Arg.conv ~docv:"N" (parse, Format.pp_print_int)
+
 (* --- shared argument definitions ---------------------------------------- *)
 
 let scale =
   let doc = "Data-size multiplier (default 1.0; use 0.25 for quick runs)." in
-  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"SCALE" ~doc)
+  Arg.(
+    value
+    & opt (positive_float ~what:"scale") 1.0
+    & info [ "scale" ] ~docv:"SCALE" ~doc)
 
 let iterations =
   let doc = "Main-loop iterations to instrument (the paper uses 10)." in
-  Arg.(value & opt int 10 & info [ "iterations"; "n" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (min_int_conv ~what:"iterations" ~min:1) 10
+    & info [ "iterations"; "n" ] ~docv:"N" ~doc)
 
 let jobs =
   let doc =
     "Worker domains (default: the machine's recommended domain count). The \
      report is byte-identical for every N."
   in
-  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (some (min_int_conv ~what:"jobs" ~min:1)) None
+    & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let cache_dir =
   let doc =
@@ -32,7 +66,10 @@ let cache_dir =
 
 let cache_max =
   let doc = "Bound the cache to N entries (oldest evicted first)." in
-  Arg.(value & opt (some int) None & info [ "cache-max" ] ~docv:"N" ~doc)
+  Arg.(
+    value
+    & opt (some (min_int_conv ~what:"cache-max" ~min:1)) None
+    & info [ "cache-max" ] ~docv:"N" ~doc)
 
 let apps =
   let doc = "Comma-separated applications (default: the paper's four)." in

@@ -237,6 +237,149 @@ let of_string s =
     fail "Json: trailing garbage at offset %d" p.pos;
   v
 
+(* --- newline-delimited framing ------------------------------------------ *)
+
+(* [Lines.of_string] shadows the frame parser below. *)
+let parse_frame = of_string
+
+module Lines = struct
+  let default_max_frame = 4 * 1024 * 1024
+
+  type error = { offset : int; message : string }
+
+  type reader = {
+    refill : bytes -> int -> int -> int;
+    max_frame : int;
+    chunk : Bytes.t;
+    mutable chunk_len : int;  (* valid bytes in [chunk] *)
+    mutable chunk_pos : int;  (* next unconsumed byte in [chunk] *)
+    mutable offset : int;  (* absolute offset of [chunk_pos] in the stream *)
+    mutable eof : bool;
+  }
+
+  let reader ?(max_frame = default_max_frame) refill =
+    {
+      refill;
+      max_frame;
+      chunk = Bytes.create 8192;
+      chunk_len = 0;
+      chunk_pos = 0;
+      offset = 0;
+      eof = false;
+    }
+
+  let of_channel ?max_frame ic =
+    reader ?max_frame (fun buf pos len -> input ic buf pos len)
+
+  let of_string ?max_frame s =
+    let pos = ref 0 in
+    reader ?max_frame (fun buf dst len ->
+        let n = min len (String.length s - !pos) in
+        Bytes.blit_string s !pos buf dst n;
+        pos := !pos + n;
+        n)
+
+  let offset r = r.offset
+
+  let ensure r =
+    if r.chunk_pos >= r.chunk_len && not r.eof then begin
+      let n = r.refill r.chunk 0 (Bytes.length r.chunk) in
+      r.chunk_len <- n;
+      r.chunk_pos <- 0;
+      if n = 0 then r.eof <- true
+    end;
+    r.chunk_pos < r.chunk_len
+
+  (* One byte at a time out of the refill chunk; the chunk makes this cheap
+     even over a raw file descriptor. *)
+  let next_byte r =
+    if ensure r then begin
+      let c = Bytes.get r.chunk r.chunk_pos in
+      r.chunk_pos <- r.chunk_pos + 1;
+      r.offset <- r.offset + 1;
+      Some c
+    end
+    else None
+
+  (* Consume the rest of an oversized frame so the next [read] starts at a
+     frame boundary; the stream stays usable after the error. *)
+  let skip_to_newline r =
+    let rec loop () =
+      match next_byte r with
+      | Some '\n' | None -> ()
+      | Some _ -> loop ()
+    in
+    loop ()
+
+  let read r =
+    let start = r.offset in
+    if not (ensure r) then None
+    else begin
+      let buf = Buffer.create 128 in
+      let rec collect () =
+        match next_byte r with
+        | None -> `Truncated
+        | Some '\n' -> `Line (Buffer.contents buf)
+        | Some c ->
+          if Buffer.length buf >= r.max_frame then begin
+            skip_to_newline r;
+            `Oversized
+          end
+          else begin
+            Buffer.add_char buf c;
+            collect ()
+          end
+      in
+      match collect () with
+      | `Truncated ->
+        Some
+          (Error
+             {
+               offset = start;
+               message =
+                 Printf.sprintf
+                   "truncated frame at byte %d: %d byte(s) with no trailing \
+                    newline"
+                   start (r.offset - start);
+             })
+      | `Oversized ->
+        Some
+          (Error
+             {
+               offset = start;
+               message =
+                 Printf.sprintf
+                   "oversized frame at byte %d: exceeds %d bytes" start
+                   r.max_frame;
+             })
+      | `Line "" ->
+        Some
+          (Error
+             { offset = start;
+               message = Printf.sprintf "empty frame at byte %d" start;
+             })
+      | `Line line -> (
+        match parse_frame line with
+        | v -> Some (Ok v)
+        | exception Parse_error msg ->
+          Some
+            (Error
+               {
+                 offset = start;
+                 message = Printf.sprintf "frame at byte %d: %s" start msg;
+               }))
+    end
+
+  (* The printer escapes every control character (including '\n') inside
+     strings, so an encoded frame never contains a raw newline: one frame,
+     one line, by construction. *)
+  let encode v = to_string v ^ "\n"
+
+  let write oc v =
+    output_string oc (encode v);
+    flush oc
+end
+
 (* --- accessors ---------------------------------------------------------- *)
 
 let member_opt key = function

@@ -49,3 +49,48 @@ val to_obj : t -> (string * t) list
 
 val float : float -> t
 (** [Float f] for finite [f]; the string spelling otherwise. *)
+
+(** {1 Newline-delimited framing}
+
+    One JSON value per line — the wire format of [nvscav serve].  The
+    printer escapes control characters inside strings, so an encoded
+    frame never contains a raw newline and the framing cannot be broken
+    by payload content.
+
+    The reader is incremental (suitable for a socket), enforces a
+    maximum frame size, and reports every malformed frame as a value —
+    naming the absolute byte offset where the frame began — rather than
+    an exception, so a server can answer the error and keep the
+    connection: after an [Error] result the reader is positioned at the
+    next frame boundary. *)
+module Lines : sig
+  val default_max_frame : int
+  (** 4 MiB. *)
+
+  type error = { offset : int; message : string }
+  (** [offset] is the absolute byte offset of the offending frame's first
+      byte; [message] repeats it in prose. *)
+
+  type reader
+
+  val reader : ?max_frame:int -> (bytes -> int -> int -> int) -> reader
+  (** [reader refill] reads frames from [refill buf pos len] (a
+      [Stdlib.input]-style function returning [0] at end of stream). *)
+
+  val of_channel : ?max_frame:int -> in_channel -> reader
+  val of_string : ?max_frame:int -> string -> reader
+
+  val read : reader -> (t, error) result option
+  (** The next frame: [None] at a clean end of stream, [Some (Error _)]
+      for an empty, oversized, truncated or unparseable line (the line is
+      consumed; reading may continue), [Some (Ok v)] otherwise. *)
+
+  val offset : reader -> int
+  (** Absolute byte offset of the next unread byte. *)
+
+  val encode : t -> string
+  (** Compact rendering plus the terminating newline. *)
+
+  val write : out_channel -> t -> unit
+  (** [output_string] of {!encode}, then [flush]. *)
+end
