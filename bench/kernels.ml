@@ -19,6 +19,7 @@ module Trace_gen = Nvsc_memtrace.Trace_gen
 module Cache = Nvsc_cachesim.Cache
 module Cache_params = Nvsc_cachesim.Cache_params
 module Hierarchy = Nvsc_cachesim.Hierarchy
+module Shard_filter = Nvsc_cachesim.Shard_filter
 module OH = Nvsc_oracle.Oracle_hierarchy
 
 (* --- timing ------------------------------------------------------------ *)
@@ -165,18 +166,174 @@ let run ~quick ~out =
 
   (* the captured gtc reference stream: what the pipeline's filter stage
      actually consumes (word-granular, object-interleaved) *)
-  let () =
+  let gtc_log =
     let log = Trace_log.create ~initial_capacity:2_000_000 () in
     let ctx = Nvsc_appkit.Ctx.create () in
     Nvsc_appkit.Ctx.add_sink ctx (Trace_log.sink ~name:"gtc-capture" log);
     let (module A : Nvsc_apps.Workload.APP) =
       Option.get (Nvsc_apps.Apps.find "gtc")
     in
-    let scale = if quick then 0.1 else 0.3 in
-    let iterations = if quick then 1 else 3 in
+    (* even --quick captures a few hundred thousand references so the
+       sharded-stage numbers are not dominated by fixed per-run cost
+       (cache-array creation and the end-of-trace drain walk) *)
+    let scale = if quick then 0.2 else 0.3 in
+    let iterations = if quick then 2 else 3 in
     A.run ~scale ctx ~iterations;
     Nvsc_appkit.Ctx.flush_refs ctx;
-    filter_bench ~reps "filter.gtc-stream" log
+    log
+  in
+  let () = filter_bench ~reps "filter.gtc-stream" gtc_log in
+
+  (* sharded filter stage over the same captured stream: the producer
+     partitions each batch once ([Shard_filter.partition] — in the live
+     pipeline that scan overlaps with generating the next batch), then k
+     set-partitioned Shard_filters each consume only their own index
+     list from the shared (Bigarray-backed) batch (ISSUE 9 tentpole).
+     Two numbers per width: [value] is the critical path — the slowest
+     shard's consume-stage busy time over its pre-built index list,
+     measured with each shard run alone so another domain's timeslice
+     never counts against it — which is what a k-core machine pays for
+     the stage and is host-independent; [wall_ns_per_ref] is the
+     measured wall time of the real k-domain team end to end (create,
+     partition, consume, drain) on THIS host (≈ serial on one core),
+     and [partition_ns_per_ref] the producer-side scan.  The stage baseline
+     for [projected_speedup] is the serial pipeline's Hierarchy filter
+     over the identical batch; shard:scaling summarises the 4-shard
+     projection. *)
+  let () =
+    let batch, len = Trace_log.as_batch gtc_log in
+    let refs = float_of_int len in
+    (* a single shard pass is sub-millisecond at --quick: time with the
+       monotonic ns clock, not [Sys.time]'s coarse process-time ticks *)
+    let best_ns reps f =
+      ignore (f ());
+      let best = ref infinity in
+      for _ = 1 to reps do
+        let t0 = Nvsc_obs.Clock.now_ns () in
+        f ();
+        let dt = float_of_int (Nvsc_obs.Clock.now_ns () - t0) in
+        if dt < !best then best := dt
+      done;
+      !best
+    in
+    let reps = 2 * reps in
+    (* Time the consume stage only, on a fresh (cold) simulator each
+       rep: hierarchy creation and the end-of-trace drain happen once
+       per *run*, not per batch, so they amortize to nothing over a
+       real experiment and would only blur the per-reference stage cost
+       here.  The serial baseline is re-sampled INTERLEAVED with each
+       width's shard samples (same rep loop, samples milliseconds
+       apart) so host frequency drift cancels out of the speedup ratio
+       — the same discipline the oracle comparisons use. *)
+    let timed f =
+      let t0 = Nvsc_obs.Clock.now_ns () in
+      f ();
+      float_of_int (Nvsc_obs.Clock.now_ns () - t0)
+    in
+    let serial_sample () =
+      let h = Hierarchy.create ~sink:(Sink.null ()) () in
+      timed (fun () -> Hierarchy.consume h batch ~first:0 ~n:len)
+    in
+    let run_width shards =
+      let index_bufs = Array.init shards (fun _ -> Array.make len 0) in
+      let counts = Array.make shards 0 in
+      (* the team's load-balanced residue assignment, sampled exactly as
+         the live pipeline does on its first flush *)
+      let team =
+        Array.init shards (fun shard -> Shard_filter.create ~shards ~shard ())
+      in
+      if shards > 1 then Shard_filter.rebalance team batch ~first:0 ~n:len;
+      let geometry = team.(0) in
+      let fresh_filter shard =
+        let sf = Shard_filter.create ~shards ~shard () in
+        Shard_filter.use_assignment sf (Shard_filter.assignment geometry);
+        sf
+      in
+      let partition_ns =
+        if shards = 1 then 0.
+        else
+          best_ns reps (fun () ->
+              Shard_filter.partition geometry batch ~first:0 ~n:len
+                ~index_bufs ~counts)
+      in
+      let shard_consume shard sf =
+        if shards = 1 then Shard_filter.consume sf batch ~first:0 ~n:len ~base:0
+        else
+          Shard_filter.consume_selected sf batch ~idxs:index_bufs.(shard)
+            ~m:counts.(shard) ~first:0 ~base:0
+      in
+      let shard_sample shard () =
+        let sf = fresh_filter shard in
+        timed (fun () -> shard_consume shard sf)
+      in
+      let shard_job shard () =
+        let sf = fresh_filter shard in
+        shard_consume shard sf;
+        Shard_filter.drain sf ~base:len
+      in
+      (* warm-up, then interleaved best-of: serial and every shard
+         sampled inside the same rep *)
+      ignore (serial_sample ());
+      for shard = 0 to shards - 1 do
+        ignore (shard_sample shard ())
+      done;
+      let serial = ref infinity in
+      let busy = Array.make shards infinity in
+      for _ = 1 to reps do
+        let s = serial_sample () in
+        if s < !serial then serial := s;
+        for shard = 0 to shards - 1 do
+          let b = shard_sample shard () in
+          if b < busy.(shard) then busy.(shard) <- b
+        done
+      done;
+      (* critical path: max over shards of each shard's isolated best *)
+      let crit = Array.fold_left max 0. busy in
+      (* wall: producer partition plus the real domain team, all shards
+         concurrent *)
+      let wall = ref infinity in
+      for _ = 1 to reps do
+        let dt =
+          timed (fun () ->
+              if shards = 1 then shard_job 0 ()
+              else begin
+                Shard_filter.partition geometry batch ~first:0 ~n:len
+                  ~index_bufs ~counts;
+                ignore
+                  (Nvsc_team.Pool.map ~jobs:shards
+                     (fun shard -> shard_job shard ())
+                     (Array.init shards Fun.id))
+              end)
+        in
+        if dt < !wall then wall := dt
+      done;
+      (!wall, crit, partition_ns, !serial)
+    in
+    let scaling =
+      List.map
+        (fun shards ->
+          let wall, crit, partition_ns, serial = run_width shards in
+          report
+            (Printf.sprintf "shard:filter-gtc-%d" shards)
+            "ns/ref" (crit /. refs)
+            ~extra:
+              [
+                ("wall_ns_per_ref", wall /. refs);
+                ("serial_ns_per_ref", serial /. refs);
+                ("partition_ns_per_ref", partition_ns /. refs);
+                ("projected_speedup", serial /. crit);
+                ("refs", refs);
+              ];
+          (shards, serial /. crit))
+        [ 1; 2; 4; 8 ]
+    in
+    report "shard:scaling" "x"
+      (List.assoc 4 scaling)
+      ~extra:
+        (List.map
+           (fun (shards, s) ->
+             (Printf.sprintf "projected_speedup_%d" shards, s))
+           scaling)
   in
 
   (* DRAM controller submit path on a line-granular trace *)

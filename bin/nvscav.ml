@@ -76,8 +76,8 @@ let pp_trace_line fmt trace =
     (Nvsc_memtrace.Trace_log.reads trace)
     (Nvsc_memtrace.Trace_log.writes trace)
 
-let power_results trace =
-  Nvsc_dramsim.Memory_system.compare_technologies
+let power_results ?(jobs = 1) trace =
+  Nvsc_dramsim.Memory_system.compare_technologies ~jobs
     ~techs:Nvsc_nvram.Technology.paper_set
     ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
     ()
@@ -133,11 +133,11 @@ let pp_place_report fmt ~tech r =
     (Nvsc_placement.Hybrid_memory.assess hybrid);
   Format.pp_print_newline fmt ()
 
-let pp_run_report fmt ~(tech : Nvsc_nvram.Technology.t) r =
+let pp_run_report ?jobs fmt ~(tech : Nvsc_nvram.Technology.t) r =
   pp_summary_and_objects fmt r;
   let trace = Option.get r.Nvsc_core.Scavenger.mem_trace in
   pp_trace_line fmt trace;
-  pp_normalized_power fmt (power_results trace);
+  pp_normalized_power fmt (power_results ?jobs trace);
   let hybrid =
     planned_hybrid ~tech:(Nvsc_nvram.Technology.get tech.tech) r
   in
@@ -753,7 +753,7 @@ let run_cmd =
     let doc = "NVRAM technology for the hybrid's NVRAM half." in
     Arg.(value & opt string "sttram" & info [ "tech" ] ~docv:"TECH" ~doc)
   in
-  let run () name scale iterations tech_name profile =
+  let run () name scale iterations shards tech_name profile =
     match Nvsc_nvram.Technology.of_string tech_name with
     | None ->
       `Error
@@ -770,10 +770,11 @@ let run_cmd =
             ?trace_out:(Cli.profile_trace_out profile)
             ~enabled:(Cli.profile_enabled profile)
           @@ fun () ->
-          pp_run_report fmt ~tech
+          pp_run_report ~jobs:shards fmt ~tech
             (Nvsc_core.Scavenger.run
                Nvsc_core.Scavenger.Config.(
-                 scavenger_config ~scale ~iterations |> with_trace true)
+                 scavenger_config ~scale ~iterations
+                 |> with_trace true |> with_shards shards)
                app))
   in
   let info =
@@ -789,7 +790,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ logs_term $ app_arg $ scale_arg $ iterations_arg
-       $ tech_arg $ Cli.profile))
+       $ Cli.shards $ tech_arg $ Cli.profile))
 
 (* --- record -------------------------------------------------------------- *)
 

@@ -133,8 +133,8 @@ let[@inline] access_raw t ~addr ~size ~op =
 let access t (a : Access.t) = access_raw t ~addr:a.addr ~size:a.size ~op:a.op
 
 (* One span per delivered batch, not per access.  The unchecked branch
-   reads the batch's component arrays directly: the per-element accessors
-   each consult the [debug_checks] atomic, which this hoists out of the
+   hoists the batch's typed buffer views once: the per-element accessors
+   each consult the [debug_checks] atomic, which this lifts out of the
    loop (the slice is within capacity by the sink-consumer contract). *)
 let consume t batch ~first ~n =
   Nvsc_obs.Span.with_ "cachesim.filter" @@ fun () ->
@@ -144,15 +144,16 @@ let consume t batch ~first ~n =
         ~size:(Sink.Batch.size batch i) ~op:(Sink.Batch.op batch i)
     done
   else begin
-    let addrs = batch.Sink.Batch.addrs
-    and sizes = batch.Sink.Batch.sizes
-    and ops = batch.Sink.Batch.ops in
+    let addrs = Sink.Batch.addrs batch
+    and sizes = Sink.Batch.sizes batch
+    and ops = Sink.Batch.ops batch in
     for i = first to first + n - 1 do
       let op =
-        if Bytes.unsafe_get ops i <> '\000' then Access.Write else Access.Read
+        if Bigarray.Array1.unsafe_get ops i <> '\000' then Access.Write
+        else Access.Read
       in
-      access_raw t ~addr:(Array.unsafe_get addrs i)
-        ~size:(Array.unsafe_get sizes i) ~op
+      access_raw t ~addr:(Bigarray.Array1.unsafe_get addrs i)
+        ~size:(Bigarray.Array1.unsafe_get sizes i) ~op
     done
   end
 

@@ -1,0 +1,581 @@
+module Access = Nvsc_memtrace.Access
+module Sink = Nvsc_memtrace.Sink
+
+(* One shard of a set-partitioned cache hierarchy.
+
+   The cache simulation factorizes exactly by set index: lookups,
+   replacement and write-backs in one set never read or write another
+   set's state, and the hierarchy's levels nest (both set counts are
+   powers of two and the shard count divides both, so every line's L1 set
+   and L2 set land in the same shard — [shard = line mod shards]).  A
+   shard therefore owns the residue class [line ≡ sid (mod shards)],
+   simulates its own private [Cache.t] pair over the subsequence of
+   references that touch it, and ends with per-set state and counters
+   identical to the serial [Hierarchy]'s for those sets.
+
+   Instead of pushing memory traffic into a sink (whose order would
+   interleave nondeterministically across shards), each shard records its
+   events into flat int arrays tagged with a sort key that reconstructs
+   the serial emission order:
+
+     key = ((major lsl 20) lor mid) lsl 4 lor seq
+
+   where [major] is the global reference index (or, during the drain,
+   [total_refs + set] for L1 and [total_refs + l1_sets + set] for L2),
+   [mid] is the line offset within the reference (or the dirty-way
+   counter within the flushed set), and [seq] numbers the miss cascade's
+   events (at most 5 per (major, mid): an L2 fill read, a write-back, and
+   a forwarded write, on both the accessed line and the L1 victim).  Keys
+   are strictly increasing within a shard and disjoint across shards, so
+   a k-way min-merge (see [Nvsc_core.Shard]) replays the exact serial
+   trace.
+
+   The per-reference hot path is allocation-free: the memo and cascade
+   mirror [Hierarchy.access_line] verbatim, and event recording is two
+   unsafe int stores (amortized — growth doubles). *)
+
+type t = {
+  l1d : Cache.t;
+  l2 : Cache.t;
+  line_bytes : int;
+  line_shift : int;
+  l1_nsets : int;
+  l2_nsets : int;
+  shard_mask : int; (* shards - 1; shards is a power of two *)
+  g_mask : int; (* min(l1_nsets, l2_nsets) - 1: the residue period *)
+  (* Residue -> shard map.  Any function of [line mod (g_mask+1)] is a
+     valid partition (it is constant on every L1 and L2 set, so shards
+     still share no cache state, and the merged output is identical for
+     every choice); the default is the identity block [r land
+     shard_mask], and {!rebalance} replaces it with a load-balanced
+     packing before any traffic flows. *)
+  mutable assign : int array;
+  sid : int;
+  (* Same one-entry repeat-line memo as [Hierarchy]: within this shard's
+     subsequence, the most recently touched line.  Skipped LRU refreshes
+     stay sound under sharding because any access between two touches of
+     a line that shares its set also shares its residue class — it runs
+     on this same shard and retargets this same memo. *)
+  mutable l1_repeat_line : int;
+  mutable accesses : int;
+  mutable memory_reads : int;
+  mutable memory_writes : int;
+  (* keyed event log *)
+  mutable ev_key : int array;
+  mutable ev_addr_op : int array; (* (byte addr lsl 1) lor write-bit *)
+  mutable ev_n : int;
+  (* current key context *)
+  mutable cur_major : int;
+  mutable cur_mid : int;
+  mutable cur_seq : int;
+  mutable cur_set : int; (* drain-time set tracker for the mid counter *)
+}
+
+let mid_limit = 1 lsl 20
+
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
+
+let shards_for ?(l1d = Cache_params.paper_l1d) ?(l2 = Cache_params.paper_l2)
+    requested =
+  let down_pow2 n =
+    let rec go k = if 2 * k > n then k else go (2 * k) in
+    if n <= 1 then 1 else go 1
+  in
+  let cap = min (Cache_params.sets l1d) (Cache_params.sets l2) in
+  min (down_pow2 requested) cap
+
+let create ?(l1d = Cache_params.paper_l1d) ?(l2 = Cache_params.paper_l2)
+    ?(events_hint = 4096) ~shards ~shard () =
+  if l1d.Cache_params.line_bytes <> l2.Cache_params.line_bytes then
+    invalid_arg "Shard_filter.create: levels must share a line size";
+  let line_bytes = l1d.Cache_params.line_bytes in
+  if line_bytes land (line_bytes - 1) <> 0 then
+    invalid_arg "Shard_filter.create: line size must be a power of two";
+  if shards <= 0 || shards land (shards - 1) <> 0 then
+    invalid_arg "Shard_filter.create: shard count must be a power of two";
+  let l1_nsets = Cache_params.sets l1d and l2_nsets = Cache_params.sets l2 in
+  if l1_nsets mod shards <> 0 || l2_nsets mod shards <> 0 then
+    invalid_arg "Shard_filter.create: shard count must divide both set counts";
+  if shard < 0 || shard >= shards then
+    invalid_arg "Shard_filter.create: shard index";
+  {
+    l1d = Cache.create l1d;
+    l2 = Cache.create l2;
+    line_bytes;
+    line_shift = log2 line_bytes;
+    l1_nsets;
+    l2_nsets;
+    shard_mask = shards - 1;
+    g_mask = min l1_nsets l2_nsets - 1;
+    assign =
+      Array.init (min l1_nsets l2_nsets) (fun r -> r land (shards - 1));
+    sid = shard;
+    l1_repeat_line = min_int;
+    accesses = 0;
+    memory_reads = 0;
+    memory_writes = 0;
+    ev_key = Array.make (max 16 events_hint) 0;
+    ev_addr_op = Array.make (max 16 events_hint) 0;
+    ev_n = 0;
+    cur_major = 0;
+    cur_mid = 0;
+    cur_seq = 0;
+    cur_set = -1;
+  }
+
+let grow t =
+  let cap = Array.length t.ev_key in
+  let ev_key = Array.make (2 * cap) 0 in
+  let ev_addr_op = Array.make (2 * cap) 0 in
+  Array.blit t.ev_key 0 ev_key 0 cap;
+  Array.blit t.ev_addr_op 0 ev_addr_op 0 cap;
+  t.ev_key <- ev_key;
+  t.ev_addr_op <- ev_addr_op
+
+let[@inline] record t line ~is_write =
+  if is_write then t.memory_writes <- t.memory_writes + 1
+  else t.memory_reads <- t.memory_reads + 1;
+  let i = t.ev_n in
+  if i = Array.length t.ev_key then grow t;
+  Array.unsafe_set t.ev_key i
+    (((t.cur_major lsl 20) lor t.cur_mid) lsl 4 lor t.cur_seq);
+  Array.unsafe_set t.ev_addr_op i
+    (((line * t.line_bytes) lsl 1) lor (if is_write then 1 else 0));
+  t.cur_seq <- t.cur_seq + 1;
+  t.ev_n <- i + 1
+
+let[@inline] mem_read t line = record t line ~is_write:false
+let[@inline] mem_write t line = record t line ~is_write:true
+
+(* The cascade below replicates [Hierarchy.l2_read]/[l2_write]/
+   [access_line] exactly — same lookups, same memo discipline, same event
+   emission order — with the sink pushes replaced by keyed records. *)
+let l2_read t line =
+  let e = Cache.read t.l2 ~line in
+  if not (Cache.Effect.hit e) then begin
+    if Cache.Effect.fills e then mem_read t line;
+    if Cache.Effect.has_writeback e then
+      mem_write t (Cache.Effect.writeback_line e)
+  end
+
+let l2_write t line =
+  let e = Cache.write t.l2 ~line in
+  if not (Cache.Effect.hit e) then begin
+    if Cache.Effect.fills e then mem_read t line;
+    if Cache.Effect.has_writeback e then
+      mem_write t (Cache.Effect.writeback_line e);
+    if Cache.Effect.forwards_write e then mem_write t line
+  end
+
+let[@inline] access_line t line op =
+  t.accesses <- t.accesses + 1;
+  if line = t.l1_repeat_line then begin
+    match op with
+    | Access.Read -> Cache.repeat_read_hit t.l1d
+    | Access.Write -> Cache.repeat_write_hit t.l1d
+  end
+  else
+    match op with
+    | Access.Read ->
+      let e = Cache.read t.l1d ~line in
+      t.l1_repeat_line <- line;
+      if not (Cache.Effect.hit e) then begin
+        if Cache.Effect.fills e then l2_read t line;
+        if Cache.Effect.has_writeback e then
+          l2_write t (Cache.Effect.writeback_line e)
+      end
+    | Access.Write ->
+      let e = Cache.write t.l1d ~line in
+      if Cache.Effect.hit e then t.l1_repeat_line <- line
+      else begin
+        if Cache.Effect.forwards_write e then l2_write t line
+        else begin
+          t.l1_repeat_line <- line;
+          if Cache.Effect.fills e then l2_read t line;
+          if Cache.Effect.has_writeback e then
+            l2_write t (Cache.Effect.writeback_line e)
+        end
+      end
+
+(* Line-straddling references are the rare path (word-granular streams
+   straddle at rate ~size/line); keeping it out of line keeps the
+   skip-dominated consume loop tight. *)
+let multi_line t ~idx ~first_line ~last_line op =
+  if last_line - first_line >= mid_limit then
+    invalid_arg "Shard_filter: reference spans too many lines";
+  for line = first_line to last_line do
+    if Array.unsafe_get t.assign (line land t.g_mask) = t.sid then begin
+      t.cur_major <- idx;
+      t.cur_mid <- line - first_line;
+      t.cur_seq <- 0;
+      access_line t line op
+    end
+  done
+
+let[@inline] consume_one t ~idx ~addr ~size ~op =
+  if addr < 0 then invalid_arg "Shard_filter: negative address";
+  let first_line = addr lsr t.line_shift in
+  let last_line = (addr + size - 1) lsr t.line_shift in
+  if first_line = last_line then begin
+    if Array.unsafe_get t.assign (first_line land t.g_mask) = t.sid then begin
+      t.cur_major <- idx;
+      t.cur_mid <- 0;
+      t.cur_seq <- 0;
+      access_line t first_line op
+    end
+  end
+  else multi_line t ~idx ~first_line ~last_line op
+
+(* Same accessor-hoisting idiom as [Hierarchy.consume]; [base] is the
+   global index of record [first], threading the producer's reference
+   numbering into the shard's sort keys. *)
+let consume t batch ~first ~n ~base =
+  Nvsc_obs.Span.with_ "cachesim.shard" @@ fun () ->
+  if Sink.checks_enabled () then
+    for i = first to first + n - 1 do
+      consume_one t ~idx:(base + i - first) ~addr:(Sink.Batch.addr batch i)
+        ~size:(Sink.Batch.size batch i) ~op:(Sink.Batch.op batch i)
+    done
+  else begin
+    (* The loop is skip-dominated (a shard owns 1/k of the lines), so the
+       reject path must stay minimal — two plane loads, two shifts, one
+       predicted-not-taken branch.  The op plane is only read for owned
+       references, and straddles (which may reach into this shard from a
+       foreign first line) share the single rare branch. *)
+    let addrs = Sink.Batch.addrs batch
+    and sizes = Sink.Batch.sizes batch
+    and ops = Sink.Batch.ops batch in
+    let shift = t.line_shift
+    and gm = t.g_mask
+    and assign = t.assign
+    and sid = t.sid in
+    let off = base - first in
+    for i = first to first + n - 1 do
+      let addr = Bigarray.Array1.unsafe_get addrs i in
+      let first_line = addr lsr shift in
+      let last_line =
+        (addr + Bigarray.Array1.unsafe_get sizes i - 1) lsr shift
+      in
+      if
+        Array.unsafe_get assign (first_line land gm) = sid
+        || first_line <> last_line
+      then begin
+        let op =
+          if Bigarray.Array1.unsafe_get ops i <> '\000' then Access.Write
+          else Access.Read
+        in
+        if first_line = last_line then begin
+          (* memo hits emit no event — skip the dead key stores *)
+          if first_line = t.l1_repeat_line then begin
+            t.accesses <- t.accesses + 1;
+            match op with
+            | Access.Read -> Cache.repeat_read_hit t.l1d
+            | Access.Write -> Cache.repeat_write_hit t.l1d
+          end
+          else begin
+            t.cur_major <- off + i;
+            t.cur_mid <- 0;
+            t.cur_seq <- 0;
+            access_line t first_line op
+          end
+        end
+        else multi_line t ~idx:(off + i) ~first_line ~last_line op
+      end
+    done
+  end
+
+(* Producer-side fan-out scan (one pass, width-independent cost): the
+   O(n) ownership test runs once on the generating domain — overlapped
+   with generation in the live pipeline — so each worker only ever
+   touches its own references instead of re-scanning the whole stream
+   (which would bound scaling by the skip cost, not the simulate cost).
+
+   Selection entries are packed, not bare indices: the common case (a
+   single-line reference whose line and batch position fit the field
+   widths) carries everything the worker's hot path needs —
+
+     entry = (line lsl 26) lor (write lsl 25) lor (i lsl 1)      tag 0
+     entry = (i lsl 1) lor 1                                     tag 1
+
+   so the worker reads ONE dense, prefetch-friendly int per owned
+   reference instead of gathering from three batch planes.  Tag 1 (a
+   straddling reference, or the rare field overflow) sends the worker
+   back to the batch; a straddle is listed for every shard its line
+   span touches and [consume_selected] re-derives the owned lines. *)
+let sel_idx_bits = 24
+let sel_line_shift = sel_idx_bits + 2
+let sel_max_line = (max_int lsr sel_line_shift) - 1
+
+let partition t batch ~first ~n ~index_bufs ~counts =
+  Sink.Batch.check_slice batch ~first ~n;
+  let k = t.shard_mask + 1 in
+  if Array.length index_bufs < k || Array.length counts < k then
+    invalid_arg "Shard_filter.partition: buffers narrower than the team";
+  Array.fill counts 0 k 0;
+  let shift = t.line_shift and gm = t.g_mask and assign = t.assign in
+  let push s e =
+    let c = Array.unsafe_get counts s in
+    Array.unsafe_set (Array.unsafe_get index_bufs s) c e;
+    Array.unsafe_set counts s (c + 1)
+  in
+  (* straddle dedup scratch: a line span may revisit a shard (the
+     residue -> shard map is arbitrary), but each touched shard must be
+     listed once — the worker re-derives ALL its owned lines *)
+  let marker = Array.make k (-1) in
+  let push_straddle ~first_line ~last_line i =
+    (* residues repeat with period g, so the first g lines cover every
+       shard the span can touch *)
+    for line = first_line to min last_line (first_line + gm) do
+      let s = Array.unsafe_get assign (line land gm) in
+      if Array.unsafe_get marker s <> i then begin
+        Array.unsafe_set marker s i;
+        push s ((i lsl 1) lor 1)
+      end
+    done
+  in
+  let fits_packed = n <= 1 lsl sel_idx_bits in
+  if Sink.checks_enabled () then
+    for i = first to first + n - 1 do
+      let addr = Sink.Batch.addr batch i in
+      let first_line = addr lsr shift in
+      let last_line = (addr + Sink.Batch.size batch i - 1) lsr shift in
+      if first_line = last_line then
+        if fits_packed && first_line <= sel_max_line then
+          let w =
+            match Sink.Batch.op batch i with
+            | Access.Read -> 0
+            | Access.Write -> 1
+          in
+          push
+            (Array.unsafe_get assign (first_line land gm))
+            ((first_line lsl sel_line_shift)
+            lor (w lsl (sel_idx_bits + 1))
+            lor ((i - first) lsl 1))
+        else
+          push
+            (Array.unsafe_get assign (first_line land gm))
+            ((i lsl 1) lor 1)
+      else push_straddle ~first_line ~last_line i
+    done
+  else begin
+    let addrs = Sink.Batch.addrs batch
+    and sizes = Sink.Batch.sizes batch
+    and ops = Sink.Batch.ops batch in
+    for i = first to first + n - 1 do
+      let addr = Bigarray.Array1.unsafe_get addrs i in
+      let first_line = addr lsr shift in
+      let last_line =
+        (addr + Bigarray.Array1.unsafe_get sizes i - 1) lsr shift
+      in
+      if first_line = last_line then
+        if fits_packed && first_line <= sel_max_line then
+          let w =
+            if Bigarray.Array1.unsafe_get ops i = '\000' then 0 else 1
+          in
+          push
+            (Array.unsafe_get assign (first_line land gm))
+            ((first_line lsl sel_line_shift)
+            lor (w lsl (sel_idx_bits + 1))
+            lor ((i - first) lsl 1))
+        else
+          push
+            (Array.unsafe_get assign (first_line land gm))
+            ((i lsl 1) lor 1)
+      else push_straddle ~first_line ~last_line i
+    done
+  end
+
+(* First-flush load balancing.  Count balance is the wrong objective:
+   a residue dominated by repeated touches of one line costs a couple
+   of nanoseconds per reference (repeat-line memo hit), while a residue
+   of churning lines pays full lookup-and-miss cascades — so packing by
+   reference count alone can still leave one shard with most of the
+   *time*.  Weight each residue by an execution-cost estimate from the
+   sampled slice — [count + 4 * transitions], a line transition being
+   the proxy for a lookup that misses the memo (the 4x is the measured
+   miss-cascade-to-memo-hit cost ratio, and only the ratio matters) —
+   then LPT-pack residues onto shards: heaviest residue first, each
+   onto the currently lightest shard.  Deterministic (ties break toward
+   the lower residue and lower shard), and output-invariant: the
+   merged trace and summed counters are identical for every valid
+   assignment, so rebalancing can never change a result, only the
+   wall-clock balance. *)
+let rebalance filters batch ~first ~n =
+  let k = Array.length filters in
+  if k = 0 then invalid_arg "Shard_filter.rebalance: empty team";
+  let t0 = filters.(0) in
+  if k <> t0.shard_mask + 1 then
+    invalid_arg "Shard_filter.rebalance: team width mismatch";
+  Array.iter
+    (fun f ->
+      if f.accesses > 0 || f.ev_n > 0 then
+        invalid_arg "Shard_filter.rebalance: traffic already flowed")
+    filters;
+  Sink.Batch.check_slice batch ~first ~n;
+  let g = t0.g_mask + 1 in
+  let count = Array.make g 0 and trans = Array.make g 0 in
+  let last_line = Array.make g (-1) in
+  let shift = t0.line_shift and gm = t0.g_mask in
+  for i = first to first + n - 1 do
+    let addr = Sink.Batch.addr batch i in
+    let line = addr lsr shift in
+    (* straddles are rare and count toward their first residue only *)
+    let r = line land gm in
+    count.(r) <- count.(r) + 1;
+    if last_line.(r) <> line then begin
+      last_line.(r) <- line;
+      trans.(r) <- trans.(r) + 1
+    end
+  done;
+  let order = Array.init g Fun.id in
+  let weight r = count.(r) + (4 * trans.(r)) in
+  Array.sort
+    (fun a b ->
+      match compare (weight b) (weight a) with 0 -> compare a b | c -> c)
+    order;
+  let load = Array.make k 0 in
+  let assign = Array.make g 0 in
+  Array.iter
+    (fun r ->
+      let lightest = ref 0 in
+      for s = 1 to k - 1 do
+        if load.(s) < load.(!lightest) then lightest := s
+      done;
+      assign.(r) <- !lightest;
+      load.(!lightest) <- load.(!lightest) + weight r)
+    order;
+  Array.iter (fun f -> f.assign <- assign) filters
+
+let assignment t = t.assign
+
+let use_assignment t assign =
+  if t.accesses > 0 || t.ev_n > 0 then
+    invalid_arg "Shard_filter.use_assignment: traffic already flowed";
+  if Array.length assign <> t.g_mask + 1 then
+    invalid_arg "Shard_filter.use_assignment: wrong residue period";
+  Array.iter
+    (fun s ->
+      if s < 0 || s > t.shard_mask then
+        invalid_arg "Shard_filter.use_assignment: shard out of range")
+    assign;
+  t.assign <- assign
+
+(* Worker-side filtering over a pre-selected entry list: the cost is
+   proportional to this shard's own traffic, not the stream length, and
+   the dominant path (packed single-line entry hitting the repeat-line
+   memo) touches no batch plane at all — one sequential int load. *)
+let consume_selected t batch ~idxs ~m ~first ~base =
+  Nvsc_obs.Span.with_ "cachesim.shard" @@ fun () ->
+  let sel_op_bit = 1 lsl (sel_idx_bits + 1) in
+  let sel_idx_mask = (1 lsl sel_idx_bits) - 1 in
+  let off = base - first in
+  if Sink.checks_enabled () then
+    for j = 0 to m - 1 do
+      let e = Array.unsafe_get idxs j in
+      if e land 1 = 1 then
+        let i = e lsr 1 in
+        consume_one t ~idx:(off + i) ~addr:(Sink.Batch.addr batch i)
+          ~size:(Sink.Batch.size batch i) ~op:(Sink.Batch.op batch i)
+      else begin
+        let line = e lsr sel_line_shift in
+        t.cur_major <- base + ((e lsr 1) land sel_idx_mask);
+        t.cur_mid <- 0;
+        t.cur_seq <- 0;
+        access_line t line
+          (if e land sel_op_bit <> 0 then Access.Write else Access.Read)
+      end
+    done
+  else begin
+    let addrs = Sink.Batch.addrs batch
+    and sizes = Sink.Batch.sizes batch
+    and ops = Sink.Batch.ops batch in
+    let shift = t.line_shift in
+    for j = 0 to m - 1 do
+      let e = Array.unsafe_get idxs j in
+      if e land 1 = 0 then begin
+        (* packed single-line entry, owned by construction.  Take the
+           repeat-line memo hit before touching the key context: a memo
+           hit can emit no event, so the three key stores would be
+           dead — and on a traffic-concentrated shard this path
+           dominates. *)
+        let line = e lsr sel_line_shift in
+        if line = t.l1_repeat_line then begin
+          t.accesses <- t.accesses + 1;
+          if e land sel_op_bit <> 0 then Cache.repeat_write_hit t.l1d
+          else Cache.repeat_read_hit t.l1d
+        end
+        else begin
+          t.cur_major <- base + ((e lsr 1) land sel_idx_mask);
+          t.cur_mid <- 0;
+          t.cur_seq <- 0;
+          access_line t line
+            (if e land sel_op_bit <> 0 then Access.Write else Access.Read)
+        end
+      end
+      else begin
+        (* straddle, or packed-field overflow: gather from the batch *)
+        let i = e lsr 1 in
+        let addr = Bigarray.Array1.unsafe_get addrs i in
+        let first_line = addr lsr shift in
+        let last_line =
+          (addr + Bigarray.Array1.unsafe_get sizes i - 1) lsr shift
+        in
+        let op =
+          if Bigarray.Array1.unsafe_get ops i <> '\000' then Access.Write
+          else Access.Read
+        in
+        if first_line = last_line then begin
+          t.cur_major <- off + i;
+          t.cur_mid <- 0;
+          t.cur_seq <- 0;
+          access_line t first_line op
+        end
+        else multi_line t ~idx:(off + i) ~first_line ~last_line op
+      end
+    done
+  end
+
+(* End-of-trace drain, keyed to splice into the serial drain order:
+   serial [Hierarchy.drain] walks L1 sets in ascending order (ways in
+   ascending order within each set) flushing dirty lines into L2, then
+   walks L2 the same way flushing to memory.  The shard's caches hold
+   exactly the serial caches' contents for its sets, so replaying its own
+   flush with [major = base + set] (then [base + l1_sets + set]) and
+   [mid] counting dirty ways within the set reproduces the serial
+   subsequence; sets are disjoint across shards, so the merge
+   interleaves them back in ascending set order. *)
+let drain t ~base =
+  Nvsc_obs.Span.with_ "cachesim.shard-drain" @@ fun () ->
+  let l1_set_mask = t.l1_nsets - 1 and l2_set_mask = t.l2_nsets - 1 in
+  t.cur_set <- -1;
+  Cache.flush_dirty t.l1d (fun line ->
+      let s = line land l1_set_mask in
+      if s = t.cur_set then t.cur_mid <- t.cur_mid + 1
+      else begin
+        t.cur_set <- s;
+        t.cur_mid <- 0
+      end;
+      t.cur_major <- base + s;
+      t.cur_seq <- 0;
+      l2_write t line);
+  t.cur_set <- -1;
+  Cache.flush_dirty t.l2 (fun line ->
+      let s = line land l2_set_mask in
+      if s = t.cur_set then t.cur_mid <- t.cur_mid + 1
+      else begin
+        t.cur_set <- s;
+        t.cur_mid <- 0
+      end;
+      t.cur_major <- base + t.l1_nsets + s;
+      t.cur_seq <- 0;
+      mem_write t line)
+
+let l1d t = t.l1d
+let l2 t = t.l2
+let line_bytes t = t.line_bytes
+let accesses t = t.accesses
+let memory_reads t = t.memory_reads
+let memory_writes t = t.memory_writes
+let raw_events t = (t.ev_key, t.ev_addr_op, t.ev_n)

@@ -1,0 +1,109 @@
+(** One shard of a set-partitioned cache hierarchy.
+
+    The filter stage factorizes exactly by set index: a shard owns the
+    residue class of lines [line ≡ shard (mod shards)] (which is a union
+    of whole L1 {e and} L2 sets whenever [shards] divides both set
+    counts), simulates a private {!Cache.t} pair over just those lines,
+    and records the memory traffic it induces into a keyed event log.
+    Running k shards over the same reference stream and merging their
+    logs by key ([Nvsc_core.Shard]) reproduces the serial {!Hierarchy}
+    byte for byte — counters, evictions, and trace order.
+
+    All state is shard-private: k shards over one shared (Bigarray-backed,
+    domain-shareable) batch run without synchronisation.  The
+    per-reference hot path performs zero heap allocations. *)
+
+type t
+
+val shards_for :
+  ?l1d:Cache_params.t -> ?l2:Cache_params.t -> int -> int
+(** Largest power of two ≤ the requested shard count that divides both
+    levels' set counts (≥ 1) — the effective team width for a geometry. *)
+
+val create :
+  ?l1d:Cache_params.t ->
+  ?l2:Cache_params.t ->
+  ?events_hint:int ->
+  shards:int ->
+  shard:int ->
+  unit ->
+  t
+(** One shard of a [shards]-way partition.  [shards] must be a power of
+    two dividing both set counts; [shard] is this shard's residue.
+    [events_hint] pre-sizes the event log (it grows by doubling). *)
+
+val consume :
+  t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> base:int -> unit
+(** Filter a delivered batch slice, keeping only this shard's lines.
+    [base] is the global index of record [first] in the experiment's
+    reference stream — it keys the event log so shards' logs merge back
+    into serial order. *)
+
+val partition :
+  t ->
+  Nvsc_memtrace.Sink.Batch.t ->
+  first:int ->
+  n:int ->
+  index_bufs:int array array ->
+  counts:int array ->
+  unit
+(** Producer-side fan-out: scan the slice once and write into
+    [index_bufs.(s)] packed selection entries (opaque ints: the common
+    case carries line, op and batch position so the worker's hot path
+    never gathers from the batch planes) for the references that touch
+    shard [s]; [counts.(s)] receives each list's length.  Geometry is
+    taken from [t] (any shard of the team may be passed).  Each buffer
+    must hold at least [n] entries; a straddling reference is listed for
+    every shard its line span touches, so each worker can consume its
+    list with {!consume_selected} instead of re-scanning the stream.
+    Entries are only meaningful for the same (batch, first, base)
+    triple they were built from. *)
+
+val consume_selected :
+  t ->
+  Nvsc_memtrace.Sink.Batch.t ->
+  idxs:int array ->
+  m:int ->
+  first:int ->
+  base:int ->
+  unit
+(** Filter only the pre-selected entries [idxs.(0..m-1)], as produced
+    by {!partition} for this shard over the same slice.  [first] and
+    [base] mean the same as in {!consume}: record [first] of the slice
+    has global stream index [base].  Work is proportional to this
+    shard's own traffic, not the stream length. *)
+
+val rebalance :
+  t array -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** First-flush load balancing: replace the team's default residue ->
+    shard map with an LPT packing weighted by an execution-cost
+    estimate sampled from the given slice (reference count plus
+    line-transition churn per residue class).  Must be called on the
+    whole team before any traffic flows ([Invalid_argument] otherwise).
+    Output-invariant: the merged trace and summed counters are
+    byte-identical for every valid assignment — only the wall-clock
+    balance across shards changes. *)
+
+val assignment : t -> int array
+(** The residue -> shard map in force (shared by the team). *)
+
+val use_assignment : t -> int array -> unit
+(** Adopt an assignment from another filter of an identically-shaped
+    team (e.g. a fresh filter joining after {!rebalance}).  Only valid
+    before any traffic has flowed through [t]. *)
+
+val drain : t -> base:int -> unit
+(** End-of-trace write-back drain, keyed with [base] = the total number
+    of references in the stream. *)
+
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val line_bytes : t -> int
+val accesses : t -> int
+val memory_reads : t -> int
+val memory_writes : t -> int
+
+val raw_events : t -> int array * int array * int
+(** [(keys, addr_ops, n)]: the first [n] entries of the keyed event log.
+    [keys.(i)] is strictly increasing; [addr_ops.(i)] packs
+    [(byte_addr lsl 1) lor write_bit].  Consumed by the merge. *)

@@ -63,6 +63,11 @@ module Config : sig
     sanitize : bool;  (** attach the NVSC-San trace sanitizer *)
     check_init : bool;  (** sanitizer: also track uninitialised reads *)
     persist : bool;  (** attach the NVSC-Persist crash-consistency checker *)
+    shards : int;
+        (** filter-stage parallelism: shard the cache simulation by set
+            index across this many worker domains (clamped to the largest
+            power of two dividing both levels' set counts; 1 = serial).
+            Output is byte-identical for every shard count. *)
     obs : Nvsc_obs.t;
         (** arm span recording for this run ({!Nvsc_obs.on}) or leave the
             recorder as-is ({!Nvsc_obs.off}) *)
@@ -88,6 +93,10 @@ module Config : sig
       [persist_report] carries its verdict on the app's epoch/flush/fence
       annotations.  Independent of [sanitize]. *)
 
+  val with_shards : int -> t -> t
+  (** Filter-stage parallelism (≥ 1; only meaningful with
+      [with_trace true]).  See {!Shard}. *)
+
   val with_obs : Nvsc_obs.t -> t -> t
 end
 
@@ -96,24 +105,6 @@ val run : Config.t -> (module Nvsc_apps.Workload.APP) -> result
     the NVSC-San trace sanitizer into the pipeline: the context gets
     allocation redzones, batch accessors run bounds-checked, and the
     result carries the diagnostic report. *)
-
-val run_legacy :
-  ?scale:float ->
-  ?iterations:int ->
-  ?with_trace:bool ->
-  ?sampling:int * int ->
-  ?batch_capacity:int ->
-  ?sanitize:bool ->
-  ?check_init:bool ->
-  (module Nvsc_apps.Workload.APP) ->
-  result
-[@@alert
-  deprecated
-    "Build a Scavenger.Config.t and call Scavenger.run instead; this \
-     optional-argument shim will be removed next release."]
-(** The pre-{!Config} calling convention, kept for one release as a thin
-    shim over {!run} (defaults match {!Config.default}); behaviour is
-    identical — the equivalence is under test. *)
 
 val stack_metrics : result -> Object_metrics.t list
 val global_metrics : result -> Object_metrics.t list

@@ -1,0 +1,312 @@
+module Sink = Nvsc_memtrace.Sink
+module Access = Nvsc_memtrace.Access
+module Layout = Nvsc_memtrace.Layout
+module Trace_log = Nvsc_memtrace.Trace_log
+module Cache = Nvsc_cachesim.Cache
+module Shard_filter = Nvsc_cachesim.Shard_filter
+module Pool = Nvsc_team.Pool
+module Ring = Nvsc_team.Ring
+
+(* A shard team: k filter domains behind per-domain SPSC rings, fed
+   zero-copy from the generating domain's emission batches.
+
+   Transport protocol (DESIGN.md "Sharded simulation"):
+
+   - The context's [cache-hierarchy] sink calls {!feed} with each filled
+     batch slice.  [feed] scans the slice once on the producing domain
+     ([Shard_filter.partition]) to build per-shard index lists in the
+     slot, stamps the slot with a reference count equal to the number of
+     shards that received work, and pushes one descriptor (slot, index
+     list, global base index) to each such shard's ring.  The batch
+     itself is never copied — its Bigarray storage is read in place by
+     all consuming shards, each touching only its own references.
+   - At the end of the same flush, the context's batch-exchange hook
+     calls {!exchange}: the team keeps the filled batch and hands back a
+     recycled one from the free list (blocking if all are in flight —
+     that wait is the pipeline's backpressure).  Generation of the next
+     batch then overlaps with filtering of this one.
+   - Each worker pops descriptors, filters its residue class, and
+     decrements the slot's refcount; the last consumer returns the slot
+     to the free list.
+   - {!finish} pushes an end-of-stream sentinel carrying the final
+     reference count, waits for every worker ([Pool.await] — the team
+     rides the same submit/await lifecycle as sweep and serve), and
+     drains each shard's caches under keyed majors. *)
+
+type slot = {
+  sb : Sink.Batch.t;
+  refc : int Atomic.t;
+  idx_bufs : int array array; (* per-shard selected batch positions *)
+  counts : int array;
+}
+
+type descriptor = {
+  d_slot : slot;
+  d_idxs : int array; (* alias of d_slot.idx_bufs.(shard) at enqueue time *)
+  d_m : int; (* this shard's selected-reference count *)
+  d_first : int;
+  d_n : int; (* -1 = end-of-stream sentinel *)
+  d_base : int; (* global index of record [d_first]; total refs on sentinel *)
+}
+
+type t = {
+  shards : int;
+  filters : Shard_filter.t array;
+  rings : descriptor Ring.t array;
+  pool : Pool.t;
+  mutable tickets : unit Pool.ticket array;
+  free_mu : Mutex.t;
+  free_nonempty : Condition.t;
+  free : slot Queue.t;
+  mutable live : slot option; (* slot whose batch the producer holds *)
+  mutable fed : int;
+  mutable enqueued : bool; (* live batch handed out during this flush *)
+  mutable finished : bool;
+}
+
+let effective_shards = Shard_filter.shards_for
+
+(* Spare batches beyond the producer's own: enough that a short burst of
+   capacity flushes never stalls the generator while shards catch up,
+   small enough that the circulating working set stays cache-friendly. *)
+let spare_slots = 4
+let ring_depth = 8
+
+let release_slot t slot =
+  Mutex.lock t.free_mu;
+  Queue.push slot t.free;
+  Condition.signal t.free_nonempty;
+  Mutex.unlock t.free_mu
+
+let worker t i () =
+  let ring = t.rings.(i) and f = t.filters.(i) in
+  let rec loop () =
+    let d = Ring.pop ring in
+    if d.d_n < 0 then Shard_filter.drain f ~base:d.d_base
+    else begin
+      Shard_filter.consume_selected f d.d_slot.sb ~idxs:d.d_idxs ~m:d.d_m
+        ~first:d.d_first ~base:d.d_base;
+      if Atomic.fetch_and_add d.d_slot.refc (-1) = 1 then release_slot t d.d_slot;
+      loop ()
+    end
+  in
+  loop ()
+
+let make_slot ~shards sb =
+  {
+    sb;
+    refc = Atomic.make 0;
+    (* one index list per shard, sized for a full-capacity slice: a
+       single shard can own at most every reference of the slice *)
+    idx_bufs =
+      Array.init shards (fun _ -> Array.make (Sink.Batch.capacity sb) 0);
+    counts = Array.make shards 0;
+  }
+
+let create ?l1d ?l2 ?events_hint ~shards ~batch_capacity () =
+  if shards < 2 then invalid_arg "Shard.create: need at least 2 shards";
+  let filters =
+    Array.init shards (fun shard ->
+        Shard_filter.create ?l1d ?l2 ?events_hint ~shards ~shard ())
+  in
+  let dummy_slot = make_slot ~shards:1 (Sink.Batch.create 1) in
+  let dummy =
+    {
+      d_slot = dummy_slot;
+      d_idxs = dummy_slot.idx_bufs.(0);
+      d_m = 0;
+      d_first = 0;
+      d_n = 0;
+      d_base = 0;
+    }
+  in
+  let rings =
+    Array.init shards (fun _ -> Ring.create ~capacity:ring_depth dummy)
+  in
+  let free = Queue.create () in
+  for _ = 1 to spare_slots do
+    let sb = Sink.Batch.create batch_capacity in
+    (* the context only emits word-sized references and prefills sizes
+       once at creation; recycled replacements must arrive the same way *)
+    Sink.Batch.fill_sizes sb Layout.word;
+    Queue.push (make_slot ~shards sb) free
+  done;
+  let pool = Pool.create ~jobs:shards () in
+  let team =
+    {
+      shards;
+      filters;
+      rings;
+      pool;
+      tickets = [||];
+      free_mu = Mutex.create ();
+      free_nonempty = Condition.create ();
+      free;
+      live = None;
+      fed = 0;
+      enqueued = false;
+      finished = false;
+    }
+  in
+  team.tickets <- Array.init shards (fun i -> Pool.submit pool (worker team i));
+  team
+
+let feed t batch ~first ~n =
+  if t.finished then invalid_arg "Shard.feed: team already finished";
+  if n > 0 then begin
+    if t.enqueued then
+      (* Two feeds inside one flush would reset a refcount still being
+         decremented; the scavenger wiring delivers exactly one slice per
+         flush, so this is a wiring error, not a runtime condition. *)
+      invalid_arg "Shard.feed: batch already enqueued this flush";
+    let slot =
+      match t.live with
+      | Some s when s.sb == batch -> s
+      | _ ->
+        (* first flush: adopt the producer's own batch into circulation *)
+        let s = make_slot ~shards:t.shards batch in
+        t.live <- Some s;
+        s
+    in
+    (* The first flush doubles as the load-balancing sample: residues
+       are LPT-packed onto shards by estimated simulation cost before
+       any descriptor exists, so every worker observes one fixed
+       assignment.  Output is assignment-invariant (the merge restores
+       serial order and counters sum), so this can only improve the
+       balance, never change a result. *)
+    if t.fed = 0 then Shard_filter.rebalance t.filters batch ~first ~n;
+    (* One producer-side scan replaces k worker-side scans: build each
+       shard's index list here (overlapped with generation of the next
+       batch), then hand descriptors only to shards with work.  The
+       refcount equals the number of consumers so idle shards never
+       touch the slot. *)
+    Shard_filter.partition t.filters.(0) batch ~first ~n
+      ~index_bufs:slot.idx_bufs ~counts:slot.counts;
+    let consumers = ref 0 in
+    for i = 0 to t.shards - 1 do
+      if slot.counts.(i) > 0 then incr consumers
+    done;
+    if !consumers = 0 then ()
+    else begin
+      Atomic.set slot.refc !consumers;
+      let d_base = t.fed in
+      for i = 0 to t.shards - 1 do
+        let m = slot.counts.(i) in
+        if m > 0 then
+          Ring.push t.rings.(i)
+            {
+              d_slot = slot;
+              d_idxs = slot.idx_bufs.(i);
+              d_m = m;
+              d_first = first;
+              d_n = n;
+              d_base;
+            }
+      done;
+      t.enqueued <- true
+    end;
+    t.fed <- t.fed + n
+  end
+
+let exchange t batch =
+  if not t.enqueued then batch
+  else begin
+    t.enqueued <- false;
+    Mutex.lock t.free_mu;
+    while Queue.is_empty t.free do
+      Condition.wait t.free_nonempty t.free_mu
+    done;
+    let next = Queue.pop t.free in
+    Mutex.unlock t.free_mu;
+    t.live <- Some next;
+    next.sb
+  end
+
+let fed t = t.fed
+
+let finish t =
+  if not t.finished then begin
+    t.finished <- true;
+    let dummy_slot = make_slot ~shards:1 (Sink.Batch.create 1) in
+    let sentinel =
+      {
+        d_slot = dummy_slot;
+        d_idxs = dummy_slot.idx_bufs.(0);
+        d_m = 0;
+        d_first = 0;
+        d_n = -1;
+        d_base = t.fed;
+      }
+    in
+    Array.iter (fun ring -> Ring.push ring sentinel) t.rings;
+    let first_failure = ref None in
+    Array.iter
+      (fun ticket ->
+        match Pool.await ticket with
+        | Pool.Done () -> ()
+        | Pool.Failed e -> if !first_failure = None then first_failure := Some e
+        | Pool.Cancelled -> ())
+      t.tickets;
+    Pool.shutdown t.pool;
+    match !first_failure with Some e -> raise e | None -> ()
+  end
+
+(* Deterministic k-way merge: each shard's event keys are strictly
+   increasing and the key spaces are disjoint (a (reference, line) pair
+   belongs to exactly one shard; a drained set likewise), so repeatedly
+   taking the minimum head key replays the exact serial emission order.
+   Sums and the merged trace are therefore independent of worker timing:
+   byte-identical output for any shard count. *)
+let merge_into_trace t log =
+  let k = t.shards in
+  let evs = Array.map Shard_filter.raw_events t.filters in
+  let idx = Array.make k 0 in
+  let line_bytes = Shard_filter.line_bytes t.filters.(0) in
+  let total = Array.fold_left (fun acc (_, _, n) -> acc + n) 0 evs in
+  for _ = 1 to total do
+    let best = ref (-1) and best_key = ref max_int in
+    for j = 0 to k - 1 do
+      let keys, _, n = evs.(j) in
+      let i = idx.(j) in
+      if i < n && keys.(i) < !best_key then begin
+        best_key := keys.(i);
+        best := j
+      end
+    done;
+    let j = !best in
+    let _, addr_ops, _ = evs.(j) in
+    let ao = addr_ops.(idx.(j)) in
+    idx.(j) <- idx.(j) + 1;
+    Trace_log.record_raw log ~addr:(ao lsr 1) ~size:line_bytes
+      ~op:(if ao land 1 = 1 then Access.Write else Access.Read)
+  done
+
+let sum t f = Array.fold_left (fun acc flt -> acc + f flt) 0 t.filters
+
+let accesses t = sum t Shard_filter.accesses
+let memory_reads t = sum t Shard_filter.memory_reads
+let memory_writes t = sum t Shard_filter.memory_writes
+
+(* Merged miss rates via summed integer counters, then the same float
+   division [Cache.miss_rate] performs — bit-identical to the serial
+   result. *)
+let miss_rate hits misses =
+  let total = hits + misses in
+  if total = 0 then 0. else float_of_int misses /. float_of_int total
+
+let l1_miss_rate t =
+  miss_rate
+    (sum t (fun f -> Cache.hits (Shard_filter.l1d f)))
+    (sum t (fun f -> Cache.misses (Shard_filter.l1d f)))
+
+let l2_miss_rate t =
+  miss_rate
+    (sum t (fun f -> Cache.hits (Shard_filter.l2 f)))
+    (sum t (fun f -> Cache.misses (Shard_filter.l2 f)))
+
+let l1_evictions t = sum t (fun f -> Cache.evictions (Shard_filter.l1d f))
+let l2_evictions t = sum t (fun f -> Cache.evictions (Shard_filter.l2 f))
+let filters t = t.filters
+let shards t = t.shards
+
+let ring_stats t = Array.map Ring.stats t.rings

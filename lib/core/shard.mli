@@ -1,0 +1,87 @@
+(** In-run shard team: parallel set-partitioned cache filtering inside a
+    single [Scavenger.run].
+
+    The cache simulation factorizes exactly by set index
+    ({!Nvsc_cachesim.Shard_filter}), so a team of k worker domains — each
+    owning the residue class [line ≡ i (mod k)] — can filter one
+    reference stream concurrently and still produce byte-identical
+    output: per-shard counters merge as order-independent sums, and the
+    keyed event logs merge back into the exact serial memory-trace order.
+
+    Data flow: the generating domain hands each filled emission batch to
+    the team by reference ({!feed} fans a descriptor out to k bounded
+    SPSC rings; the Bigarray-backed batch itself is shared, not copied)
+    and immediately receives a recycled batch to keep emitting into
+    ({!exchange}, wired as the context's batch-exchange hook) — so trace
+    generation overlaps with filtering.  Workers ride the shared
+    {!Nvsc_team.Pool} submit/await lifecycle.
+
+    All functions in this interface must be called from the producing
+    domain. *)
+
+type t
+
+val effective_shards :
+  ?l1d:Nvsc_cachesim.Cache_params.t ->
+  ?l2:Nvsc_cachesim.Cache_params.t ->
+  int ->
+  int
+(** Largest usable team width ≤ the request: a power of two dividing
+    both levels' set counts (1 for requests ≤ 1). *)
+
+val create :
+  ?l1d:Nvsc_cachesim.Cache_params.t ->
+  ?l2:Nvsc_cachesim.Cache_params.t ->
+  ?events_hint:int ->
+  shards:int ->
+  batch_capacity:int ->
+  unit ->
+  t
+(** Spawn a team of [shards ≥ 2] worker domains (validated as for
+    {!effective_shards}) whose recycled batches have [batch_capacity] —
+    which must equal the feeding context's emission-batch capacity. *)
+
+val feed : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Hand one delivered batch slice to every shard by reference.  Call at
+    most once per flush (the scavenger's [cache-hierarchy] sink); the
+    batch must be the producer's current emission batch and must not be
+    written again until {!exchange} returns its replacement. *)
+
+val exchange : t -> Nvsc_memtrace.Sink.Batch.t -> Nvsc_memtrace.Sink.Batch.t
+(** The context's batch-exchange hook: if the flush just fed the batch to
+    the team, keep it and return a recycled one (blocking while all spare
+    batches are still being filtered — the pipeline's backpressure);
+    otherwise return the batch unchanged. *)
+
+val fed : t -> int
+(** Total references fed so far. *)
+
+val finish : t -> unit
+(** End of stream: sentinel every ring, await every worker, drain each
+    shard's caches (keyed), and shut the pool down.  Re-raises the first
+    worker failure, if any.  Idempotent. *)
+
+val merge_into_trace : t -> Nvsc_memtrace.Trace_log.t -> unit
+(** Deterministic k-way merge of the shards' keyed event logs into a
+    trace log — the exact sequence the serial hierarchy would have pushed
+    (call after {!finish}). *)
+
+(** {1 Merged statistics} (order-independent sums; call after {!finish}) *)
+
+val accesses : t -> int
+val memory_reads : t -> int
+val memory_writes : t -> int
+
+val l1_miss_rate : t -> float
+val l2_miss_rate : t -> float
+(** Summed integer hit/miss counters through the same float division as
+    [Cache.miss_rate] — bit-identical to the serial result. *)
+
+val l1_evictions : t -> int
+val l2_evictions : t -> int
+
+val shards : t -> int
+val filters : t -> Nvsc_cachesim.Shard_filter.t array
+
+val ring_stats : t -> Nvsc_team.Ring.stats array
+(** Per-shard transport pressure (pushes and blocked push/pop counts). *)

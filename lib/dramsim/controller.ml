@@ -255,12 +255,13 @@ let consume t batch ~first ~n =
       submit_ref t ~addr:(Sink.Batch.addr batch i) ~op:(Sink.Batch.op batch i)
     done
   else begin
-    let addrs = batch.Sink.Batch.addrs and ops = batch.Sink.Batch.ops in
+    let addrs = Sink.Batch.addrs batch and ops = Sink.Batch.ops batch in
     for i = first to first + n - 1 do
       let op =
-        if Bytes.unsafe_get ops i <> '\000' then Access.Write else Access.Read
+        if Bigarray.Array1.unsafe_get ops i <> '\000' then Access.Write
+        else Access.Read
       in
-      submit_ref t ~addr:(Array.unsafe_get addrs i) ~op
+      submit_ref t ~addr:(Bigarray.Array1.unsafe_get addrs i) ~op
     done
   end
 

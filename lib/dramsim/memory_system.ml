@@ -23,18 +23,24 @@ let run_trace ?org ?scheme ?window ?row_policy ?scheduler ~tech trace =
   List.iter (access t) trace;
   stats t
 
-let compare_technologies ?org ?scheme ?window ?row_policy ?scheduler ~techs
-    ~replay () =
-  List.map
-    (fun tech ->
-      Nvsc_obs.Span.with_ ~arg:tech.Technology.name "dramsim.simulate"
-      @@ fun () ->
-      let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
-      let s = sink ~name:tech.Technology.name t in
-      replay s;
-      Nvsc_memtrace.Sink.flush s;
-      (tech, stats t))
-    techs
+let compare_technologies ?org ?scheme ?window ?row_policy ?scheduler
+    ?(jobs = 1) ~techs ~replay () =
+  let simulate tech =
+    Nvsc_obs.Span.with_ ~arg:tech.Technology.name "dramsim.simulate"
+    @@ fun () ->
+    let t = create ?org ?scheme ?window ?row_policy ?scheduler ~tech () in
+    let s = sink ~name:tech.Technology.name t in
+    replay s;
+    Nvsc_memtrace.Sink.flush s;
+    (tech, stats t)
+  in
+  if jobs <= 1 then List.map simulate techs
+  else
+    (* Parallel across technologies: each worker owns a private
+       controller and replays the (read-only, Bigarray-backed) trace into
+       it, and [Pool.map] returns results in input order — so the output
+       is byte-identical to the serial map. *)
+    Array.to_list (Nvsc_team.Pool.map ~jobs simulate (Array.of_list techs))
 
 let normalized_power results =
   let base =

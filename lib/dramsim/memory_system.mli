@@ -45,6 +45,7 @@ val compare_technologies :
   ?window:int ->
   ?row_policy:Controller.row_policy ->
   ?scheduler:Controller.scheduler ->
+  ?jobs:int ->
   techs:Nvsc_nvram.Technology.t list ->
   replay:(Nvsc_memtrace.Sink.t -> unit) ->
   unit ->
@@ -53,7 +54,11 @@ val compare_technologies :
     the Table VI experiment.  [replay sink] must drive [sink] with the
     identical access sequence on every call (batched delivery via
     {!Nvsc_memtrace.Trace_log.replay_batch}, or per-access pushes); the
-    sink is flushed after each replay. *)
+    sink is flushed after each replay.  [jobs > 1] simulates the
+    technologies on a domain pool (each worker owns a private controller;
+    [replay] must then be safe to run concurrently against distinct
+    sinks, which trace-log batch replay is); results keep input order and
+    are byte-identical to the serial path. *)
 
 val normalized_power :
   (Nvsc_nvram.Technology.t * Controller.stats) list ->

@@ -12,42 +12,71 @@ let set_debug_checks v = Atomic.set debug_checks v
 let checks_enabled () = Atomic.get debug_checks
 
 module Batch = struct
+  (* Bigarray storage: elements live outside the OCaml heap, so a filled
+     batch can be handed by reference to N shard domains with zero
+     copying and no GC interaction — the minor collector never scans or
+     moves the payload.  The concrete kind/layout is statically known at
+     every use site, so [Array1.unsafe_get] compiles to a direct load. *)
+  type int_buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  type op_buf =
+    (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
   type t = {
-    mutable addrs : int array;
-    mutable sizes : int array;
-    mutable ops : Bytes.t;
+    mutable addrs : int_buf;
+    mutable sizes : int_buf;
+    mutable ops : op_buf;
   }
+
+  let make_int_buf n =
+    let a = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n in
+    Bigarray.Array1.fill a 0;
+    a
+
+  let make_op_buf n =
+    let a = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+    Bigarray.Array1.fill a '\000';
+    a
 
   let create capacity =
     if capacity <= 0 then invalid_arg "Sink.Batch.create: capacity";
     {
-      addrs = Array.make capacity 0;
-      sizes = Array.make capacity 0;
-      ops = Bytes.make capacity '\000';
+      addrs = make_int_buf capacity;
+      sizes = make_int_buf capacity;
+      ops = make_op_buf capacity;
     }
 
-  let capacity b = Array.length b.addrs
+  let capacity b = Bigarray.Array1.dim b.addrs
+
+  (* Buffer views for hot loops: consumers hoist these once per delivered
+     slice and index with [Array1.unsafe_get], exactly as the previous
+     int-array representation hoisted the record fields.  The buffers stay
+     valid for the duration of one consumer call; [ensure] may replace
+     them between calls. *)
+  let[@inline] addrs b = b.addrs
+  let[@inline] sizes b = b.sizes
+  let[@inline] ops b = b.ops
 
   let ensure b want =
-    let cap = Array.length b.addrs in
+    let cap = Bigarray.Array1.dim b.addrs in
     if want > cap then begin
       let cap' = ref (2 * cap) in
       while want > !cap' do
         cap' := 2 * !cap'
       done;
-      let addrs = Array.make !cap' 0 in
-      let sizes = Array.make !cap' 0 in
-      let ops = Bytes.make !cap' '\000' in
-      Array.blit b.addrs 0 addrs 0 cap;
-      Array.blit b.sizes 0 sizes 0 cap;
-      Bytes.blit b.ops 0 ops 0 cap;
+      let addrs = make_int_buf !cap' in
+      let sizes = make_int_buf !cap' in
+      let ops = make_op_buf !cap' in
+      Bigarray.Array1.blit b.addrs (Bigarray.Array1.sub addrs 0 cap);
+      Bigarray.Array1.blit b.sizes (Bigarray.Array1.sub sizes 0 cap);
+      Bigarray.Array1.blit b.ops (Bigarray.Array1.sub ops 0 cap);
       b.addrs <- addrs;
       b.sizes <- sizes;
       b.ops <- ops
     end
 
   let check_slice b ~first ~n =
-    let cap = Array.length b.addrs in
+    let cap = Bigarray.Array1.dim b.addrs in
     if first < 0 || n < 0 || first + n > cap then
       invalid_arg
         (Printf.sprintf "Sink.Batch: slice first=%d n=%d outside capacity %d"
@@ -58,13 +87,16 @@ module Batch = struct
      producers flush before the batch fills), so elide bounds checks —
      unless the debug-checked mode is on. *)
   let[@inline] addr b i =
-    if Atomic.get debug_checks then Array.get b.addrs i else Array.unsafe_get b.addrs i
+    if Atomic.get debug_checks then Bigarray.Array1.get b.addrs i
+    else Bigarray.Array1.unsafe_get b.addrs i
 
   let[@inline] size b i =
-    if Atomic.get debug_checks then Array.get b.sizes i else Array.unsafe_get b.sizes i
+    if Atomic.get debug_checks then Bigarray.Array1.get b.sizes i
+    else Bigarray.Array1.unsafe_get b.sizes i
 
   let[@inline] is_write b i =
-    (if Atomic.get debug_checks then Bytes.get b.ops i else Bytes.unsafe_get b.ops i)
+    (if Atomic.get debug_checks then Bigarray.Array1.get b.ops i
+     else Bigarray.Array1.unsafe_get b.ops i)
     <> '\000'
 
   let[@inline] op b i = if is_write b i then Access.Write else Access.Read
@@ -74,27 +106,41 @@ module Batch = struct
 
   let[@inline] set b i ~addr ~size ~op =
     if Atomic.get debug_checks then begin
-      Array.set b.addrs i addr;
-      Array.set b.sizes i size;
-      Bytes.set b.ops i (op_char op)
+      Bigarray.Array1.set b.addrs i addr;
+      Bigarray.Array1.set b.sizes i size;
+      Bigarray.Array1.set b.ops i (op_char op)
     end
     else begin
-      Array.unsafe_set b.addrs i addr;
-      Array.unsafe_set b.sizes i size;
-      Bytes.unsafe_set b.ops i (op_char op)
+      Bigarray.Array1.unsafe_set b.addrs i addr;
+      Bigarray.Array1.unsafe_set b.sizes i size;
+      Bigarray.Array1.unsafe_set b.ops i (op_char op)
     end
 
   let[@inline] set_addr_op b i ~addr ~op =
     if Atomic.get debug_checks then begin
-      Array.set b.addrs i addr;
-      Bytes.set b.ops i (op_char op)
+      Bigarray.Array1.set b.addrs i addr;
+      Bigarray.Array1.set b.ops i (op_char op)
     end
     else begin
-      Array.unsafe_set b.addrs i addr;
-      Bytes.unsafe_set b.ops i (op_char op)
+      Bigarray.Array1.unsafe_set b.addrs i addr;
+      Bigarray.Array1.unsafe_set b.ops i (op_char op)
     end
 
-  let fill_sizes b size = Array.fill b.sizes 0 (Array.length b.sizes) size
+  let fill_sizes b size =
+    Bigarray.Array1.fill b.sizes size
+
+  let blit src ~src_pos dst ~dst_pos ~n =
+    if n > 0 then begin
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src.addrs src_pos n)
+        (Bigarray.Array1.sub dst.addrs dst_pos n);
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src.sizes src_pos n)
+        (Bigarray.Array1.sub dst.sizes dst_pos n);
+      Bigarray.Array1.blit
+        (Bigarray.Array1.sub src.ops src_pos n)
+        (Bigarray.Array1.sub dst.ops dst_pos n)
+    end
 
   let access b i = { Access.addr = addr b i; size = size b i; op = op b i }
 

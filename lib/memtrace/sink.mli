@@ -22,24 +22,46 @@ val set_debug_checks : bool -> unit
 
 val checks_enabled : unit -> bool
 
-(** Flat batch of references: parallel [addr]/[size] arrays plus one byte
+(** Flat batch of references: parallel [addr]/[size] buffers plus one byte
     per record for the read/write op.  Indices [0 .. n-1] are valid, where
-    [n] is carried alongside the batch, not stored in it. *)
+    [n] is carried alongside the batch, not stored in it.
+
+    Storage is [Bigarray]-backed (v2 of this interface): elements are
+    unboxed, live outside the OCaml heap, and are domain-shareable, so one
+    filled batch can be handed by reference to N shard domains with zero
+    copying.  The old public int-array record ([{ addrs; sizes; ops }]) is
+    gone — consumers that hoisted the fields now hoist the typed buffer
+    views {!addrs}/{!sizes}/{!ops} instead (see the DESIGN.md versioning
+    note). *)
 module Batch : sig
-  type t = {
-    mutable addrs : int array;
-    mutable sizes : int array;
-    mutable ops : Bytes.t;  (** ['\000'] = read, ['\001'] = write *)
-  }
+  type int_buf = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** Unboxed native-int payload buffer.  The kind and layout are concrete
+      so [Bigarray.Array1.unsafe_get] compiles to a direct load at use
+      sites. *)
+
+  type op_buf =
+    (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** One byte per record: ['\000'] = read, ['\001'] = write. *)
+
+  type t
 
   val create : int -> t
-  (** A batch with the given capacity (positive). *)
+  (** A batch with the given capacity (positive), zero-filled. *)
 
   val capacity : t -> int
 
   val ensure : t -> int -> unit
   (** Grow (by doubling) until the capacity is at least the given value;
-      existing records are preserved. *)
+      existing records are preserved.  Invalidates previously hoisted
+      buffer views. *)
+
+  val addrs : t -> int_buf
+  val sizes : t -> int_buf
+
+  val ops : t -> op_buf
+  (** Raw buffer views for hot loops: hoist once per delivered slice, then
+      index with [Bigarray.Array1.unsafe_get].  Views are valid until the
+      next {!ensure} on the batch. *)
 
   val addr : t -> int -> int
   val size : t -> int -> int
@@ -53,6 +75,11 @@ module Batch : sig
       single size and prefill it once with {!fill_sizes}. *)
 
   val fill_sizes : t -> int -> unit
+
+  val blit :
+    t -> src_pos:int -> t -> dst_pos:int -> n:int -> unit
+  (** [blit src ~src_pos dst ~dst_pos ~n] copies [n] records between
+      batches (all three planes).  Bounds-checked by [Bigarray]. *)
 
   val check_slice : t -> first:int -> n:int -> unit
   (** Validate that [first .. first+n-1] lies within the batch capacity;

@@ -198,6 +198,16 @@ let read_u32le ic path =
   lor (Char.code s.[2] lsl 16)
   lor (Char.code s.[3] lsl 24)
 
+(* All fixed-width fields are explicitly little-endian, independent of
+   the host: the on-disk format must not change with the endianness or
+   word size of the recording machine (the golden-fixture test pins the
+   exact bytes). *)
+let u16le_bytes n =
+  let b = Bytes.create 2 in
+  Bytes.set_uint8 b 0 (n land 0xff);
+  Bytes.set_uint8 b 1 ((n lsr 8) land 0xff);
+  Bytes.unsafe_to_string b
+
 let u32le_bytes n =
   let b = Bytes.create 4 in
   Bytes.set_uint8 b 0 (n land 0xff);
@@ -257,7 +267,7 @@ module Writer = struct
     put_meta hdr meta ~chunk_capacity;
     let header_payload = Buffer.contents hdr in
     output_string oc magic;
-    output_string oc (u32le_bytes version |> fun s -> String.sub s 0 2);
+    output_string oc (u16le_bytes version);
     output_string oc (u32le_bytes (String.length header_payload));
     output_string oc header_payload;
     {

@@ -21,9 +21,7 @@ let record t (a : Access.t) = record_raw t ~addr:a.addr ~size:a.size ~op:a.op
 
 let record_batch t batch ~first ~n =
   Sink.Batch.ensure t.batch (t.len + n);
-  Array.blit batch.Sink.Batch.addrs first t.batch.Sink.Batch.addrs t.len n;
-  Array.blit batch.Sink.Batch.sizes first t.batch.Sink.Batch.sizes t.len n;
-  Bytes.blit batch.Sink.Batch.ops first t.batch.Sink.Batch.ops t.len n;
+  Sink.Batch.blit batch ~src_pos:first t.batch ~dst_pos:t.len ~n;
   let writes = ref 0 in
   for i = first to first + n - 1 do
     if Sink.Batch.is_write batch i then incr writes

@@ -1,163 +1,5 @@
-let default_jobs () = Domain.recommended_domain_count ()
-
-let m_jobs = Nvsc_obs.Metrics.gauge "sweep.pool.jobs"
-let m_queue_wait = Nvsc_obs.Metrics.dist "sweep.pool.queue_wait_ns"
-let m_depth = Nvsc_obs.Metrics.gauge "sweep.pool.queue_depth"
-let m_submitted = Nvsc_obs.Metrics.counter "sweep.pool.submitted"
-let m_cancelled = Nvsc_obs.Metrics.counter "sweep.pool.cancelled"
-
-(* --- resident pool ------------------------------------------------------- *)
-
-(* A long-lived domain pool for [nvscav serve]: worker domains block on a
-   condition variable between tasks instead of being respawned per batch.
-   Stdlib [Mutex]/[Condition] are domain-safe, so submitters (connection
-   threads on the main domain) and workers (their own domains) share one
-   queue. *)
-
-type task = { run : unit -> unit; cancel : unit -> unit }
-
-type t = {
-  queue : task Queue.t;
-  mu : Mutex.t;
-  nonempty : Condition.t;
-  mutable closed : bool;
-  mutable workers : unit Domain.t list;
-  n_jobs : int;
-}
-
-type 'a outcome = Done of 'a | Failed of exn | Cancelled
-
-type 'a ticket = {
-  t_mu : Mutex.t;
-  t_done : Condition.t;
-  mutable state : 'a outcome option;
-}
-
-let worker pool () =
-  let rec loop () =
-    Mutex.lock pool.mu;
-    while Queue.is_empty pool.queue && not pool.closed do
-      Condition.wait pool.nonempty pool.mu
-    done;
-    (* Once closed, workers exit without starting queued tasks —
-       [shutdown] resolves those as [Cancelled] after the join. *)
-    if pool.closed || Queue.is_empty pool.queue then Mutex.unlock pool.mu
-    else begin
-      let task = Queue.pop pool.queue in
-      Nvsc_obs.Metrics.Gauge.set m_depth
-        (float_of_int (Queue.length pool.queue));
-      Mutex.unlock pool.mu;
-      task.run ();
-      loop ()
-    end
-  in
-  loop ()
-
-let create ?(jobs = default_jobs ()) () =
-  let jobs = max 1 jobs in
-  let pool =
-    {
-      queue = Queue.create ();
-      mu = Mutex.create ();
-      nonempty = Condition.create ();
-      closed = false;
-      workers = [];
-      n_jobs = jobs;
-    }
-  in
-  Nvsc_obs.Metrics.Gauge.set m_jobs (float_of_int jobs);
-  pool.workers <- List.init jobs (fun _ -> Domain.spawn (worker pool));
-  pool
-
-let jobs t = t.n_jobs
-
-let submit ?(cancelled = fun () -> false) pool f =
-  let ticket = { t_mu = Mutex.create (); t_done = Condition.create ();
-                 state = None } in
-  let finish outcome =
-    Mutex.lock ticket.t_mu;
-    ticket.state <- Some outcome;
-    Condition.broadcast ticket.t_done;
-    Mutex.unlock ticket.t_mu
-  in
-  let cancel () =
-    Nvsc_obs.Metrics.Counter.incr m_cancelled;
-    finish Cancelled
-  in
-  let run () =
-    if cancelled () then cancel ()
-    else finish (match f () with v -> Done v | exception e -> Failed e)
-  in
-  Mutex.lock pool.mu;
-  if pool.closed then begin
-    Mutex.unlock pool.mu;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.push { run; cancel } pool.queue;
-  Nvsc_obs.Metrics.Counter.incr m_submitted;
-  Nvsc_obs.Metrics.Gauge.set m_depth (float_of_int (Queue.length pool.queue));
-  Condition.signal pool.nonempty;
-  Mutex.unlock pool.mu;
-  ticket
-
-let await ticket =
-  Mutex.lock ticket.t_mu;
-  while ticket.state = None do
-    Condition.wait ticket.t_done ticket.t_mu
-  done;
-  let outcome = Option.get ticket.state in
-  Mutex.unlock ticket.t_mu;
-  outcome
-
-let shutdown pool =
-  Mutex.lock pool.mu;
-  pool.closed <- true;
-  Condition.broadcast pool.nonempty;
-  Mutex.unlock pool.mu;
-  List.iter Domain.join pool.workers;
-  pool.workers <- [];
-  (* Anything still queued was never started: resolve it as cancelled so
-     awaiting clients unblock. *)
-  Queue.iter (fun task -> task.cancel ()) pool.queue;
-  Queue.clear pool.queue
-
-(* --- one-shot batch map -------------------------------------------------- *)
-
-let map ~jobs f items =
-  let n = Array.length items in
-  if n = 0 then [||]
-  else begin
-    let jobs = max 1 (min jobs n) in
-    Nvsc_obs.Metrics.Gauge.set m_jobs (float_of_int jobs);
-    (* Queue wait = take-a-ticket time minus pool start; only sampled when
-       the recorder is armed so the disarmed path never reads the clock. *)
-    let t0 = if Nvsc_obs.Span.enabled () then Nvsc_obs.Clock.now_ns () else 0 in
-    (* Option-boxed result slots: each index is written by exactly one
-       worker, so slots are never contended; the joins below publish them
-       to the collecting domain. *)
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          if Nvsc_obs.Span.enabled () then
-            Nvsc_obs.Metrics.Dist.observe m_queue_wait
-              (Nvsc_obs.Clock.now_ns () - t0);
-          let r = try Ok (f items.(i)) with e -> Error e in
-          results.(i) <- Some r;
-          loop ()
-        end
-      in
-      loop ()
-    in
-    let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    List.iter Domain.join spawned;
-    Array.map
-      (function
-        | Some (Ok v) -> v
-        | Some (Error e) -> raise e
-        | None -> assert false)
-      results
-  end
+(* The sweep engine's domain pool moved to [lib/team] so the serve daemon,
+   the sweep matrix, and in-run shard teams share one worker-lifecycle /
+   cancellation / queue-metrics implementation.  This alias keeps the
+   historical [Nvsc_sweep.Pool] path (and its metric names) stable. *)
+include Nvsc_team.Pool

@@ -1,0 +1,85 @@
+(* Bounded single-producer/single-consumer ring.
+
+   The shard team's transport: the generating domain pushes batch
+   descriptors, one consuming shard domain pops them.  Head and tail are
+   sequentially-consistent atomics; the slot payload is published by the
+   message-passing idiom (plain write, then atomic head store; the
+   consumer's atomic head load happens-before its plain read), which the
+   OCaml 5 memory model guarantees race-free for SPSC use.
+
+   Waiting sides spin briefly with [Domain.cpu_relax], then fall back to
+   a short sleep: on machines with fewer cores than domains (CI runners,
+   the single-core container this grows in) a pure spin would burn whole
+   scheduler quanta before the peer runs. *)
+
+type 'a t = {
+  buf : 'a array;
+  mask : int;
+  dummy : 'a;
+  head : int Atomic.t; (* next index the producer writes; monotonic *)
+  tail : int Atomic.t; (* next index the consumer reads; monotonic *)
+  pushes : int Atomic.t;
+  producer_waits : int Atomic.t;
+  consumer_waits : int Atomic.t;
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (2 * k)
+
+let create ~capacity dummy =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity";
+  let cap = pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    pushes = Atomic.make 0;
+    producer_waits = Atomic.make 0;
+    consumer_waits = Atomic.make 0;
+  }
+
+let capacity t = t.mask + 1
+let length t = Atomic.get t.head - Atomic.get t.tail
+
+let spin_budget = 512
+
+let[@inline] backoff spins =
+  if spins < spin_budget then Domain.cpu_relax () else Unix.sleepf 5e-5
+
+let push t x =
+  let h = Atomic.get t.head in
+  let spins = ref 0 in
+  while h - Atomic.get t.tail > t.mask do
+    if !spins = 0 then Atomic.incr t.producer_waits;
+    backoff !spins;
+    incr spins
+  done;
+  Array.unsafe_set t.buf (h land t.mask) x;
+  Atomic.set t.head (h + 1);
+  Atomic.incr t.pushes
+
+let pop t =
+  let tl = Atomic.get t.tail in
+  let spins = ref 0 in
+  while Atomic.get t.head = tl do
+    if !spins = 0 then Atomic.incr t.consumer_waits;
+    backoff !spins;
+    incr spins
+  done;
+  let i = tl land t.mask in
+  let x = Array.unsafe_get t.buf i in
+  (* Drop the slot's reference so the ring never pins a popped payload
+     across the producer's reuse window. *)
+  Array.unsafe_set t.buf i t.dummy;
+  Atomic.set t.tail (tl + 1);
+  x
+
+type stats = { pushes : int; producer_waits : int; consumer_waits : int }
+
+let stats (t : 'a t) =
+  {
+    pushes = Atomic.get t.pushes;
+    producer_waits = Atomic.get t.producer_waits;
+    consumer_waits = Atomic.get t.consumer_waits;
+  }

@@ -1,0 +1,37 @@
+(** Bounded single-producer/single-consumer ring.
+
+    The shard team's per-domain transport: one producing domain
+    ({!push}) and one consuming domain ({!pop}) exchange values through a
+    fixed ring of slots.  Both operations block (spin, then micro-sleep)
+    rather than fail, so the ring doubles as the pipeline's backpressure:
+    a full ring stalls the generator, an empty ring parks the shard.
+
+    Only ever use a ring from exactly one producer domain and one
+    consumer domain — the implementation relies on it. *)
+
+type 'a t
+
+val create : capacity:int -> 'a -> 'a t
+(** [create ~capacity dummy] makes a ring holding at least [capacity]
+    in-flight values (rounded up to a power of two).  [dummy] fills empty
+    slots so popped payloads are not pinned against the GC. *)
+
+val capacity : 'a t -> int
+(** Actual (rounded) capacity. *)
+
+val length : 'a t -> int
+(** Values currently in flight (racy snapshot; exact on either side's own
+    domain between its operations). *)
+
+val push : 'a t -> 'a -> unit
+(** Producer side: append one value, blocking while the ring is full. *)
+
+val pop : 'a t -> 'a
+(** Consumer side: take the oldest value, blocking while the ring is
+    empty. *)
+
+type stats = { pushes : int; producer_waits : int; consumer_waits : int }
+
+val stats : 'a t -> stats
+(** Occupancy counters: total pushes plus how many push/pop calls had to
+    wait at least once — the shard team's queue-pressure signal. *)

@@ -57,6 +57,17 @@ let jobs =
     & opt (some (min_int_conv ~what:"jobs" ~min:1)) None
     & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let shards =
+  let doc =
+    "Cache-filter shard domains (default 1 = serial).  The simulation is \
+     partitioned by set index across N worker domains; the report and \
+     trace are byte-identical for every N."
+  in
+  Arg.(
+    value
+    & opt (min_int_conv ~what:"shards" ~min:1) 1
+    & info [ "shards" ] ~docv:"N" ~doc)
+
 let cache_dir =
   let doc =
     "Directory for the content-addressed result cache; cells whose digest \

@@ -1,0 +1,70 @@
+(* Regenerates the golden NVT fixture [mini.nvt].
+
+   The fixture pins the exact on-disk bytes of the v2 trace format:
+   explicit little-endian fixed-width fields, LEB128 varints, zigzag
+   deltas, per-chunk MD5s and the whole-trace digest.  The decoder
+   regression test ([test_trace_codec.ml], "golden fixture") reads the
+   committed file and checks content and digest, so the format cannot
+   silently drift with the host's endianness or the in-memory batch
+   representation (the Bigarray-backed [Sink.Batch] must encode the
+   same bytes the int-array one did).
+
+   Regenerate (from the repo root) only on a deliberate format bump:
+
+     dune exec test/golden/gen_mini.exe -- test/golden/mini.nvt
+
+   and update the pinned digest in the test alongside. *)
+
+module TC = Nvsc_memtrace.Trace_codec
+module Access = Nvsc_memtrace.Access
+module Persist = Nvsc_memtrace.Persist
+module Mem_object = Nvsc_memtrace.Mem_object
+
+let meta =
+  {
+    TC.app = "golden-mini";
+    description = "hand-built token coverage fixture";
+    input_description = "n/a";
+    paper_footprint_mb = 0.25;
+    scale = 0.5;
+    iterations = 2;
+    batch_capacity = 8;
+  }
+
+let objects =
+  [
+    Mem_object.make ~id:0 ~name:"grid" ~kind:Nvsc_memtrace.Layout.Global
+      ~base:4096 ~size:512 ();
+    Mem_object.make ~id:1 ~name:"field" ~kind:Nvsc_memtrace.Layout.Heap
+      ~base:8192 ~size:1024 ~callstack:[ "main"; "alloc_field" ]
+      ~alloc_phase:(Nvsc_memtrace.Mem_object.Main 1) ();
+  ]
+
+let resolve id = List.nth_opt objects id
+
+let () =
+  let path = if Array.length Sys.argv > 1 then Sys.argv.(1) else "mini.nvt" in
+  (* chunk_capacity 4 forces several chunks, exercising the index *)
+  let w = TC.Writer.create ~chunk_capacity:4 ~resolve ~path ~meta () in
+  TC.Writer.add_phase w Nvsc_memtrace.Mem_object.Pre;
+  TC.Writer.add_ref w ~addr:4096 ~size:8 ~op:Access.Write ~obj_id:0;
+  TC.Writer.add_ref w ~addr:4104 ~size:8 ~op:Access.Write ~obj_id:0;
+  TC.Writer.add_instr w 3;
+  TC.Writer.add_phase w (Nvsc_memtrace.Mem_object.Main 1);
+  TC.Writer.add_persist w (Persist.Declare { obj_id = 1 });
+  TC.Writer.add_persist w
+    (Persist.Epoch_begin { label = "step"; checkpoint = true });
+  TC.Writer.add_ref w ~addr:8192 ~size:4 ~op:Access.Read ~obj_id:1;
+  TC.Writer.add_ref w ~addr:8200 ~size:4 ~op:Access.Write ~obj_id:1;
+  TC.Writer.add_ref w ~addr:4160 ~size:8 ~op:Access.Read ~obj_id:0;
+  TC.Writer.add_ref w ~addr:8204 ~size:4 ~op:Access.Write ~obj_id:1;
+  TC.Writer.add_persist w (Persist.Flush { obj_id = 1; off = 0; len = 16 });
+  TC.Writer.add_persist w Persist.Fence;
+  TC.Writer.add_persist w
+    (Persist.Epoch_commit { label = "step"; checkpoint = true });
+  TC.Writer.add_instr w 7;
+  TC.Writer.add_phase w Nvsc_memtrace.Mem_object.Post;
+  TC.Writer.add_ref w ~addr:4096 ~size:8 ~op:Access.Read ~obj_id:(-1);
+  let s = TC.Writer.finish w ~objects () in
+  Printf.printf "wrote %s: refs=%d reads=%d writes=%d chunks=%d digest=%s\n"
+    path s.TC.refs s.TC.reads s.TC.writes s.TC.chunks s.TC.digest

@@ -1,0 +1,313 @@
+(* Sharded cache filtering (ISSUE 9): the set-partitioned shard team must
+   reproduce the serial hierarchy byte for byte — per-level cache
+   counters, memory traffic, and the exact trace order — for every team
+   width and every emission-batch capacity, and the per-reference shard
+   hot path must stay allocation-free. *)
+
+module Sink = Nvsc_memtrace.Sink
+module Access = Nvsc_memtrace.Access
+module Trace_log = Nvsc_memtrace.Trace_log
+module Cache = Nvsc_cachesim.Cache
+module Cache_params = Nvsc_cachesim.Cache_params
+module Hierarchy = Nvsc_cachesim.Hierarchy
+module Shard_filter = Nvsc_cachesim.Shard_filter
+module Shard = Nvsc_core.Shard
+module Scavenger = Nvsc_core.Scavenger
+module Ring = Nvsc_team.Ring
+
+(* --- partition width ----------------------------------------------------- *)
+
+let test_shards_for () =
+  (* paper geometry: 128 L1 sets, 1024 L2 sets -> width caps at 128 *)
+  List.iter
+    (fun (req, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shards_for %d" req)
+        expect
+        (Shard_filter.shards_for req))
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (4, 4); (6, 4); (8, 8); (256, 128) ];
+  (* a tiny L1 narrows the partition *)
+  let l1d =
+    Cache_params.make ~name:"tiny-l1" ~size_bytes:4096 ~associativity:4
+      ~line_bytes:64 ~write_miss:Cache_params.No_write_allocate ()
+  in
+  Alcotest.(check int) "narrow L1 caps width" 16 (Shard_filter.shards_for ~l1d 64)
+
+(* --- SPSC ring ----------------------------------------------------------- *)
+
+let test_ring () =
+  let r = Ring.create ~capacity:4 0 in
+  Alcotest.(check int) "capacity rounds to pow2" 4 (Ring.capacity r);
+  for i = 1 to 4 do
+    Ring.push r i
+  done;
+  Alcotest.(check int) "full length" 4 (Ring.length r);
+  for i = 1 to 4 do
+    Alcotest.(check int) "FIFO order" i (Ring.pop r)
+  done;
+  Alcotest.(check int) "drained" 0 (Ring.length r);
+  (* interleaved wrap-around *)
+  for round = 0 to 9 do
+    Ring.push r round;
+    Alcotest.(check int) "wraps" round (Ring.pop r)
+  done;
+  let s = Ring.stats r in
+  Alcotest.(check int) "pushes counted" 14 s.Ring.pushes
+
+(* --- synthetic reference stream ------------------------------------------ *)
+
+(* Deterministic mixed stream: strided sweeps (cache-friendly), a
+   pseudo-random scatter (eviction-heavy), line-straddling sizes and a
+   read/write mix — enough traffic to exercise fills, write-backs and
+   forwarded writes in both levels. *)
+let synth_stream n =
+  let lcg = ref 12345 in
+  let next () =
+    lcg := (!lcg * 1103515245) + 12345;
+    (!lcg lsr 7) land 0xFFFFFF
+  in
+  List.init n (fun i ->
+      let addr =
+        if i land 3 = 0 then 0x10000 + (i * 68) (* stride straddling lines *)
+        else 0x400000 + (next () land 0x3FFFC0) + (i land 63)
+      in
+      let size = 1 lsl (i land 3) in
+      let op = if i land 7 < 3 then Access.Write else Access.Read in
+      (addr, size, op))
+
+let fill_batch refs =
+  let batch = Sink.Batch.create (List.length refs) in
+  List.iteri
+    (fun i (addr, size, op) -> Sink.Batch.set batch i ~addr ~size ~op)
+    refs;
+  batch
+
+let cache_fingerprint c =
+  [
+    Cache.hits c; Cache.misses c; Cache.read_hits c; Cache.read_misses c;
+    Cache.write_hits c; Cache.write_misses c; Cache.evictions c;
+    Cache.dirty_evictions c;
+  ]
+
+let trace_accesses log =
+  let acc = ref [] in
+  Trace_log.replay log (fun a -> acc := a :: !acc);
+  List.rev !acc
+
+let access_triple (a : Access.t) = (a.Access.addr, a.Access.size, a.Access.op)
+
+(* Serial baseline over the synthetic stream, delivered in
+   [batch_capacity]-sized slices exactly as the emission pipeline would. *)
+let serial_baseline refs ~batch_capacity =
+  let log = Trace_log.create () in
+  let h = Hierarchy.create ~sink:(Trace_log.sink log) () in
+  let rec go refs =
+    match refs with
+    | [] -> ()
+    | _ ->
+      let chunk = List.filteri (fun i _ -> i < batch_capacity) refs in
+      let rest = List.filteri (fun i _ -> i >= batch_capacity) refs in
+      let batch = fill_batch chunk in
+      Hierarchy.consume h batch ~first:0 ~n:(List.length chunk);
+      go rest
+  in
+  go refs;
+  Hierarchy.drain h;
+  (h, log)
+
+(* Shard team over the same stream and slicing, through the real
+   feed/exchange producer protocol (worker domains, rings, recycling). *)
+let team_run refs ~shards ~batch_capacity =
+  let team = Shard.create ~shards ~batch_capacity () in
+  let batch = ref (Sink.Batch.create batch_capacity) in
+  let rec go refs =
+    match refs with
+    | [] -> ()
+    | _ ->
+      let chunk = List.filteri (fun i _ -> i < batch_capacity) refs in
+      let rest = List.filteri (fun i _ -> i >= batch_capacity) refs in
+      List.iteri
+        (fun i (addr, size, op) -> Sink.Batch.set !batch i ~addr ~size ~op)
+        chunk;
+      Shard.feed team !batch ~first:0 ~n:(List.length chunk);
+      batch := Shard.exchange team !batch;
+      go rest
+  in
+  go refs;
+  Shard.finish team;
+  let log = Trace_log.create () in
+  Shard.merge_into_trace team log;
+  (team, log)
+
+let check_team_matches_serial ~shards ~batch_capacity refs =
+  let ctx = Printf.sprintf "shards=%d cap=%d" shards batch_capacity in
+  let h, serial_log = serial_baseline refs ~batch_capacity in
+  let team, team_log = team_run refs ~shards ~batch_capacity in
+  Alcotest.(check int)
+    (ctx ^ ": team width") shards (Shard.shards team);
+  let sum f =
+    Array.fold_left (fun acc sf -> acc + f sf) 0 (Shard.filters team)
+  in
+  Alcotest.(check (list int))
+    (ctx ^ ": L1 counters")
+    (cache_fingerprint (Hierarchy.l1d h))
+    (List.map
+       (fun pick ->
+         sum (fun sf -> List.nth (cache_fingerprint (Shard_filter.l1d sf)) pick))
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  Alcotest.(check (list int))
+    (ctx ^ ": L2 counters")
+    (cache_fingerprint (Hierarchy.l2 h))
+    (List.map
+       (fun pick ->
+         sum (fun sf -> List.nth (cache_fingerprint (Shard_filter.l2 sf)) pick))
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ]);
+  Alcotest.(check int)
+    (ctx ^ ": accesses") (Hierarchy.accesses h) (Shard.accesses team);
+  Alcotest.(check int)
+    (ctx ^ ": memory reads") (Hierarchy.memory_reads h)
+    (Shard.memory_reads team);
+  Alcotest.(check int)
+    (ctx ^ ": memory writes") (Hierarchy.memory_writes h)
+    (Shard.memory_writes team);
+  Alcotest.(check (float 0.))
+    (ctx ^ ": L1 miss rate")
+    (Cache.miss_rate (Hierarchy.l1d h))
+    (Shard.l1_miss_rate team);
+  Alcotest.(check (float 0.))
+    (ctx ^ ": L2 miss rate")
+    (Cache.miss_rate (Hierarchy.l2 h))
+    (Shard.l2_miss_rate team);
+  Alcotest.(check int)
+    (ctx ^ ": trace length") (Trace_log.length serial_log)
+    (Trace_log.length team_log);
+  (* the merged trace must be the serial trace, record for record *)
+  let pairs =
+    List.combine (trace_accesses serial_log) (trace_accesses team_log)
+  in
+  List.iteri
+    (fun i (s, t) ->
+      if access_triple s <> access_triple t then
+        Alcotest.failf "%s: trace diverges at record %d" ctx i)
+    pairs
+
+let test_differential () =
+  let refs = synth_stream 6000 in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun batch_capacity ->
+          check_team_matches_serial ~shards ~batch_capacity refs)
+        [ 1; 7; 65536 ])
+    [ 2; 4; 8 ]
+
+(* shards=1 requests never build a team: the width collapses to serial *)
+let test_width_one_is_serial () =
+  Alcotest.(check int) "effective width" 1 (Shard.effective_shards 1);
+  Alcotest.(check int) "width 0" 1 (Shard.effective_shards 0)
+
+(* --- whole-pipeline differential (Scavenger.run) ------------------------- *)
+
+let test_scavenger_differential () =
+  let app = Option.get (Nvsc_apps.Apps.find "minimd") in
+  let base =
+    Scavenger.Config.(
+      default |> with_scale 0.1 |> with_iterations 2 |> with_trace true)
+  in
+  let serial = Scavenger.run base app in
+  let serial_accs =
+    trace_accesses (Option.get serial.Scavenger.mem_trace)
+  in
+  List.iter
+    (fun shards ->
+      let r =
+        Scavenger.run Scavenger.Config.(base |> with_shards shards) app
+      in
+      let ctx = Printf.sprintf "shards=%d" shards in
+      Alcotest.(check int)
+        (ctx ^ ": footprint") serial.Scavenger.footprint_bytes
+        r.Scavenger.footprint_bytes;
+      Alcotest.(check int)
+        (ctx ^ ": main refs") serial.Scavenger.total_main_refs
+        r.Scavenger.total_main_refs;
+      Alcotest.(check (float 0.))
+        (ctx ^ ": l1 miss rate") serial.Scavenger.l1_miss_rate
+        r.Scavenger.l1_miss_rate;
+      Alcotest.(check (float 0.))
+        (ctx ^ ": l2 miss rate") serial.Scavenger.l2_miss_rate
+        r.Scavenger.l2_miss_rate;
+      let accs = trace_accesses (Option.get r.Scavenger.mem_trace) in
+      Alcotest.(check int)
+        (ctx ^ ": trace length")
+        (List.length serial_accs) (List.length accs);
+      List.iteri
+        (fun i (s, t) ->
+          if access_triple s <> access_triple t then
+            Alcotest.failf "%s: trace diverges at record %d" ctx i)
+        (List.combine serial_accs accs))
+    [ 2; 4; 8 ]
+
+(* --- allocation-free hot path -------------------------------------------- *)
+
+let test_consume_alloc_free () =
+  let refs = synth_stream 4096 in
+  let batch = fill_batch refs in
+  let n = List.length refs in
+  (* pre-size the event log past anything this stream can produce *)
+  let sf =
+    Shard_filter.create ~events_hint:(8 * n) ~shards:2 ~shard:0 ()
+  in
+  (* warm up: touch every code path once (fills, evictions, log stores) *)
+  Shard_filter.consume sf batch ~first:0 ~n:64 ~base:0;
+  let w0 = Gc.minor_words () in
+  Shard_filter.consume sf batch ~first:64 ~n:(n - 64) ~base:64;
+  let dw = Gc.minor_words () -. w0 in
+  (* budget covers the one Span closure of the consume call — nothing
+     per-reference (4032 references) *)
+  if dw > 64. then
+    Alcotest.failf "shard consume allocated %.0f minor words for %d refs" dw
+      (n - 64)
+
+(* --- DRAM technology-parallel power stage -------------------------------- *)
+
+let test_power_jobs_identical () =
+  let refs = synth_stream 2000 in
+  let log = Trace_log.create () in
+  let h = Hierarchy.create ~sink:(Trace_log.sink log) () in
+  let batch = fill_batch refs in
+  Hierarchy.consume h batch ~first:0 ~n:(List.length refs);
+  Hierarchy.drain h;
+  let replay sink = Trace_log.replay_batch log sink in
+  let serial =
+    Nvsc_dramsim.Memory_system.compare_technologies
+      ~techs:Nvsc_nvram.Technology.paper_set ~replay ()
+  in
+  let parallel =
+    Nvsc_dramsim.Memory_system.compare_technologies ~jobs:3
+      ~techs:Nvsc_nvram.Technology.paper_set ~replay ()
+  in
+  List.iter2
+    (fun ((ts : Nvsc_nvram.Technology.t), (ss : Nvsc_dramsim.Controller.stats))
+         ((tp : Nvsc_nvram.Technology.t), (sp : Nvsc_dramsim.Controller.stats)) ->
+      Alcotest.(check string) "tech order" ts.name tp.name;
+      Alcotest.(check bool)
+        (ts.name ^ ": stats identical") true (ss = sp))
+    serial parallel
+
+let suite =
+  [
+    Alcotest.test_case "partition width follows the geometry" `Quick
+      test_shards_for;
+    Alcotest.test_case "spsc ring is FIFO and counts pressure" `Quick
+      test_ring;
+    Alcotest.test_case "shard team equals serial hierarchy (widths x caps)"
+      `Slow test_differential;
+    Alcotest.test_case "width-one request stays serial" `Quick
+      test_width_one_is_serial;
+    Alcotest.test_case "sharded scavenger run equals serial (minimd)" `Slow
+      test_scavenger_differential;
+    Alcotest.test_case "shard consume hot path is allocation-free" `Quick
+      test_consume_alloc_free;
+    Alcotest.test_case "technology-parallel power stage is byte-identical"
+      `Quick test_power_jobs_identical;
+  ]

@@ -513,6 +513,101 @@ let test_trace_file_size_and_errors () =
       Alcotest.(check int)
         "load threads size" 16 (Trace_log.get log 0).Access.size)
 
+(* --- golden fixture: the on-disk byte format is pinned ------------------- *)
+
+(* One committed v2 trace (test/golden/mini.nvt, built by
+   test/golden/gen_mini.ml) covering every token kind.  Decoding it and
+   re-encoding the decoded stream byte-for-byte proves the codec is
+   host-independent: all fixed-width fields are explicit little-endian,
+   so the Bigarray-backed batch storage (native-endian in memory) never
+   leaks into the format, on any endianness or word size. *)
+
+type golden_event =
+  | G_ref of int * int * Access.op * int  (* addr, size, op, obj_id *)
+  | G_phase of Mem_object.phase
+  | G_instr of int
+  | G_persist of Persist.t
+
+let golden_digest = "9455ba2202cb87db6fc9013078e23b83"
+
+let test_golden_fixture () =
+  let path =
+    (* set by the dune action; the fallback serves [dune exec] from the
+       repo root *)
+    Option.value
+      (Sys.getenv_opt "GOLDEN_NVT")
+      ~default:"test/golden/mini.nvt"
+  in
+  let r = Trace_codec.Reader.open_ path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r)
+  @@ fun () ->
+  Alcotest.(check int) "version" 2 (Trace_codec.Reader.version r);
+  Alcotest.(check int) "refs" 7 (Trace_codec.Reader.refs r);
+  Alcotest.(check int) "reads" 3 (Trace_codec.Reader.reads r);
+  Alcotest.(check int) "writes" 4 (Trace_codec.Reader.writes r);
+  Alcotest.(check int) "chunks" 2 (Trace_codec.Reader.chunks r);
+  Alcotest.(check string)
+    "pinned digest" golden_digest (Trace_codec.Reader.digest r);
+  let m = Trace_codec.Reader.meta r in
+  Alcotest.(check string) "app" "golden-mini" m.Trace_codec.app;
+  Alcotest.(check int) "chunk capacity" 4 (Trace_codec.Reader.chunk_capacity r);
+  (* decode every token in file order *)
+  let events = ref [] in
+  let push e = events := e :: !events in
+  Trace_codec.stream r
+    ~on_phase:(fun p -> push (G_phase p))
+    ~on_instr:(fun n -> push (G_instr n))
+    ~on_persist:(fun p -> push (G_persist p))
+    ~on_refs:(fun batch ~obj_ids ~first ~n ->
+      for i = first to first + n - 1 do
+        push
+          (G_ref
+             ( Sink.Batch.addr batch i,
+               Sink.Batch.size batch i,
+               Sink.Batch.op batch i,
+               obj_ids.(i) ))
+      done)
+    ();
+  let events = List.rev !events in
+  Alcotest.(check int) "event count" 17 (List.length events);
+  (match List.nth events 1 with
+  | G_ref (4096, 8, Access.Write, 0) -> ()
+  | _ -> Alcotest.fail "first ref decoded wrong");
+  (match List.nth events 16 with
+  | G_ref (4096, 8, Access.Read, -1) -> ()
+  | _ -> Alcotest.fail "unattributed trailing ref decoded wrong");
+  (match List.nth events 6 with
+  | G_persist (Persist.Epoch_begin { label = "step"; checkpoint = true }) -> ()
+  | _ -> Alcotest.fail "epoch-begin token decoded wrong");
+  (* re-encode the decoded stream: bytes must match the fixture exactly *)
+  let objs = Trace_codec.Reader.objects r in
+  let resolve id =
+    List.find_opt (fun (o : Mem_object.t) -> o.Mem_object.id = id) objs
+  in
+  with_tmp @@ fun out ->
+  let w =
+    Trace_codec.Writer.create
+      ~chunk_capacity:(Trace_codec.Reader.chunk_capacity r)
+      ~resolve ~path:out ~meta:m ()
+  in
+  List.iter
+    (function
+      | G_ref (addr, size, op, obj_id) ->
+        Trace_codec.Writer.add_ref w ~addr ~size ~op ~obj_id
+      | G_phase p -> Trace_codec.Writer.add_phase w p
+      | G_instr n -> Trace_codec.Writer.add_instr w n
+      | G_persist p -> Trace_codec.Writer.add_persist w p)
+    events;
+  let s =
+    Trace_codec.Writer.finish w ~objects:objs
+      ~stack_objects:(Trace_codec.Reader.stack_objects r)
+      ()
+  in
+  Alcotest.(check string) "re-encoded digest" golden_digest s.Trace_codec.digest;
+  Alcotest.(check bool)
+    "re-encoded bytes identical" true
+    (read_file out = read_file path)
+
 let suite =
   [
     Alcotest.test_case "record/replay identical for all apps" `Quick
@@ -536,5 +631,7 @@ let suite =
       test_pinned_digest_must_match;
     Alcotest.test_case "trace_file threads size and names the file" `Quick
       test_trace_file_size_and_errors;
+    Alcotest.test_case "golden fixture decodes and re-encodes byte-identically"
+      `Quick test_golden_fixture;
     QCheck_alcotest.to_alcotest codec_roundtrip;
   ]
