@@ -76,8 +76,8 @@ let pp_trace_line fmt trace =
     (Nvsc_memtrace.Trace_log.reads trace)
     (Nvsc_memtrace.Trace_log.writes trace)
 
-let power_results ?(jobs = 1) trace =
-  Nvsc_dramsim.Memory_system.compare_technologies ~jobs
+let power_results ?(jobs = 1) ?(bank_shards = 1) trace =
+  Nvsc_dramsim.Memory_system.compare_technologies ~jobs ~bank_shards
     ~techs:Nvsc_nvram.Technology.paper_set
     ~replay:(fun sink -> Nvsc_memtrace.Trace_log.replay_batch trace sink)
     ()
@@ -133,11 +133,11 @@ let pp_place_report fmt ~tech r =
     (Nvsc_placement.Hybrid_memory.assess hybrid);
   Format.pp_print_newline fmt ()
 
-let pp_run_report ?jobs fmt ~(tech : Nvsc_nvram.Technology.t) r =
+let pp_run_report ?jobs ?bank_shards fmt ~(tech : Nvsc_nvram.Technology.t) r =
   pp_summary_and_objects fmt r;
   let trace = Option.get r.Nvsc_core.Scavenger.mem_trace in
   pp_trace_line fmt trace;
-  pp_normalized_power fmt (power_results ?jobs trace);
+  pp_normalized_power fmt (power_results ?jobs ?bank_shards trace);
   let hybrid =
     planned_hybrid ~tech:(Nvsc_nvram.Technology.get tech.tech) r
   in
@@ -770,7 +770,10 @@ let run_cmd =
             ?trace_out:(Cli.profile_trace_out profile)
             ~enabled:(Cli.profile_enabled profile)
           @@ fun () ->
-          pp_run_report ~jobs:shards fmt ~tech
+          (* one --shards knob drives both sharded stages: the
+             set-partitioned cache filter and the bank-sharded DRAM
+             replay (the latter clamped to the organisation's banks) *)
+          pp_run_report ~jobs:shards ~bank_shards:shards fmt ~tech
             (Nvsc_core.Scavenger.run
                Nvsc_core.Scavenger.Config.(
                  scavenger_config ~scale ~iterations
@@ -872,7 +875,24 @@ let replay_cmd =
       & info [ "tech" ] ~docv:"TECH"
           ~doc:"NVRAM technology for $(b,run)/$(b,place) replays.")
   in
-  let run () path kind tech_name profile =
+  let reader_arg =
+    let modes =
+      [
+        ("auto", Nvsc_memtrace.Trace_codec.Auto);
+        ("mmap", Nvsc_memtrace.Trace_codec.Mmap);
+        ("buffered", Nvsc_memtrace.Trace_codec.Buffered);
+      ]
+    in
+    Arg.(
+      value
+      & opt (enum modes) Nvsc_memtrace.Trace_codec.Auto
+      & info [ "reader" ] ~docv:"MODE"
+          ~doc:
+            "Chunk I/O path: $(b,auto) (default: mmap when available), \
+             $(b,mmap) (require the mapped reader) or $(b,buffered) \
+             (channel reads).  Output is byte-identical across modes.")
+  in
+  let run () path kind tech_name reader profile =
     match Nvsc_nvram.Technology.of_string tech_name with
     | None -> `Error (false, Printf.sprintf "unknown technology %S" tech_name)
     | Some tech ->
@@ -882,17 +902,20 @@ let replay_cmd =
         ~enabled:(Cli.profile_enabled profile)
       @@ fun () ->
       (match kind with
-      | `Run -> pp_run_report fmt ~tech (Nvsc_core.Trace_run.replay path)
-      | `Objects -> pp_analyze_report fmt (Nvsc_core.Trace_run.replay path)
+      | `Run ->
+        pp_run_report fmt ~tech (Nvsc_core.Trace_run.replay ~reader path)
+      | `Objects ->
+        pp_analyze_report fmt (Nvsc_core.Trace_run.replay ~reader path)
       | `Power ->
-        let r = Nvsc_core.Trace_run.replay path in
+        let r = Nvsc_core.Trace_run.replay ~reader path in
         pp_power_report fmt (Option.get r.Nvsc_core.Scavenger.mem_trace)
       | `Perf ->
         Nvsc_cpusim.Sensitivity.pp_points fmt
           (Nvsc_cpusim.Sensitivity.run
-             ~replay:(Nvsc_core.Trace_run.perf_replay path)
+             ~replay:(Nvsc_core.Trace_run.perf_replay ~reader path)
              ())
-      | `Place -> pp_place_report fmt ~tech (Nvsc_core.Trace_run.replay path));
+      | `Place ->
+        pp_place_report fmt ~tech (Nvsc_core.Trace_run.replay ~reader path));
       `Ok ()
   in
   let info =
@@ -909,7 +932,7 @@ let replay_cmd =
   Cmd.v info
     Term.(
       ret
-        (const run $ logs_term $ trace_arg $ kind_arg $ tech_arg
+        (const run $ logs_term $ trace_arg $ kind_arg $ tech_arg $ reader_arg
        $ Cli.profile))
 
 (* --- crashsim ------------------------------------------------------------- *)

@@ -1,10 +1,12 @@
 (* Allocation-free lookup kernels: the effect of an access is an encoded
    immediate int (no record, no options), set indexing is mask/shift for
    power-of-two set counts (with a guarded div/mod path otherwise), the way
-   search probes the per-set MRU way first, victim selection is a single
-   scan, and a one-entry resident-line memo short-circuits repeated sweeps
-   over the same line.  Differential tests against test/oracle/ pin the
-   behaviour to the original straightforward implementation. *)
+   search probes the per-set MRU way first, recency is an intrusive per-set
+   doubly-linked list so victim selection is O(1) (list tail) instead of a
+   timestamp scan, and a one-entry resident-line memo short-circuits
+   repeated sweeps over the same line.  Differential tests against
+   test/oracle/ pin the behaviour to the original straightforward
+   implementation. *)
 
 module Effect = struct
   (* bit 0: hit; bit 1: fill (of the accessed line); bit 2: forwarded
@@ -35,14 +37,39 @@ type t = {
   write_allocate : bool;
   tags : int array; (* -1 = invalid; indexed set*assoc + way *)
   dirty : bool array;
-  age : int array; (* LRU timestamps *)
-  mru : int array; (* per set: absolute index of the last-touched way *)
+  (* Per-set recency as an intrusive *circular* doubly-linked list over
+     the ways: [mru.(set)] is the head (most recently touched way), the
+     tail — the victim when every way is valid — is [lprev.(head)], and
+     [lnext]/[lprev] chain absolute way indices within the set.
+     Equivalent to distinct-timestamp LRU: every operation that refreshes
+     recency moves exactly one way to the head, so list order is exactly
+     decreasing-timestamp order.  The circle makes the streaming-miss
+     steady state O(1) stores: promoting the tail is a pure rotation
+     (move the head pointer back one), no links change. *)
+  lnext : int array;
+  lprev : int array;
+  mru : int array; (* per set: head of the recency list *)
+  (* Ways become valid only through [allocate_at] at the first invalid
+     way and are never invalidated individually, so each set's valid ways
+     are a prefix of its index range: [vcnt.(set)] valid ways occupy
+     [set*assoc, set*assoc+vcnt).  The way search scans just that prefix
+     and the first-invalid victim is [base + vcnt] — no scan tracks
+     invalid slots. *)
+  vcnt : int array;
+  (* Monotone per-set upper bound on every tag ever installed there
+     (never lowered on eviction, so always ≥ every resident tag).  A
+     probe with [tag > maxtag.(set)] is definitely absent and skips the
+     way scan — the steady state of a streaming sweep, whose fresh lines
+     carry ever-larger tags. *)
+  maxtag : int array;
   (* one-entry memo: [memo_line] is resident at [memo_idx] (min_int =
      none).  Maintained on every hit and allocation, so a repeated access
-     to the same line skips indexing and the way search entirely. *)
+     to the same line skips indexing and the way search entirely — and
+     since every recency update also retargets the memo, the memoized way
+     is always already at the head of its list, so the memo path needs no
+     LRU maintenance at all. *)
   mutable memo_line : int;
   mutable memo_idx : int;
-  mutable clock : int;
   mutable read_hits : int;
   mutable read_misses : int;
   mutable write_hits : int;
@@ -55,11 +82,29 @@ let log2 n =
   let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
   go 0 n
 
+(* Creation-order circle: within each set the ways chain in index order,
+   head = first way (so tail = last).  Victim order over an all-invalid
+   set is decided by the prefix fill, not the list, so any initial order
+   works; index order keeps it readable. *)
+let reset_recency ~nsets ~assoc lnext lprev mru =
+  for s = 0 to nsets - 1 do
+    let base = s * assoc in
+    let last = base + assoc - 1 in
+    for i = base to last do
+      lnext.(i) <- (if i = last then base else i + 1);
+      lprev.(i) <- (if i = base then last else i - 1)
+    done;
+    mru.(s) <- base
+  done
+
 let create p =
   let nsets = Cache_params.sets p in
   let assoc = p.Cache_params.associativity in
   let n = nsets * assoc in
   let pow2 = nsets land (nsets - 1) = 0 in
+  let lnext = Array.make n (-1) and lprev = Array.make n (-1) in
+  let mru = Array.make nsets 0 in
+  reset_recency ~nsets ~assoc lnext lprev mru;
   {
     p;
     nsets;
@@ -69,11 +114,13 @@ let create p =
     write_allocate = (p.Cache_params.write_miss = Cache_params.Write_allocate);
     tags = Array.make n (-1);
     dirty = Array.make n false;
-    age = Array.make n 0;
-    mru = Array.init nsets (fun s -> s * assoc);
+    lnext;
+    lprev;
+    mru;
+    vcnt = Array.make nsets 0;
+    maxtag = Array.make nsets (-1);
     memo_line = min_int;
     memo_idx = 0;
-    clock = 0;
     read_hits = 0;
     read_misses = 0;
     write_hits = 0;
@@ -119,42 +166,78 @@ let[@inline] find_way t set tag =
     scan_way tags tag (base + t.assoc - 1) base
   end
 
-(* Way search and victim selection in one call, with the victim computed
-   lazily: the first pass reads tags only (noting the first invalid way),
-   so the hit path never touches the age array; the age scan runs only on
-   a miss in a fully valid set.  Returns [2*idx+1] when [tag] is resident
-   at [idx], else [2*victim] with [victim] the first invalid way or,
-   failing that, the lowest-timestamp way (earliest index on ties) —
-   exactly [find_way]/[victim_way]'s separate answers. *)
-let rec scan_tags (tags : int array) (tag : int) last i inv =
-  if i > last then if inv >= 0 then inv lsl 1 else -1
-  else
-    let tg = Array.unsafe_get tags i in
-    if tg = tag then (i lsl 1) lor 1
-    else if tg = -1 && inv < 0 then scan_tags tags tag last (i + 1) i
-    else scan_tags tags tag last (i + 1) inv
+(* Find-only way scan over the valid prefix, unrolled four ways: no
+   invalid-slot tracking (the prefix invariant supplies the first-invalid
+   victim as [base + vcnt]), which halves the per-way work of the old
+   combined scan.  Returns the matching index or -1. *)
+let rec scan_find (tags : int array) (tag : int) last i =
+  if i + 3 <= last then begin
+    let a = Array.unsafe_get tags i
+    and b = Array.unsafe_get tags (i + 1)
+    and c = Array.unsafe_get tags (i + 2)
+    and d = Array.unsafe_get tags (i + 3) in
+    if a = tag then i
+    else if b = tag then i + 1
+    else if c = tag then i + 2
+    else if d = tag then i + 3
+    else scan_find tags tag last (i + 4)
+  end
+  else scan_find_tail tags tag last i
 
-let rec scan_min_age (age : int array) last i best =
-  if i > last then best lsl 1
-  else if Array.unsafe_get age i < Array.unsafe_get age best then
-    scan_min_age age last (i + 1) i
-  else scan_min_age age last (i + 1) best
+and scan_find_tail (tags : int array) (tag : int) last i =
+  if i > last then -1
+  else if Array.unsafe_get tags i = tag then i
+  else scan_find_tail tags tag last (i + 1)
 
+(* Way search and victim selection in one call.  Returns [2*idx+1] when
+   [tag] is resident at [idx], else [2*victim] with [victim] the first
+   invalid way (prefix fill) or, in a fully valid set, the
+   least-recently-touched way — the circular list's tail, [lprev(head)].
+
+   Tail/timestamp equivalence: in the timestamp model every touch
+   assigned a fresh strictly-increasing clock, so among a fully valid
+   set's ways the ages were distinct and the minimum-age way was the one
+   touched longest ago — exactly the list tail.  Partially valid sets
+   never consulted ages (first-invalid preference), so the list replaces
+   the age scan without changing any victim choice; the differential
+   oracle suite pins this. *)
 let[@inline] find_or_victim t set tag =
   let tags = t.tags in
   let m = Array.unsafe_get t.mru set in
   if Array.unsafe_get tags m = tag then (m lsl 1) lor 1
   else begin
     let base = set * t.assoc in
-    let last = base + t.assoc - 1 in
-    let r = scan_tags tags tag last base (-1) in
-    if r >= 0 then r else scan_min_age t.age last (base + 1) base
+    let c = Array.unsafe_get t.vcnt set in
+    let i =
+      if tag > Array.unsafe_get t.maxtag set then -1
+      else scan_find tags tag (base + c - 1) base
+    in
+    if i >= 0 then (i lsl 1) lor 1
+    else if c < t.assoc then (base + c) lsl 1
+    else Array.unsafe_get t.lprev m lsl 1
   end
 
-let[@inline] touch t idx =
-  let c = t.clock + 1 in
-  t.clock <- c;
-  Array.unsafe_set t.age idx c
+(* Move way [idx] to the head of its set's recency circle (the touch).
+   Re-touching the head is free; promoting the tail is a pure rotation
+   (the circle's order is unchanged, only the head pointer moves) — the
+   steady state of a streaming miss, where the evicted tail becomes the
+   newest line.  Only a mid-list promotion relinks. *)
+let[@inline] promote t set idx =
+  let h = Array.unsafe_get t.mru set in
+  if h <> idx then begin
+    let nx = Array.unsafe_get t.lnext idx in
+    if nx <> h then begin
+      let p = Array.unsafe_get t.lprev idx in
+      let tl = Array.unsafe_get t.lprev h in
+      Array.unsafe_set t.lnext p nx;
+      Array.unsafe_set t.lprev nx p;
+      Array.unsafe_set t.lnext tl idx;
+      Array.unsafe_set t.lprev idx tl;
+      Array.unsafe_set t.lnext idx h;
+      Array.unsafe_set t.lprev h idx
+    end;
+    Array.unsafe_set t.mru set idx
+  end
 
 (* Install [line] at [idx] (the fused scan's victim). *)
 let[@inline] allocate_at t idx set tag ~line ~make_dirty =
@@ -168,12 +251,16 @@ let[@inline] allocate_at t idx set tag ~line ~make_dirty =
       end
       else e_fill
     end
-    else e_fill
+    else begin
+      (* filling the first invalid way extends the set's valid prefix *)
+      Array.unsafe_set t.vcnt set (Array.unsafe_get t.vcnt set + 1);
+      e_fill
+    end
   in
   Array.unsafe_set t.tags idx tag;
   Array.unsafe_set t.dirty idx make_dirty;
-  touch t idx;
-  Array.unsafe_set t.mru set idx;
+  if tag > Array.unsafe_get t.maxtag set then Array.unsafe_set t.maxtag set tag;
+  promote t set idx;
   t.memo_line <- line;
   t.memo_idx <- idx;
   e
@@ -181,9 +268,9 @@ let[@inline] allocate_at t idx set tag ~line ~make_dirty =
 let read t ~line =
   if line < 0 then invalid_arg "Cache.read: negative line";
   if line = t.memo_line then begin
-    (* resident at memo_idx: hit, refresh LRU *)
+    (* resident at memo_idx, which is already the head of its recency
+       list (every touch retargets the memo): hit, nothing to move *)
     t.read_hits <- t.read_hits + 1;
-    touch t t.memo_idx;
     e_hit
   end
   else begin
@@ -193,8 +280,7 @@ let read t ~line =
     let idx = r lsr 1 in
     if r land 1 <> 0 then begin
       t.read_hits <- t.read_hits + 1;
-      touch t idx;
-      Array.unsafe_set t.mru set idx;
+      promote t set idx;
       t.memo_line <- line;
       t.memo_idx <- idx;
       e_hit
@@ -210,7 +296,6 @@ let write t ~line =
   if line = t.memo_line then begin
     t.write_hits <- t.write_hits + 1;
     Array.unsafe_set t.dirty t.memo_idx true;
-    touch t t.memo_idx;
     e_hit
   end
   else begin
@@ -221,8 +306,7 @@ let write t ~line =
     if r land 1 <> 0 then begin
       t.write_hits <- t.write_hits + 1;
       Array.unsafe_set t.dirty idx true;
-      touch t idx;
-      Array.unsafe_set t.mru set idx;
+      promote t set idx;
       t.memo_line <- line;
       t.memo_idx <- idx;
       e_hit
@@ -250,6 +334,17 @@ let[@inline] repeat_write_hit t =
   t.write_hits <- t.write_hits + 1;
   Array.unsafe_set t.dirty t.memo_idx true
 
+(* Bulk forms for coalesced line runs: [n] repeat hits cost two counter
+   updates, not [n] calls.  Sound under exactly the invariant above — the
+   whole run targets the memoized line with no intervening access. *)
+let[@inline] repeat_read_hits t n = t.read_hits <- t.read_hits + n
+
+let[@inline] repeat_write_hits t n =
+  if n > 0 then begin
+    t.write_hits <- t.write_hits + n;
+    Array.unsafe_set t.dirty t.memo_idx true
+  end
+
 let probe t ~line =
   line >= 0 && find_way t (set_of t line) (tag_of t line) >= 0
 
@@ -275,10 +370,9 @@ let flush_dirty t f =
 let invalidate_all t =
   Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.dirty 0 (Array.length t.dirty) false;
-  Array.fill t.age 0 (Array.length t.age) 0;
-  for s = 0 to t.nsets - 1 do
-    t.mru.(s) <- s * t.assoc
-  done;
+  Array.fill t.vcnt 0 t.nsets 0;
+  Array.fill t.maxtag 0 t.nsets (-1);
+  reset_recency ~nsets:t.nsets ~assoc:t.assoc t.lnext t.lprev t.mru;
   t.memo_line <- min_int
 
 let resident_lines t =

@@ -59,6 +59,15 @@ val repeat_write_hit : t -> unit
 (** As {!repeat_read_hit} for a write: counts the hit and re-dirties the
     memoized line. *)
 
+val repeat_read_hits : t -> int -> unit
+(** [repeat_read_hits t n]: count [n >= 0] repeat read hits on the
+    memoized line in O(1) — the bulk form used by coalesced line runs,
+    sound under the same invariant as {!repeat_read_hit}. *)
+
+val repeat_write_hits : t -> int -> unit
+(** [repeat_write_hits t n]: count [n >= 0] repeat write hits on the
+    memoized line and re-dirty it once (no-op when [n = 0]). *)
+
 val probe : t -> line:int -> bool
 (** Non-intrusive presence test (does not touch LRU state). *)
 

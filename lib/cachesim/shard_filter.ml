@@ -294,18 +294,36 @@ let consume t batch ~first ~n ~base =
 
    Selection entries are packed, not bare indices: the common case (a
    single-line reference whose line and batch position fit the field
-   widths) carries everything the worker's hot path needs —
+   widths) carries everything the worker's hot path needs.  The low two
+   bits are the entry tag:
 
-     entry = (line lsl 26) lor (write lsl 25) lor (i lsl 1)      tag 0
-     entry = (i lsl 1) lor 1                                     tag 1
+     entry = (line lsl 27) lor (write lsl 26) lor (i lsl 2)      tag 0
+     entry = (i lsl 2) lor 1                                     tag 1
+     entry = (line lsl 27) lor (i lsl 2) lor 2                   tag 2
+       .. followed by one tail word (writes lsl 24) lor count
 
    so the worker reads ONE dense, prefetch-friendly int per owned
    reference instead of gathering from three batch planes.  Tag 1 (a
    straddling reference, or the rare field overflow) sends the worker
    back to the batch; a straddle is listed for every shard its line
-   span touches and [consume_selected] re-derives the owned lines. *)
+   span touches and [consume_selected] re-derives the owned lines.
+
+   Tag 2 is a coalesced line run, detected during this same scan: a
+   READ anchor plus [count] immediately following single-line
+   references to the same line ([writes] of them writes), with no other
+   reference of this shard in between.  The worker processes the anchor
+   normally — a read always leaves the repeat-line memo targeting its
+   line — and then applies the whole tail as two bulk repeat-hit
+   counter updates ([Cache.repeat_read_hits]/[repeat_write_hits]): each
+   tail reference is a memo hit by construction, so this is exactly the
+   serial repeat path applied [count] times, byte-identical stats and
+   events.  Only reads may anchor (a no-write-allocate write miss
+   forwards without retargeting the memo, so a write anchor's tail
+   would not be guaranteed memo hits); writes still join tails. *)
 let sel_idx_bits = 24
-let sel_line_shift = sel_idx_bits + 2
+let sel_line_shift = sel_idx_bits + 3
+let sel_op_bit = 1 lsl (sel_idx_bits + 2)
+let sel_idx_mask = (1 lsl sel_idx_bits) - 1
 let sel_max_line = (max_int lsr sel_line_shift) - 1
 
 let partition t batch ~first ~n ~index_bufs ~counts =
@@ -320,6 +338,52 @@ let partition t batch ~first ~n ~index_bufs ~counts =
     Array.unsafe_set (Array.unsafe_get index_bufs s) c e;
     Array.unsafe_set counts s (c + 1)
   in
+  (* Per-shard run detector state: while [run_line.(s) >= 0], the entry
+     at [run_pos.(s)] in shard [s]'s buffer is a READ of that line, and
+     [run_len.(s)] following same-line references ([run_writes.(s)] of
+     them writes) have been suppressed instead of pushed.  Any other push
+     to [s] closes the run first, so a closed run's tail word is pushed
+     immediately after its anchor — adjacency the worker relies on. *)
+  let run_line = Array.make k min_int in
+  let run_pos = Array.make k 0 in
+  let run_len = Array.make k 0 in
+  let run_writes = Array.make k 0 in
+  let close s =
+    if Array.unsafe_get run_line s >= 0 then begin
+      let len = Array.unsafe_get run_len s in
+      if len > 0 then begin
+        let buf = Array.unsafe_get index_bufs s in
+        let pos = Array.unsafe_get run_pos s in
+        (* upgrade the anchor in place: tag 0 -> tag 2 *)
+        Array.unsafe_set buf pos (Array.unsafe_get buf pos lor 2);
+        push s ((Array.unsafe_get run_writes s lsl sel_idx_bits) lor len);
+        Array.unsafe_set run_len s 0;
+        Array.unsafe_set run_writes s 0
+      end;
+      Array.unsafe_set run_line s min_int
+    end
+  in
+  (* A packed single-line reference: extend shard [s]'s open run, or
+     close it and push a fresh entry (which anchors a new run iff it is
+     a read). *)
+  let single s line w i_rel =
+    if Array.unsafe_get run_line s = line then begin
+      Array.unsafe_set run_len s (Array.unsafe_get run_len s + 1);
+      Array.unsafe_set run_writes s (Array.unsafe_get run_writes s + w)
+    end
+    else begin
+      close s;
+      let pos = Array.unsafe_get counts s in
+      push s
+        ((line lsl sel_line_shift)
+        lor (w lsl (sel_idx_bits + 2))
+        lor (i_rel lsl 2));
+      if w = 0 then begin
+        Array.unsafe_set run_line s line;
+        Array.unsafe_set run_pos s pos
+      end
+    end
+  in
   (* straddle dedup scratch: a line span may revisit a shard (the
      residue -> shard map is arbitrary), but each touched shard must be
      listed once — the worker re-derives ALL its owned lines *)
@@ -331,7 +395,8 @@ let partition t batch ~first ~n ~index_bufs ~counts =
       let s = Array.unsafe_get assign (line land gm) in
       if Array.unsafe_get marker s <> i then begin
         Array.unsafe_set marker s i;
-        push s ((i lsl 1) lor 1)
+        close s;
+        push s ((i lsl 2) lor 1)
       end
     done
   in
@@ -348,15 +413,14 @@ let partition t batch ~first ~n ~index_bufs ~counts =
             | Access.Read -> 0
             | Access.Write -> 1
           in
-          push
+          single
             (Array.unsafe_get assign (first_line land gm))
-            ((first_line lsl sel_line_shift)
-            lor (w lsl (sel_idx_bits + 1))
-            lor ((i - first) lsl 1))
-        else
-          push
-            (Array.unsafe_get assign (first_line land gm))
-            ((i lsl 1) lor 1)
+            first_line w (i - first)
+        else begin
+          let s = Array.unsafe_get assign (first_line land gm) in
+          close s;
+          push s ((i lsl 2) lor 1)
+        end
       else push_straddle ~first_line ~last_line i
     done
   else begin
@@ -374,18 +438,20 @@ let partition t batch ~first ~n ~index_bufs ~counts =
           let w =
             if Bigarray.Array1.unsafe_get ops i = '\000' then 0 else 1
           in
-          push
+          single
             (Array.unsafe_get assign (first_line land gm))
-            ((first_line lsl sel_line_shift)
-            lor (w lsl (sel_idx_bits + 1))
-            lor ((i - first) lsl 1))
-        else
-          push
-            (Array.unsafe_get assign (first_line land gm))
-            ((i lsl 1) lor 1)
+            first_line w (i - first)
+        else begin
+          let s = Array.unsafe_get assign (first_line land gm) in
+          close s;
+          push s ((i lsl 2) lor 1)
+        end
       else push_straddle ~first_line ~last_line i
     done
-  end
+  end;
+  for s = 0 to k - 1 do
+    close s
+  done
 
 (* First-flush load balancing.  Count balance is the wrong objective:
    a residue dominated by repeated touches of one line costs a couple
@@ -393,10 +459,12 @@ let partition t batch ~first ~n ~index_bufs ~counts =
    of churning lines pays full lookup-and-miss cascades — so packing by
    reference count alone can still leave one shard with most of the
    *time*.  Weight each residue by an execution-cost estimate from the
-   sampled slice — [count + 4 * transitions], a line transition being
-   the proxy for a lookup that misses the memo (the 4x is the measured
-   miss-cascade-to-memo-hit cost ratio, and only the ratio matters) —
-   then LPT-pack residues onto shards: heaviest residue first, each
+   sampled slice — [count + 16 * transitions], a line transition being
+   the proxy for a lookup that misses the memo (with run coalescing the
+   suppressed repeat references cost O(1) per run on the worker, so the
+   transition term dominates even more heavily than the bare memo-hit
+   ratio; only the ratio matters) — then LPT-pack residues onto
+   shards: heaviest residue first, each
    onto the currently lightest shard.  Deterministic (ties break toward
    the lower residue and lower shard), and output-invariant: the
    merged trace and summed counters are identical for every valid
@@ -430,7 +498,7 @@ let rebalance filters batch ~first ~n =
     end
   done;
   let order = Array.init g Fun.id in
-  let weight r = count.(r) + (4 * trans.(r)) in
+  let weight r = count.(r) + (16 * trans.(r)) in
   Array.sort
     (fun a b ->
       match compare (weight b) (weight a) with 0 -> compare a b | c -> c)
@@ -466,35 +534,52 @@ let use_assignment t assign =
    proportional to this shard's own traffic, not the stream length, and
    the dominant path (packed single-line entry hitting the repeat-line
    memo) touches no batch plane at all — one sequential int load. *)
+let[@inline] apply_run_tail t tail =
+  let cnt = tail land sel_idx_mask in
+  let wr = tail lsr sel_idx_bits in
+  t.accesses <- t.accesses + cnt;
+  Cache.repeat_read_hits t.l1d (cnt - wr);
+  Cache.repeat_write_hits t.l1d wr
+
 let consume_selected t batch ~idxs ~m ~first ~base =
   Nvsc_obs.Span.with_ "cachesim.shard" @@ fun () ->
-  let sel_op_bit = 1 lsl (sel_idx_bits + 1) in
-  let sel_idx_mask = (1 lsl sel_idx_bits) - 1 in
   let off = base - first in
-  if Sink.checks_enabled () then
-    for j = 0 to m - 1 do
-      let e = Array.unsafe_get idxs j in
-      if e land 1 = 1 then
-        let i = e lsr 1 in
+  if Sink.checks_enabled () then begin
+    let j = ref 0 in
+    while !j < m do
+      let e = Array.unsafe_get idxs !j in
+      incr j;
+      match e land 3 with
+      | 1 ->
+        let i = e lsr 2 in
         consume_one t ~idx:(off + i) ~addr:(Sink.Batch.addr batch i)
           ~size:(Sink.Batch.size batch i) ~op:(Sink.Batch.op batch i)
-      else begin
+      | tag ->
         let line = e lsr sel_line_shift in
-        t.cur_major <- base + ((e lsr 1) land sel_idx_mask);
+        t.cur_major <- base + ((e lsr 2) land sel_idx_mask);
         t.cur_mid <- 0;
         t.cur_seq <- 0;
         access_line t line
-          (if e land sel_op_bit <> 0 then Access.Write else Access.Read)
-      end
+          (if e land sel_op_bit <> 0 then Access.Write else Access.Read);
+        if tag = 2 then begin
+          (* run anchor: the read above left the memo on [line]; the tail
+             word bulk-applies the coalesced repeat hits *)
+          apply_run_tail t (Array.unsafe_get idxs !j);
+          incr j
+        end
     done
+  end
   else begin
     let addrs = Sink.Batch.addrs batch
     and sizes = Sink.Batch.sizes batch
     and ops = Sink.Batch.ops batch in
     let shift = t.line_shift in
-    for j = 0 to m - 1 do
-      let e = Array.unsafe_get idxs j in
-      if e land 1 = 0 then begin
+    let j = ref 0 in
+    while !j < m do
+      let e = Array.unsafe_get idxs !j in
+      incr j;
+      let tag = e land 3 in
+      if tag <> 1 then begin
         (* packed single-line entry, owned by construction.  Take the
            repeat-line memo hit before touching the key context: a memo
            hit can emit no event, so the three key stores would be
@@ -507,16 +592,22 @@ let consume_selected t batch ~idxs ~m ~first ~base =
           else Cache.repeat_read_hit t.l1d
         end
         else begin
-          t.cur_major <- base + ((e lsr 1) land sel_idx_mask);
+          t.cur_major <- base + ((e lsr 2) land sel_idx_mask);
           t.cur_mid <- 0;
           t.cur_seq <- 0;
           access_line t line
             (if e land sel_op_bit <> 0 then Access.Write else Access.Read)
+        end;
+        if tag = 2 then begin
+          (* run anchor: whether the read above was a memo hit or a full
+             lookup, the memo now targets [line] — bulk-apply the tail *)
+          apply_run_tail t (Array.unsafe_get idxs !j);
+          incr j
         end
       end
       else begin
         (* straddle, or packed-field overflow: gather from the batch *)
-        let i = e lsr 1 in
+        let i = e lsr 2 in
         let addr = Bigarray.Array1.unsafe_get addrs i in
         let first_line = addr lsr shift in
         let last_line =

@@ -183,6 +183,7 @@ let run (cfg : Config.t) (module A : Nvsc_apps.Workload.APP) =
   (match (team, trace) with
   | Some tm, Some log ->
     Shard.finish tm;
+    Shard.export_metrics tm;
     Ctx.clear_batch_exchange ctx;
     Shard.merge_into_trace tm log
   | _ -> ());

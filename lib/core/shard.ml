@@ -61,6 +61,7 @@ type t = {
   mutable live : slot option; (* slot whose batch the producer holds *)
   mutable fed : int;
   mutable enqueued : bool; (* live batch handed out during this flush *)
+  mutable slot_waits : int; (* exchanges that blocked on the free list *)
   mutable finished : bool;
 }
 
@@ -145,6 +146,7 @@ let create ?l1d ?l2 ?events_hint ~shards ~batch_capacity () =
       live = None;
       fed = 0;
       enqueued = false;
+      slot_waits = 0;
       finished = false;
     }
   in
@@ -213,9 +215,14 @@ let exchange t batch =
   else begin
     t.enqueued <- false;
     Mutex.lock t.free_mu;
-    while Queue.is_empty t.free do
-      Condition.wait t.free_nonempty t.free_mu
-    done;
+    if Queue.is_empty t.free then begin
+      (* the generator outran the shards: this stall is the pipeline's
+         backpressure, and the profile counter that makes it visible *)
+      t.slot_waits <- t.slot_waits + 1;
+      while Queue.is_empty t.free do
+        Condition.wait t.free_nonempty t.free_mu
+      done
+    end;
     let next = Queue.pop t.free in
     Mutex.unlock t.free_mu;
     t.live <- Some next;
@@ -310,3 +317,21 @@ let filters t = t.filters
 let shards t = t.shards
 
 let ring_stats t = Array.map Ring.stats t.rings
+let slot_waits t = t.slot_waits
+
+(* Mirror of [Controller_team.export_metrics] for the cache team: summed
+   transport pressure lands in the process-wide registry so [--profile]
+   and [client stats] report it alongside the replay/record volumes. *)
+let export_metrics t =
+  let pushes = Nvsc_obs.Metrics.counter "cache.team.ring.pushes"
+  and pwaits = Nvsc_obs.Metrics.counter "cache.team.ring.producer_waits"
+  and cwaits = Nvsc_obs.Metrics.counter "cache.team.ring.consumer_waits"
+  and swaits = Nvsc_obs.Metrics.counter "cache.team.slot.waits" in
+  Array.iter
+    (fun ring ->
+      let s = Ring.stats ring in
+      Nvsc_obs.Metrics.Counter.add pushes s.Ring.pushes;
+      Nvsc_obs.Metrics.Counter.add pwaits s.Ring.producer_waits;
+      Nvsc_obs.Metrics.Counter.add cwaits s.Ring.consumer_waits)
+    t.rings;
+  Nvsc_obs.Metrics.Counter.add swaits t.slot_waits

@@ -85,3 +85,12 @@ val filters : t -> Nvsc_cachesim.Shard_filter.t array
 
 val ring_stats : t -> Nvsc_team.Ring.stats array
 (** Per-shard transport pressure (pushes and blocked push/pop counts). *)
+
+val slot_waits : t -> int
+(** Exchanges where the producer blocked for a recycled batch (every slot
+    in flight) — the pipeline's backpressure stalls. *)
+
+val export_metrics : t -> unit
+(** Accumulate {!ring_stats} and {!slot_waits} into the obs metrics
+    registry ([cache.team.ring.*], [cache.team.slot.waits]) so [--profile]
+    and the daemon's [client stats] surface transport pressure. *)

@@ -18,6 +18,12 @@ type floats = {
   mutable act_pre_energy_nj : float;
   mutable refresh_energy_nj : float;
   mutable latency_sum : float;
+  (* kernel constants, stored in this flat all-float record so the hot
+     path reads them unboxed off a pointer it already holds *)
+  c_t_cas_ns : float;
+  c_t_burst_ns : float;
+  c_t_wr_ns : float;
+  c_e_act_pre_nj : float;
 }
 
 type t = {
@@ -33,7 +39,14 @@ type t = {
   mutable reorder : pending list; (* oldest first *)
   bank_ready : float array; (* ns; indexed rank * banks + bank *)
   open_row : int array; (* -1 = closed *)
-  inflight : float array; (* completion times of outstanding transactions *)
+  (* FIFO ring of completion times of outstanding transactions.  Every
+     completion is a bus_end, and bus_end is strictly increasing across
+     admissions (each burst starts no earlier than the previous burst
+     freed the bus), so the ring is sorted: the oldest entry is the
+     minimum and the transactions completed by any instant form a
+     prefix — admission is O(1), not O(window). *)
+  inflight : float array;
+  mutable inflight_head : int;
   mutable inflight_n : int;
   next_refresh : float array; (* per rank; infinity for NVRAM *)
   fl : floats;
@@ -46,7 +59,22 @@ type t = {
   mutable refreshes : int;
   mutable latencies : float array; (* per-access, for percentiles *)
   mutable latencies_n : int;
+  (* hot-path constants hoisted out of the per-access kernel: [Org]
+     dimensions are powers of two so rank extraction is a shift, and the
+     energy/penalty terms are fixed products of the timing/power
+     parameters — evaluating them once keeps the float results
+     bit-identical (same operations, same order) while dropping an
+     integer division and two multiplies per access *)
+  banks_shift : int;
+  e_burst_read_nj : float;
+  e_burst_write_nj : float;
+  penalty_over_open_ns : float; (* row miss over an open row: tRP + tRCD *)
+  penalty_no_open_ns : float; (* row miss on an idle bank: tRCD *)
 }
+
+let log2 n =
+  let rec go k v = if v <= 1 then k else go (k + 1) (v lsr 1) in
+  go 0 n
 
 let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
     ?(window = 8) ?(row_policy = Open_page) ?(scheduler = Fcfs) ~tech () =
@@ -57,12 +85,13 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
   | Fcfs | Fr_fcfs _ -> ());
   let nbanks = Org.total_banks org in
   let timing = Timing.of_tech tech ~org in
+  let power = Power_params.of_tech tech ~org in
   {
     org;
     scheme;
     tech;
     timing;
-    power = Power_params.of_tech tech ~org;
+    power;
     window;
     row_policy;
     scheduler;
@@ -71,6 +100,7 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
     bank_ready = Array.make nbanks 0.;
     open_row = Array.make nbanks (-1);
     inflight = Array.make window 0.;
+    inflight_head = 0;
     inflight_n = 0;
     next_refresh =
       Array.make org.Org.ranks
@@ -84,6 +114,10 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
         act_pre_energy_nj = 0.;
         refresh_energy_nj = 0.;
         latency_sum = 0.;
+        c_t_cas_ns = timing.Timing.t_cas_ns;
+        c_t_burst_ns = timing.Timing.t_burst_ns;
+        c_t_wr_ns = timing.Timing.t_wr_ns;
+        c_e_act_pre_nj = power.Power_params.e_act_pre_nj;
       };
     accesses = 0;
     reads = 0;
@@ -94,42 +128,42 @@ let create ?(org = Org.paper) ?(scheme = Address_mapping.Row_bank_rank_col)
     refreshes = 0;
     latencies = Array.make 1024 0.;
     latencies_n = 0;
+    banks_shift = log2 org.Org.banks;
+    e_burst_read_nj =
+      Power_params.burst_read_energy_nj power
+        ~t_burst_ns:timing.Timing.t_burst_ns;
+    e_burst_write_nj =
+      Power_params.burst_write_energy_nj power
+        ~t_burst_ns:timing.Timing.t_burst_ns;
+    penalty_over_open_ns = Timing.row_miss_penalty_ns timing ~had_open_row:true;
+    penalty_no_open_ns = Timing.row_miss_penalty_ns timing ~had_open_row:false;
   }
 
 (* Admission: wait for the earliest completion when the window is full.
-   Recursions instead of [ref] loop indices: no cell allocations on a path
-   taken once the window warms up (i.e. nearly every access). *)
-let admit t =
+   The ring is sorted (see [inflight]), so the earliest completion is the
+   head and dropping every transaction completed by [now] pops a prefix —
+   constant amortized work per admission. *)
+let[@inline] admit t =
   if t.inflight_n = t.window then begin
     let inflight = t.inflight in
-    let n = t.inflight_n in
-    let rec min_from i m =
-      if i >= n then m
-      else
-        let c = Array.unsafe_get inflight i in
-        min_from (i + 1) (if c < m then c else m)
-    in
-    let min_c = min_from 1 (Array.unsafe_get inflight 0) in
-    if min_c > t.fl.now then t.fl.now <- min_c;
-    (* Drop every transaction completed by [now]. *)
+    let oldest = Array.unsafe_get inflight t.inflight_head in
+    if oldest > t.fl.now then t.fl.now <- oldest;
     let now = t.fl.now in
-    let rec compact i j =
-      if i >= n then j
-      else begin
-        let c = Array.unsafe_get inflight i in
-        if c > now then begin
-          Array.unsafe_set inflight j c;
-          compact (i + 1) (j + 1)
-        end
-        else compact (i + 1) j
-      end
-    in
-    t.inflight_n <- compact 0 0
+    let head = ref t.inflight_head and n = ref t.inflight_n in
+    while !n > 0 && Array.unsafe_get inflight !head <= now do
+      let h = !head + 1 in
+      head := if h = t.window then 0 else h;
+      decr n
+    done;
+    t.inflight_head <- !head;
+    t.inflight_n <- !n
   end
 
 (* Catch up pending refresh operations on a rank: each one blocks every
-   bank of the rank for t_rfc and costs e_refresh. *)
-let refresh_rank t rank upto =
+   bank of the rank for t_rfc and costs e_refresh.  Split so the
+   overwhelmingly common no-refresh-due case is one inlined float
+   compare; the catch-up body stays out of line. *)
+let[@inline never] refresh_rank_slow t rank upto =
   while t.next_refresh.(rank) <= upto do
     let start = t.next_refresh.(rank) in
     let finish = start +. t.timing.Timing.t_rfc_ns in
@@ -143,6 +177,44 @@ let refresh_rank t rank upto =
     t.next_refresh.(rank) <- start +. t.timing.Timing.t_refi_ns
   done
 
+let[@inline] refresh_rank t rank upto =
+  if t.next_refresh.(rank) <= upto then refresh_rank_slow t rank upto
+
+(* Column access, bus serialisation, energy and latency accounting — the
+   tail every issue path shares once the row decision has produced
+   [row_ready].  Inlined into both callers so the float pipeline (and its
+   operation order, which the byte-identity contract pins) is textually
+   single-sourced. *)
+let[@inline] complete t (op : Access.op) ~bank ~arrival ~row_ready =
+  let fl = t.fl in
+  let cas_done = row_ready +. fl.c_t_cas_ns in
+  let bus_start = Float.max cas_done fl.bus_free in
+  let bus_end = bus_start +. fl.c_t_burst_ns in
+  fl.bus_free <- bus_end;
+  t.accesses <- t.accesses + 1;
+  (match op with
+  | Access.Read ->
+    t.reads <- t.reads + 1;
+    fl.burst_energy_nj <- fl.burst_energy_nj +. t.e_burst_read_nj;
+    Array.unsafe_set t.bank_ready bank bus_end
+  | Access.Write ->
+    t.writes <- t.writes + 1;
+    fl.burst_energy_nj <- fl.burst_energy_nj +. t.e_burst_write_nj;
+    (* Write recovery: the cells absorb the data after the burst. *)
+    Array.unsafe_set t.bank_ready bank (bus_end +. fl.c_t_wr_ns));
+  fl.latency_sum <- fl.latency_sum +. (bus_end -. arrival);
+  if t.latencies_n = Array.length t.latencies then begin
+    let bigger = Array.make (2 * t.latencies_n) 0. in
+    Array.blit t.latencies 0 bigger 0 t.latencies_n;
+    t.latencies <- bigger
+  end;
+  Array.unsafe_set t.latencies t.latencies_n (bus_end -. arrival);
+  t.latencies_n <- t.latencies_n + 1;
+  let slot = t.inflight_head + t.inflight_n in
+  let slot = if slot >= t.window then slot - t.window else slot in
+  Array.unsafe_set t.inflight slot bus_end;
+  t.inflight_n <- t.inflight_n + 1
+
 (* The access kernel, on flat coordinates ([bank] = rank * banks + bank):
    the FCFS path reaches it via [Address_mapping.decode_packed] without
    materialising a [coords] record. *)
@@ -150,7 +222,11 @@ let issue_flat t (op : Access.op) ~bank ~row =
   admit t;
   let fl = t.fl in
   let arrival = fl.now in
-  refresh_rank t (bank / t.org.Org.banks) arrival;
+  (* [bank] is non-negative on every pipeline path; the division is kept
+     for the representable-but-never-produced negative case *)
+  refresh_rank t
+    (if bank >= 0 then bank lsr t.banks_shift else bank / t.org.Org.banks)
+    arrival;
   let start = Float.max arrival (Array.unsafe_get t.bank_ready bank) in
   let row_ready =
     if Array.unsafe_get t.open_row bank = row then begin
@@ -161,10 +237,10 @@ let issue_flat t (op : Access.op) ~bank ~row =
       t.row_misses <- t.row_misses + 1;
       t.activations <- t.activations + 1;
       fl.act_pre_energy_nj <-
-        fl.act_pre_energy_nj +. t.power.Power_params.e_act_pre_nj;
+        fl.act_pre_energy_nj +. fl.c_e_act_pre_nj;
       let penalty =
-        Timing.row_miss_penalty_ns t.timing
-          ~had_open_row:(Array.unsafe_get t.open_row bank >= 0)
+        if Array.unsafe_get t.open_row bank >= 0 then t.penalty_over_open_ns
+        else t.penalty_no_open_ns
       in
       Array.unsafe_set t.open_row bank row;
       start +. penalty
@@ -176,37 +252,43 @@ let issue_flat t (op : Access.op) ~bank ~row =
   (match t.row_policy with
   | Closed_page -> Array.unsafe_set t.open_row bank (-1)
   | Open_page -> ());
-  let cas_done = row_ready +. t.timing.Timing.t_cas_ns in
-  let bus_start = Float.max cas_done fl.bus_free in
-  let bus_end = bus_start +. t.timing.Timing.t_burst_ns in
-  fl.bus_free <- bus_end;
-  t.accesses <- t.accesses + 1;
-  (match op with
-  | Access.Read ->
-    t.reads <- t.reads + 1;
-    fl.burst_energy_nj <-
-      fl.burst_energy_nj
-      +. Power_params.burst_read_energy_nj t.power
-           ~t_burst_ns:t.timing.Timing.t_burst_ns;
-    Array.unsafe_set t.bank_ready bank bus_end
-  | Access.Write ->
-    t.writes <- t.writes + 1;
-    fl.burst_energy_nj <-
-      fl.burst_energy_nj
-      +. Power_params.burst_write_energy_nj t.power
-           ~t_burst_ns:t.timing.Timing.t_burst_ns;
-    (* Write recovery: the cells absorb the data after the burst. *)
-    Array.unsafe_set t.bank_ready bank (bus_end +. t.timing.Timing.t_wr_ns));
-  fl.latency_sum <- fl.latency_sum +. (bus_end -. arrival);
-  if t.latencies_n = Array.length t.latencies then begin
-    let bigger = Array.make (2 * t.latencies_n) 0. in
-    Array.blit t.latencies 0 bigger 0 t.latencies_n;
-    t.latencies <- bigger
-  end;
-  Array.unsafe_set t.latencies t.latencies_n (bus_end -. arrival);
-  t.latencies_n <- t.latencies_n + 1;
-  Array.unsafe_set t.inflight t.inflight_n bus_end;
-  t.inflight_n <- t.inflight_n + 1
+  complete t op ~bank ~arrival ~row_ready
+
+(* The same kernel with the row-buffer decision replaced by a precomputed
+   class: 0 = row hit, 1 = miss with no open row, 2 = miss over an open
+   row.  The class is the only part of the access that reads per-bank
+   row-buffer state, so a bank-sharded first pass (see {!Controller_team})
+   can compute it in parallel and replay the global timing/energy chain
+   here — same float operations in the same order as [issue_flat], hence
+   byte-identical stats.  [t.open_row] is not consulted or maintained:
+   a controller driven through this entry point owns no row decisions. *)
+(* [@inline]: called once per event from [Controller_team]'s replay
+   sweep; inlining the whole kernel (admit, refresh check, float chain)
+   into that loop keeps the controller fields in registers across
+   events. *)
+let[@inline] issue_classified t (op : Access.op) ~bank ~cls =
+  admit t;
+  let fl = t.fl in
+  let arrival = fl.now in
+  refresh_rank t (bank lsr t.banks_shift) arrival;
+  let start = Float.max arrival (Array.unsafe_get t.bank_ready bank) in
+  let row_ready =
+    if cls = 0 then begin
+      t.row_hits <- t.row_hits + 1;
+      start
+    end
+    else begin
+      t.row_misses <- t.row_misses + 1;
+      t.activations <- t.activations + 1;
+      fl.act_pre_energy_nj <-
+        fl.act_pre_energy_nj +. fl.c_e_act_pre_nj;
+      let penalty =
+        if cls = 2 then t.penalty_over_open_ns else t.penalty_no_open_ns
+      in
+      start +. penalty
+    end
+  in
+  complete t op ~bank ~arrival ~row_ready
 
 let issue t op (c : Address_mapping.coords) =
   issue_flat t op ~bank:((c.rank * t.org.Org.banks) + c.bank) ~row:c.row
@@ -276,7 +358,8 @@ let elapsed_ns t =
   flush t;
   let m = ref t.fl.bus_free in
   for i = 0 to t.inflight_n - 1 do
-    if t.inflight.(i) > !m then m := t.inflight.(i)
+    let slot = (t.inflight_head + i) mod t.window in
+    if t.inflight.(slot) > !m then m := t.inflight.(slot)
   done;
   !m
 

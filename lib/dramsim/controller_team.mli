@@ -1,0 +1,94 @@
+(** Bank-sharded memory-controller pipeline.
+
+    The controller's row-buffer decision is bank-local — for a fixed
+    arrival order it depends only on the accessed bank's own reference
+    subsequence — while the timing/energy chain (admission window,
+    refresh, bank-ready and shared-bus serialisation) advances one global
+    clock.  The team therefore fans every delivered batch across
+    classifier worker domains behind SPSC rings (worker [s] owns the flat
+    banks with [bank land (shards - 1) = s] and tracks their open rows
+    privately), then replays the recorded per-reference row classes
+    serially through {!Controller.issue_classified} via a keyed k-way
+    merge on a dedicated replay domain — slice [i]'s replay overlaps
+    slice [i+1]'s classification, so the steady-state cost per reference
+    is the slower stage, not the sum.  Stats are byte-identical to a
+    serial {!Controller} under FCFS for every shard count; see DESIGN.md
+    "Sharded simulation" for the proof sketch.
+
+    FCFS only: [Fr_fcfs] reorders transactions using cross-bank state at
+    issue time, which breaks the bank-local decomposition. *)
+
+type t
+
+val shards_for : ?org:Org.t -> int -> int
+(** Largest usable shard count at most the request: rounded down to a
+    power of two and capped at the organisation's total bank count. *)
+
+val create :
+  ?org:Org.t ->
+  ?scheme:Address_mapping.scheme ->
+  ?window:int ->
+  ?row_policy:Controller.row_policy ->
+  shards:int ->
+  tech:Nvsc_nvram.Technology.t ->
+  unit ->
+  t
+(** A team of [shards] classifier domains (a power of two, at most the
+    total bank count) in front of one FCFS replay controller.  Parameter
+    defaults match {!Controller.create}. *)
+
+val consume : t -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int -> unit
+(** Classify a batch slice of transactions in order (the sink-consumer
+    shape).  Returns once every worker has finished the slice, so the
+    caller may recycle the batch — the plain sink contract. *)
+
+val sink : ?name:string -> t -> Nvsc_memtrace.Sink.t
+(** A sink feeding this team via {!consume}. *)
+
+val finish : t -> unit
+(** Stop the workers and join them.  Idempotent; implied by {!stats}. *)
+
+val stats : t -> Controller.stats
+(** Finish the team (waiting for the streaming replay to drain) and
+    return the controller statistics — byte-identical to a serial FCFS
+    {!Controller} over the same reference stream.  On a team that never
+    consumed (probe-only), any probed events are replayed here in one
+    batch instead. *)
+
+val fed : t -> int
+(** References classified so far. *)
+
+val shards : t -> int
+
+val ring_stats : t -> Nvsc_team.Ring.stats array
+(** Per-shard transport counters (pushes, producer stalls, consumer
+    stalls). *)
+
+val classify_probe :
+  t -> sid:int -> Nvsc_memtrace.Sink.Batch.t -> first:int -> n:int ->
+  base:int -> unit
+(** Run worker [sid]'s classification of a slice inline on the calling
+    domain (no rings, no barrier) — the kernel bench's isolated
+    critical-path sampling hook.  Mutates worker state exactly as the
+    worker domain would; never mix with {!consume} on the same team. *)
+
+val replay_pending : t -> unit
+(** Replay any classified-but-unreplayed events into the controller in
+    one batch on the calling domain — the probe path's replay stage,
+    exposed so the kernel bench can time the merge in isolation (no
+    stats construction attached).  Implied by {!stats}; a no-op once
+    everything has been replayed. *)
+
+val worker_busy_ns : t -> int array
+(** Per-worker classification busy time (monotonic ns, summed over
+    slices).  On a machine with one core per worker the maximum entry is
+    the classify stage's critical path. *)
+
+val replay_busy_ns : t -> int
+(** Replay-domain busy time (monotonic ns, summed over slices): the
+    serial stage's cost, the pipeline's throughput bound when it exceeds
+    the classify critical path. *)
+
+val export_metrics : t -> unit
+(** Accumulate {!ring_stats} into the obs metrics registry
+    ([dram.team.ring.*]) for [--profile] and [client stats]. *)

@@ -160,6 +160,65 @@ let get_obj d =
   o.Mem_object.live <- live;
   o
 
+(* Mmap-backed decoding: the same token grammar read straight out of a
+   [Unix.map_file] view of the trace instead of channel reads into payload
+   strings.  The primitives are duplicated rather than functorised — the
+   per-byte getters sit on the replay hot path, and an indirect call per
+   byte through a functor would cost more than the copies it saves. *)
+type buf =
+  (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type bdec = {
+  m : buf;
+  mutable mpos : int;
+  mend : int;
+  m_path : string;
+  m_what : string;
+}
+
+let bdec m ~pos ~len ~path ~what =
+  { m; mpos = pos; mend = pos + len; m_path = path; m_what = what }
+
+let bget_byte d =
+  if d.mpos >= d.mend then err d.m_path "truncated %s" d.m_what;
+  let b = Char.code (Bigarray.Array1.unsafe_get d.m d.mpos) in
+  d.mpos <- d.mpos + 1;
+  b
+
+let bget_varint d =
+  let rec go shift acc =
+    let b = bget_byte d in
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b < 0x80 then acc else go (shift + 7) acc
+  in
+  go 0 0
+
+let bget_raw d n =
+  if d.mpos + n > d.mend then err d.m_path "truncated %s" d.m_what;
+  let s = String.init n (fun i -> Bigarray.Array1.unsafe_get d.m (d.mpos + i)) in
+  d.mpos <- d.mpos + n;
+  s
+
+let bget_str d = bget_raw d (bget_varint d)
+
+let bget_obj d =
+  let id = bget_varint d in
+  let name = bget_str d in
+  let kind = kind_of_code d.m_path (bget_byte d) in
+  let base = bget_varint d in
+  let size = bget_varint d in
+  let signature = bget_str d in
+  let ncall = bget_varint d in
+  let callstack = List.init ncall (fun _ -> bget_str d) in
+  let alloc_phase = phase_of_code d.m_path (bget_varint d) in
+  let live = bget_byte d <> 0 in
+  let o =
+    Mem_object.make ~id ~name ~kind ~base ~size ~signature ~callstack
+      ~alloc_phase ()
+  in
+  o.Mem_object.live <- live;
+  o
+
 let get_meta d =
   let app = get_str d in
   let description = get_str d in
@@ -447,10 +506,13 @@ end
 
 type chunk_info = { c_offset : int; c_refs : int; c_md5 : string }
 
+type io_mode = Auto | Mmap | Buffered
+
 module Reader = struct
   type t = {
     r_path : string;
     ic : in_channel;
+    map : buf option;  (* [Some _] iff chunks decode from an mmap view *)
     r_version : int;
     r_meta : meta;
     r_chunk_capacity : int;
@@ -465,7 +527,13 @@ module Reader = struct
     trailer_offset : int;
   }
 
-  let open_ path =
+  let map_file path len =
+    let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+    Fun.protect ~finally:(fun () -> Unix.close fd) @@ fun () ->
+    let g = Unix.map_file fd Bigarray.char Bigarray.c_layout false [| len |] in
+    Bigarray.array1_of_genarray g
+
+  let open_ ?(mode = Auto) path =
     let ic = try open_in_bin path with Sys_error m -> raise (Error m) in
     match
       let len = in_channel_length ic in
@@ -541,9 +609,19 @@ module Reader = struct
       in
       if recomputed <> stored_digest then
         err path "corrupt trace (whole-trace digest mismatch)";
+      let map =
+        match mode with
+        | Buffered -> None
+        | Mmap -> (
+          try Some (map_file path len)
+          with Unix.Unix_error (e, _, _) ->
+            err path "mmap failed: %s" (Unix.error_message e))
+        | Auto -> ( try Some (map_file path len) with _ -> None)
+      in
       {
         r_path = path;
         ic;
+        map;
         r_version = v;
         r_meta;
         r_chunk_capacity;
@@ -573,6 +651,7 @@ module Reader = struct
   let digest r = r.r_digest
   let objects r = r.r_objects
   let stack_objects r = r.r_stack
+  let mmapped r = r.map <> None
   let close r = close_in_noerr r.ic
 end
 
@@ -593,81 +672,188 @@ let stream (r : Reader.t) ?(on_objects = fun _ -> ()) ?(on_phase = fun _ -> ())
       len := 0
     end
   in
-  seek_in ic r.Reader.data_start;
-  Array.iteri
-    (fun k info ->
-      if pos_in ic <> info.c_offset then
-        err path "corrupt chunk %d (offset mismatch)" k;
-      if really_read ic path 1 <> "C" then err path "corrupt chunk %d" k;
-      let clen = read_u32le ic path in
-      let stored = really_read ic path 16 in
-      if stored <> info.c_md5 then
-        err path "corrupt chunk %d (index digest mismatch)" k;
-      let payload = really_read ic path clen in
-      if Digest.string payload <> stored then
-        err path "corrupt chunk %d (digest mismatch)" k;
-      on_chunk k;
-      let d = dec payload ~path ~what:(Printf.sprintf "chunk %d" k) in
-      let nrefs = get_varint d in
-      if nrefs <> info.c_refs then
-        err path "corrupt chunk %d (record count mismatch)" k;
-      let nobjs = get_varint d in
-      if nobjs > 0 then on_objects (List.init nobjs (fun _ -> get_obj d));
-      let prev_addr = ref 0 in
-      let prev_id = ref 0 in
-      let decoded = ref 0 in
-      while d.pos < String.length d.s do
-        match get_byte d with
-        | t when t = tag_phase ->
-          deliver ();
-          on_phase (phase_of_code path (get_varint d))
-        | t when t = tag_instr ->
-          deliver ();
-          on_instr (get_varint d)
-        | t when t = tag_refs ->
-          let n = get_varint d in
-          for _ = 1 to n do
-            let sz_op = get_varint d in
-            let addr = !prev_addr + unzigzag (get_varint d) in
-            let obj_id = !prev_id + unzigzag (get_varint d) in
-            prev_addr := addr;
-            prev_id := obj_id;
-            let i = !len in
-            Sink.Batch.set batch i ~addr ~size:(sz_op lsr 1)
-              ~op:(if sz_op land 1 = 1 then Access.Write else Access.Read);
-            obj_ids.(i) <- obj_id;
-            len := i + 1
-          done;
-          decoded := !decoded + n
-        | t when t = tag_persist ->
-          if r.Reader.r_version < 2 then
-            err path "corrupt chunk %d (persist token in a v1 trace)" k;
-          deliver ();
-          let ev =
-            match get_byte d with
-            | s when s = psub_epoch_begin || s = psub_epoch_commit ->
-              let checkpoint = get_byte d <> 0 in
-              let label = get_str d in
-              if s = psub_epoch_begin then
-                Persist.Epoch_begin { label; checkpoint }
-              else Persist.Epoch_commit { label; checkpoint }
-            | s when s = psub_flush ->
-              let obj_id = get_varint d in
-              let off = get_varint d in
-              let len = get_varint d in
-              Persist.Flush { obj_id; off; len }
-            | s when s = psub_fence -> Persist.Fence
-            | s when s = psub_declare -> Persist.Declare { obj_id = get_varint d }
-            | s -> err path "corrupt chunk %d (unknown persist event %d)" k s
-          in
-          on_persist ev
-        | t -> err path "corrupt chunk %d (unknown token %d)" k t
-      done;
-      if !decoded <> nrefs then
-        err path "corrupt chunk %d (record count mismatch)" k;
-      deliver ();
-      Nvsc_obs.Metrics.Counter.incr m_replay_chunks;
-      Nvsc_obs.Metrics.Counter.add m_replay_refs nrefs)
-    r.Reader.index;
-  if pos_in ic <> r.Reader.trailer_offset then
-    err path "trailing garbage between chunks and trailer"
+  let decode_chunk_string k info payload =
+    let d = dec payload ~path ~what:(Printf.sprintf "chunk %d" k) in
+    let nrefs = get_varint d in
+    if nrefs <> info.c_refs then
+      err path "corrupt chunk %d (record count mismatch)" k;
+    let nobjs = get_varint d in
+    if nobjs > 0 then on_objects (List.init nobjs (fun _ -> get_obj d));
+    let prev_addr = ref 0 in
+    let prev_id = ref 0 in
+    let decoded = ref 0 in
+    while d.pos < String.length d.s do
+      match get_byte d with
+      | t when t = tag_phase ->
+        deliver ();
+        on_phase (phase_of_code path (get_varint d))
+      | t when t = tag_instr ->
+        deliver ();
+        on_instr (get_varint d)
+      | t when t = tag_refs ->
+        let n = get_varint d in
+        for _ = 1 to n do
+          let sz_op = get_varint d in
+          let addr = !prev_addr + unzigzag (get_varint d) in
+          let obj_id = !prev_id + unzigzag (get_varint d) in
+          prev_addr := addr;
+          prev_id := obj_id;
+          let i = !len in
+          Sink.Batch.set batch i ~addr ~size:(sz_op lsr 1)
+            ~op:(if sz_op land 1 = 1 then Access.Write else Access.Read);
+          obj_ids.(i) <- obj_id;
+          len := i + 1
+        done;
+        decoded := !decoded + n
+      | t when t = tag_persist ->
+        if r.Reader.r_version < 2 then
+          err path "corrupt chunk %d (persist token in a v1 trace)" k;
+        deliver ();
+        let ev =
+          match get_byte d with
+          | s when s = psub_epoch_begin || s = psub_epoch_commit ->
+            let checkpoint = get_byte d <> 0 in
+            let label = get_str d in
+            if s = psub_epoch_begin then
+              Persist.Epoch_begin { label; checkpoint }
+            else Persist.Epoch_commit { label; checkpoint }
+          | s when s = psub_flush ->
+            let obj_id = get_varint d in
+            let off = get_varint d in
+            let len = get_varint d in
+            Persist.Flush { obj_id; off; len }
+          | s when s = psub_fence -> Persist.Fence
+          | s when s = psub_declare -> Persist.Declare { obj_id = get_varint d }
+          | s -> err path "corrupt chunk %d (unknown persist event %d)" k s
+        in
+        on_persist ev
+      | t -> err path "corrupt chunk %d (unknown token %d)" k t
+    done;
+    if !decoded <> nrefs then
+      err path "corrupt chunk %d (record count mismatch)" k;
+    deliver ();
+    nrefs
+  in
+  (* Same grammar, read in place from the mapped file — no payload copy,
+     no channel buffering on the token path. *)
+  let decode_chunk_map m k info ~pos ~clen =
+    let d = bdec m ~pos ~len:clen ~path ~what:(Printf.sprintf "chunk %d" k) in
+    let nrefs = bget_varint d in
+    if nrefs <> info.c_refs then
+      err path "corrupt chunk %d (record count mismatch)" k;
+    let nobjs = bget_varint d in
+    if nobjs > 0 then on_objects (List.init nobjs (fun _ -> bget_obj d));
+    let prev_addr = ref 0 in
+    let prev_id = ref 0 in
+    let decoded = ref 0 in
+    while d.mpos < d.mend do
+      match bget_byte d with
+      | t when t = tag_phase ->
+        deliver ();
+        on_phase (phase_of_code path (bget_varint d))
+      | t when t = tag_instr ->
+        deliver ();
+        on_instr (bget_varint d)
+      | t when t = tag_refs ->
+        let n = bget_varint d in
+        for _ = 1 to n do
+          let sz_op = bget_varint d in
+          let addr = !prev_addr + unzigzag (bget_varint d) in
+          let obj_id = !prev_id + unzigzag (bget_varint d) in
+          prev_addr := addr;
+          prev_id := obj_id;
+          let i = !len in
+          Sink.Batch.set batch i ~addr ~size:(sz_op lsr 1)
+            ~op:(if sz_op land 1 = 1 then Access.Write else Access.Read);
+          obj_ids.(i) <- obj_id;
+          len := i + 1
+        done;
+        decoded := !decoded + n
+      | t when t = tag_persist ->
+        if r.Reader.r_version < 2 then
+          err path "corrupt chunk %d (persist token in a v1 trace)" k;
+        deliver ();
+        let ev =
+          match bget_byte d with
+          | s when s = psub_epoch_begin || s = psub_epoch_commit ->
+            let checkpoint = bget_byte d <> 0 in
+            let label = bget_str d in
+            if s = psub_epoch_begin then
+              Persist.Epoch_begin { label; checkpoint }
+            else Persist.Epoch_commit { label; checkpoint }
+          | s when s = psub_flush ->
+            let obj_id = bget_varint d in
+            let off = bget_varint d in
+            let len = bget_varint d in
+            Persist.Flush { obj_id; off; len }
+          | s when s = psub_fence -> Persist.Fence
+          | s when s = psub_declare ->
+            Persist.Declare { obj_id = bget_varint d }
+          | s -> err path "corrupt chunk %d (unknown persist event %d)" k s
+        in
+        on_persist ev
+      | t -> err path "corrupt chunk %d (unknown token %d)" k t
+    done;
+    if !decoded <> nrefs then
+      err path "corrupt chunk %d (record count mismatch)" k;
+    deliver ();
+    nrefs
+  in
+  (match r.Reader.map with
+  | None ->
+    seek_in ic r.Reader.data_start;
+    Array.iteri
+      (fun k info ->
+        if pos_in ic <> info.c_offset then
+          err path "corrupt chunk %d (offset mismatch)" k;
+        if really_read ic path 1 <> "C" then err path "corrupt chunk %d" k;
+        let clen = read_u32le ic path in
+        let stored = really_read ic path 16 in
+        if stored <> info.c_md5 then
+          err path "corrupt chunk %d (index digest mismatch)" k;
+        let payload = really_read ic path clen in
+        if Digest.string payload <> stored then
+          err path "corrupt chunk %d (digest mismatch)" k;
+        on_chunk k;
+        let nrefs = decode_chunk_string k info payload in
+        Nvsc_obs.Metrics.Counter.incr m_replay_chunks;
+        Nvsc_obs.Metrics.Counter.add m_replay_refs nrefs)
+      r.Reader.index;
+    if pos_in ic <> r.Reader.trailer_offset then
+      err path "trailing garbage between chunks and trailer"
+  | Some m ->
+    let flen = Bigarray.Array1.dim m in
+    let pos = ref r.Reader.data_start in
+    Array.iteri
+      (fun k info ->
+        if !pos <> info.c_offset then
+          err path "corrupt chunk %d (offset mismatch)" k;
+        if !pos + 21 > flen then err path "truncated file";
+        if Bigarray.Array1.unsafe_get m !pos <> 'C' then
+          err path "corrupt chunk %d" k;
+        let hd = bdec m ~pos:(!pos + 1) ~len:20 ~path ~what:"file" in
+        let clen =
+          let b0 = bget_byte hd in
+          let b1 = bget_byte hd in
+          let b2 = bget_byte hd in
+          let b3 = bget_byte hd in
+          b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24)
+        in
+        let stored = bget_raw hd 16 in
+        if stored <> info.c_md5 then
+          err path "corrupt chunk %d (index digest mismatch)" k;
+        let poff = !pos + 21 in
+        if poff + clen > flen then err path "truncated file";
+        (* Integrity still hashes the payload through the channel: the
+           stdlib [Digest] cannot hash a bigarray view. *)
+        seek_in ic poff;
+        if Digest.channel ic clen <> stored then
+          err path "corrupt chunk %d (digest mismatch)" k;
+        on_chunk k;
+        let nrefs = decode_chunk_map m k info ~pos:poff ~clen in
+        pos := poff + clen;
+        Nvsc_obs.Metrics.Counter.incr m_replay_chunks;
+        Nvsc_obs.Metrics.Counter.add m_replay_refs nrefs)
+      r.Reader.index;
+    if !pos <> r.Reader.trailer_offset then
+      err path "trailing garbage between chunks and trailer")

@@ -147,6 +147,11 @@ module Writer : sig
       {!Reader.open_}. *)
 end
 
+type io_mode =
+  | Auto  (** mmap the file when the platform allows it, else buffered *)
+  | Mmap  (** require the mmap path; {!Error} if mapping fails *)
+  | Buffered  (** channel reads into per-chunk payload strings *)
+
 (** Seekable reader.  {!Reader.open_} reads only the fixed header and the
     trailer (meta, final object tables, chunk index, digests) and verifies
     the whole-trace digest; the chunks stream on demand through
@@ -154,8 +159,16 @@ end
 module Reader : sig
   type t
 
-  val open_ : string -> t
-  (** Raises {!Error} on a foreign or damaged file. *)
+  val open_ : ?mode:io_mode -> string -> t
+  (** Raises {!Error} on a foreign or damaged file.  [mode] (default
+      {!Auto}) selects how {!stream} reads chunk payloads: under the mmap
+      path tokens decode in place from a read-only [Unix.map_file] view of
+      the trace — no payload copies, no channel buffering on the token
+      path — while chunk digests are still verified byte for byte.  Both
+      paths produce identical callbacks on identical files. *)
+
+  val mmapped : t -> bool
+  (** Whether chunk decoding will go through the mmap view. *)
 
   val meta : t -> meta
 

@@ -1,0 +1,194 @@
+(* Bank-sharded DRAM controller (ISSUE 10): the classify-then-replay team
+   must reproduce the serial FCFS controller byte for byte — every
+   counter and every float (timing, energy, latency percentiles) — for
+   every shard count, delivery batch capacity, row policy, address
+   mapping scheme and technology. *)
+
+module Sink = Nvsc_memtrace.Sink
+module Access = Nvsc_memtrace.Access
+module Org = Nvsc_dramsim.Org
+module Controller = Nvsc_dramsim.Controller
+module Controller_team = Nvsc_dramsim.Controller_team
+module Memory_system = Nvsc_dramsim.Memory_system
+module Tech = Nvsc_nvram.Technology
+
+let ddr3 = Tech.get Tech.DDR3
+let pcram = Tech.get Tech.PCRAM
+
+let test_shards_for () =
+  (* paper organisation: 16 ranks x 16 banks = 256 flat banks *)
+  List.iter
+    (fun (req, expect) ->
+      Alcotest.(check int)
+        (Printf.sprintf "shards_for %d" req)
+        expect
+        (Controller_team.shards_for req))
+    [ (0, 1); (1, 1); (2, 2); (3, 2); (8, 8); (1000, 256) ];
+  let org = Org.make ~ranks:1 ~banks:4 () in
+  Alcotest.(check int) "capped at total banks" 4
+    (Controller_team.shards_for ~org 64)
+
+(* Mixed line-granular stream shaped like the filtered memory traffic the
+   controller sees: row-local sweeps (row-hit heavy), a pseudo-random
+   scatter across banks and rows (conflict/activation heavy), and a
+   read/write blend, long enough to cross DDR3 refresh windows. *)
+let synth_stream n =
+  let lcg = ref 424242 in
+  let next () =
+    lcg := (!lcg * 1103515245) + 12345;
+    (!lcg lsr 11) land 0xFFFFFFF
+  in
+  List.init n (fun i ->
+      let addr =
+        if i land 7 < 5 then (i / 8 * 64 * 17) land 0x3FFFFC0
+        else next () land 0x7FFFFC0
+      in
+      let op = if i land 5 = 0 then Access.Write else Access.Read in
+      (addr, op))
+
+(* Drive a consumer in [cap]-sized slices through the sink-batch shape. *)
+let deliver refs ~cap consume =
+  let batch = Sink.Batch.create cap in
+  let rec go refs =
+    match refs with
+    | [] -> ()
+    | _ ->
+      let chunk = List.filteri (fun i _ -> i < cap) refs in
+      let rest = List.filteri (fun i _ -> i >= cap) refs in
+      List.iteri
+        (fun i (addr, op) -> Sink.Batch.set batch i ~addr ~size:64 ~op)
+        chunk;
+      consume batch ~first:0 ~n:(List.length chunk);
+      go rest
+  in
+  go refs
+
+let check_stats ctx (s : Controller.stats) (t : Controller.stats) =
+  (* structural equality covers every field, floats bit-for-bit *)
+  if s <> t then
+    Alcotest.failf
+      "%s: stats diverge (accesses %d/%d, row hits %d/%d, elapsed %.6f/%.6f, \
+       energy %.9f/%.9f)"
+      ctx s.Controller.accesses t.Controller.accesses s.Controller.row_hits
+      t.Controller.row_hits s.Controller.elapsed_ns t.Controller.elapsed_ns
+      s.Controller.total_energy_nj t.Controller.total_energy_nj
+
+let run_serial ?org ?scheme ?row_policy ~tech refs ~cap =
+  let c = Controller.create ?org ?scheme ?row_policy ~tech () in
+  deliver refs ~cap (Controller.consume c);
+  Controller.stats c
+
+let run_team ?org ?scheme ?row_policy ~tech refs ~cap ~shards =
+  let team = Controller_team.create ?org ?scheme ?row_policy ~shards ~tech () in
+  deliver refs ~cap (Controller_team.consume team);
+  Controller_team.stats team
+
+let test_differential () =
+  let refs = synth_stream 30_000 in
+  let serial = run_serial ~tech:ddr3 refs ~cap:65536 in
+  List.iter
+    (fun shards ->
+      List.iter
+        (fun cap ->
+          let ctx = Printf.sprintf "shards=%d cap=%d" shards cap in
+          check_stats ctx serial (run_team ~tech:ddr3 refs ~cap ~shards))
+        [ 1; 7; 65536 ])
+    [ 1; 2; 4; 8 ]
+
+let test_differential_variants () =
+  let refs = synth_stream 8_000 in
+  (* closed-page policy, non-default mapping scheme, NVRAM timing, and a
+     small organisation where the shard count equals the bank count *)
+  List.iter
+    (fun (ctx, org, scheme, row_policy, tech) ->
+      let serial = run_serial ?org ?scheme ?row_policy ~tech refs ~cap:4096 in
+      List.iter
+        (fun shards ->
+          check_stats
+            (Printf.sprintf "%s shards=%d" ctx shards)
+            serial
+            (run_team ?org ?scheme ?row_policy ~tech refs ~cap:4096 ~shards))
+        [ 2; 4 ])
+    [
+      ("closed-page", None, None, Some Controller.Closed_page, ddr3);
+      ("rank-bank", None, Some Nvsc_dramsim.Address_mapping.Row_rank_bank_col,
+       None, ddr3);
+      ("interleave", None, Some Nvsc_dramsim.Address_mapping.Line_interleave,
+       None, pcram);
+      ("tiny-org", Some (Org.make ~ranks:1 ~banks:4 ~rows:64 ()), None, None,
+       ddr3);
+    ]
+
+let test_compare_technologies_bank_shards () =
+  let refs = synth_stream 6_000 in
+  let log = Nvsc_memtrace.Trace_log.create () in
+  List.iter
+    (fun (addr, op) ->
+      Nvsc_memtrace.Trace_log.record_raw log ~addr ~size:64 ~op)
+    refs;
+  let replay sink = Nvsc_memtrace.Trace_log.replay_batch log sink in
+  let serial =
+    Memory_system.compare_technologies ~techs:Tech.paper_set ~replay ()
+  in
+  List.iter
+    (fun bank_shards ->
+      let sharded =
+        Memory_system.compare_technologies ~bank_shards ~techs:Tech.paper_set
+          ~replay ()
+      in
+      List.iter2
+        (fun ((ts : Tech.t), ss) ((tp : Tech.t), sp) ->
+          Alcotest.(check string) "tech order" ts.Tech.name tp.Tech.name;
+          check_stats
+            (Printf.sprintf "%s bank_shards=%d" ts.Tech.name bank_shards)
+            ss sp)
+        serial sharded)
+    [ 2; 4 ]
+
+let test_create_validation () =
+  Alcotest.check_raises "pow2"
+    (Invalid_argument
+       "Controller_team.create: shard count must be a power of two") (fun () ->
+      ignore (Controller_team.create ~shards:3 ~tech:ddr3 ()));
+  Alcotest.check_raises "too wide"
+    (Invalid_argument "Controller_team.create: more shards than banks")
+    (fun () ->
+      ignore
+        (Controller_team.create
+           ~org:(Org.make ~ranks:1 ~banks:2 ())
+           ~shards:4 ~tech:ddr3 ()))
+
+(* Property: for arbitrary (bank-spread, op) streams the team's stats are
+   structurally identical to the serial controller's — the equivalence
+   does not rest on any niceness of the synthetic streams above. *)
+let test_team_equiv_prop =
+  QCheck.Test.make ~name:"bank-sharded team equals serial controller"
+    ~count:30
+    QCheck.(
+      pair (int_range 1 3)
+        (list_of_size Gen.(int_range 1 400)
+           (pair (int_range 0 2_000_000) bool)))
+    (fun (shards_pow, evs) ->
+      let refs =
+        List.map
+          (fun (l, w) ->
+            ((l * 64) land 0x7FFFFC0, if w then Access.Write else Access.Read))
+          evs
+      in
+      let shards = 1 lsl shards_pow in
+      run_serial ~tech:ddr3 refs ~cap:64
+      = run_team ~tech:ddr3 refs ~cap:64 ~shards)
+
+let suite =
+  [
+    Alcotest.test_case "shard width follows the organisation" `Quick
+      test_shards_for;
+    Alcotest.test_case "team equals serial controller (widths x caps)" `Slow
+      test_differential;
+    Alcotest.test_case "team equals serial across policies/schemes/orgs"
+      `Slow test_differential_variants;
+    Alcotest.test_case "compare_technologies bank_shards is byte-identical"
+      `Slow test_compare_technologies_bank_shards;
+    Alcotest.test_case "team creation validation" `Quick test_create_validation;
+    QCheck_alcotest.to_alcotest test_team_equiv_prop;
+  ]

@@ -294,6 +294,71 @@ let test_power_jobs_identical () =
         (ts.name ^ ": stats identical") true (ss = sp))
     serial parallel
 
+(* Property (ISSUE 10): line-run coalescing — the hierarchy's batch-time
+   run detector and the shard filter's partition-side run tags — must be
+   invisible in every counter and every trace record.  Random run-heavy
+   word-granular streams (the access shape coalescing targets, which the
+   line-granular synth_stream above cannot produce) are replayed three
+   ways: per-reference access (never coalesces), batch consume (run
+   detector), and the shard team (tagged selection entries). *)
+let gen_run_stream =
+  QCheck.Gen.(
+    list_size (int_range 1 60)
+      (triple (int_bound 0x3FFF) (int_range 1 24) (int_bound 255)))
+
+let expand_runs segs =
+  List.concat_map
+    (fun (line, len, wpat) ->
+      List.init len (fun j ->
+          let addr = 0x400000 + (line * 64) + ((j * 4) land 63) in
+          let op =
+            if (wpat lsr (j land 7)) land 1 = 1 then Access.Write
+            else Access.Read
+          in
+          (addr, 4, op)))
+    segs
+
+let per_ref_baseline refs =
+  let log = Trace_log.create () in
+  let h = Hierarchy.create ~sink:(Trace_log.sink log) () in
+  List.iter (fun (addr, size, op) -> Hierarchy.access_raw h ~addr ~size ~op) refs;
+  Hierarchy.drain h;
+  (h, log)
+
+let hier_fp h =
+  ( cache_fingerprint (Hierarchy.l1d h),
+    cache_fingerprint (Hierarchy.l2 h),
+    Hierarchy.accesses h,
+    Hierarchy.memory_reads h,
+    Hierarchy.memory_writes h )
+
+let coalescing_invisible =
+  QCheck.Test.make
+    ~name:"run coalescing is invisible (per-ref = consume = team)" ~count:20
+    (QCheck.make gen_run_stream)
+    (fun segs ->
+      let refs = expand_runs segs in
+      let ha, la = per_ref_baseline refs in
+      let hc, lc = serial_baseline refs ~batch_capacity:64 in
+      let team, lt = team_run refs ~shards:4 ~batch_capacity:64 in
+      let sum f =
+        Array.fold_left (fun acc sf -> acc + f sf) 0 (Shard.filters team)
+      in
+      let team_fp cache_of =
+        List.init 8 (fun p ->
+            sum (fun sf -> List.nth (cache_fingerprint (cache_of sf)) p))
+      in
+      let triples log = List.map access_triple (trace_accesses log) in
+      let serial = triples la in
+      hier_fp ha = hier_fp hc
+      && cache_fingerprint (Hierarchy.l1d ha) = team_fp Shard_filter.l1d
+      && cache_fingerprint (Hierarchy.l2 ha) = team_fp Shard_filter.l2
+      && Hierarchy.accesses ha = Shard.accesses team
+      && Hierarchy.memory_reads ha = Shard.memory_reads team
+      && Hierarchy.memory_writes ha = Shard.memory_writes team
+      && serial = triples lc
+      && serial = triples lt)
+
 let suite =
   [
     Alcotest.test_case "partition width follows the geometry" `Quick
@@ -310,4 +375,5 @@ let suite =
       test_consume_alloc_free;
     Alcotest.test_case "technology-parallel power stage is byte-identical"
       `Quick test_power_jobs_identical;
+    QCheck_alcotest.to_alcotest coalescing_invisible;
   ]

@@ -194,7 +194,7 @@ let gen_events =
     in
     list_size (int_bound 400) gen_event)
 
-let roundtrip_ok ~chunk_capacity events =
+let roundtrip_ok ~chunk_capacity ~mode events =
   with_tmp @@ fun path ->
   let w = Trace_codec.Writer.create ~chunk_capacity ~path ~meta:(meta ()) () in
   List.iter
@@ -214,7 +214,7 @@ let roundtrip_ok ~chunk_capacity events =
       (List.filter (function Ref (_, _, Access.Write, _) -> true | _ -> false)
          events)
   in
-  let r = Trace_codec.Reader.open_ path in
+  let r = Trace_codec.Reader.open_ ~mode path in
   Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
   let got = ref [] in
   Trace_codec.stream r
@@ -243,7 +243,11 @@ let codec_roundtrip =
     ~name:"codec round-trips any event stream at chunk capacities 1/7/65536"
     ~count:30 (QCheck.make gen_events) (fun events ->
       List.for_all
-        (fun chunk_capacity -> roundtrip_ok ~chunk_capacity events)
+        (fun chunk_capacity ->
+          (* both chunk I/O paths must decode every stream identically *)
+          List.for_all
+            (fun mode -> roundtrip_ok ~chunk_capacity ~mode events)
+            [ Trace_codec.Buffered; Trace_codec.Mmap ])
         [ 1; 7; 65536 ])
 
 let test_empty_trace () =
@@ -367,6 +371,65 @@ let test_rejects_damage () =
       Trace_codec.stream r
         ~on_refs:(fun _ ~obj_ids:_ ~first:_ ~n:_ -> ())
         ())
+
+(* --- mmap reader ---------------------------------------------------------- *)
+
+let stream_events ~mode path =
+  let r = Trace_codec.Reader.open_ ~mode path in
+  Fun.protect ~finally:(fun () -> Trace_codec.Reader.close r) @@ fun () ->
+  let got = ref [] in
+  Trace_codec.stream r
+    ~on_phase:(fun p -> got := Phase p :: !got)
+    ~on_instr:(fun n -> got := Instr n :: !got)
+    ~on_persist:(fun p -> got := P p :: !got)
+    ~on_refs:(fun batch ~obj_ids ~first ~n ->
+      for i = first to first + n - 1 do
+        got :=
+          Ref
+            ( Sink.Batch.addr batch i,
+              Sink.Batch.size batch i,
+              Sink.Batch.op batch i,
+              obj_ids.(i) )
+          :: !got
+      done)
+    ();
+  (Trace_codec.Reader.mmapped r, List.rev !got)
+
+let test_mmap_reader_modes () =
+  with_tmp @@ fun path ->
+  let w =
+    Trace_codec.Writer.create ~chunk_capacity:8 ~path ~meta:(meta ()) ()
+  in
+  Trace_codec.Writer.add_phase w (Mem_object.Main 1);
+  for i = 0 to 99 do
+    if i mod 17 = 0 then Trace_codec.Writer.add_instr w (i + 1);
+    if i = 40 then
+      Trace_codec.Writer.add_persist w
+        (Persist.Epoch_begin { label = "mm"; checkpoint = false });
+    Trace_codec.Writer.add_ref w ~addr:(i * 64) ~size:8
+      ~op:(if i land 1 = 0 then Access.Read else Access.Write)
+      ~obj_id:(i mod 3)
+  done;
+  ignore (Trace_codec.Writer.finish w ());
+  let mm_b, ev_b = stream_events ~mode:Trace_codec.Buffered path in
+  let mm_m, ev_m = stream_events ~mode:Trace_codec.Mmap path in
+  let mm_a, ev_a = stream_events ~mode:Trace_codec.Auto path in
+  Alcotest.(check bool) "buffered is not mapped" false mm_b;
+  Alcotest.(check bool) "mmap is mapped" true mm_m;
+  Alcotest.(check bool) "auto maps on this platform" true mm_a;
+  Alcotest.(check int) "events decoded" 108 (List.length ev_b);
+  Alcotest.(check bool) "mmap decodes identically" true (ev_m = ev_b);
+  Alcotest.(check bool) "auto decodes identically" true (ev_a = ev_b);
+  (* a flipped chunk byte fails the per-chunk digest on both paths *)
+  let good = read_file path in
+  with_tmp @@ fun bad ->
+  let hlen = u32le good 10 in
+  write_file bad (flip good (14 + hlen + 1 + 4 + 16 + 3));
+  List.iter
+    (fun mode ->
+      expect_error ~substr:"corrupt chunk" (fun () ->
+          ignore (stream_events ~mode bad)))
+    [ Trace_codec.Buffered; Trace_codec.Mmap ]
 
 (* --- version compatibility ------------------------------------------------ *)
 
@@ -621,6 +684,8 @@ let suite =
       test_streaming_constant_memory;
     Alcotest.test_case "damaged files are rejected by name" `Quick
       test_rejects_damage;
+    Alcotest.test_case "mmap and buffered readers decode identically" `Quick
+      test_mmap_reader_modes;
     Alcotest.test_case "v1 traces write and read back" `Quick
       test_v1_writer_reader_compat;
     Alcotest.test_case "persist token in a v1 trace is corrupt" `Quick
